@@ -1,0 +1,140 @@
+//! ABOD / FastABOD — angle-based outlier detection (Kriegel et al.,
+//! KDD 2008).
+//!
+//! Inliers see other points under widely varying angles; outliers, sitting
+//! at the fringe, see everything under a narrow angle spectrum. The score
+//! is the variance of distance-weighted angles over point pairs — exact
+//! ABOD over all pairs (cubic; why Tab. I marks it unscalable), FastABOD
+//! over the k nearest neighbors only. We return `1 / (1 + ABOF)` so higher
+//! means more anomalous, consistent with the other detectors.
+
+use crate::knn::knn_all;
+use mccatch_index::IndexBuilder;
+use mccatch_metric::Euclidean;
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Variance of weighted angles of `p` against all pairs from `others`.
+/// Difference vectors are materialized once into a flat scratch matrix —
+/// the pair loop is the cubic hot path of exact ABOD and must stay
+/// allocation-free.
+fn abof(p: &[f64], others: &[&[f64]], scratch: &mut Vec<f64>) -> f64 {
+    let dim = p.len();
+    let m = others.len();
+    scratch.clear();
+    scratch.reserve(m * dim);
+    let mut norms2 = Vec::with_capacity(m);
+    for &o in others {
+        for d in 0..dim {
+            scratch.push(o[d] - p[d]);
+        }
+        let row = &scratch[scratch.len() - dim..];
+        norms2.push(dot(row, row));
+    }
+    let mut sum = 0.0;
+    let mut sumsq = 0.0;
+    let mut wsum = 0.0;
+    for i in 0..m {
+        if norms2[i] <= 0.0 {
+            continue; // duplicate of p: angle undefined
+        }
+        let pa = &scratch[i * dim..(i + 1) * dim];
+        for j in (i + 1)..m {
+            if norms2[j] <= 0.0 {
+                continue;
+            }
+            let pb = &scratch[j * dim..(j + 1) * dim];
+            // Weighted angle term of the ABOD paper:
+            // <pa, pb> / (|pa|^2 |pb|^2), weighted by 1/(|pa||pb|).
+            let v = dot(pa, pb) / (norms2[i] * norms2[j]);
+            let w = 1.0 / (norms2[i] * norms2[j]).sqrt();
+            sum += w * v;
+            sumsq += w * v * v;
+            wsum += w;
+        }
+    }
+    if wsum <= 0.0 {
+        return 0.0;
+    }
+    let mean = sum / wsum;
+    (sumsq / wsum - mean * mean).max(0.0)
+}
+
+/// Exact ABOD: all pairs for every point, `O(n³)` — only viable for small
+/// datasets, exactly as the paper reports (LOCI/ABOD rows of Fig. 6 show
+/// "excessive runtime" markers on the big sets).
+pub fn abod_scores(points: &[Vec<f64>]) -> Vec<f64> {
+    let n = points.len();
+    let mut scratch = Vec::new();
+    (0..n)
+        .map(|i| {
+            let others: Vec<&[f64]> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| points[j].as_slice())
+                .collect();
+            1.0 / (1.0 + abof(&points[i], &others, &mut scratch))
+        })
+        .collect()
+}
+
+/// FastABOD: the angle variance over the k nearest neighbors only
+/// (`k ∈ {1, 5, 10}` in Tab. II; k ≥ 2 required for any pair to exist).
+pub fn fast_abod_scores<B>(points: &[Vec<f64>], builder: &B, k: usize) -> Vec<f64>
+where
+    B: IndexBuilder<Vec<f64>, Euclidean>,
+{
+    let k = k.max(2);
+    let knn = knn_all(points, &Euclidean, builder, k);
+    let mut scratch = Vec::new();
+    (0..points.len())
+        .map(|i| {
+            let others: Vec<&[f64]> =
+                knn[i].iter().map(|n| points[n.id as usize].as_slice()).collect();
+            1.0 / (1.0 + abof(&points[i], &others, &mut scratch))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccatch_index::KdTreeBuilder;
+
+    fn ring_with_outlier() -> Vec<Vec<f64>> {
+        // Points on a circle (inliers see wide angles from the center region)
+        // plus one far outside point.
+        let mut pts: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let t = i as f64 / 40.0 * std::f64::consts::TAU;
+                vec![t.cos(), t.sin()]
+            })
+            .collect();
+        pts.push(vec![10.0, 0.0]);
+        pts
+    }
+
+    #[test]
+    fn abod_flags_far_point() {
+        let pts = ring_with_outlier();
+        let s = abod_scores(&pts);
+        let max_inlier = s[..40].iter().cloned().fold(f64::MIN, f64::max);
+        assert!(s[40] > max_inlier, "{} vs {max_inlier}", s[40]);
+    }
+
+    #[test]
+    fn fast_abod_agrees_on_the_obvious_outlier() {
+        let pts = ring_with_outlier();
+        let s = fast_abod_scores(&pts, &KdTreeBuilder::default(), 10);
+        let max_inlier = s[..40].iter().cloned().fold(f64::MIN, f64::max);
+        assert!(s[40] > max_inlier);
+    }
+
+    #[test]
+    fn duplicates_do_not_nan() {
+        let pts = vec![vec![0.0, 0.0]; 5];
+        let s = abod_scores(&pts);
+        assert!(s.iter().all(|x| x.is_finite()));
+    }
+}

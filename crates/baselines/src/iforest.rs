@@ -1,0 +1,208 @@
+//! Isolation Forest (Liu, Ting & Zhou, TKDD 2012) — the backbone of
+//! several baselines (iForest itself, and our Gen2Out / D.MCA
+//! reimplementations).
+//!
+//! Anomalies isolate quickly under random axis-parallel splits, so their
+//! expected path length is short; the score is `2^(-E[h]/c(ψ))` where
+//! `c(ψ)` normalizes by the average BST path length.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Average unsuccessful-search path length of a BST with `n` nodes: the
+/// normalizer `c(n)` of the iForest paper.
+pub fn c_factor(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let h = |i: f64| i.ln() + 0.577_215_664_901_532_9;
+    2.0 * h((n - 1) as f64) - 2.0 * (n - 1) as f64 / n as f64
+}
+
+#[derive(Debug)]
+enum ITree {
+    Leaf {
+        size: usize,
+    },
+    Split {
+        dim: usize,
+        value: f64,
+        left: Box<ITree>,
+        right: Box<ITree>,
+    },
+}
+
+impl ITree {
+    fn build(points: &[Vec<f64>], ids: &mut [u32], depth: usize, max_depth: usize, rng: &mut StdRng) -> ITree {
+        if ids.len() <= 1 || depth >= max_depth {
+            return ITree::Leaf { size: ids.len() };
+        }
+        let dim_count = points[0].len();
+        // Pick a random dimension with spread; give up after a few tries
+        // (all-identical subsets become leaves).
+        for _ in 0..8 {
+            let dim = rng.random_range(0..dim_count);
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &i in ids.iter() {
+                let v = points[i as usize][dim];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi <= lo {
+                continue;
+            }
+            let value = rng.random_range(lo..hi);
+            let mid = itertools_partition(ids, |&i| points[i as usize][dim] <= value);
+            if mid == 0 || mid == ids.len() {
+                continue;
+            }
+            let (l, r) = ids.split_at_mut(mid);
+            let left = Box::new(ITree::build(points, l, depth + 1, max_depth, rng));
+            let right = Box::new(ITree::build(points, r, depth + 1, max_depth, rng));
+            return ITree::Split {
+                dim,
+                value,
+                left,
+                right,
+            };
+        }
+        ITree::Leaf { size: ids.len() }
+    }
+
+    fn path_length(&self, p: &[f64], depth: f64) -> f64 {
+        match self {
+            ITree::Leaf { size } => depth + c_factor(*size),
+            ITree::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
+                if p[*dim] <= *value {
+                    left.path_length(p, depth + 1.0)
+                } else {
+                    right.path_length(p, depth + 1.0)
+                }
+            }
+        }
+    }
+}
+
+/// In-place stable-ish partition; returns the split point.
+fn itertools_partition<T, F: Fn(&T) -> bool>(xs: &mut [T], pred: F) -> usize {
+    let mut i = 0;
+    for j in 0..xs.len() {
+        if pred(&xs[j]) {
+            xs.swap(i, j);
+            i += 1;
+        }
+    }
+    i
+}
+
+/// An isolation forest; build once, score any points.
+#[derive(Debug)]
+pub struct IsolationForest {
+    trees: Vec<ITree>,
+    psi: usize,
+}
+
+impl IsolationForest {
+    /// Fits `n_trees` trees on subsamples of size `psi` (Tab. II grids:
+    /// `t ∈ {2..128}`, `ψ ∈ {2..min(1024, 0.3n)}`; the classic defaults are
+    /// `t = 100`, `ψ = 256`). Deterministic given `seed`.
+    pub fn fit(points: &[Vec<f64>], n_trees: usize, psi: usize, seed: u64) -> Self {
+        assert!(!points.is_empty(), "cannot fit a forest on no data");
+        let psi = psi.clamp(2, points.len());
+        let max_depth = (psi as f64).log2().ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trees = (0..n_trees)
+            .map(|_| {
+                // Subsample without replacement (partial Fisher-Yates).
+                let mut ids: Vec<u32> = (0..points.len() as u32).collect();
+                for i in 0..psi {
+                    let j = rng.random_range(i..ids.len());
+                    ids.swap(i, j);
+                }
+                ids.truncate(psi);
+                ITree::build(points, &mut ids, 0, max_depth, &mut rng)
+            })
+            .collect();
+        Self { trees, psi }
+    }
+
+    /// Anomaly score of one point: `2^(-E[h]/c(ψ))`, in (0, 1); > 0.5 leans
+    /// anomalous.
+    pub fn score(&self, p: &[f64]) -> f64 {
+        let mean_path = self
+            .trees
+            .iter()
+            .map(|t| t.path_length(p, 0.0))
+            .sum::<f64>()
+            / self.trees.len() as f64;
+        let c = c_factor(self.psi);
+        if c <= 0.0 {
+            return 0.5;
+        }
+        2f64.powf(-mean_path / c)
+    }
+
+    /// Scores for a whole dataset.
+    pub fn score_all(&self, points: &[Vec<f64>]) -> Vec<f64> {
+        points.iter().map(|p| self.score(p)).collect()
+    }
+}
+
+/// One-call convenience used by the harness.
+pub fn iforest_scores(points: &[Vec<f64>], n_trees: usize, psi: usize, seed: u64) -> Vec<f64> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    IsolationForest::fit(points, n_trees, psi, seed).score_all(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c_factor_known_values() {
+        assert_eq!(c_factor(1), 0.0);
+        // c(2) = 2*H(1) - 2*1/2 = 2*0.5772... - 1 ≈ 0.1544.
+        assert!((c_factor(2) - 0.15443).abs() < 1e-4);
+        assert!(c_factor(256) > c_factor(64));
+    }
+
+    #[test]
+    fn isolate_scores_above_inliers() {
+        let mut pts: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 20) as f64 * 0.1, (i / 20) as f64 * 0.1])
+            .collect();
+        pts.push(vec![50.0, 50.0]);
+        let s = iforest_scores(&pts, 100, 64, 42);
+        let max_inlier = s[..200].iter().cloned().fold(f64::MIN, f64::max);
+        assert!(s[200] > max_inlier, "{} vs {max_inlier}", s[200]);
+        assert!(s[200] > 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, (i * 7 % 13) as f64]).collect();
+        assert_eq!(iforest_scores(&pts, 20, 32, 7), iforest_scores(&pts, 20, 32, 7));
+        assert_ne!(iforest_scores(&pts, 20, 32, 7), iforest_scores(&pts, 20, 32, 8));
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let pts: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let s = iforest_scores(&pts, 10, 16, 1);
+        assert!(s.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn identical_points_do_not_panic() {
+        let pts = vec![vec![3.0, 3.0]; 30];
+        let s = iforest_scores(&pts, 10, 8, 1);
+        assert!(s.iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,153 @@
+//! KMeans-- (Chawla & Gionis, SDM 2013): unified clustering and outlier
+//! detection. Each Lloyd iteration assigns points to the nearest centroid
+//! but *excludes the `l` farthest points* from the centroid update; those
+//! excluded points are the outliers. Score = distance to nearest centroid.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs KMeans-- with `k` clusters, `l` outliers, a fixed iteration budget
+/// and a seed for the initial centroids. Returns per-point scores
+/// (distance to the nearest centroid; the `l` largest are the outliers).
+pub fn kmeans_minus_minus(
+    points: &[Vec<f64>],
+    k: usize,
+    l: usize,
+    iterations: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.clamp(1, n);
+    let dim = points[0].len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // k-means++-style seeding, deterministic.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..n)].clone());
+    while centroids.len() < k {
+        let weights: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| dist2(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            centroids.push(points[rng.random_range(0..n)].clone());
+            continue;
+        }
+        let mut target = rng.random::<f64>() * total;
+        let mut chosen = n - 1;
+        for (i, w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(points[chosen].clone());
+    }
+    let mut dists = vec![0.0f64; n];
+    for _ in 0..iterations {
+        // Assignment + distances.
+        let mut assign = vec![0usize; n];
+        for (i, p) in points.iter().enumerate() {
+            let (mut bd, mut bc) = (f64::INFINITY, 0usize);
+            for (c, cent) in centroids.iter().enumerate() {
+                let d = dist2(p, cent);
+                if d < bd {
+                    bd = d;
+                    bc = c;
+                }
+            }
+            assign[i] = bc;
+            dists[i] = bd;
+        }
+        // The l farthest points are excluded from the update.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| dists[b].total_cmp(&dists[a]).then(a.cmp(&b)));
+        let excluded: Vec<bool> = {
+            let mut e = vec![false; n];
+            for &i in order.iter().take(l.min(n)) {
+                e[i] = true;
+            }
+            e
+        };
+        // Update centroids from the retained points.
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            if excluded[i] {
+                continue;
+            }
+            counts[assign[i]] += 1;
+            for d in 0..dim {
+                sums[assign[i]][d] += p[d];
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for d in 0..dim {
+                    centroids[c][d] = sums[c][d] / counts[c] as f64;
+                }
+            }
+        }
+    }
+    // Final scores: sqrt distance to the nearest centroid.
+    points
+        .iter()
+        .map(|p| {
+            centroids
+                .iter()
+                .map(|c| dist2(p, c))
+                .fold(f64::INFINITY, f64::min)
+                .sqrt()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outliers_score_highest() {
+        let mut pts: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 8) as f64 * 0.1, (i / 8) as f64 * 0.1]).collect();
+        for i in 0..40 {
+            pts.push(vec![20.0 + (i % 8) as f64 * 0.1, (i / 8) as f64 * 0.1]);
+        }
+        pts.push(vec![10.0, 30.0]);
+        pts.push(vec![-10.0, -30.0]);
+        let s = kmeans_minus_minus(&pts, 2, 2, 20, 7);
+        let max_inlier = s[..80].iter().cloned().fold(f64::MIN, f64::max);
+        assert!(s[80] > max_inlier);
+        assert!(s[81] > max_inlier);
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, (i * 3 % 11) as f64]).collect();
+        assert_eq!(
+            kmeans_minus_minus(&pts, 3, 2, 10, 1),
+            kmeans_minus_minus(&pts, 3, 2, 10, 1)
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(kmeans_minus_minus(&[], 3, 1, 5, 1).is_empty());
+        let one = vec![vec![1.0, 2.0]];
+        let s = kmeans_minus_minus(&one, 3, 1, 5, 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0], 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Minimal union–find used by the group-forming baselines (Gen2Out,
+//! D.MCA). Kept local so the baselines crate stays independent of
+//! `mccatch-core`.
+
+/// Disjoint-set union with path halving.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merges the sets containing `a` and `b`.
+    pub fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller root wins.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi as usize] = lo;
+        }
+    }
+
+    /// Components sorted by smallest member; members ascending.
+    pub fn components(&mut self) -> Vec<Vec<u32>> {
+        let n = self.parent.len();
+        let mut pairs: Vec<(u32, u32)> = (0..n as u32).map(|x| (self.find(x), x)).collect();
+        pairs.sort_unstable();
+        let mut out: Vec<Vec<u32>> = Vec::new();
+        let mut last = u32::MAX;
+        for (root, x) in pairs {
+            if root != last {
+                out.push(Vec::new());
+                last = root;
+            }
+            out.last_mut().expect("pushed").push(x);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unions_and_components() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 3);
+        uf.union(3, 4);
+        let comps = uf.components();
+        assert_eq!(comps, vec![vec![0, 3, 4], vec![1], vec![2]]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion benchmarks comparing detector runtimes on one workload — the
+//! microbenchmark companion to Tab. VI (MCCATCH vs. the other microcluster
+//! detectors, plus the classic point detectors for context).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mccatch_baselines::{dmca, gen2out, iforest_scores, knn_out_scores, lof_scores};
+use mccatch_core::{mccatch, Params};
+use mccatch_data::http;
+use mccatch_index::KdTreeBuilder;
+use mccatch_metric::Euclidean;
+use std::hint::black_box;
+
+fn bench_detectors(c: &mut Criterion) {
+    let data = http(10_000, 1);
+    let pts = &data.points;
+    let mut group = c.benchmark_group("detectors_http10k");
+    group.sample_size(10);
+    group.bench_function("mccatch", |b| {
+        b.iter(|| {
+            mccatch(
+                black_box(pts),
+                &Euclidean,
+                &KdTreeBuilder::default(),
+                &Params::default(),
+            )
+        })
+    });
+    group.bench_function("gen2out", |b| {
+        b.iter(|| gen2out(black_box(pts), &KdTreeBuilder::default(), 100, 256, 0.05, 42))
+    });
+    group.bench_function("dmca", |b| {
+        b.iter(|| dmca(black_box(pts), &KdTreeBuilder::default(), 64, 128, 0.05, 42))
+    });
+    group.bench_function("iforest", |b| {
+        b.iter(|| iforest_scores(black_box(pts), 100, 256, 42))
+    });
+    group.bench_function("lof_k5", |b| {
+        b.iter(|| lof_scores(black_box(pts), &Euclidean, &KdTreeBuilder::default(), 5))
+    });
+    group.bench_function("knn_out_k5", |b| {
+        b.iter(|| knn_out_scores(black_box(pts), &Euclidean, &KdTreeBuilder::default(), 5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

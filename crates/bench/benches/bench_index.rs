@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks for the index substrate: tree construction
+//! and range-count queries for the Slim-tree, kd-tree and brute force —
+//! the cost drivers behind Fig. 7 and the "using-index principle" of
+//! Sec. IV-G.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mccatch_data::uniform;
+use mccatch_index::{BruteForce, KdTree, RangeIndex, SlimTree};
+use mccatch_metric::Euclidean;
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    for &n in &[1_000usize, 10_000] {
+        let pts = uniform(n, 2, 1);
+        group.bench_with_input(BenchmarkId::new("slim", n), &pts, |b, pts| {
+            b.iter(|| {
+                SlimTree::build(
+                    black_box(pts),
+                    (0..pts.len() as u32).collect(),
+                    &Euclidean,
+                    32,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("kd", n), &pts, |b, pts| {
+            b.iter(|| KdTree::build(black_box(pts), (0..pts.len() as u32).collect(), 16))
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_count_r1pct");
+    for &n in &[1_000usize, 10_000] {
+        let pts = uniform(n, 2, 1);
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let slim = SlimTree::build(&pts, ids.clone(), &Euclidean, 32);
+        let kd = KdTree::build(&pts, ids.clone(), 16);
+        let brute = BruteForce::new(&pts, ids, &Euclidean);
+        let r = 1.0; // 1% of the 100-wide domain
+        group.bench_with_input(BenchmarkId::new("slim", n), &slim, |b, t| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for q in pts.iter().step_by(37) {
+                    acc += t.range_count(black_box(q), r);
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("kd", n), &kd, |b, t| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for q in pts.iter().step_by(37) {
+                    acc += t.range_count(black_box(q), r);
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("brute", n), &brute, |b, t| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for q in pts.iter().step_by(37) {
+                    acc += t.range_count(black_box(q), r);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn10");
+    let n = 10_000usize;
+    let pts = uniform(n, 2, 1);
+    let ids: Vec<u32> = (0..n as u32).collect();
+    let slim = SlimTree::build(&pts, ids.clone(), &Euclidean, 32);
+    let kd = KdTree::build(&pts, ids, 16);
+    group.bench_function("slim", |b| {
+        b.iter(|| slim.knn(black_box(&pts[123]), 10))
+    });
+    group.bench_function("kd", |b| b.iter(|| kd.knn(black_box(&pts[123]), 10)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_range_count, bench_knn);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmark for the end-to-end MCCATCH pipeline across data
+//! sizes and index kinds — the microbenchmark companion to Fig. 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mccatch_core::{mccatch, Params};
+use mccatch_data::{http, uniform};
+use mccatch_index::{KdTreeBuilder, SlimTreeBuilder};
+use mccatch_metric::Euclidean;
+use std::hint::black_box;
+
+fn bench_pipeline_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mccatch_uniform2d");
+    group.sample_size(10);
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let pts = uniform(n, 2, 1);
+        group.bench_with_input(BenchmarkId::new("kd", n), &pts, |b, pts| {
+            b.iter(|| {
+                mccatch(
+                    black_box(pts),
+                    &Euclidean,
+                    &KdTreeBuilder::default(),
+                    &Params::default(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("slim", n), &pts, |b, pts| {
+            b.iter(|| {
+                mccatch(
+                    black_box(pts),
+                    &Euclidean,
+                    &SlimTreeBuilder::default(),
+                    &Params::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_http(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mccatch_http");
+    group.sample_size(10);
+    let data = http(20_000, 1);
+    group.bench_function("n20k", |b| {
+        b.iter(|| {
+            mccatch(
+                black_box(&data.points),
+                &Euclidean,
+                &KdTreeBuilder::default(),
+                &Params::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_sizes, bench_pipeline_http);
+criterion_main!(benches);

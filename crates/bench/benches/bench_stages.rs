@@ -1,0 +1,41 @@
+//! Criterion benchmarks for the individual MCCATCH stages (Alg. 1's four
+//! steps), isolating where time goes: counting joins, plateau extraction,
+//! the MDL cutoff, and scoring. This is the ablation companion to the
+//! complexity argument of Lemma 1 (counting dominates; everything else is
+//! `O(n)` or less).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mccatch_core::counts::count_neighbors;
+use mccatch_core::oracle::OraclePlot;
+use mccatch_core::{compute_cutoff, RadiusGrid};
+use mccatch_data::http;
+use mccatch_index::{IndexBuilder, KdTreeBuilder, RangeIndex};
+use mccatch_metric::Euclidean;
+use std::hint::black_box;
+
+fn bench_stages(c: &mut Criterion) {
+    let data = http(10_000, 1);
+    let pts = &data.points;
+    let builder = KdTreeBuilder::default();
+    let tree = builder.build_all(pts, &Euclidean);
+    let grid = RadiusGrid::new(tree.diameter_estimate(), 15);
+    let card = pts.len() / 10;
+
+    let mut group = c.benchmark_group("stages_http10k");
+    group.sample_size(10);
+    group.bench_function("count_neighbors", |b| {
+        b.iter(|| count_neighbors(&tree, black_box(pts), grid.radii(), card, 1))
+    });
+    let table = count_neighbors(&tree, pts, grid.radii(), card, 1);
+    group.bench_function("plateaus_oracle", |b| {
+        b.iter(|| OraclePlot::from_counts(black_box(&table), grid.radii(), 0.1, card))
+    });
+    let oracle = OraclePlot::from_counts(&table, grid.radii(), 0.1, card);
+    group.bench_function("mdl_cutoff", |b| {
+        b.iter(|| compute_cutoff(black_box(oracle.histogram()), grid.radii()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

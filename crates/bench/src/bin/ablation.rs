@@ -1,0 +1,128 @@
+//! Ablation study for MCCATCH's two signature design choices (Sec. IV-D
+//! and IV-G of the paper):
+//!
+//! 1. **MDL cutoff vs. `k·σ`** — the paper motivates the MDL cutoff by
+//!    asking "can we get rid of the k parameter too?". Here we compare the
+//!    flags produced by Def. 6 with the classic `mean + 3σ` threshold on
+//!    the 1NN-distance histogram, measuring the F1 of the flagged set
+//!    against ground truth.
+//! 2. **Sparse-focused counting on/off** — how many distance evaluations
+//!    the `q > c` early-drop principle saves (counting with `c = n`
+//!    disables it).
+//!
+//! Options: `--cap 3000`, `--seed 9`.
+
+use mccatch_bench::{print_table, Args};
+use mccatch_core::{mccatch, Params};
+use mccatch_data::BENCHMARKS;
+use mccatch_index::SlimTreeBuilder;
+use mccatch_metric::{CountingMetric, Euclidean};
+
+/// F1 of a flagged set against boolean ground truth.
+fn flag_f1(flagged: &[bool], labels: &[bool]) -> f64 {
+    let tp = flagged
+        .iter()
+        .zip(labels)
+        .filter(|&(&f, &l)| f && l)
+        .count() as f64;
+    let fp = flagged
+        .iter()
+        .zip(labels)
+        .filter(|&(&f, &l)| f && !l)
+        .count() as f64;
+    let fnn = flagged
+        .iter()
+        .zip(labels)
+        .filter(|&(&f, &l)| !f && l)
+        .count() as f64;
+    if tp == 0.0 {
+        return 0.0;
+    }
+    2.0 * tp / (2.0 * tp + fp + fnn)
+}
+
+fn main() {
+    let args = Args::parse();
+    let cap: usize = args.get("cap", 3000);
+    let seed: u64 = args.get("seed", 9);
+
+    // ---- Ablation 1: cutoff rule ----
+    println!("Ablation 1 — cutoff rule: MDL (Def. 6) vs mean+3sigma on the 1NN histogram");
+    println!();
+    let mut rows = Vec::new();
+    for spec in BENCHMARKS.iter().filter(|s| s.name != "Speech") {
+        let scale = (cap as f64 / spec.n as f64).min(1.0);
+        let data = spec.generate_scaled(scale, seed);
+        let out = mccatch(
+            &data.points,
+            &Euclidean,
+            &mccatch_index::KdTreeBuilder::default(),
+            &Params::default(),
+        );
+        // MDL flags.
+        let mut mdl_flags = vec![false; data.len()];
+        for &o in &out.outliers {
+            mdl_flags[o as usize] = true;
+        }
+        // k-sigma flags: x or y above mean_x + 3 std_x (computed over the
+        // quantized 1NN distances, the same data Def. 6 sees).
+        let xs: Vec<f64> = out.oracle.points().iter().map(|p| p.x).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        let d_sigma = mean + 3.0 * var.sqrt();
+        let sigma_flags: Vec<bool> = out
+            .oracle
+            .points()
+            .iter()
+            .map(|p| p.x >= d_sigma || p.y >= d_sigma)
+            .collect();
+        rows.push(vec![
+            spec.name.to_owned(),
+            format!("{:.3}", flag_f1(&mdl_flags, &data.labels)),
+            format!("{:.3}", flag_f1(&sigma_flags, &data.labels)),
+            format!("{:.4}", out.cutoff.d),
+            format!("{d_sigma:.4}"),
+        ]);
+    }
+    print_table(
+        &["dataset", "F1 (MDL)", "F1 (3-sigma)", "d (MDL)", "d (3-sigma)"],
+        &rows,
+    );
+
+    // ---- Ablation 2: sparse-focused counting ----
+    println!();
+    println!("Ablation 2 — sparse-focused principle: distance calls with/without the c-cutoff");
+    println!();
+    let mut rows = Vec::new();
+    for spec in BENCHMARKS.iter().filter(|s| s.n >= 1_000 && s.name != "Speech").take(6) {
+        let scale = (cap as f64 / spec.n as f64).min(1.0);
+        let data = spec.generate_scaled(scale, seed);
+        let count_with = {
+            let m = CountingMetric::new(Euclidean);
+            let _ = mccatch(&data.points, &m, &SlimTreeBuilder::default(), &Params::default());
+            m.calls()
+        };
+        let count_without = {
+            let m = CountingMetric::new(Euclidean);
+            let p = Params {
+                max_mc_cardinality: Some(data.len()), // never drop anyone
+                ..Params::default()
+            };
+            let _ = mccatch(&data.points, &m, &SlimTreeBuilder::default(), &p);
+            m.calls()
+        };
+        rows.push(vec![
+            spec.name.to_owned(),
+            data.len().to_string(),
+            count_with.to_string(),
+            count_without.to_string(),
+            format!("{:.2}x", count_without as f64 / count_with.max(1) as f64),
+        ]);
+    }
+    print_table(
+        &["dataset", "n", "dist calls (sparse)", "dist calls (full)", "savings"],
+        &rows,
+    );
+    println!();
+    println!("note: 'full' also changes c, so its flags differ; the column isolates join cost only.");
+}

@@ -1,0 +1,105 @@
+//! Regenerates **Fig. 9** (hyperparameter sensitivity): AUROC as each of
+//! the three hyperparameters moves around its default —
+//! `a ∈ {13..17}`, `b ∈ {0.08..0.12}`, `c ∈ {⌈0.08n⌉..⌈0.12n⌉}` — on the
+//! labeled dataset analogues. The paper's point: all lines are near flat
+//! ("accuracy has a smooth plateau"), so MCCATCH needs no tuning.
+//!
+//! Options: `--cap 3000` size cap per dataset, `--seed 9`.
+
+use mccatch_bench::{print_table, Args};
+use mccatch_core::{mccatch, Params};
+use mccatch_data::BENCHMARKS;
+use mccatch_eval::auroc;
+use mccatch_index::KdTreeBuilder;
+use mccatch_metric::Euclidean;
+
+fn run(points: &[Vec<f64>], labels: &[bool], params: &Params) -> f64 {
+    let out = mccatch(points, &Euclidean, &KdTreeBuilder::default(), params);
+    auroc(&out.point_scores, labels)
+}
+
+fn main() {
+    let args = Args::parse();
+    let cap: usize = args.get("cap", 3000);
+    let seed: u64 = args.get("seed", 9);
+
+    println!("Fig. 9 — hyperparameter sensitivity (AUROC per setting; cap = {cap})");
+    let datasets: Vec<_> = BENCHMARKS
+        .iter()
+        .filter(|s| s.name != "Speech") // 400-dim: heavy, identical behaviour
+        .map(|s| {
+            let scale = (cap as f64 / s.n as f64).min(1.0);
+            (s.name, s.generate_scaled(scale, seed))
+        })
+        .collect();
+
+    // Sweep a (number of radii).
+    println!();
+    println!("sweep a (b = 0.1, c = default):");
+    let a_values = [13usize, 14, 15, 16, 17];
+    let mut rows = Vec::new();
+    for (name, data) in &datasets {
+        let mut row = vec![name.to_string()];
+        for &a in &a_values {
+            let p = Params {
+                num_radii: a,
+                ..Params::default()
+            };
+            row.push(format!("{:.3}", run(&data.points, &data.labels, &p)));
+        }
+        rows.push(row);
+    }
+    print_table(&["dataset", "a=13", "a=14", "a=15", "a=16", "a=17"], &rows);
+
+    // Sweep b (maximum plateau slope).
+    println!();
+    println!("sweep b (a = 15, c = default):");
+    let b_values = [0.08f64, 0.09, 0.10, 0.11, 0.12];
+    let mut rows = Vec::new();
+    for (name, data) in &datasets {
+        let mut row = vec![name.to_string()];
+        for &b in &b_values {
+            let p = Params {
+                max_plateau_slope: b,
+                ..Params::default()
+            };
+            row.push(format!("{:.3}", run(&data.points, &data.labels, &p)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &["dataset", "b=0.08", "b=0.09", "b=0.10", "b=0.11", "b=0.12"],
+        &rows,
+    );
+
+    // Sweep c (maximum microcluster cardinality).
+    println!();
+    println!("sweep c (a = 15, b = 0.1):");
+    let c_fracs = [0.08f64, 0.09, 0.10, 0.11, 0.12];
+    let mut rows = Vec::new();
+    let mut worst_spread = 0.0f64;
+    for (name, data) in &datasets {
+        let mut row = vec![name.to_string()];
+        let mut values = Vec::new();
+        for &f in &c_fracs {
+            let p = Params {
+                max_mc_cardinality: Some(((data.len() as f64) * f).ceil() as usize),
+                ..Params::default()
+            };
+            let v = run(&data.points, &data.labels, &p);
+            values.push(v);
+            row.push(format!("{v:.3}"));
+        }
+        let spread = values.iter().cloned().fold(f64::MIN, f64::max)
+            - values.iter().cloned().fold(f64::MAX, f64::min);
+        worst_spread = worst_spread.max(spread);
+        rows.push(row);
+    }
+    print_table(
+        &["dataset", "c=8%", "c=9%", "c=10%", "c=11%", "c=12%"],
+        &rows,
+    );
+    println!();
+    println!("paper Fig. 9: all lines near flat — no hyperparameter fine-tuning needed.");
+    println!("(worst AUROC spread across the c sweep above: {worst_spread:.3})");
+}

@@ -1,0 +1,119 @@
+//! Regenerates **Tab. V** (axiom obedience): for each axiom × inlier shape,
+//! generate `--trials` random scenario instances, score the two planted
+//! microclusters with MCCATCH and with Gen2Out (the only competitor that
+//! scores groups), and test `score(green) > score(red)` with a one-sided
+//! Welch t-test.
+//!
+//! Options: `--trials 50` (paper: 50), `--inliers 20000` (paper: ~1M; the
+//! geometry is size-invariant, see `mccatch-data`), `--seed 0`.
+
+use mccatch_bench::{print_table, Args};
+use mccatch_core::{mccatch, Params};
+use mccatch_data::{axiom_scenario, Axiom, InlierShape};
+use mccatch_eval::welch_t_test;
+use mccatch_index::KdTreeBuilder;
+use mccatch_metric::Euclidean;
+use mccatch_baselines::gen2out;
+
+/// Score of the planted microcluster under MCCATCH: the score of the
+/// cluster containing the majority of its members, `None` if missed.
+fn mccatch_mc_score(points: &[Vec<f64>], members: &[u32]) -> Option<f64> {
+    let out = mccatch(points, &Euclidean, &KdTreeBuilder::default(), &Params::default());
+    let mc = out.cluster_of(members[0])?;
+    let recovered = members.iter().filter(|m| mc.members.binary_search(m).is_ok()).count();
+    (recovered * 2 >= members.len()).then_some(mc.score)
+}
+
+/// Score of the planted microcluster under Gen2Out, `None` if no reported
+/// group contains a majority of its members.
+fn gen2out_mc_score(points: &[Vec<f64>], members: &[u32]) -> Option<f64> {
+    let res = gen2out(points, &KdTreeBuilder::default(), 100, 256, 0.05, 42);
+    res.groups
+        .iter()
+        .find(|g| {
+            let hit = members.iter().filter(|m| g.members.binary_search(m).is_ok()).count();
+            hit * 2 >= members.len()
+        })
+        .map(|g| g.score)
+}
+
+fn main() {
+    let args = Args::parse();
+    let trials: usize = args.get("trials", 50);
+    let n_inliers: usize = args.get("inliers", 20_000);
+    let seed0: u64 = args.get("seed", 0);
+
+    println!("Tab. V — axiom obedience ({trials} trials per cell, {n_inliers} inliers)");
+    println!();
+    let mut rows = Vec::new();
+    for axiom in Axiom::ALL {
+        for shape in InlierShape::ALL {
+            let mut mc_green = Vec::new();
+            let mut mc_red = Vec::new();
+            let mut g2_green = Vec::new();
+            let mut g2_red = Vec::new();
+            let mut mc_missed = 0usize;
+            let mut g2_missed = 0usize;
+            for t in 0..trials {
+                let s = axiom_scenario(shape, axiom, n_inliers, seed0 + t as u64);
+                match (
+                    mccatch_mc_score(&s.data.points, &s.red),
+                    mccatch_mc_score(&s.data.points, &s.green),
+                ) {
+                    (Some(r), Some(g)) => {
+                        mc_red.push(r);
+                        mc_green.push(g);
+                    }
+                    _ => mc_missed += 1,
+                }
+                match (
+                    gen2out_mc_score(&s.data.points, &s.red),
+                    gen2out_mc_score(&s.data.points, &s.green),
+                ) {
+                    (Some(r), Some(g)) => {
+                        g2_red.push(r);
+                        g2_green.push(g);
+                    }
+                    _ => g2_missed += 1,
+                }
+            }
+            let fmt = |green: &[f64], red: &[f64], missed: usize| -> (String, String) {
+                if green.len() < 2 {
+                    return ("Fail".into(), format!("missed {missed}/{trials}"));
+                }
+                let t = welch_t_test(green, red);
+                if missed * 2 > trials {
+                    ("Fail".into(), format!("missed {missed}/{trials}"))
+                } else {
+                    (format!("{:.1}", t.t), format!("{:.1e}", t.p_greater))
+                }
+            };
+            let (mc_stat, mc_p) = fmt(&mc_green, &mc_red, mc_missed);
+            let (g2_stat, g2_p) = fmt(&g2_green, &g2_red, g2_missed);
+            rows.push(vec![
+                format!("{} / {}", axiom.name(), shape.name()),
+                mc_stat,
+                mc_p,
+                format!("{mc_missed}/{trials}"),
+                g2_stat,
+                g2_p,
+                format!("{g2_missed}/{trials}"),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "axiom / shape",
+            "MCCATCH t",
+            "p-value",
+            "missed",
+            "Gen2Out t",
+            "p-value",
+            "missed",
+        ],
+        &rows,
+    );
+    println!();
+    println!("paper Tab. V: MCCATCH passes all six cells (t 2.6..1153, p << 0.01);");
+    println!("Gen2Out passes only the Gaussian cells and fails Cross/Arc by missing the mcs.");
+}

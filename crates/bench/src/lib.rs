@@ -1,0 +1,284 @@
+//! Shared harness machinery for the experiment binaries that regenerate
+//! the paper's tables and figures (see `DESIGN.md` §5 for the experiment
+//! index).
+//!
+//! Each binary accepts simple `--key value` arguments; the harness keeps
+//! runs deterministic (fixed seeds), scales dataset sizes down by default
+//! so everything finishes in minutes on a laptop, and prints plain aligned
+//! text tables that mirror the paper's rows.
+
+use mccatch_baselines as bl;
+use mccatch_core::{mccatch, McCatchOutput, Params};
+use mccatch_eval::auroc;
+use mccatch_index::KdTreeBuilder;
+use mccatch_metric::Euclidean;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Minimal `--key value` / `--flag` argument parser for the harness
+/// binaries (kept dependency-free by design; see DESIGN.md §6).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    pub fn parse() -> Self {
+        let mut values = BTreeMap::new();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let val = match args.peek() {
+                    Some(v) if !v.starts_with("--") => args.next().expect("peeked"),
+                    _ => "true".to_owned(),
+                };
+                values.insert(key.to_owned(), val);
+            }
+        }
+        Self { values }
+    }
+
+    /// Typed lookup with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Flag lookup.
+    pub fn flag(&self, key: &str) -> bool {
+        self.values.get(key).is_some_and(|v| v == "true")
+    }
+}
+
+/// Result of evaluating one detector on one dataset.
+#[derive(Debug, Clone)]
+pub struct MethodRun {
+    /// Method name (paper's spelling).
+    pub method: &'static str,
+    /// AUROC of the per-point scores (0.5 = chance).
+    pub auroc: f64,
+    /// Average precision.
+    pub ap: f64,
+    /// Max-F1.
+    pub max_f1: f64,
+    /// Wall clock for the best configuration.
+    pub runtime: Duration,
+    /// Why the method produced no result (mirrors the paper's markers).
+    pub skipped: Option<&'static str>,
+}
+
+impl MethodRun {
+    fn skipped(method: &'static str, why: &'static str) -> Self {
+        Self {
+            method,
+            auroc: f64::NAN,
+            ap: f64::NAN,
+            max_f1: f64::NAN,
+            runtime: Duration::ZERO,
+            skipped: Some(why),
+        }
+    }
+}
+
+/// The 11 competitors of Fig. 6 in the paper's column order.
+pub const FIG6_METHODS: &[&str] = &[
+    "ABOD", "ALOCI", "DB-Out", "D.MCA", "FastABOD", "Gen2Out", "iForest", "LOCI", "LOF", "ODIN",
+    "RDA", "MCCATCH",
+];
+
+/// Runs MCCATCH (default hyperparameters, kd-tree fast path) on a vector
+/// dataset and wraps the evaluation.
+pub fn run_mccatch(points: &[Vec<f64>], labels: &[bool]) -> (MethodRun, McCatchOutput) {
+    let t0 = Instant::now();
+    let out = mccatch(points, &Euclidean, &KdTreeBuilder::default(), &Params::default());
+    let runtime = t0.elapsed();
+    let run = MethodRun {
+        method: "MCCATCH",
+        auroc: auroc(&out.point_scores, labels),
+        ap: mccatch_eval::average_precision(&out.point_scores, labels),
+        max_f1: mccatch_eval::max_f1(&out.point_scores, labels),
+        runtime,
+        skipped: None,
+    };
+    (run, out)
+}
+
+/// Runs one Fig. 6 baseline over its Tab. II hyperparameter grid and keeps
+/// the best-AUROC configuration — the paper's competitors were "carefully
+/// tuned following hyperparameter-setting heuristics widely adopted in
+/// prior works", which for these benchmarks means selecting the grid value
+/// that performs best, while MCCATCH always runs untuned defaults.
+///
+/// Expensive methods are skipped above size guards, mirroring the paper's
+/// "excessive runtime/memory" markers for ABOD / FastABOD / LOCI / D.MCA /
+/// DB-Out on large data.
+pub fn run_baseline(method: &'static str, points: &[Vec<f64>], labels: &[bool]) -> MethodRun {
+    let n = points.len();
+    let t0 = Instant::now();
+    let score_sets: Vec<Vec<f64>> = match method {
+        "ABOD" => {
+            // Cubic in n and linear in dim: budget the flop count like the
+            // paper budgeted wall-clock ("> 10 hours" markers).
+            let dim = points.first().map_or(1, Vec::len);
+            if (n as u128).pow(3) * dim as u128 > 20_000_000_000u128 {
+                return MethodRun::skipped(method, "excessive runtime (O(n^3))");
+            }
+            vec![bl::abod_scores(points)]
+        }
+        "FastABOD" => {
+            if n > 60_000 {
+                return MethodRun::skipped(method, "excessive runtime");
+            }
+            [2usize, 5, 10]
+                .iter()
+                .map(|&k| bl::fast_abod_scores(points, &KdTreeBuilder::default(), k))
+                .collect()
+        }
+        "LOCI" => {
+            if n > 6_000 {
+                return MethodRun::skipped(method, "excessive runtime (O(n^2))");
+            }
+            let l = bl::estimate_diameter(points, &Euclidean, &KdTreeBuilder::default());
+            vec![bl::loci_scores(
+                points,
+                &Euclidean,
+                &KdTreeBuilder::default(),
+                &bl::radius_grid(l),
+                0.5,
+                20,
+            )]
+        }
+        "ALOCI" => [3usize, 4, 5]
+            .iter()
+            .map(|&levels| bl::aloci_scores(points, levels, 20))
+            .collect(),
+        "DB-Out" => {
+            if n > 120_000 {
+                return MethodRun::skipped(method, "excessive runtime");
+            }
+            let l = bl::estimate_diameter(points, &Euclidean, &KdTreeBuilder::default());
+            bl::radius_grid(l)
+                .iter()
+                .map(|&r| bl::db_out_scores(points, &Euclidean, &KdTreeBuilder::default(), r))
+                .collect()
+        }
+        "LOF" => [1usize, 5, 10]
+            .iter()
+            .map(|&k| bl::lof_scores(points, &Euclidean, &KdTreeBuilder::default(), k))
+            .collect(),
+        "ODIN" => [1usize, 5, 10]
+            .iter()
+            .map(|&k| bl::odin_scores(points, &Euclidean, &KdTreeBuilder::default(), k))
+            .collect(),
+        "iForest" => [(100usize, 256usize), (100, 1024), (32, 256)]
+            .iter()
+            .map(|&(t, psi)| bl::iforest_scores(points, t, psi, 42))
+            .collect(),
+        "Gen2Out" => vec![
+            bl::gen2out(points, &KdTreeBuilder::default(), 100, 256, 0.05, 42).point_scores,
+        ],
+        "D.MCA" => {
+            if n > 120_000 {
+                return MethodRun::skipped(method, "excessive runtime");
+            }
+            vec![
+                bl::dmca(points, &KdTreeBuilder::default(), 64, 128, 0.05, 42).point_scores,
+            ]
+        }
+        "RDA" => [(1usize, 2usize), (2, 2), (4, 2)]
+            .iter()
+            .filter(|&&(k, _)| k <= points.first().map_or(1, Vec::len))
+            .map(|&(k, rounds)| bl::rpca_scores(points, k, rounds))
+            .collect(),
+        other => panic!("unknown baseline {other}"),
+    };
+    let runtime = t0.elapsed();
+    let best = score_sets
+        .iter()
+        .map(|s| {
+            (
+                auroc(s, labels),
+                mccatch_eval::average_precision(s, labels),
+                mccatch_eval::max_f1(s, labels),
+            )
+        })
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .expect("at least one configuration");
+    MethodRun {
+        method,
+        auroc: best.0,
+        ap: best.1,
+        max_f1: best.2,
+        runtime,
+        skipped: None,
+    }
+}
+
+/// Renders an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (w, cell) in widths.iter().zip(cells) {
+            s.push_str(&format!("{cell:>w$}  ", w = w));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats an `f64` cell, blanking NaN as the paper's skip markers.
+pub fn cell(v: f64) -> String {
+    if v.is_nan() {
+        "--".to_owned()
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_defaults_and_flags() {
+        let args = Args::default();
+        assert_eq!(args.get("scale", 0.5f64), 0.5);
+        assert!(!args.flag("verbose"));
+    }
+
+    #[test]
+    fn baseline_and_mccatch_agree_on_a_toy() {
+        let mut pts: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
+            .collect();
+        pts.push(vec![90.0, 90.0]);
+        let mut labels = vec![false; 100];
+        labels.push(true);
+        let (m, _) = run_mccatch(&pts, &labels);
+        assert!(m.auroc > 0.99);
+        for method in ["LOF", "iForest", "ODIN"] {
+            let r = run_baseline(method, &pts, &labels);
+            assert!(r.auroc > 0.9, "{method}: {}", r.auroc);
+        }
+    }
+
+    #[test]
+    fn abod_guard_skips_large_inputs() {
+        let pts: Vec<Vec<f64>> = (0..5000).map(|i| vec![i as f64, 0.0]).collect();
+        let labels = vec![false; 5000];
+        let r = run_baseline("ABOD", &pts, &labels);
+        assert!(r.skipped.is_some());
+    }
+}

@@ -1,0 +1,229 @@
+//! `mccatch` — command-line microcluster detection.
+//!
+//! Reads a dataset from a file (or stdin) and prints the ranked
+//! microclusters plus, optionally, per-point scores. Two input modes:
+//!
+//! * `--mode csv` (default): one point per line, comma/whitespace-
+//!   separated floats; Euclidean distance over a kd-tree.
+//! * `--mode lines`: one string per line; Levenshtein distance over a
+//!   Slim-tree (the paper's "L-Edit" setup for names).
+//!
+//! ```text
+//! USAGE:
+//!   mccatch [--input FILE] [--mode csv|lines] [--radii 15] [--slope 0.1]
+//!           [--max-card N] [--points] [--top K]
+//! ```
+
+use mccatch::metrics::Levenshtein;
+use mccatch::{detect_metric, detect_vectors, McCatchOutput, Params};
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Cli {
+    input: Option<String>,
+    mode: String,
+    params: Params,
+    show_points: bool,
+    top: usize,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        input: None,
+        mode: "csv".to_owned(),
+        params: Params::default(),
+        show_points: false,
+        top: 20,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut need = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match a.as_str() {
+            "--input" | "-i" => cli.input = Some(need("--input")?),
+            "--mode" | "-m" => cli.mode = need("--mode")?,
+            "--radii" | "-a" => {
+                cli.params.num_radii = need("--radii")?
+                    .parse()
+                    .map_err(|e| format!("--radii: {e}"))?
+            }
+            "--slope" | "-b" => {
+                cli.params.max_plateau_slope = need("--slope")?
+                    .parse()
+                    .map_err(|e| format!("--slope: {e}"))?
+            }
+            "--max-card" | "-c" => {
+                cli.params.max_mc_cardinality = Some(
+                    need("--max-card")?
+                        .parse()
+                        .map_err(|e| format!("--max-card: {e}"))?,
+                )
+            }
+            "--points" | "-p" => cli.show_points = true,
+            "--top" | "-t" => {
+                cli.top = need("--top")?.parse().map_err(|e| format!("--top: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "mccatch: microcluster detection (MCCATCH, ICDE 2024)\n\n\
+                     usage: mccatch [--input FILE] [--mode csv|lines] [--radii 15]\n\
+                            [--slope 0.1] [--max-card N] [--points] [--top K]\n\n\
+                     csv mode:   one point per line, comma/whitespace separated floats\n\
+                     lines mode: one string per line, Levenshtein distance"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn read_input(input: &Option<String>) -> Result<String, String> {
+    match input {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}")),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("stdin: {e}"))?;
+            Ok(buf)
+        }
+    }
+}
+
+fn parse_csv(text: &str) -> Result<Vec<Vec<f64>>, String> {
+    let mut points: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let coords: Result<Vec<f64>, _> = line
+            .split(|c: char| c == ',' || c.is_whitespace() || c == ';')
+            .filter(|t| !t.is_empty())
+            .map(str::parse)
+            .collect();
+        let coords = coords.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if let Some(first) = points.first() {
+            if first.len() != coords.len() {
+                return Err(format!(
+                    "line {}: expected {} coordinates, found {}",
+                    lineno + 1,
+                    first.len(),
+                    coords.len()
+                ));
+            }
+        }
+        points.push(coords);
+    }
+    Ok(points)
+}
+
+fn report(out: &McCatchOutput, labels: &[String], cli: &Cli) {
+    println!("# points: {}", out.point_scores.len());
+    println!("# diameter estimate: {:.6}", out.diameter);
+    println!("# cutoff d: {:.6}", out.cutoff.d);
+    println!("# outliers: {}", out.num_outliers());
+    println!("# microclusters: {}", out.microclusters.len());
+    println!();
+    println!("rank\tsize\tscore\tbridge\tmembers");
+    for (rank, mc) in out.microclusters.iter().take(cli.top).enumerate() {
+        let members: Vec<&str> = mc
+            .members
+            .iter()
+            .take(8)
+            .map(|&m| labels[m as usize].as_str())
+            .collect();
+        let ellipsis = if mc.members.len() > 8 { ",…" } else { "" };
+        println!(
+            "{}\t{}\t{:.3}\t{:.4}\t{}{}",
+            rank + 1,
+            mc.cardinality(),
+            mc.score,
+            mc.bridge_length,
+            members.join(","),
+            ellipsis
+        );
+    }
+    if cli.show_points {
+        println!();
+        println!("point\tscore\toutlier");
+        for (i, s) in out.point_scores.iter().enumerate() {
+            println!("{}\t{:.4}\t{}", labels[i], s, out.is_outlier(i as u32));
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let cli = parse_cli()?;
+    let text = read_input(&cli.input)?;
+    match cli.mode.as_str() {
+        "csv" => {
+            let points = parse_csv(&text)?;
+            if points.is_empty() {
+                return Err("no data points found".to_owned());
+            }
+            let labels: Vec<String> = (0..points.len()).map(|i| i.to_string()).collect();
+            let out = detect_vectors(&points, &cli.params);
+            report(&out, &labels, &cli);
+        }
+        "lines" => {
+            let lines: Vec<String> = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_owned)
+                .collect();
+            if lines.is_empty() {
+                return Err("no lines found".to_owned());
+            }
+            let out = detect_metric(&lines, &Levenshtein, &cli.params);
+            report(&out, &lines, &cli);
+        }
+        other => return Err(format!("unknown mode: {other} (use csv|lines)")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_csv_commas_and_whitespace() {
+        let pts = parse_csv("1.0, 2.0\n3.0\t4.0\n# comment\n\n5;6\n").unwrap();
+        assert_eq!(
+            pts,
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]
+        );
+    }
+
+    #[test]
+    fn parse_csv_rejects_ragged_rows() {
+        let err = parse_csv("1,2\n3,4,5\n").unwrap_err();
+        assert!(err.contains("expected 2 coordinates"), "{err}");
+    }
+
+    #[test]
+    fn parse_csv_rejects_non_numeric() {
+        assert!(parse_csv("1,notanumber\n").is_err());
+    }
+
+    #[test]
+    fn parse_csv_empty_is_ok_but_empty() {
+        assert!(parse_csv("# only comments\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Sparse-focused neighbor counting (Alg. 2 lines 1–3 plus the
+//! implementation principles of Sec. IV-G).
+//!
+//! For each point and each radius of the grid we need the count of
+//! neighbors *including self*, but only while the count is still at most
+//! the maximum microcluster cardinality `c`:
+//!
+//! * **Sparse-focused principle** — radius `r_1` is counted for everyone;
+//!   each subsequent radius is counted only for points whose previous count
+//!   was `≤ c`. A point's first count above `c` is recorded exactly (it is
+//!   needed to locate the end of its last unexcused plateau), after which
+//!   the point leaves the active set and its remaining cells hold
+//!   [`OVER`].
+//! * **Small-radii-only principle** — no join runs for `r_a = l`: every
+//!   point is a neighbor of every other at the diameter, so the last column
+//!   is filled with `n` directly.
+//! * **Count-only principle** — the underlying joins return counts, never
+//!   pairs (see `mccatch_index::batch_range_count`).
+
+use mccatch_index::{batch_range_count, RangeIndex};
+
+/// Sentinel for "count not computed; known to exceed `c`".
+pub const OVER: u32 = u32::MAX;
+
+/// Dense `n × a` table of neighbor counts, row per point, column per radius.
+#[derive(Debug, Clone)]
+pub struct CountTable {
+    counts: Vec<u32>,
+    n: usize,
+    a: usize,
+    /// Size of the active set before each radius' join — diagnostic for the
+    /// sparse-focused principle (and for benchmarks).
+    pub active_per_radius: Vec<usize>,
+}
+
+impl CountTable {
+    /// The count row for point `i` (length `a`, entries may be [`OVER`]).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.counts[i * self.a..(i + 1) * self.a]
+    }
+
+    /// Number of points.
+    pub fn num_points(&self) -> usize {
+        self.n
+    }
+
+    /// Number of radii.
+    pub fn num_radii(&self) -> usize {
+        self.a
+    }
+}
+
+/// Runs the counting joins for every radius except the last, applying the
+/// sparse-focused cutoff `c`. `index` must contain all `n` points of
+/// `points`; counts include the query point itself.
+pub fn count_neighbors<P, I>(
+    index: &I,
+    points: &[P],
+    radii: &[f64],
+    c: usize,
+    threads: usize,
+) -> CountTable
+where
+    P: Sync,
+    I: RangeIndex<P>,
+{
+    let n = points.len();
+    let a = radii.len();
+    debug_assert!(a >= 2);
+    let mut counts = vec![OVER; n * a];
+    let mut active: Vec<u32> = (0..n as u32).collect();
+    let mut active_per_radius = Vec::with_capacity(a);
+    let cap = c as u32;
+    for (k, &r) in radii.iter().enumerate().take(a - 1) {
+        active_per_radius.push(active.len());
+        if active.is_empty() {
+            break;
+        }
+        let batch = batch_range_count(index, points, &active, r, threads);
+        let mut next_active = Vec::with_capacity(active.len());
+        for (&i, &q) in active.iter().zip(&batch) {
+            counts[i as usize * a + k] = q as u32;
+            if q as u32 <= cap {
+                next_active.push(i);
+            }
+        }
+        active = next_active;
+    }
+    // Small-radii-only principle: q_a = n without a join, for points whose
+    // counts were still being tracked (the rest stay OVER, which is equally
+    // informative: their count exceeded c before the last radius).
+    for &i in &active {
+        counts[i as usize * a + (a - 1)] = n as u32;
+    }
+    while active_per_radius.len() < a - 1 {
+        active_per_radius.push(0);
+    }
+    CountTable {
+        counts,
+        n,
+        a,
+        active_per_radius,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccatch_index::BruteForce;
+    use mccatch_metric::Euclidean;
+
+    /// 1-d layout: a tight pair {0, 0.001}, a mid point at 1, far point at 100.
+    fn pts() -> Vec<Vec<f64>> {
+        vec![vec![0.0], vec![0.001], vec![1.0], vec![100.0]]
+    }
+
+    fn table(c: usize) -> CountTable {
+        let p = pts();
+        let idx = BruteForce::new(&p, (0..4).collect(), &Euclidean);
+        // Radii: 12.5, 25, 50, 100 won't see the structure; use a denser grid.
+        let radii = vec![0.01, 0.1, 1.0, 10.0, 100.0];
+        count_neighbors(&idx, &p, &radii, c, 1)
+    }
+
+    #[test]
+    fn counts_match_manual_computation() {
+        let t = table(100);
+        // Point 0 (at 0.0): r=0.01 -> {0,1}; r=0.1 -> {0,1}; r=1 -> {0,1,2};
+        // r=10 -> {0,1,2}; r=100 -> all (filled as n).
+        assert_eq!(t.row(0), &[2, 2, 3, 3, 4]);
+        // Point 2 (at 1.0): r=0.01 -> self; r=0.1 -> self; r=1 -> {0,1,2}.
+        assert_eq!(t.row(2), &[1, 1, 3, 3, 4]);
+        // Point 3 (at 100): alone until the final radius.
+        assert_eq!(t.row(3), &[1, 1, 1, 1, 4]);
+    }
+
+    #[test]
+    fn sparse_focus_drops_points_above_c() {
+        let t = table(2);
+        // Point 0 crosses c=2 at radius index 2 (count 3): that value is
+        // recorded exactly, later cells are OVER.
+        assert_eq!(t.row(0), &[2, 2, 3, OVER, OVER]);
+        // Point 3 never crosses, so its last column is n.
+        assert_eq!(t.row(3), &[1, 1, 1, 1, 4]);
+    }
+
+    #[test]
+    fn active_set_shrinks() {
+        let t = table(2);
+        // Radii joins: all 4 active at first three radii (counts <= 2 until
+        // index 2), then points 0,1,2 (counts 3) drop out, leaving 1 active.
+        assert_eq!(t.active_per_radius, vec![4, 4, 4, 1]);
+    }
+
+    #[test]
+    fn last_radius_never_joined() {
+        // With c = n the last column must be n for every point even though
+        // no join ran at r_a.
+        let t = table(4);
+        for i in 0..4 {
+            assert_eq!(t.row(i)[4], 4);
+        }
+    }
+
+    #[test]
+    fn counts_are_non_decreasing_until_over() {
+        let t = table(3);
+        for i in 0..4 {
+            let row = t.row(i);
+            let mut prev = 0;
+            for &q in row.iter().take_while(|&&q| q != OVER) {
+                assert!(q >= prev);
+                prev = q;
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let p: Vec<Vec<f64>> = (0..500).map(|i| vec![(i % 71) as f64]).collect();
+        let idx = BruteForce::new(&p, (0..500).collect(), &Euclidean);
+        let radii = vec![0.5, 2.0, 8.0, 32.0, 128.0];
+        let a = count_neighbors(&idx, &p, &radii, 50, 1);
+        let b = count_neighbors(&idx, &p, &radii, 50, 8);
+        assert_eq!(a.counts, b.counts);
+    }
+}

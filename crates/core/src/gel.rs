@@ -1,0 +1,186 @@
+//! Spotting microclusters (Alg. 3): cut the Oracle plot at the Cutoff `d`
+//! and gel nearby outliers into microclusters.
+//!
+//! * Outliers: `A = {p_i : x_i ≥ d ∨ y_i ≥ d}`.
+//! * Nonsingleton candidates: `M = {p_i ∈ A : y_i ≥ d}` — points whose
+//!   middle plateau says "I belong to a small, isolated group".
+//! * Gelling: every outlier in `M` must end up with its nearest neighbor,
+//!   so edges connect pairs of `M` within the smallest grid radius strictly
+//!   larger than the largest 1NN distance `↑x` seen in `M`; connected
+//!   components become the nonsingleton microclusters.
+//! * Everything in `A \ M` becomes a singleton microcluster.
+
+use crate::cutoff::Cutoff;
+use crate::oracle::OraclePlot;
+use crate::unionfind::UnionFind;
+use mccatch_index::{pair_join, IndexBuilder, RangeIndex};
+use mccatch_metric::Metric;
+
+/// The result of Alg. 3: outlier sets and gelled microclusters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpottedMcs {
+    /// All outliers `A`, ascending ids.
+    pub outliers: Vec<u32>,
+    /// Members of nonsingleton candidates `M ⊆ A`, ascending ids.
+    pub grouped: Vec<u32>,
+    /// The gelled microclusters: components of `M` first (ordered by their
+    /// smallest member), then singletons from `A \ M` (ascending). Members
+    /// within each cluster are ascending.
+    pub clusters: Vec<Vec<u32>>,
+    /// The radius-grid index used for the gelling join, if `M` was
+    /// non-empty.
+    pub gel_radius_index: Option<usize>,
+}
+
+/// Runs Alg. 3 given the Oracle plot and the Cutoff.
+pub fn spot_microclusters<P, M, B>(
+    points: &[P],
+    metric: &M,
+    builder: &B,
+    oracle: &OraclePlot,
+    cutoff: &Cutoff,
+    radii: &[f64],
+) -> SpottedMcs
+where
+    P: Sync,
+    M: Metric<P>,
+    B: IndexBuilder<P, M>,
+{
+    let d = cutoff.d;
+    let mut outliers = Vec::new();
+    let mut grouped = Vec::new();
+    if d.is_finite() {
+        for (i, op) in oracle.points().iter().enumerate() {
+            let is_outlier = op.x >= d || op.y >= d;
+            if is_outlier {
+                outliers.push(i as u32);
+                if op.y >= d {
+                    grouped.push(i as u32);
+                }
+            }
+        }
+    }
+    let mut clusters: Vec<Vec<u32>> = Vec::new();
+    let mut gel_radius_index = None;
+    if !grouped.is_empty() {
+        // ↑x as a grid index; the join radius is the next-larger radius
+        // (Alg. 3 line 12) so a point and its 1NN cannot be split apart.
+        // With no finite ↑x in M (every member has a neighbor below r_1),
+        // the smallest radius r_1 is already "larger than ↑x = 0".
+        let a = radii.len();
+        let join_idx = match oracle.max_x_index(&grouped) {
+            Some(e) => ((e as usize) + 1).min(a - 1),
+            None => 0,
+        };
+        gel_radius_index = Some(join_idx);
+        let tree = builder.build(points, grouped.clone(), metric);
+        let pairs = pair_join(&tree, points, &grouped, radii[join_idx]);
+        debug_assert_eq!(tree.len(), grouped.len());
+        // Union-find over positions within `grouped` (ids are sorted, so
+        // binary search gives the position).
+        let mut uf = UnionFind::new(grouped.len());
+        for (u, v) in pairs {
+            let pu = grouped.binary_search(&u).expect("member of M") as u32;
+            let pv = grouped.binary_search(&v).expect("member of M") as u32;
+            uf.union(pu, pv);
+        }
+        for comp in uf.components() {
+            clusters.push(comp.into_iter().map(|p| grouped[p as usize]).collect());
+        }
+    }
+    // Singletons: A \ M (both sorted; linear merge).
+    let mut gi = grouped.iter().peekable();
+    for &o in &outliers {
+        if gi.peek() == Some(&&o) {
+            gi.next();
+        } else {
+            clusters.push(vec![o]);
+        }
+    }
+    SpottedMcs {
+        outliers,
+        grouped,
+        clusters,
+        gel_radius_index,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::count_neighbors;
+    use crate::cutoff::compute_cutoff;
+    use crate::oracle::OraclePlot;
+    use crate::params::RadiusGrid;
+    use mccatch_index::{IndexBuilder, SlimTreeBuilder};
+    use mccatch_metric::Euclidean;
+
+    /// 1-d scenario: a dense inlier blob, a 3-point microcluster far away,
+    /// and one isolated point even farther.
+    fn scenario() -> Vec<Vec<f64>> {
+        let mut pts: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 * 0.05]).collect(); // blob [0,3]
+        pts.extend([vec![40.0], vec![40.05], vec![40.1]]); // microcluster
+        pts.push(vec![90.0]); // isolate
+        pts
+    }
+
+    fn run(pts: &[Vec<f64>]) -> (SpottedMcs, Cutoff) {
+        let builder = SlimTreeBuilder::default();
+        let tree = builder.build_all(pts, &Euclidean);
+        let grid = RadiusGrid::new(tree.diameter_estimate(), 15);
+        let table = count_neighbors(&tree, pts, grid.radii(), 7, 1);
+        let oracle = OraclePlot::from_counts(&table, grid.radii(), 0.1, 7);
+        let cut = compute_cutoff(oracle.histogram(), grid.radii());
+        let spotted =
+            spot_microclusters(pts, &Euclidean, &builder, &oracle, &cut, grid.radii());
+        (spotted, cut)
+    }
+
+    #[test]
+    fn finds_microcluster_and_isolate() {
+        let pts = scenario();
+        let (spotted, cut) = run(&pts);
+        assert!(cut.d.is_finite());
+        // The 3-point microcluster must gel into one cluster.
+        assert!(
+            spotted.clusters.contains(&vec![60, 61, 62]),
+            "clusters: {:?}",
+            spotted.clusters
+        );
+        // The isolate must be a singleton.
+        assert!(spotted.clusters.contains(&vec![63]));
+        // No inlier from the blob may be flagged.
+        assert!(spotted.outliers.iter().all(|&i| i >= 60));
+    }
+
+    #[test]
+    fn no_cutoff_means_no_outliers() {
+        let cutoff = Cutoff {
+            cut_index: None,
+            d: f64::INFINITY,
+            mode_index: None,
+        };
+        let pts = scenario();
+        let builder = SlimTreeBuilder::default();
+        let tree = builder.build_all(&pts, &Euclidean);
+        let grid = RadiusGrid::new(tree.diameter_estimate(), 15);
+        let table = count_neighbors(&tree, &pts, grid.radii(), 7, 1);
+        let oracle = OraclePlot::from_counts(&table, grid.radii(), 0.1, 7);
+        let spotted =
+            spot_microclusters(&pts, &Euclidean, &builder, &oracle, &cutoff, grid.radii());
+        assert!(spotted.outliers.is_empty());
+        assert!(spotted.clusters.is_empty());
+        assert_eq!(spotted.gel_radius_index, None);
+    }
+
+    #[test]
+    fn uniform_data_produces_few_or_no_outliers() {
+        // A pure evenly-spaced line: no microclusters to find; allow a few
+        // boundary artifacts but no grouped clusters away from the edge.
+        let pts: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let (spotted, _) = run(&pts);
+        for cl in &spotted.clusters {
+            assert!(cl.len() <= 2, "unexpected cluster {:?}", cl);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! The 'Oracle' plot (Alg. 2): per point, 1NN Distance `x` versus
+//! Group 1NN Distance `y`.
+//!
+//! `x_i` is the length of the first plateau — approximately the distance
+//! from `p_i` to its nearest neighbor. Because plateau ends live on the
+//! radius grid, MCCATCH treats `x_i` as *quantized to a grid radius*
+//! (Alg. 3 compares `x_i == r_e` when histogramming and `r_e == ↑x` when
+//! gelling); we store the end index and expose both the quantized value
+//! (`x`) and the raw plateau length (`x_raw`). `y_i` is the raw length of
+//! the middle plateau.
+
+use crate::counts::CountTable;
+use crate::plateau::{find_plateaus, PointPlateaus};
+
+/// One point of the Oracle plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OraclePoint {
+    /// Quantized 1NN Distance: the grid radius at the end of the first
+    /// plateau, or 0 when the point has no first plateau.
+    pub x: f64,
+    /// Group 1NN Distance: length of the middle plateau, or 0 without one.
+    pub y: f64,
+    /// The underlying plateau indices.
+    pub plateaus: PointPlateaus,
+}
+
+/// The Oracle plot `O = ({x_1..x_n}, {y_1..y_n})` plus the histogram of 1NN
+/// distances that the cutoff computation consumes (Def. 4).
+#[derive(Debug, Clone)]
+pub struct OraclePlot {
+    points: Vec<OraclePoint>,
+    histogram: Vec<u64>,
+}
+
+impl OraclePlot {
+    /// Builds the plot from the neighbor-count table (Alg. 2 lines 4–10).
+    pub fn from_counts(table: &CountTable, radii: &[f64], b: f64, c: usize) -> Self {
+        let a = radii.len();
+        debug_assert_eq!(a, table.num_radii());
+        let log_radii: Vec<f64> = radii.iter().map(|&r| r.log2()).collect();
+        let mut points = Vec::with_capacity(table.num_points());
+        let mut histogram = vec![0u64; a];
+        for i in 0..table.num_points() {
+            let plateaus = find_plateaus(table.row(i), &log_radii, b, c);
+            let x = plateaus.first_end.map_or(0.0, |e| radii[e as usize]);
+            let y = plateaus
+                .middle
+                .map_or(0.0, |(s, e)| radii[e as usize] - radii[s as usize]);
+            if let Some(e) = plateaus.first_end {
+                histogram[e as usize] += 1;
+            }
+            points.push(OraclePoint { x, y, plateaus });
+        }
+        Self { points, histogram }
+    }
+
+    /// Per-point plot entries, aligned with the dataset.
+    pub fn points(&self) -> &[OraclePoint] {
+        &self.points
+    }
+
+    /// The Histogram of 1NN Distances (Def. 4): bin `e` counts points whose
+    /// quantized 1NN distance is `r_e`. Points without a first plateau
+    /// (`x = 0`) fall in no bin.
+    pub fn histogram(&self) -> &[u64] {
+        &self.histogram
+    }
+
+    /// Raw (non-quantized) first-plateau length of point `i`:
+    /// `r_end − r_1`, the paper's literal Def. 2 length. Exposed for
+    /// plotting; all decisions use the quantized `x`.
+    pub fn x_raw(&self, i: usize, radii: &[f64]) -> f64 {
+        self.points[i]
+            .plateaus
+            .first_end
+            .map_or(0.0, |e| radii[e as usize] - radii[0])
+    }
+
+    /// Largest quantized 1NN distance among `ids`, as a radius-grid index
+    /// (Alg. 3 lines 10–11: `↑x`). `None` if no listed point has a first
+    /// plateau.
+    pub fn max_x_index(&self, ids: &[u32]) -> Option<u16> {
+        ids.iter()
+            .filter_map(|&i| self.points[i as usize].plateaus.first_end)
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::count_neighbors;
+    use mccatch_index::BruteForce;
+    use mccatch_metric::Euclidean;
+
+    /// 1-d toy: pair at {0, 0.4}, singleton at 10, far singleton at 127.
+    fn plot() -> (Vec<f64>, OraclePlot) {
+        let pts = vec![vec![0.0], vec![0.4], vec![10.0], vec![127.0]];
+        let idx = BruteForce::new(&pts, (0..4).collect(), &Euclidean);
+        let radii: Vec<f64> = (0..9).map(|k| 127.0 / (1 << (8 - k)) as f64).collect();
+        let table = count_neighbors(&idx, &pts, &radii, 4, 1);
+        let plot = OraclePlot::from_counts(&table, &radii, 0.1, 4);
+        (radii, plot)
+    }
+
+    #[test]
+    fn x_values_quantize_to_grid() {
+        let (radii, plot) = plot();
+        // Point 0 has its neighbor at 0.4: counts are 1 for r < 0.4 (radii
+        // ~0.496 already contains it? r0 = 127/256 = 0.496 > 0.4), so point
+        // 0 sees 2 neighbors at r0 -> no first plateau -> x = 0.
+        assert_eq!(plot.points()[0].x, 0.0);
+        // Point 2 (at 10): nearest neighbor is at distance 9.6; counts stay
+        // 1 through radii 0.496..7.94 (indices 0..4), then 3 at 15.875.
+        assert_eq!(plot.points()[2].x, radii[4]);
+    }
+
+    #[test]
+    fn histogram_counts_first_plateau_ends() {
+        let (_, plot) = plot();
+        let hist = plot.histogram();
+        // Points 0,1 have x = 0 -> no bin. Points 2,3 land in their bins.
+        assert_eq!(hist.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn max_x_index_over_subset() {
+        let (_, plot) = plot();
+        let m = plot.max_x_index(&[2, 3]);
+        assert!(m.is_some());
+        assert_eq!(plot.max_x_index(&[0, 1]), None);
+        assert_eq!(plot.max_x_index(&[]), None);
+    }
+
+    #[test]
+    fn x_raw_subtracts_first_radius() {
+        let (radii, plot) = plot();
+        let i = 2;
+        let e = plot.points()[i].plateaus.first_end.unwrap() as usize;
+        assert!((plot.x_raw(i, &radii) - (radii[e] - radii[0])).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,194 @@
+//! Hyperparameters of MCCATCH (Alg. 1).
+//!
+//! The paper's point (goal G5, "Hands-Off") is that these never need
+//! tuning: `a = 15`, `b = 0.1`, `c = ⌈n · 0.1⌉` were used in every
+//! experiment, and Fig. 9 shows accuracy is flat in their neighborhood.
+
+/// MCCATCH hyperparameters with the paper's defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Number of neighborhood radii `a` (default 15, must be ≥ 2). The
+    /// radius grid is `{l/2^(a-1), …, l/2, l}` for diameter `l`.
+    pub num_radii: usize,
+    /// Maximum plateau slope `b` (default 0.1, must be ≥ 0): how fast the
+    /// neighbor count may grow (in log-log space) within a plateau.
+    pub max_plateau_slope: f64,
+    /// Maximum microcluster cardinality `c`. `None` (default) means the
+    /// paper's `⌈n · 0.1⌉`; `Some(k)` fixes an absolute bound.
+    pub max_mc_cardinality: Option<usize>,
+    /// Worker threads for neighbor counting; 0 means all available cores.
+    /// Thread count never changes results, only wall-clock time.
+    pub threads: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            num_radii: 15,
+            max_plateau_slope: 0.1,
+            max_mc_cardinality: None,
+            threads: 0,
+        }
+    }
+}
+
+impl Params {
+    /// Validates and resolves derived values for a dataset of `n` elements.
+    ///
+    /// # Panics
+    /// Panics if `num_radii < 2` or `max_plateau_slope` is negative/NaN —
+    /// both are programming errors, not data conditions.
+    pub fn resolve(&self, n: usize) -> Resolved {
+        assert!(
+            self.num_radii >= 2,
+            "num_radii (a) must be at least 2, got {}",
+            self.num_radii
+        );
+        assert!(
+            self.max_plateau_slope >= 0.0,
+            "max_plateau_slope (b) must be non-negative, got {}",
+            self.max_plateau_slope
+        );
+        let c = self
+            .max_mc_cardinality
+            .unwrap_or_else(|| ((n as f64) * 0.1).ceil() as usize)
+            .max(1);
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |t| t.get())
+        } else {
+            self.threads
+        };
+        Resolved {
+            a: self.num_radii,
+            b: self.max_plateau_slope,
+            c,
+            threads,
+        }
+    }
+}
+
+/// Parameters with data-dependent defaults resolved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resolved {
+    /// Number of radii.
+    pub a: usize,
+    /// Maximum plateau slope.
+    pub b: f64,
+    /// Maximum microcluster cardinality (absolute).
+    pub c: usize,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+/// The geometric radius grid of Alg. 1 line 3:
+/// `R = {l/2^(a-1), l/2^(a-2), …, l}` (ascending, 0-indexed here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadiusGrid {
+    radii: Vec<f64>,
+    diameter: f64,
+}
+
+impl RadiusGrid {
+    /// Builds the grid for estimated diameter `l` and `a` radii.
+    pub fn new(diameter: f64, a: usize) -> Self {
+        assert!(a >= 2);
+        assert!(diameter >= 0.0);
+        let radii = (0..a)
+            .map(|k| diameter / (1u64 << (a - 1 - k)) as f64)
+            .collect();
+        Self { radii, diameter }
+    }
+
+    /// The ascending radii; `radii()[0]` is `r_1` of the paper and
+    /// `radii()[a-1] == l`.
+    pub fn radii(&self) -> &[f64] {
+        &self.radii
+    }
+
+    /// The diameter estimate `l` the grid was derived from.
+    pub fn diameter(&self) -> f64 {
+        self.diameter
+    }
+
+    /// Number of radii `a`.
+    pub fn len(&self) -> usize {
+        self.radii.len()
+    }
+
+    /// True when the grid is degenerate (zero diameter): every radius is 0.
+    pub fn is_degenerate(&self) -> bool {
+        self.diameter <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = Params::default();
+        assert_eq!(p.num_radii, 15);
+        assert_eq!(p.max_plateau_slope, 0.1);
+        assert_eq!(p.max_mc_cardinality, None);
+    }
+
+    #[test]
+    fn resolve_derives_c_as_ten_percent_ceil() {
+        let r = Params::default().resolve(1001);
+        assert_eq!(r.c, 101); // ceil(100.1)
+        let r = Params::default().resolve(10);
+        assert_eq!(r.c, 1);
+    }
+
+    #[test]
+    fn resolve_respects_explicit_c() {
+        let p = Params {
+            max_mc_cardinality: Some(42),
+            ..Params::default()
+        };
+        assert_eq!(p.resolve(1_000_000).c, 42);
+    }
+
+    #[test]
+    fn resolve_clamps_c_to_one() {
+        let r = Params::default().resolve(0);
+        assert_eq!(r.c, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_radii")]
+    fn resolve_rejects_single_radius() {
+        let p = Params {
+            num_radii: 1,
+            ..Params::default()
+        };
+        let _ = p.resolve(10);
+    }
+
+    #[test]
+    fn radius_grid_is_geometric_and_ends_at_diameter() {
+        let g = RadiusGrid::new(64.0, 7);
+        assert_eq!(g.radii(), &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]);
+        assert_eq!(g.len(), 7);
+        assert!(!g.is_degenerate());
+    }
+
+    #[test]
+    fn radius_grid_matches_paper_formula() {
+        // r_e = l / 2^(a-e), e = 1..a (1-indexed).
+        let (l, a) = (100.0, 15);
+        let g = RadiusGrid::new(l, a);
+        for e in 1..=a {
+            let want = l / 2f64.powi((a - e) as i32);
+            assert!((g.radii()[e - 1] - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_grid() {
+        let g = RadiusGrid::new(0.0, 15);
+        assert!(g.is_degenerate());
+        assert!(g.radii().iter().all(|&r| r == 0.0));
+    }
+}

@@ -1,0 +1,297 @@
+//! The end-to-end MCCATCH pipeline (Alg. 1).
+//!
+//! ```text
+//! I.   Build tree T; estimate diameter l; derive radii R.
+//! II.  Count neighbors per radius (sparse-focused); find plateaus;
+//!      mount the Oracle plot.
+//! III. Compute the MDL cutoff d; spot and gel microclusters.
+//! IV.  Compute compression-based scores per microcluster and per point.
+//! ```
+
+use crate::counts::count_neighbors;
+use crate::cutoff::{compute_cutoff, Cutoff};
+use crate::gel::spot_microclusters;
+use crate::oracle::OraclePlot;
+use crate::params::{Params, RadiusGrid};
+use crate::result::{McCatchOutput, Microcluster, RunStats};
+use crate::score::score_microclusters;
+use mccatch_index::{IndexBuilder, RangeIndex};
+use mccatch_metric::Metric;
+use std::time::Instant;
+
+/// Runs MCCATCH over `points` with the given metric, index builder and
+/// hyperparameters. Deterministic: identical inputs produce identical
+/// outputs regardless of `params.threads`.
+pub fn mccatch<P, M, B>(points: &[P], metric: &M, builder: &B, params: &Params) -> McCatchOutput
+where
+    P: Sync,
+    M: Metric<P>,
+    B: IndexBuilder<P, M>,
+{
+    let t_start = Instant::now();
+    let n = points.len();
+    let resolved = params.resolve(n);
+    let mut stats = RunStats::default();
+
+    // ---- Step I: tree, diameter, radii (Alg. 1 lines 1-3) ----
+    let t0 = Instant::now();
+    let tree = builder.build_all(points, metric);
+    let diameter = tree.diameter_estimate();
+    let grid = RadiusGrid::new(diameter, resolved.a);
+    stats.t_build = t0.elapsed();
+
+    // Degenerate data (empty, single point, or all-identical points): no
+    // geometry to analyse — report no microclusters, zero scores.
+    if n == 0 || grid.is_degenerate() {
+        stats.t_total = t_start.elapsed();
+        let empty_table = count_neighbors(&tree, points, grid.radii(), 0, 1);
+        let oracle = OraclePlot::from_counts(&empty_table, grid.radii(), resolved.b, resolved.c);
+        return McCatchOutput {
+            microclusters: Vec::new(),
+            point_scores: vec![0.0; n],
+            outliers: Vec::new(),
+            oracle,
+            cutoff: Cutoff {
+                cut_index: None,
+                d: f64::INFINITY,
+                mode_index: None,
+            },
+            radii: grid.radii().to_vec(),
+            diameter,
+            stats,
+        };
+    }
+
+    // ---- Step II: Oracle plot (Alg. 2) ----
+    let t0 = Instant::now();
+    let table = count_neighbors(&tree, points, grid.radii(), resolved.c, resolved.threads);
+    stats.t_count = t0.elapsed();
+    stats.active_per_radius = table.active_per_radius.clone();
+    let t0 = Instant::now();
+    let oracle = OraclePlot::from_counts(&table, grid.radii(), resolved.b, resolved.c);
+    stats.t_plateaus = t0.elapsed();
+
+    // ---- Step III: cutoff + gelling (Alg. 3) ----
+    let t0 = Instant::now();
+    let cutoff = compute_cutoff(oracle.histogram(), grid.radii());
+    let spotted = spot_microclusters(points, metric, builder, &oracle, &cutoff, grid.radii());
+    stats.t_spot = t0.elapsed();
+
+    // ---- Step IV: scores (Alg. 4) ----
+    let t0 = Instant::now();
+    let scores = score_microclusters(
+        points,
+        metric,
+        builder,
+        &spotted.clusters,
+        &spotted.outliers,
+        &oracle,
+        grid.radii(),
+        resolved.threads,
+    );
+    stats.t_score = t0.elapsed();
+
+    // Rank most-strange-first (Probl. 1); deterministic tie-breaks.
+    let mut microclusters: Vec<Microcluster> = spotted
+        .clusters
+        .into_iter()
+        .zip(scores.mc_scores)
+        .zip(scores.bridges)
+        .zip(scores.mean_1nn)
+        .map(|(((members, score), bridge_length), mean_1nn)| Microcluster {
+            members,
+            score,
+            bridge_length,
+            mean_1nn,
+        })
+        .collect();
+    microclusters.sort_by(|x, y| {
+        y.score
+            .total_cmp(&x.score)
+            .then(x.members.len().cmp(&y.members.len()))
+            .then(x.members[0].cmp(&y.members[0]))
+    });
+
+    stats.t_total = t_start.elapsed();
+    McCatchOutput {
+        microclusters,
+        point_scores: scores.point_scores,
+        outliers: spotted.outliers,
+        oracle,
+        cutoff,
+        radii: grid.radii().to_vec(),
+        diameter,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccatch_index::{BruteForceBuilder, KdTreeBuilder, SlimTreeBuilder};
+    use mccatch_metric::{Euclidean, Levenshtein};
+
+    /// Fig. 3-style toy scenario in 2-d: a dense inlier blob ('A' points),
+    /// a halo point 'B', an 8-point microcluster ('C' core, 'D' halo) and a
+    /// far isolate 'E'.
+    fn fig3_points() -> (Vec<Vec<f64>>, Vec<u32>, Vec<u32>, u32, u32) {
+        let mut pts = Vec::new();
+        // Blob: 20x10 grid with 0.1 spacing, 200 points around origin.
+        for i in 0..20 {
+            for j in 0..10 {
+                pts.push(vec![i as f64 * 0.1, j as f64 * 0.1]);
+            }
+        }
+        // Halo point 'B' a bit off the blob.
+        let b = pts.len() as u32;
+        pts.push(vec![4.0, 2.0]);
+        // Microcluster: 8 points near (30, 30), spacing 0.08.
+        let mc_start = pts.len() as u32;
+        for k in 0..8 {
+            pts.push(vec![30.0 + 0.08 * (k % 4) as f64, 30.0 + 0.08 * (k / 4) as f64]);
+        }
+        let mc: Vec<u32> = (mc_start..mc_start + 8).collect();
+        // Halo of the microcluster 'D'.
+        pts.push(vec![31.3, 30.0]);
+        // Isolate 'E'.
+        let e = pts.len() as u32;
+        pts.push(vec![70.0, -40.0]);
+        (pts, mc, vec![], b, e)
+    }
+
+    #[test]
+    fn toy_scenario_end_to_end() {
+        let (pts, mc, _, b, e) = fig3_points();
+        let out = mccatch(&pts, &Euclidean, &SlimTreeBuilder::default(), &Params::default());
+        assert!(out.cutoff.d.is_finite());
+        // The isolate and the halo point must be flagged.
+        assert!(out.is_outlier(e), "isolate missed");
+        assert!(out.is_outlier(b), "halo missed");
+        // The microcluster members must be flagged and gelled together.
+        for &i in &mc {
+            assert!(out.is_outlier(i), "mc member {i} missed");
+        }
+        let cluster = out.cluster_of(mc[0]).expect("mc found");
+        assert!(cluster.cardinality() >= 8, "mc fragmented: {:?}", cluster);
+        // No blob point may be flagged.
+        assert!(out.outliers.iter().all(|&i| i >= 200), "{:?}", out.outliers);
+    }
+
+    #[test]
+    fn ranking_is_most_strange_first() {
+        let (pts, ..) = fig3_points();
+        let out = mccatch(&pts, &Euclidean, &SlimTreeBuilder::default(), &Params::default());
+        for w in out.microclusters.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn outlier_points_score_higher_than_inliers() {
+        let (pts, mc, _, _, e) = fig3_points();
+        let out = mccatch(&pts, &Euclidean, &SlimTreeBuilder::default(), &Params::default());
+        let max_inlier = (0..200u32)
+            .map(|i| out.point_scores[i as usize])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(out.point_scores[e as usize] > max_inlier);
+        assert!(out.point_scores[mc[0] as usize] > max_inlier);
+    }
+
+    #[test]
+    fn kd_and_slim_and_brute_agree_on_flags() {
+        let (pts, ..) = fig3_points();
+        let p = Params::default();
+        let slim = mccatch(&pts, &Euclidean, &SlimTreeBuilder::default(), &p);
+        let brute = mccatch(&pts, &Euclidean, &BruteForceBuilder, &p);
+        let kd = mccatch(&pts, &Euclidean, &KdTreeBuilder::default(), &p);
+        // Brute and kd share the exact diameter (kd's bbox diagonal equals
+        // the exact diameter only for axis-extremal pairs), so compare
+        // outlier decisions rather than bit-identical internals.
+        assert_eq!(brute.outliers, kd.outliers);
+        // The slim-tree's diameter estimate differs slightly; decisions on
+        // this widely separated toy dataset must nonetheless agree.
+        assert_eq!(brute.outliers, slim.outliers);
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_threads() {
+        let (pts, ..) = fig3_points();
+        let p1 = Params {
+            threads: 1,
+            ..Params::default()
+        };
+        let p8 = Params {
+            threads: 8,
+            ..Params::default()
+        };
+        let a = mccatch(&pts, &Euclidean, &SlimTreeBuilder::default(), &p1);
+        let b = mccatch(&pts, &Euclidean, &SlimTreeBuilder::default(), &p8);
+        assert_eq!(a.outliers, b.outliers);
+        assert_eq!(a.point_scores, b.point_scores);
+        let scores_a: Vec<f64> = a.microclusters.iter().map(|m| m.score).collect();
+        let scores_b: Vec<f64> = b.microclusters.iter().map(|m| m.score).collect();
+        assert_eq!(scores_a, scores_b);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let pts: Vec<Vec<f64>> = vec![];
+        let out = mccatch(&pts, &Euclidean, &SlimTreeBuilder::default(), &Params::default());
+        assert!(out.microclusters.is_empty());
+        assert!(out.point_scores.is_empty());
+        assert_eq!(out.num_outliers(), 0);
+    }
+
+    #[test]
+    fn single_point_dataset() {
+        let pts = vec![vec![1.0, 2.0]];
+        let out = mccatch(&pts, &Euclidean, &SlimTreeBuilder::default(), &Params::default());
+        assert!(out.microclusters.is_empty());
+        assert_eq!(out.point_scores, vec![0.0]);
+    }
+
+    #[test]
+    fn identical_points_dataset() {
+        let pts = vec![vec![5.0, 5.0]; 50];
+        let out = mccatch(&pts, &Euclidean, &SlimTreeBuilder::default(), &Params::default());
+        assert!(out.microclusters.is_empty());
+        assert!(out.point_scores.iter().all(|&s| s == 0.0));
+        assert_eq!(out.diameter, 0.0);
+    }
+
+    #[test]
+    fn two_point_dataset() {
+        let pts = vec![vec![0.0], vec![10.0]];
+        let out = mccatch(&pts, &Euclidean, &SlimTreeBuilder::default(), &Params::default());
+        // With n = 2 everything is ambiguous; just require no panic and a
+        // well-formed output.
+        assert_eq!(out.point_scores.len(), 2);
+    }
+
+    #[test]
+    fn string_dataset_end_to_end() {
+        // Many similar English-ish words + 2 far outliers sharing a shape.
+        let mut words: Vec<String> = Vec::new();
+        for a in ["sm", "br", "cl", "tr", "gr"] {
+            for b in ["ith", "own", "ark", "een", "ant"] {
+                for c in ["", "s", "er", "ing"] {
+                    words.push(format!("{a}{b}{c}"));
+                }
+            }
+        }
+        words.push("xxxxxxxxxxxxxxxxxxxxxx".to_string());
+        words.push("xxxxxxxxxxxxxxxxxxxxxy".to_string());
+        let n = words.len() as u32;
+        let out = mccatch(
+            &words,
+            &Levenshtein,
+            &SlimTreeBuilder::default(),
+            &Params::default(),
+        );
+        assert!(out.is_outlier(n - 2), "outlier word missed");
+        assert!(out.is_outlier(n - 1), "outlier word missed");
+        // The two x-words are close to each other: they should gel.
+        let mc = out.cluster_of(n - 1).expect("cluster");
+        assert_eq!(mc.members, vec![n - 2, n - 1]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Plateau detection (Def. 1–3): turning a point's neighbor-count curve
+//! into its 1NN Distance (first plateau) and Group 1NN Distance (middle
+//! plateau).
+//!
+//! A *plateau* is a maximal range of radii where the count stays
+//! quasi-unaltered — every log-log slope within the range is at most `b` —
+//! spanning at least two radii, whose starting height is at most `c`
+//! (taller plateaus are "excused": they describe clusters too big to be
+//! microclusters). The *first plateau* is the one of height 1; the *middle
+//! plateau* is the longest one with height above 1 that does not run into
+//! the final radius.
+
+use crate::counts::OVER;
+
+/// The plateaus of one point, expressed as radius-grid indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PointPlateaus {
+    /// End index of the first plateau (its start is always radius 0).
+    /// `None` when the point has a neighbor already at `r_1` (the grid is
+    /// too coarse to see the first plateau; Alg. 2 then uses `x_i = 0`),
+    /// or when the height-1 run spans a single radius.
+    pub first_end: Option<u16>,
+    /// `(start, end)` indices of the middle plateau, `None` if absent.
+    pub middle: Option<(u16, u16)>,
+}
+
+/// Finds the plateaus of one count row (entries after the first [`OVER`]
+/// are unknown-but-above-`c` and cannot host plateaus).
+///
+/// `log_radii[k]` must hold `log2(radii[k])`; precomputing it once per run
+/// keeps this function allocation- and log-free per radius step.
+pub fn find_plateaus(counts: &[u32], log_radii: &[f64], b: f64, c: usize) -> PointPlateaus {
+    let a = counts.len();
+    debug_assert_eq!(a, log_radii.len());
+    // Exact prefix: plateaus exist only where counts are known.
+    let last = match counts.iter().position(|&q| q == OVER) {
+        Some(0) => return PointPlateaus::default(),
+        Some(k) => k - 1,
+        None => a - 1,
+    };
+    let mut result = PointPlateaus::default();
+    let mut best_middle_len = f64::NEG_INFINITY;
+    let mut run_start = 0usize;
+    // Sweep maximal quasi-flat runs over [0, last].
+    for k in 0..=last {
+        let run_breaks = if k == last {
+            true
+        } else {
+            // SLOPE(k) = Δlog2(count) / Δlog2(radius) (Def. 1).
+            let dq = (counts[k + 1] as f64).log2() - (counts[k] as f64).log2();
+            let dr = log_radii[k + 1] - log_radii[k];
+            dq > b * dr
+        };
+        if !run_breaks {
+            continue;
+        }
+        let (s, e) = (run_start, k);
+        run_start = k + 1;
+        if e == s {
+            continue; // Def. 1 requires r_e < r_e' — at least two radii.
+        }
+        let height = counts[s];
+        if height as usize > c {
+            continue; // excused: cluster too large to be a microcluster
+        }
+        if height == 1 {
+            // Counts start at >= 1 and never decrease, so a height-1 run
+            // must begin at radius 0: it is the first plateau (Def. 2).
+            debug_assert_eq!(s, 0);
+            result.first_end = Some(e as u16);
+        } else if e != a - 1 {
+            // Candidate middle plateau (Def. 3): keep the longest; ties go
+            // to the earlier start for determinism.
+            let len = exp2(log_radii[e]) - exp2(log_radii[s]);
+            if len > best_middle_len {
+                best_middle_len = len;
+                result.middle = Some((s as u16, e as u16));
+            }
+        }
+    }
+    result
+}
+
+#[inline]
+fn exp2(x: f64) -> f64 {
+    x.exp2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Log-radii of the standard doubling grid: log2(r_k) = k + const.
+    fn log_radii(a: usize) -> Vec<f64> {
+        (0..a).map(|k| k as f64).collect()
+    }
+
+    #[test]
+    fn isolate_point_has_long_first_plateau_no_middle() {
+        // Count 1 for 6 radii, then jumps to n.
+        let counts = [1, 1, 1, 1, 1, 1, 100, 100];
+        let p = find_plateaus(&counts, &log_radii(8), 0.1, 10);
+        assert_eq!(p.first_end, Some(5));
+        // The [6,7] run has height 100 > c -> excused.
+        assert_eq!(p.middle, None);
+    }
+
+    #[test]
+    fn mc_point_has_short_first_and_long_middle() {
+        // 1 at r0..r1, microcluster of 8 from r2..r6, everything at r7.
+        let counts = [1, 1, 8, 8, 8, 8, 8, 100];
+        let p = find_plateaus(&counts, &log_radii(8), 0.1, 10);
+        assert_eq!(p.first_end, Some(1));
+        assert_eq!(p.middle, Some((2, 6)));
+    }
+
+    #[test]
+    fn inlier_cluster_plateau_is_excused() {
+        // Joins a big cluster (height 80 > c=10).
+        let counts = [1, 1, 80, 80, 80, 100];
+        let p = find_plateaus(&counts, &log_radii(6), 0.1, 10);
+        assert_eq!(p.first_end, Some(1));
+        assert_eq!(p.middle, None);
+    }
+
+    #[test]
+    fn no_first_plateau_when_crowded_at_r1() {
+        // Already 3 neighbors at the smallest radius: x_i = 0 case.
+        let counts = [3, 3, 3, 100];
+        let p = find_plateaus(&counts, &log_radii(4), 0.1, 10);
+        assert_eq!(p.first_end, None);
+        assert_eq!(p.middle, Some((0, 2)));
+    }
+
+    #[test]
+    fn single_radius_run_is_not_a_plateau() {
+        // Height-1 run spans only r0, then the count keeps climbing stepwise.
+        let counts = [1, 4, 9, 100];
+        let p = find_plateaus(&counts, &log_radii(4), 0.1, 10);
+        assert_eq!(p.first_end, None);
+        assert_eq!(p.middle, None);
+    }
+
+    #[test]
+    fn middle_plateau_must_not_touch_last_radius() {
+        // Quasi-flat run of height 5 extends to the final radius: that is a
+        // *last* plateau (the point's cluster has absorbed everything), not
+        // a middle plateau.
+        let counts = [1, 1, 5, 5, 5, 5];
+        let p = find_plateaus(&counts, &log_radii(6), 0.1, 10);
+        assert_eq!(p.first_end, Some(1));
+        assert_eq!(p.middle, None);
+    }
+
+    #[test]
+    fn longest_middle_plateau_wins() {
+        // Two middle candidates: [2,4] (len 2^4-2^2=12) and [6,10]
+        // (len 2^10-2^6 = 960).
+        let counts = [1, 1, 3, 3, 3, 6, 8, 8, 8, 8, 8, 100];
+        let p = find_plateaus(&counts, &log_radii(12), 0.1, 10);
+        assert_eq!(p.first_end, Some(1));
+        assert_eq!(p.middle, Some((6, 10)));
+    }
+
+    #[test]
+    fn slope_tolerance_b_allows_quasi_flat_growth() {
+        // 14 -> 15 over one doubling: slope = log2(15/14) ≈ 0.0995 <= 0.1,
+        // so the run does NOT break.
+        let counts = [1, 1, 14, 15, 15, 100];
+        let p = find_plateaus(&counts, &log_radii(6), 0.1, 20);
+        assert_eq!(p.middle, Some((2, 4)));
+        // With b = 0: it breaks into two runs; [3,4] is the longer one
+        // (2^4-2^3=8 vs 2^3-2^2=4)... [2,2] is not a plateau (one radius),
+        // so [3,4] is chosen.
+        let p0 = find_plateaus(&counts, &log_radii(6), 0.0, 20);
+        assert_eq!(p0.middle, Some((3, 4)));
+    }
+
+    #[test]
+    fn over_sentinel_truncates_analysis() {
+        // Crossing value (12 > c=10) recorded, then OVER: the run ending at
+        // the crossing is still considered; nothing beyond.
+        let counts = [1, 1, 5, 5, 12, OVER, OVER, OVER];
+        let p = find_plateaus(&counts, &log_radii(8), 0.1, 10);
+        assert_eq!(p.first_end, Some(1));
+        // Run [2,3] has height 5 <= c; run [4,4] single radius.
+        assert_eq!(p.middle, Some((2, 3)));
+    }
+
+    #[test]
+    fn all_over_row_yields_nothing() {
+        let counts = [OVER; 5];
+        let p = find_plateaus(&counts, &log_radii(5), 0.1, 10);
+        assert_eq!(p, PointPlateaus::default());
+    }
+
+    #[test]
+    fn plateau_crossing_c_mid_run_is_kept() {
+        // Run starts at height 9 <= c and drifts above c within the run
+        // (9 -> 9 -> 10): Def. 1 only constrains the *height* (start).
+        // Slopes: log2(10/9)=0.152 > b=0.2? No: 0.152 <= 0.2 keeps it flat.
+        let counts = [1, 1, 9, 9, 10, 100];
+        let p = find_plateaus(&counts, &log_radii(6), 0.2, 9);
+        assert_eq!(p.middle, Some((2, 4)));
+    }
+
+    #[test]
+    fn pure_single_point_dataset() {
+        // n = 1: count stays 1 to the very end; the first plateau spans the
+        // whole grid and there is no middle plateau.
+        let counts = [1, 1, 1, 1, 1];
+        let p = find_plateaus(&counts, &log_radii(5), 0.1, 1);
+        assert_eq!(p.first_end, Some(4));
+        assert_eq!(p.middle, None);
+    }
+}

@@ -1,0 +1,118 @@
+//! Output types of a MCCATCH run.
+
+use crate::cutoff::Cutoff;
+use crate::oracle::OraclePlot;
+use std::time::Duration;
+
+/// A detected microcluster: a set of outliers ranked by anomalousness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Microcluster {
+    /// Member ids (ascending) into the analysed dataset.
+    pub members: Vec<u32>,
+    /// Anomaly score `s_j` (Def. 7): bits-per-point to describe the cluster
+    /// relative to its nearest inlier. Higher is weirder.
+    pub score: f64,
+    /// 'Bridge's Length': smallest member-to-nearest-inlier distance.
+    pub bridge_length: f64,
+    /// Mean quantized 1NN distance of the members.
+    pub mean_1nn: f64,
+}
+
+impl Microcluster {
+    /// Number of members.
+    pub fn cardinality(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether this is a 'one-off' outlier.
+    pub fn is_singleton(&self) -> bool {
+        self.members.len() == 1
+    }
+}
+
+/// Wall-clock breakdown of one run, mirroring Alg. 1's four steps.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Step I: tree construction plus diameter estimation.
+    pub t_build: Duration,
+    /// Step II: neighbor counting joins.
+    pub t_count: Duration,
+    /// Step II: plateau extraction / Oracle plot assembly.
+    pub t_plateaus: Duration,
+    /// Step III: cutoff + gelling.
+    pub t_spot: Duration,
+    /// Step IV: scoring.
+    pub t_score: Duration,
+    /// End-to-end time.
+    pub t_total: Duration,
+    /// Active-set size before each counting join (sparse-focused
+    /// diagnostics; length `a - 1`).
+    pub active_per_radius: Vec<usize>,
+}
+
+/// Everything MCCATCH returns: ranked microclusters, their scores, scores
+/// per point, and the intermediate artifacts (Oracle plot, cutoff, radii)
+/// that make results explainable.
+#[derive(Debug, Clone)]
+pub struct McCatchOutput {
+    /// Microclusters ranked most-strange-first (score desc; ties: smaller
+    /// cardinality first, then smaller first member id).
+    pub microclusters: Vec<Microcluster>,
+    /// Per-point scores `w_i` aligned with the dataset.
+    pub point_scores: Vec<f64>,
+    /// Ids of all outliers (ascending) — the union of microcluster members.
+    pub outliers: Vec<u32>,
+    /// The Oracle plot (x = 1NN Distance, y = Group 1NN Distance).
+    pub oracle: OraclePlot,
+    /// The MDL cutoff.
+    pub cutoff: Cutoff,
+    /// The radius grid used.
+    pub radii: Vec<f64>,
+    /// Diameter estimate `l` the grid was derived from.
+    pub diameter: f64,
+    /// Timings.
+    pub stats: RunStats,
+}
+
+impl McCatchOutput {
+    /// True if point `i` was flagged as an outlier.
+    pub fn is_outlier(&self, i: u32) -> bool {
+        self.outliers.binary_search(&i).is_ok()
+    }
+
+    /// The microcluster containing point `i`, if any.
+    pub fn cluster_of(&self, i: u32) -> Option<&Microcluster> {
+        self.microclusters
+            .iter()
+            .find(|mc| mc.members.binary_search(&i).is_ok())
+    }
+
+    /// Total number of flagged outlier points.
+    pub fn num_outliers(&self) -> usize {
+        self.outliers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microcluster_helpers() {
+        let mc = Microcluster {
+            members: vec![3, 7],
+            score: 10.0,
+            bridge_length: 2.0,
+            mean_1nn: 0.5,
+        };
+        assert_eq!(mc.cardinality(), 2);
+        assert!(!mc.is_singleton());
+        let s = Microcluster {
+            members: vec![9],
+            score: 12.0,
+            bridge_length: 4.0,
+            mean_1nn: 1.0,
+        };
+        assert!(s.is_singleton());
+    }
+}

@@ -1,0 +1,106 @@
+//! Disjoint-set union for the microcluster gelling step (Alg. 3 line 14:
+//! "connected components of G").
+
+/// Union–find with path halving and union by rank.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets `{0}, {1}, …, {n-1}`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // Path halving.
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Less => self.parent[ra as usize] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb as usize] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb as usize] = ra;
+                self.rank[ra as usize] += 1;
+            }
+        }
+        true
+    }
+
+    /// Groups `0..n` into components, each sorted ascending; components
+    /// ordered by their smallest element. Deterministic by construction.
+    pub fn components(&mut self) -> Vec<Vec<u32>> {
+        let n = self.parent.len();
+        let mut by_root: Vec<(u32, u32)> = (0..n as u32).map(|x| (self.find(x), x)).collect();
+        by_root.sort_unstable();
+        let mut out: Vec<Vec<u32>> = Vec::new();
+        let mut last_root = u32::MAX;
+        for (root, x) in by_root {
+            if root != last_root {
+                out.push(Vec::new());
+                last_root = root;
+            }
+            out.last_mut().expect("pushed above").push(x);
+        }
+        // Order components by smallest member (first element, already asc).
+        out.sort_by_key(|c| c[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.components(), vec![vec![0], vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn unions_merge_components() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 2));
+        assert!(uf.union(2, 4));
+        assert!(!uf.union(0, 4)); // already merged
+        assert!(uf.union(1, 5));
+        let comps = uf.components();
+        assert_eq!(comps, vec![vec![0, 2, 4], vec![1, 5], vec![3]]);
+    }
+
+    #[test]
+    fn chain_unions_form_single_component() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        let comps = uf.components();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 100);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.components().is_empty());
+    }
+}

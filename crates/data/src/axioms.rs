@@ -1,0 +1,281 @@
+//! The axiom scenarios of Fig. 2: synthetic datasets where ground truth
+//! says which of two microclusters must score higher.
+//!
+//! Each scenario has a large inlier cluster (Gaussian-, cross- or
+//! arc-shaped, symmetric about the vertical axis `x = 50`) plus two planted
+//! microclusters on the horizontal line through the cluster center:
+//!
+//! * **Isolation axiom** — equal cardinality (10 points each); the *green*
+//!   microcluster sits farther from the inliers, so it must score higher.
+//! * **Cardinality axiom** — equal 'Bridge's Lengths' (symmetric placement);
+//!   the *red* microcluster has 100 points, the *green* one has 10, so the
+//!   green one must score higher.
+//!
+//! The paper evaluates 50 random instances per (axiom × shape) pair
+//! (Tab. V); instances here are parameterized by seed.
+
+use crate::labeled::LabeledData;
+use crate::rng::{gaussian_point, normal, rng};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Shape of the inlier cluster (Fig. 2 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InlierShape {
+    /// Isotropic Gaussian blob.
+    Gaussian,
+    /// Upright cross: one horizontal and one vertical bar.
+    Cross,
+    /// Circular arc (upper half circle).
+    Arc,
+}
+
+impl InlierShape {
+    /// All three shapes, in the paper's order.
+    pub const ALL: [InlierShape; 3] = [InlierShape::Gaussian, InlierShape::Cross, InlierShape::Arc];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InlierShape::Gaussian => "Gaussian",
+            InlierShape::Cross => "Cross",
+            InlierShape::Arc => "Arc",
+        }
+    }
+
+    /// Horizontal half-width of the dense part of the shape, used to place
+    /// the microclusters at controlled bridge distances.
+    fn half_width(&self) -> f64 {
+        match self {
+            InlierShape::Gaussian => 16.0, // 2 sigma
+            InlierShape::Cross => 15.0,
+            InlierShape::Arc => 15.0,
+        }
+    }
+
+    /// One inlier sample. All shapes have *bounded* support (the Gaussian
+    /// is truncated at 2σ, the bar/arc thickness noise at 3σ): Fig. 2 draws
+    /// compact clusters, and unbounded tails would silently shrink the
+    /// planted 'Bridge's Lengths' at the ~10⁴-sample scale.
+    fn sample(&self, r: &mut StdRng) -> Vec<f64> {
+        const CX: f64 = 50.0;
+        const CY: f64 = 70.0;
+        match self {
+            InlierShape::Gaussian => loop {
+                let p = gaussian_point(r, &[CX, CY], 8.0);
+                let d2 = (p[0] - CX).powi(2) + (p[1] - CY).powi(2);
+                if d2 <= 16.0 * 16.0 {
+                    return p;
+                }
+            },
+            InlierShape::Cross => {
+                // Two bars of half-length 15, thickness sigma 1.2 (clamped).
+                let along = r.random_range(-15.0..15.0);
+                let thick = (1.2 * normal(r)).clamp(-3.6, 3.6);
+                if r.random::<bool>() {
+                    vec![CX + along, CY + thick]
+                } else {
+                    vec![CX + thick, CY + along]
+                }
+            }
+            InlierShape::Arc => {
+                // Upper half circle of radius 15, radial noise sigma 1.2
+                // (clamped).
+                let theta = r.random_range(0.0..std::f64::consts::PI);
+                let rad = 15.0 + (1.2 * normal(r)).clamp(-3.6, 3.6);
+                vec![CX + rad * theta.cos(), CY + rad * theta.sin() - 7.5]
+            }
+        }
+    }
+}
+
+/// Which axiom the scenario instantiates (Fig. 2 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axiom {
+    /// All else equal, the farther microcluster must score higher.
+    Isolation,
+    /// All else equal, the less populous microcluster must score higher.
+    Cardinality,
+}
+
+impl Axiom {
+    /// Both axioms, in the paper's order.
+    pub const ALL: [Axiom; 2] = [Axiom::Isolation, Axiom::Cardinality];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Axiom::Isolation => "Isolation",
+            Axiom::Cardinality => "Cardinality",
+        }
+    }
+}
+
+/// A generated axiom scenario: the dataset plus the ids of the two planted
+/// microclusters. Ground truth: `green` must receive a larger anomaly score
+/// than `red`.
+#[derive(Debug, Clone)]
+pub struct AxiomScenario {
+    /// The dataset; all microcluster members are labeled outliers.
+    pub data: LabeledData<Vec<f64>>,
+    /// Members of the *less* anomalous microcluster.
+    pub red: Vec<u32>,
+    /// Members of the *more* anomalous microcluster.
+    pub green: Vec<u32>,
+    /// The shape and axiom that produced this scenario.
+    pub shape: InlierShape,
+    /// See [`Axiom`].
+    pub axiom: Axiom,
+}
+
+/// Generates one Fig. 2 scenario. `n_inliers` controls the inlier cluster
+/// size (the paper uses ~1M; tests use less; geometry is size-invariant).
+pub fn axiom_scenario(
+    shape: InlierShape,
+    axiom: Axiom,
+    n_inliers: usize,
+    seed: u64,
+) -> AxiomScenario {
+    let mut r = rng(seed ^ 0xAC5_1035);
+    let mut points = Vec::with_capacity(n_inliers + 110);
+    for _ in 0..n_inliers {
+        points.push(shape.sample(&mut r));
+    }
+    let w = shape.half_width();
+    const CX: f64 = 50.0;
+    const CY: f64 = 70.0;
+    // Microcluster centers sit on the horizontal line through the cluster
+    // center. Isolation: green is farther. Cardinality: near-symmetric
+    // bridges, red is 10x more populous.
+    //
+    // "All else being equal" must survive MCCATCH's radius-grid
+    // quantization, so members are planted on a *fixed* grid pattern
+    // (identical spacing for both microclusters, hence identical per-member
+    // 1NN distances) with jitter far smaller than the spacing, and the
+    // bridge gaps are sized so that red/green quantize to the same grid
+    // radius under the Cardinality axiom and to different ones under the
+    // Isolation axiom.
+    // Spacing note: under Cardinality the 10x10 grid's diagonal must
+    // saturate its neighbor count strictly below the grid radius ~l/16, or
+    // the 100-point plateau becomes sensitive to the diameter estimate;
+    // 0.37 keeps the diagonal (~4.7) safely below it while per-member 1NN
+    // distances still quantize one bin above the inlier mass.
+    let (red_gap, green_gap, red_n, green_n, spacing) = match axiom {
+        Axiom::Isolation => (14.0, 34.0, 10usize, 10usize, 0.45),
+        Axiom::Cardinality => (16.0, 16.0, 100usize, 10usize, 0.37),
+    };
+    let mut plant = |center_x: f64, count: usize, ids: &mut Vec<u32>, r: &mut StdRng| {
+        // 2x5 grid for 10 members, 10x10 for 100.
+        let (cols, rows) = if count == 10 { (2, 5) } else { (10, 10) };
+        debug_assert_eq!(cols * rows, count);
+        for i in 0..cols {
+            for j in 0..rows {
+                let ox = (i as f64 - (cols as f64 - 1.0) / 2.0) * spacing;
+                let oy = (j as f64 - (rows as f64 - 1.0) / 2.0) * spacing;
+                ids.push(points.len() as u32);
+                points.push(vec![
+                    center_x + ox + r.random_range(-0.02..0.02),
+                    CY + oy + r.random_range(-0.02..0.02),
+                ]);
+            }
+        }
+    };
+    let mut red = Vec::with_capacity(red_n);
+    plant(CX - w - red_gap, red_n, &mut red, &mut r);
+    let mut green = Vec::with_capacity(green_n);
+    plant(CX + w + green_gap, green_n, &mut green, &mut r);
+    let mut labels = vec![false; points.len()];
+    for &i in red.iter().chain(&green) {
+        labels[i as usize] = true;
+    }
+    let name = format!("{} ({}. Axiom)", shape.name(), &axiom.name()[..1]);
+    AxiomScenario {
+        data: LabeledData::new(name, points, labels),
+        red,
+        green,
+        shape,
+        axiom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_shapes_and_sizes() {
+        for shape in InlierShape::ALL {
+            for axiom in Axiom::ALL {
+                let s = axiom_scenario(shape, axiom, 1000, 7);
+                let (rn, gn) = match axiom {
+                    Axiom::Isolation => (10, 10),
+                    Axiom::Cardinality => (100, 10),
+                };
+                assert_eq!(s.red.len(), rn);
+                assert_eq!(s.green.len(), gn);
+                assert_eq!(s.data.len(), 1000 + rn + gn);
+                assert_eq!(s.data.num_outliers(), rn + gn);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = axiom_scenario(InlierShape::Cross, Axiom::Isolation, 500, 3);
+        let b = axiom_scenario(InlierShape::Cross, Axiom::Isolation, 500, 3);
+        assert_eq!(a.data.points, b.data.points);
+        let c = axiom_scenario(InlierShape::Cross, Axiom::Isolation, 500, 4);
+        assert_ne!(a.data.points, c.data.points);
+    }
+
+    #[test]
+    fn green_is_farther_under_isolation() {
+        let s = axiom_scenario(InlierShape::Gaussian, Axiom::Isolation, 2000, 1);
+        let dist_to_center = |ids: &[u32]| -> f64 {
+            ids.iter()
+                .map(|&i| {
+                    let p = &s.data.points[i as usize];
+                    ((p[0] - 50.0).powi(2) + (p[1] - 70.0).powi(2)).sqrt()
+                })
+                .sum::<f64>()
+                / ids.len() as f64
+        };
+        assert!(dist_to_center(&s.green) > dist_to_center(&s.red) + 10.0);
+    }
+
+    #[test]
+    fn bridges_symmetric_under_cardinality() {
+        let s = axiom_scenario(InlierShape::Arc, Axiom::Cardinality, 2000, 1);
+        let center_x = |ids: &[u32]| -> f64 {
+            ids.iter().map(|&i| s.data.points[i as usize][0]).sum::<f64>() / ids.len() as f64
+        };
+        // Mirrored placement about x = 50.
+        assert!((center_x(&s.red) + center_x(&s.green) - 100.0).abs() < 1.0);
+        assert_eq!(s.red.len(), 100);
+        assert_eq!(s.green.len(), 10);
+    }
+
+    #[test]
+    fn microclusters_are_tight_and_separated() {
+        for shape in InlierShape::ALL {
+            let s = axiom_scenario(shape, Axiom::Isolation, 3000, 5);
+            // Tight: every red member within 3 of the red centroid.
+            let cx: f64 =
+                s.red.iter().map(|&i| s.data.points[i as usize][0]).sum::<f64>() / 10.0;
+            let cy: f64 =
+                s.red.iter().map(|&i| s.data.points[i as usize][1]).sum::<f64>() / 10.0;
+            for &i in &s.red {
+                let p = &s.data.points[i as usize];
+                let d = ((p[0] - cx).powi(2) + (p[1] - cy).powi(2)).sqrt();
+                assert!(d < 3.0, "{:?} spread too wide ({d})", shape);
+            }
+            // Separated: no inlier within 5 of the red centroid.
+            for (i, p) in s.data.points.iter().enumerate() {
+                if !s.data.labels[i] {
+                    let d = ((p[0] - cx).powi(2) + (p[1] - cy).powi(2)).sqrt();
+                    assert!(d > 5.0, "inlier {i} too close to red mc ({d})");
+                }
+            }
+        }
+    }
+}

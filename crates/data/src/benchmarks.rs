@@ -1,0 +1,275 @@
+//! Synthetic analogues of the popular benchmark datasets in Tab. III.
+//!
+//! The paper evaluates on 18 public benchmark datasets (HTTP, Shuttle,
+//! kddcup08, … Parkinson). Those corpora are not redistributable here, so
+//! each is replaced by a *generator preset* that matches the
+//! characteristics MCCATCH actually reacts to: cardinality,
+//! dimensionality, outlier fraction, clustered inliers, scattered singleton
+//! outliers and — for the datasets the paper flags as containing
+//! nonsingleton microclusters (HTTP, Annthyroid) — planted tight
+//! microclusters. The substitution is documented in `DESIGN.md` §4.
+
+use crate::labeled::LabeledData;
+use crate::rng::{gaussian_point, normal, rng, uniform_point};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Recipe for one benchmark analogue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Dataset name as in Tab. III.
+    pub name: &'static str,
+    /// Number of elements.
+    pub n: usize,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Outlier percentage (Tab. III's "% Outliers").
+    pub outlier_percent: f64,
+    /// Number of planted nonsingleton microclusters.
+    pub n_microclusters: usize,
+    /// Size of each planted microcluster.
+    pub mc_size: usize,
+    /// Number of Gaussian inlier clusters.
+    pub inlier_clusters: usize,
+}
+
+/// The 18 benchmark presets of Tab. III, in the paper's order. `HTTP` and
+/// `Annthyroid` carry nonsingleton microclusters ("known to have
+/// nonsingleton microclusters [6]"); HTTP's largest is the 30-point
+/// DoS-like cluster showcased in Fig. 8(ii). The heavy-outlier-share sets
+/// (Satellite 31.6%, Ionosphere 35.7%) model their "outliers" the way the
+/// real benchmarks do — as minority *classes*, i.e. mostly small clusters
+/// rather than uniform scatter.
+pub const BENCHMARKS: &[BenchmarkSpec] = &[
+    spec("Http", 222_027, 3, 0.03, 2, 30, 2),
+    spec("Shuttle", 49_097, 9, 7.15, 4, 12, 3),
+    spec("kddcup08", 24_995, 25, 0.68, 2, 8, 3),
+    spec("Mammography", 7_848, 6, 3.22, 2, 8, 2),
+    spec("Annthyroid", 7_200, 6, 7.41, 30, 15, 3),
+    spec("Satellite", 6_435, 36, 31.64, 60, 30, 4),
+    spec("Satimage2", 5_803, 36, 1.22, 1, 6, 4),
+    spec("Speech", 3_686, 400, 1.65, 1, 5, 2),
+    spec("Thyroid", 3_656, 6, 2.54, 1, 6, 2),
+    spec("Vowels", 1_452, 12, 3.17, 1, 5, 3),
+    spec("Pima", 526, 8, 4.94, 1, 4, 2),
+    spec("Ionosphere", 350, 33, 35.71, 10, 10, 2),
+    spec("Ecoli", 336, 7, 2.68, 1, 3, 2),
+    spec("Vertebral", 240, 6, 12.5, 2, 5, 2),
+    spec("Glass", 213, 9, 4.23, 1, 3, 2),
+    spec("Wine", 129, 13, 7.75, 1, 3, 2),
+    spec("Hepatitis", 70, 20, 4.29, 0, 0, 1),
+    spec("Parkinson", 50, 22, 4.0, 0, 0, 1),
+];
+
+const fn spec(
+    name: &'static str,
+    n: usize,
+    dim: usize,
+    outlier_percent: f64,
+    n_microclusters: usize,
+    mc_size: usize,
+    inlier_clusters: usize,
+) -> BenchmarkSpec {
+    BenchmarkSpec {
+        name,
+        n,
+        dim,
+        outlier_percent,
+        n_microclusters,
+        mc_size,
+        inlier_clusters,
+    }
+}
+
+/// Looks a preset up by (case-insensitive) name.
+pub fn benchmark_by_name(name: &str) -> Option<&'static BenchmarkSpec> {
+    BENCHMARKS
+        .iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+impl BenchmarkSpec {
+    /// Generates the analogue at full size.
+    pub fn generate(&self, seed: u64) -> LabeledData<Vec<f64>> {
+        self.generate_scaled(1.0, seed)
+    }
+
+    /// Generates the analogue with `n` scaled by `scale` (same fractions,
+    /// same geometry; used by tests and quick runs). Microcluster sizes
+    /// scale down proportionally but never below 3 points per cluster.
+    pub fn generate_scaled(&self, scale: f64, seed: u64) -> LabeledData<Vec<f64>> {
+        assert!(scale > 0.0 && scale <= 1.0);
+        let n = ((self.n as f64 * scale).round() as usize).max(20);
+        let mut r = rng(seed ^ hash_name(self.name));
+        let n_outliers = ((n as f64 * self.outlier_percent / 100.0).round() as usize).max(1);
+        // Split outliers: microclusters first, remainder scattered.
+        let mc_size = if self.n_microclusters == 0 {
+            0
+        } else {
+            (((self.mc_size as f64) * scale).round() as usize).clamp(3, self.mc_size)
+        };
+        let mut mc_sizes = vec![mc_size; self.n_microclusters];
+        // Never let microclusters exceed the outlier budget.
+        while mc_sizes.iter().sum::<usize>() > n_outliers && !mc_sizes.is_empty() {
+            mc_sizes.pop();
+        }
+        let n_clustered: usize = mc_sizes.iter().sum();
+        let n_scattered = n_outliers - n_clustered;
+        let n_inliers = n - n_outliers;
+
+        // Inlier clusters: Gaussian blobs with well-separated centers,
+        // truncated at 1.5x the typical radial distance (sqrt(dim) sigma) —
+        // unbounded tails in higher dimensions would blur the inlier/outlier
+        // boundary the real benchmarks have.
+        let centers: Vec<Vec<f64>> = (0..self.inlier_clusters)
+            .map(|_| uniform_point(&mut r, self.dim, 20.0, 80.0))
+            .collect();
+        let sigma = 3.0;
+        let radial_cap = 1.5 * (self.dim as f64).sqrt() * sigma;
+        let mut points = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n_inliers {
+            let c = &centers[i % centers.len()];
+            let p = loop {
+                let p = gaussian_point(&mut r, c, sigma);
+                let d2: f64 = p.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+                if d2.sqrt() <= radial_cap {
+                    break p;
+                }
+            };
+            points.push(p);
+            labels.push(false);
+        }
+        // Planted microclusters: tight blobs far from every inlier cluster
+        // (margin measured beyond the truncation radius).
+        for _ in &mc_sizes {
+            let center = far_point(&mut r, &centers, self.dim, radial_cap + 5.0 * sigma);
+            for _ in 0..mc_size {
+                points.push(gaussian_point(&mut r, &center, 0.15 * sigma));
+                labels.push(true);
+            }
+        }
+        // Scattered singleton outliers: random direction from a random
+        // cluster at a *log-uniform* margin beyond the inlier support, so
+        // their 1NN distances spread geometrically across histogram bins —
+        // the decaying tail shape real benchmark outliers produce (a
+        // concentrated shell would masquerade as cluster structure).
+        for k in 0..n_scattered {
+            let c = &centers[k % centers.len()];
+            let p = loop {
+                let margin = sigma * 8.0 * (10.0f64).powf(r.random::<f64>());
+                let radius = radial_cap + margin;
+                let mut dir: Vec<f64> = (0..self.dim).map(|_| normal(&mut r)).collect();
+                let norm = dir.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+                for d in dir.iter_mut() {
+                    *d /= norm;
+                }
+                let p: Vec<f64> = c.iter().zip(&dir).map(|(a, b)| a + radius * b).collect();
+                let clear = centers.iter().all(|c2| {
+                    let d2: f64 = c2.iter().zip(&p).map(|(a, b)| (a - b) * (a - b)).sum();
+                    d2.sqrt() >= radial_cap + 2.0 * sigma
+                });
+                if clear {
+                    break p;
+                }
+            };
+            points.push(p);
+            labels.push(true);
+        }
+        LabeledData::new(self.name, points, labels)
+    }
+}
+
+/// Rejection-samples a point at Euclidean distance at least `min_dist` from
+/// every center (relaxing the constraint slowly if the space is crowded).
+fn far_point(r: &mut StdRng, centers: &[Vec<f64>], dim: usize, min_dist: f64) -> Vec<f64> {
+    let mut required = min_dist;
+    loop {
+        for _ in 0..64 {
+            let p = uniform_point(r, dim, -10.0, 110.0);
+            let ok = centers.iter().all(|c| {
+                let d2: f64 = c.iter().zip(&p).map(|(a, b)| (a - b) * (a - b)).sum();
+                d2.sqrt() >= required
+            });
+            if ok {
+                return p;
+            }
+        }
+        required *= 0.9;
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, deterministic across runs and platforms.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_tab3_counts() {
+        assert_eq!(BENCHMARKS.len(), 18);
+        let http = benchmark_by_name("Http").unwrap();
+        assert_eq!(http.n, 222_027);
+        assert_eq!(http.dim, 3);
+        assert_eq!(http.mc_size, 30); // the DoS microcluster of Fig. 8(ii)
+        assert!(benchmark_by_name("nope").is_none());
+        assert!(benchmark_by_name("wine").is_some()); // case-insensitive
+    }
+
+    #[test]
+    fn generated_fractions_match_spec() {
+        for spec in BENCHMARKS.iter().filter(|s| s.n <= 8000) {
+            let d = spec.generate(1);
+            assert_eq!(d.len(), spec.n, "{}", spec.name);
+            let got = d.outlier_percent();
+            assert!(
+                (got - spec.outlier_percent).abs() < 1.0,
+                "{}: got {got}%, want {}%",
+                spec.name,
+                spec.outlier_percent
+            );
+            assert!(d.points.iter().all(|p| p.len() == spec.dim));
+        }
+    }
+
+    #[test]
+    fn scaled_generation_keeps_fractions() {
+        let spec = benchmark_by_name("Shuttle").unwrap();
+        let d = spec.generate_scaled(0.05, 3);
+        assert!((d.len() as f64 - 49_097.0 * 0.05).abs() < 2.0);
+        assert!((d.outlier_percent() - spec.outlier_percent).abs() < 2.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = benchmark_by_name("Wine").unwrap();
+        assert_eq!(spec.generate(5).points, spec.generate(5).points);
+        assert_ne!(spec.generate(5).points, spec.generate(6).points);
+    }
+
+    #[test]
+    fn microclusters_are_tight() {
+        let spec = benchmark_by_name("Vertebral").unwrap();
+        let d = spec.generate(2);
+        // The planted microcluster points are consecutive after the inliers;
+        // check the first planted cluster's spread.
+        let first_outlier = d.labels.iter().position(|&l| l).unwrap();
+        let mc: Vec<&Vec<f64>> = d.points[first_outlier..first_outlier + 5].iter().collect();
+        for p in &mc {
+            let d2: f64 = p
+                .iter()
+                .zip(mc[0].iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            assert!(d2.sqrt() < 5.0);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! A dataset with outlier ground truth.
+
+/// Points plus boolean outlier labels (`true` = outlier), the shape every
+/// accuracy experiment consumes.
+#[derive(Debug, Clone)]
+pub struct LabeledData<P> {
+    /// Human-readable dataset name (matches the paper's Tab. III names for
+    /// the benchmark analogues).
+    pub name: String,
+    /// The data elements.
+    pub points: Vec<P>,
+    /// Ground truth: `labels[i]` is true iff `points[i]` is an outlier.
+    pub labels: Vec<bool>,
+}
+
+impl<P> LabeledData<P> {
+    /// Creates a labeled dataset, checking lengths agree.
+    pub fn new(name: impl Into<String>, points: Vec<P>, labels: Vec<bool>) -> Self {
+        assert_eq!(points.len(), labels.len());
+        Self {
+            name: name.into(),
+            points,
+            labels,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of ground-truth outliers.
+    pub fn num_outliers(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Outlier fraction in percent (Tab. III's "% Outliers").
+    pub fn outlier_percent(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            100.0 * self.num_outliers() as f64 / self.points.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_percent() {
+        let d = LabeledData::new("t", vec![1, 2, 3, 4], vec![true, false, false, true]);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.num_outliers(), 2);
+        assert!((d.outlier_percent() - 50.0).abs() < 1e-12);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = LabeledData::new("t", vec![1], vec![true, false]);
+    }
+}

@@ -1,0 +1,125 @@
+//! The "Last Names" analogue (Fig. 1(ii), Tab. III): 5,000 inlier surnames
+//! with English phonotactics plus 50 outliers drawn from other language
+//! profiles, analysed under the L-Edit (Levenshtein) distance.
+//!
+//! Names are built from per-language syllable inventories, so inliers form
+//! a dense cloud under edit distance (shared stems and suffixes) while
+//! non-English names — different syllables, different endings, accented
+//! characters — sit farther away, mirroring the paper's finding that
+//! MCCATCH "distinguished English and NonEnglish names".
+
+use crate::labeled::LabeledData;
+use crate::rng::rng;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const ENGLISH_ONSETS: &[&str] = &[
+    "smith", "john", "will", "brown", "jones", "mill", "david", "clark", "wood", "hall", "wright",
+    "walk", "rob", "thomp", "whit", "harr", "mart", "coop", "turn", "park", "bak", "carv", "fish",
+    "shep", "black", "green", "hill", "ford", "web", "stone",
+];
+const ENGLISH_SUFFIXES: &[&str] = &[
+    "son", "s", "er", "ton", "ley", "field", "man", "ing", "worth", "wood", "well", "ers", "kins",
+    "ard", "ford", "",
+];
+
+/// One non-English language profile: syllables plus typical endings.
+struct Profile {
+    onsets: &'static [&'static str],
+    suffixes: &'static [&'static str],
+}
+
+const PROFILES: &[Profile] = &[
+    // Italian
+    Profile {
+        onsets: &["ross", "ferr", "espos", "bianch", "romagn", "colomb", "ricc", "marin"],
+        suffixes: &["ini", "etti", "ella", "ucci", "aro", "one"],
+    },
+    // Japanese (romaji)
+    Profile {
+        onsets: &["naka", "yama", "taka", "kobaya", "matsu", "fuji", "wata", "haya"],
+        suffixes: &["moto", "shita", "hashi", "mura", "saki", "nabe"],
+    },
+    // Polish
+    Profile {
+        onsets: &["kowal", "nowak", "wisni", "wojci", "kami", "lewan", "zieli", "szyma"],
+        suffixes: &["ski", "czyk", "ewski", "owska", "nski"],
+    },
+    // Greek
+    Profile {
+        onsets: &["papa", "niko", "dimi", "kosta", "theo", "vasi"],
+        suffixes: &["opoulos", "akis", "idis", "adis"],
+    },
+    // Scandinavian / accented
+    Profile {
+        onsets: &["sør", "bjø", "åker", "lind", "nygå", "østr"],
+        suffixes: &["ensen", "qvist", "ström", "gård", "dóttir"],
+    },
+];
+
+fn english_name(r: &mut StdRng) -> String {
+    let onset = ENGLISH_ONSETS[r.random_range(0..ENGLISH_ONSETS.len())];
+    let suffix = ENGLISH_SUFFIXES[r.random_range(0..ENGLISH_SUFFIXES.len())];
+    format!("{onset}{suffix}")
+}
+
+fn foreign_name(r: &mut StdRng) -> String {
+    let p = &PROFILES[r.random_range(0..PROFILES.len())];
+    let onset = p.onsets[r.random_range(0..p.onsets.len())];
+    let suffix = p.suffixes[r.random_range(0..p.suffixes.len())];
+    format!("{onset}{suffix}")
+}
+
+/// Generates the Last Names analogue: `n_inliers` English names and
+/// `n_outliers` non-English names (Tab. III: 5,000 + 50).
+pub fn last_names(n_inliers: usize, n_outliers: usize, seed: u64) -> LabeledData<String> {
+    let mut r = rng(seed ^ 0x1A57_4A3E);
+    let mut points = Vec::with_capacity(n_inliers + n_outliers);
+    let mut labels = Vec::with_capacity(n_inliers + n_outliers);
+    for _ in 0..n_inliers {
+        points.push(english_name(&mut r));
+        labels.push(false);
+    }
+    for _ in 0..n_outliers {
+        points.push(foreign_name(&mut r));
+        labels.push(true);
+    }
+    LabeledData::new("Last Names", points, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccatch_metric::Levenshtein;
+
+    #[test]
+    fn sizes_and_labels() {
+        let d = last_names(500, 10, 1);
+        assert_eq!(d.len(), 510);
+        assert_eq!(d.num_outliers(), 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(last_names(100, 5, 2).points, last_names(100, 5, 2).points);
+    }
+
+    #[test]
+    fn foreign_names_are_farther_on_average() {
+        let d = last_names(300, 10, 3);
+        // Mean distance from each outlier to its nearest inlier must exceed
+        // the mean inlier-to-nearest-inlier distance.
+        let nn = |i: usize| -> f64 {
+            (0..300)
+                .filter(|&j| j != i)
+                .map(|j| Levenshtein::edit_distance(&d.points[i], &d.points[j]) as f64)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let inlier_nn: f64 = (0..40).map(nn).sum::<f64>() / 40.0;
+        let outlier_nn: f64 = (300..310).map(nn).sum::<f64>() / 10.0;
+        assert!(
+            outlier_nn > inlier_nn + 1.0,
+            "outlier_nn {outlier_nn} vs inlier_nn {inlier_nn}"
+        );
+    }
+}

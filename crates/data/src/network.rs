@@ -1,0 +1,147 @@
+//! The HTTP network-connection workload of Fig. 8(ii): 222K connections
+//! described by bytes sent, bytes received and duration, containing a
+//! 30-connection microcluster of 'DoS back' attacks.
+//!
+//! The real KDD'99 HTTP subset is not redistributable; this generator
+//! reproduces the geometry the paper describes: a dense mass of benign
+//! connections (log-scale features, a few behavioral modes), a tight
+//! 30-point cluster of attack connections "sending too many bytes to a
+//! server aimed at overloading it", and a handful of scattered oddballs
+//! with unusually long durations or byte counts.
+
+use crate::labeled::LabeledData;
+use crate::rng::{normal, rng};
+use rand::Rng;
+
+/// One generated connection record (already log-transformed, as is standard
+/// for the HTTP benchmark).
+pub type Connection = Vec<f64>;
+
+/// Generates the HTTP analogue with `n` connections (Tab. III: 222,027,
+/// 0.03% outliers ⇒ ~66 attacks, 30 of them the DoS microcluster).
+///
+/// Feature order: `[log bytes_sent, log bytes_received, log duration]`.
+pub fn http(n: usize, seed: u64) -> LabeledData<Connection> {
+    let mut r = rng(seed ^ 0x477_9B0B);
+    let n_dos = if n >= 1000 { 30 } else { (n / 30).max(2) };
+    let n_scatter = (n as f64 * 0.0003).round() as usize;
+    let n_benign = n.saturating_sub(n_dos + n_scatter);
+    let mut points = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    // Benign traffic: three modes (small GETs, page loads, downloads).
+    for _ in 0..n_benign {
+        let mode: f64 = r.random();
+        let (ms, mr, md) = if mode < 0.6 {
+            (5.5, 7.5, 0.5) // small requests
+        } else if mode < 0.9 {
+            (6.5, 9.0, 1.5) // page loads
+        } else {
+            (6.0, 11.5, 3.0) // downloads
+        };
+        points.push(vec![
+            ms + 0.5 * normal(&mut r),
+            mr + 0.6 * normal(&mut r),
+            md + 0.5 * normal(&mut r),
+        ]);
+        labels.push(false);
+    }
+    // The DoS microcluster: huge bytes sent, near-zero response, short
+    // duration; tightly clustered (same exploit, repeated).
+    for _ in 0..n_dos {
+        points.push(vec![
+            14.0 + 0.05 * normal(&mut r),
+            2.0 + 0.05 * normal(&mut r),
+            0.2 + 0.05 * normal(&mut r),
+        ]);
+        labels.push(true);
+    }
+    // Scattered anomalies: individually odd connections.
+    for k in 0..n_scatter {
+        let p = match k % 3 {
+            0 => vec![
+                6.0 + 0.3 * normal(&mut r),
+                9.0 + 0.3 * normal(&mut r),
+                9.0 + 0.8 * normal(&mut r), // absurd duration
+            ],
+            1 => vec![
+                11.5 + 0.6 * normal(&mut r), // absurd upload
+                12.5 + 0.6 * normal(&mut r),
+                2.0 + 0.3 * normal(&mut r),
+            ],
+            _ => vec![
+                1.0 + 0.3 * normal(&mut r), // empty exchange, long wait
+                1.0 + 0.3 * normal(&mut r),
+                6.5 + 0.5 * normal(&mut r),
+            ],
+        };
+        points.push(p);
+        labels.push(true);
+    }
+    LabeledData::new("Http", points, labels)
+}
+
+/// Ids of the DoS microcluster inside [`http`]'s output (they follow the
+/// benign block).
+pub fn http_dos_ids(n: usize) -> Vec<u32> {
+    let n_dos = if n >= 1000 { 30 } else { (n / 30).max(2) };
+    let n_scatter = (n as f64 * 0.0003).round() as usize;
+    let n_benign = n.saturating_sub(n_dos + n_scatter);
+    (n_benign as u32..(n_benign + n_dos) as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper_proportions() {
+        let d = http(222_027, 1);
+        assert_eq!(d.len(), 222_027);
+        // ~0.03% outliers plus the 30-point DoS cluster.
+        let outliers = d.num_outliers();
+        assert!(outliers >= 90 && outliers <= 110, "outliers = {outliers}");
+    }
+
+    #[test]
+    fn dos_cluster_is_tight() {
+        let n = 20_000;
+        let d = http(n, 2);
+        let ids = http_dos_ids(n);
+        assert_eq!(ids.len(), 30);
+        let c = &d.points[ids[0] as usize];
+        for &i in &ids {
+            let p = &d.points[i as usize];
+            assert!(d.labels[i as usize]);
+            let dist: f64 = c
+                .iter()
+                .zip(p)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            assert!(dist < 1.0, "DoS point {i} strays: {dist}");
+        }
+    }
+
+    #[test]
+    fn dos_is_far_from_benign_modes() {
+        let d = http(5_000, 3);
+        let ids = http_dos_ids(5_000);
+        let dos = &d.points[ids[0] as usize];
+        for (p, &l) in d.points.iter().zip(&d.labels) {
+            if !l {
+                let dist: f64 = dos
+                    .iter()
+                    .zip(p)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                assert!(dist > 3.0, "benign point near DoS: {dist}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(http(1000, 4).points, http(1000, 4).points);
+    }
+}

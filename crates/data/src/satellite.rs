@@ -1,0 +1,177 @@
+//! The satellite-image workloads of Fig. 1(i) and Fig. 8(i): average RGB
+//! values per rectangular tile of a satellite image.
+//!
+//! *Shanghai* (1,296 tiles): dense urban texture with two planted pairs of
+//! unusually colored roofs (a red pair and a blue pair — each pair alike
+//! within itself) plus a few scattered, mutually distinct outlier tiles.
+//! *Volcanoes* (3,721 tiles): dark volcanic terrain with a 3-tile snow
+//! microcluster at the summit and a couple of isolated rock anomalies.
+//!
+//! Ground truth is known here (we plant it), unlike the paper's real
+//! images, so these sets also serve accuracy tests; labels mark the
+//! planted anomalies.
+
+use crate::labeled::LabeledData;
+use crate::rng::{normal, rng};
+
+/// Tile grid with RGB features and the planted anomaly structure.
+#[derive(Debug, Clone)]
+pub struct TileImage {
+    /// The labeled RGB tiles (`points[i]` = mean `[r, g, b]` of tile `i`).
+    pub data: LabeledData<Vec<f64>>,
+    /// Grid width in tiles (tiles are stored row-major).
+    pub width: usize,
+    /// Ids of planted *microcluster* tiles, one vector per cluster.
+    pub planted_clusters: Vec<Vec<u32>>,
+    /// Ids of planted scattered singleton tiles.
+    pub planted_singletons: Vec<u32>,
+}
+
+/// The Shanghai analogue: a 36×36 tile grid (1,296 tiles — Tab. III).
+pub fn shanghai(seed: u64) -> TileImage {
+    let mut r = rng(seed ^ 0x54A6_0A11);
+    let width = 36;
+    let n = width * width;
+    let mut points = Vec::with_capacity(n);
+    // Urban base: gray with mild block-structured variation.
+    for i in 0..n {
+        let (x, y) = (i % width, i / width);
+        let block = ((x / 6 + y / 6) % 3) as f64 * 12.0;
+        let base = 110.0 + block;
+        points.push(vec![
+            base + 8.0 * normal(&mut r),
+            base + 8.0 * normal(&mut r),
+            base + 8.0 * normal(&mut r) + 5.0,
+        ]);
+    }
+    let mut labels = vec![false; n];
+    // Two 2-tile pairs of unusual roofs: red and blue (Fig. 1(i)).
+    let red_pair = [200u32, 201];
+    for &i in &red_pair {
+        points[i as usize] = vec![
+            230.0 + 2.0 * normal(&mut r),
+            40.0 + 2.0 * normal(&mut r),
+            35.0 + 2.0 * normal(&mut r),
+        ];
+        labels[i as usize] = true;
+    }
+    let blue_pair = [700u32, 701];
+    for &i in &blue_pair {
+        points[i as usize] = vec![
+            30.0 + 2.0 * normal(&mut r),
+            60.0 + 2.0 * normal(&mut r),
+            220.0 + 2.0 * normal(&mut r),
+        ];
+        labels[i as usize] = true;
+    }
+    // Scattered unusual tiles, mutually distinct (yellow-ish hues spread out).
+    let singles: Vec<u32> = vec![77, 410, 893, 1150];
+    for (k, &i) in singles.iter().enumerate() {
+        let hue = 150.0 + 35.0 * k as f64;
+        points[i as usize] = vec![hue, hue - 30.0 * k as f64 * 0.5, 20.0 + 15.0 * k as f64];
+        labels[i as usize] = true;
+    }
+    TileImage {
+        data: LabeledData::new("Shanghai", points, labels),
+        width,
+        planted_clusters: vec![red_pair.to_vec(), blue_pair.to_vec()],
+        planted_singletons: singles,
+    }
+}
+
+/// The Volcanoes analogue: a 61×61 tile grid (3,721 tiles — Tab. III).
+pub fn volcanoes(seed: u64) -> TileImage {
+    let mut r = rng(seed ^ 0x0B01_CA60);
+    let width = 61;
+    let n = width * width;
+    let mut points = Vec::with_capacity(n);
+    // Volcanic terrain: dark browns that darken toward the center cone.
+    for i in 0..n {
+        let (x, y) = (i % width, i / width);
+        let dx = x as f64 - 30.0;
+        let dy = y as f64 - 30.0;
+        let cone = (dx * dx + dy * dy).sqrt() / 43.0; // 0 center -> 1 corner
+        let base = 50.0 + 60.0 * cone;
+        points.push(vec![
+            base + 6.0 * normal(&mut r) + 15.0,
+            base + 6.0 * normal(&mut r),
+            base + 6.0 * normal(&mut r) - 10.0,
+        ]);
+    }
+    let mut labels = vec![false; n];
+    // 3-tile snow microcluster at the summit (Fig. 8(i)).
+    let summit = [30 * width as u32 + 30, 30 * width as u32 + 31, 31 * width as u32 + 30];
+    for &i in &summit {
+        points[i as usize] = vec![
+            240.0 + 2.0 * normal(&mut r),
+            245.0 + 2.0 * normal(&mut r),
+            250.0 + 2.0 * normal(&mut r),
+        ];
+        labels[i as usize] = true;
+    }
+    // Two isolated anomalies: a red-hot vent and a green patch.
+    let singles = vec![500u32, 3000u32];
+    points[500] = vec![220.0, 60.0, 30.0];
+    points[3000] = vec![60.0, 180.0, 70.0];
+    labels[500] = true;
+    labels[3000] = true;
+    TileImage {
+        data: LabeledData::new("Volcanoes", points, labels),
+        width,
+        planted_clusters: vec![summit.to_vec()],
+        planted_singletons: singles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shanghai_matches_tab3_cardinality() {
+        let img = shanghai(1);
+        assert_eq!(img.data.len(), 1296);
+        assert_eq!(img.width, 36);
+        assert_eq!(img.planted_clusters.len(), 2);
+        assert_eq!(img.data.num_outliers(), 8);
+    }
+
+    #[test]
+    fn volcanoes_matches_tab3_cardinality() {
+        let img = volcanoes(1);
+        assert_eq!(img.data.len(), 3721);
+        assert_eq!(img.data.num_outliers(), 5);
+        assert_eq!(img.planted_clusters[0].len(), 3);
+    }
+
+    #[test]
+    fn planted_pairs_are_tight_and_far_from_base() {
+        let img = shanghai(2);
+        for cluster in &img.planted_clusters {
+            let a = &img.data.points[cluster[0] as usize];
+            let b = &img.data.points[cluster[1] as usize];
+            let within: f64 = a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt();
+            assert!(within < 15.0, "pair spread {within}");
+            // Distance to an ordinary tile must be much larger.
+            let base = &img.data.points[0];
+            let to_base: f64 = a
+                .iter()
+                .zip(base)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt();
+            assert!(to_base > 80.0, "pair not anomalous ({to_base})");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(shanghai(5).data.points, shanghai(5).data.points);
+        assert_eq!(volcanoes(5).data.points, volcanoes(5).data.points);
+    }
+}

@@ -1,0 +1,185 @@
+//! The "Skeletons" analogue (Fig. 1(iii), Tab. III): 200 human skeleton
+//! graphs plus 3 wild-animal skeletons, analysed under tree edit distance.
+//!
+//! A silhouette skeleton is an acyclic stick figure, so we model skeletons
+//! as ordered labeled trees (see `mccatch_metric::TreeEditDistance` for why
+//! that substitution is sound). Humans share one topology — torso with a
+//! head chain, two arms, two legs — with small per-sample variation in limb
+//! segment counts; wild animals (quadruped, snake, bird) have markedly
+//! different topologies and land far away in edit distance.
+
+use crate::labeled::LabeledData;
+use crate::rng::rng;
+use mccatch_metric::{OrderedTree, TreeNode};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Node labels: coarse body-part codes shared across all skeletons.
+mod label {
+    pub const TORSO: u32 = 0;
+    pub const NECK: u32 = 1;
+    pub const HEAD: u32 = 2;
+    pub const ARM: u32 = 3;
+    pub const HAND: u32 = 4;
+    pub const LEG: u32 = 5;
+    pub const FOOT: u32 = 6;
+    pub const SPINE: u32 = 7;
+    pub const TAIL: u32 = 8;
+    pub const WING: u32 = 9;
+    pub const FINGER: u32 = 10;
+}
+
+fn chain(label: u32, len: usize, tip: Option<TreeNode>) -> TreeNode {
+    let mut node = tip.unwrap_or(TreeNode::new(label));
+    for _ in 0..len {
+        node = TreeNode::with_children(label, vec![node]);
+    }
+    node
+}
+
+/// A human skeleton: torso → {spine segments, neck→head, arm×2 (with
+/// hands and fingers), leg×2 (with feet)}. Segment counts vary per sample
+/// over a space of several hundred combinations, mirroring how real
+/// silhouette skeletons differ slightly from person to person — no two
+/// samples are forced apart, but exact duplicates are rare.
+fn human(r: &mut StdRng) -> OrderedTree {
+    use label::*;
+    let arm_len = r.random_range(2..5);
+    let leg_len = r.random_range(2..5);
+    let neck_len = r.random_range(1..4);
+    let spine_len = r.random_range(0..3);
+    let fingers = r.random_range(0..4);
+    let hand = |_r: &mut StdRng| {
+        let mut h = TreeNode::new(HAND);
+        for _ in 0..fingers {
+            h.children.push(TreeNode::new(FINGER));
+        }
+        h
+    };
+    let mut children = vec![chain(NECK, neck_len, Some(TreeNode::new(HEAD)))];
+    if spine_len > 0 {
+        children.push(chain(SPINE, spine_len, None));
+    }
+    children.extend([
+        chain(ARM, arm_len, Some(hand(r))),
+        chain(ARM, arm_len, Some(hand(r))),
+        chain(LEG, leg_len, Some(TreeNode::new(FOOT))),
+        chain(LEG, leg_len, Some(TreeNode::new(FOOT))),
+    ]);
+    let root = TreeNode::with_children(TORSO, children);
+    OrderedTree::from_node(&root)
+}
+
+/// A quadruped: long spine with four legs hanging off it, a tail, a head.
+fn quadruped(r: &mut StdRng) -> OrderedTree {
+    use label::*;
+    let leg = |r: &mut StdRng| chain(LEG, r.random_range(2..4), Some(TreeNode::new(FOOT)));
+    let root = TreeNode::with_children(
+        SPINE,
+        vec![
+            chain(NECK, 1, Some(TreeNode::new(HEAD))),
+            leg(r),
+            leg(r),
+            TreeNode::with_children(SPINE, vec![leg(r), leg(r), chain(TAIL, 4, None)]),
+        ],
+    );
+    OrderedTree::from_node(&root)
+}
+
+/// A snake: one long spine chain with a head.
+fn snake(r: &mut StdRng) -> OrderedTree {
+    use label::*;
+    let root = chain(SPINE, r.random_range(12..16), Some(TreeNode::new(HEAD)));
+    OrderedTree::from_node(&root)
+}
+
+/// A bird: short torso, two large wings, two short legs, head.
+fn bird(r: &mut StdRng) -> OrderedTree {
+    use label::*;
+    let wing = |r: &mut StdRng| chain(WING, r.random_range(3..5), None);
+    let root = TreeNode::with_children(
+        TORSO,
+        vec![
+            chain(NECK, 2, Some(TreeNode::new(HEAD))),
+            wing(r),
+            wing(r),
+            chain(LEG, 1, Some(TreeNode::new(FOOT))),
+            chain(LEG, 1, Some(TreeNode::new(FOOT))),
+            chain(TAIL, 2, None),
+        ],
+    );
+    OrderedTree::from_node(&root)
+}
+
+/// Generates the Skeletons analogue: `n_humans` inliers plus the 3
+/// wild-animal outliers (Tab. III: 200 + 3).
+pub fn skeletons(n_humans: usize, seed: u64) -> LabeledData<OrderedTree> {
+    let mut r = rng(seed ^ 0x5E1E_7035);
+    let mut points = Vec::with_capacity(n_humans + 3);
+    let mut labels = Vec::with_capacity(n_humans + 3);
+    for _ in 0..n_humans {
+        points.push(human(&mut r));
+        labels.push(false);
+    }
+    points.push(quadruped(&mut r));
+    points.push(snake(&mut r));
+    points.push(bird(&mut r));
+    labels.extend([true, true, true]);
+    LabeledData::new("Skeletons", points, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccatch_metric::{Metric, TreeEditDistance};
+
+    #[test]
+    fn sizes_and_labels() {
+        let d = skeletons(50, 1);
+        assert_eq!(d.len(), 53);
+        assert_eq!(d.num_outliers(), 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = skeletons(20, 2);
+        let b = skeletons(20, 2);
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(TreeEditDistance.distance(x, y), 0.0);
+        }
+    }
+
+    #[test]
+    fn humans_are_mutually_close_animals_far() {
+        let d = skeletons(30, 3);
+        let ted = TreeEditDistance;
+        // Mean human-human distance.
+        let mut hh = Vec::new();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                hh.push(ted.distance(&d.points[i], &d.points[j]));
+            }
+        }
+        let hh_mean: f64 = hh.iter().sum::<f64>() / hh.len() as f64;
+        // Distance from each wild animal to its nearest human.
+        for w in 30..33 {
+            let nearest = (0..30)
+                .map(|i| ted.distance(&d.points[w], &d.points[i]))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                nearest > hh_mean + 2.0,
+                "animal {w} too close: {nearest} vs mean {hh_mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn human_trees_have_expected_anatomy() {
+        let d = skeletons(5, 4);
+        for t in &d.points[..5] {
+            // Torso + neck(s) + head + 2 arms + hands + 2 legs + feet >= 12.
+            assert!(t.size() >= 12, "skeleton too small: {}", t.size());
+            assert!(t.size() <= 30, "skeleton too big: {}", t.size());
+        }
+    }
+}

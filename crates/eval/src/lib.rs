@@ -1,0 +1,18 @@
+//! Evaluation metrics and statistics for the MCCATCH reproduction.
+//!
+//! * [`metrics`] — AUROC / Average Precision / Max-F1 and harmonic-mean
+//!   ranks, the measures of Fig. 6 and Tab. IV.
+//! * [`stats`] — Welch's two-sample t-test with exact t-distribution
+//!   p-values (Tab. V), plus least-squares regression (Fig. 7 slopes).
+//! * [`fractal`] — correlation fractal dimension `u` (Tab. III; expected
+//!   runtime slopes `2 − 1/u` of Lemma 1 / Fig. 7).
+
+pub mod fractal;
+pub mod metrics;
+pub mod stats;
+
+pub use fractal::{correlation_dimension, FractalDim};
+pub use metrics::{auroc, average_precision, harmonic_mean, max_f1, rank_descending};
+pub use stats::{
+    incomplete_beta, linear_regression, ln_gamma, student_t_cdf, welch_t_test, Regression, TTest,
+};

@@ -1,0 +1,238 @@
+//! Detection-quality metrics used in the paper's evaluation: AUROC
+//! (Fig. 6), Average Precision and Max-F1 (Tab. IV), plus the
+//! harmonic-mean-rank aggregation of Tab. IV.
+
+/// Area under the ROC curve for anomaly `scores` against boolean `labels`
+/// (`true` = outlier). Computed by the Mann–Whitney rank statistic with
+/// midranks for ties, so tied scores contribute 0.5 — the standard
+/// convention.
+///
+/// Returns 0.5 when either class is empty (no ranking information).
+pub fn auroc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Sort indices ascending by score; assign midranks to ties.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // Ranks i+1..=j+1 (1-based) share the midrank.
+        let midrank = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            if labels[k] {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Average Precision: mean of precision@k over the ranks k of true
+/// outliers, scanning by descending score. Ties are handled by averaging
+/// over the tie group (each tied positive sees the group's expected
+/// precision), making the result order-independent.
+pub fn average_precision(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    if n_pos == 0 {
+        return 0.0;
+    }
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let mut sum = 0.0;
+    let mut tp_before = 0usize; // true positives strictly above this tie group
+    let mut seen_before = 0usize;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let group = j - i + 1;
+        let tp_group = idx[i..=j].iter().filter(|&&k| labels[k]).count();
+        if tp_group > 0 {
+            // Expected precision for a positive inside the shuffled group:
+            // positives are spread evenly; use the continuous approximation
+            // sum_{t=1..tp} (tp_before + t) / (seen_before + t*group/tp).
+            for t in 1..=tp_group {
+                let rank = seen_before as f64 + t as f64 * group as f64 / tp_group as f64;
+                let tp = tp_before as f64 + t as f64;
+                sum += tp / rank;
+            }
+        }
+        tp_before += tp_group;
+        seen_before += group;
+        i = j + 1;
+    }
+    sum / n_pos as f64
+}
+
+/// Maximum F1 score over all score thresholds.
+pub fn max_f1(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    if n_pos == 0 {
+        return 0.0;
+    }
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let mut best = 0.0f64;
+    let mut tp = 0usize;
+    let mut i = 0;
+    while i < idx.len() {
+        // Advance through a whole tie group before evaluating: thresholds
+        // cannot separate equal scores.
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        tp += idx[i..=j].iter().filter(|&&k| labels[k]).count();
+        let predicted = j + 1;
+        let precision = tp as f64 / predicted as f64;
+        let recall = tp as f64 / n_pos as f64;
+        if precision + recall > 0.0 {
+            best = best.max(2.0 * precision * recall / (precision + recall));
+        }
+        i = j + 1;
+    }
+    best
+}
+
+/// Harmonic mean of strictly positive values (Tab. IV aggregates per-method
+/// ranking positions this way).
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty());
+    assert!(values.iter().all(|&v| v > 0.0), "harmonic mean needs v > 0");
+    values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>()
+}
+
+/// Competition ranks (1 = best = largest value) with midranks for ties:
+/// used to build Tab. IV's "ranking position of each method per dataset".
+pub fn rank_descending(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[b].total_cmp(&values[a]));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let midrank = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = midrank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auroc_perfect_ranking() {
+        let scores = [0.1, 0.2, 0.9, 1.0];
+        let labels = [false, false, true, true];
+        assert_eq!(auroc(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn auroc_inverted_ranking() {
+        let scores = [0.9, 1.0, 0.1, 0.2];
+        let labels = [false, false, true, true];
+        assert_eq!(auroc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn auroc_random_is_half() {
+        // All scores identical: midranks give exactly 0.5.
+        let scores = [0.5; 10];
+        let labels = [true, false, true, false, true, false, true, false, true, false];
+        assert_eq!(auroc(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn auroc_known_value() {
+        // scores: pos {3, 1}, neg {2, 0}. Pairs: (3>2),(3>0),(1<2),(1>0)
+        // => 3/4 wins.
+        let scores = [3.0, 1.0, 2.0, 0.0];
+        let labels = [true, true, false, false];
+        assert_eq!(auroc(&scores, &labels), 0.75);
+    }
+
+    #[test]
+    fn auroc_degenerate_classes() {
+        assert_eq!(auroc(&[1.0, 2.0], &[true, true]), 0.5);
+        assert_eq!(auroc(&[1.0, 2.0], &[false, false]), 0.5);
+    }
+
+    #[test]
+    fn ap_perfect_is_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((average_precision(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_known_value() {
+        // Ranking: pos, neg, pos, neg => (1/1 + 2/3)/2 = 5/6.
+        let scores = [4.0, 3.0, 2.0, 1.0];
+        let labels = [true, false, true, false];
+        assert!((average_precision(&scores, &labels) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_no_positives_is_zero() {
+        assert_eq!(average_precision(&[1.0, 2.0], &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn max_f1_perfect() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(max_f1(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn max_f1_known_value() {
+        // Ranking: pos, neg, neg, pos. Thresholds: k=1: F1=2*(1*0.5)/1.5=2/3;
+        // k=4: P=0.5, R=1 => 2/3. Max = 2/3.
+        let scores = [4.0, 3.0, 2.0, 1.0];
+        let labels = [true, false, false, true];
+        assert!((max_f1(&scores, &labels) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_known() {
+        assert!((harmonic_mean(&[1.0, 4.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[3.0]), 3.0);
+    }
+
+    #[test]
+    fn rank_descending_with_ties() {
+        let r = rank_descending(&[10.0, 30.0, 20.0, 30.0]);
+        assert_eq!(r, vec![4.0, 1.5, 3.0, 1.5]);
+    }
+
+    #[test]
+    fn auroc_invariant_to_monotone_transform() {
+        let scores = [0.1, 0.7, 0.3, 0.9, 0.5];
+        let labels = [false, true, false, true, false];
+        let transformed: Vec<f64> = scores.iter().map(|s: &f64| s.exp() * 100.0).collect();
+        assert_eq!(auroc(&scores, &labels), auroc(&transformed, &labels));
+    }
+}

@@ -1,0 +1,273 @@
+//! Statistical machinery for the axiom experiments (Tab. V) and the
+//! scalability fits (Fig. 7): Welch's two-sample t-test with exact
+//! t-distribution p-values (via the regularized incomplete beta function)
+//! and ordinary least-squares regression.
+
+/// Natural log of the gamma function (Lanczos approximation, |err| < 2e-10).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0);
+    const COEF: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015;
+    for c in COEF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` by the continued
+/// fraction of Numerical Recipes (`betacf`).
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation for fast convergence.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// `P(T ≤ t)` for Student's t with `df` degrees of freedom.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0);
+    let x = df / (df + t * t);
+    let p = 0.5 * incomplete_beta(df / 2.0, 0.5, x);
+    if t >= 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Result of a Welch two-sample t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTest {
+    /// The t statistic (positive when `mean(a) > mean(b)`).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// One-sided p-value for H1: `mean(a) > mean(b)`.
+    pub p_greater: f64,
+}
+
+/// Welch's t-test (unequal variances). The paper's Tab. V tests, per axiom
+/// scenario, whether the green microcluster's scores exceed the red one's.
+///
+/// Requires at least two samples per side. Zero-variance sides are handled
+/// by an epsilon floor so identical-sample corner cases stay finite.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> TTest {
+    assert!(a.len() >= 2 && b.len() >= 2, "need >= 2 samples per side");
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let var = |v: &[f64], m: f64| {
+        v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() - 1) as f64
+    };
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (var(a, ma).max(1e-300), var(b, mb).max(1e-300));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    let p_greater = 1.0 - student_t_cdf(t, df);
+    TTest { t, df, p_greater }
+}
+
+/// Ordinary least squares `y = slope · x + intercept` with `R²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Regression {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+/// Fits a least-squares line; used to measure log-log runtime slopes in
+/// Fig. 7 and the correlation fractal dimension.
+pub fn linear_regression(x: &[f64], y: &[f64]) -> Regression {
+    assert_eq!(x.len(), y.len());
+    assert!(x.len() >= 2, "need at least two points to fit a line");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let sxx: f64 = x.iter().map(|a| (a - mx) * (a - mx)).sum();
+    let syy: f64 = y.iter().map(|b| (b - my) * (b - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Regression {
+        slope,
+        intercept,
+        r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        // Γ(0.5) = sqrt(pi).
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries_and_symmetry() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a).
+        let (a, b, x) = (2.5, 1.5, 0.3);
+        let lhs = incomplete_beta(a, b, x);
+        let rhs = 1.0 - incomplete_beta(b, a, 1.0 - x);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_case() {
+        // I_x(1,1) = x.
+        for x in [0.1, 0.25, 0.5, 0.9] {
+            assert!((incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn student_t_cdf_symmetry_and_known_values() {
+        assert!((student_t_cdf(0.0, 5.0) - 0.5).abs() < 1e-12);
+        // CDF(-t) = 1 - CDF(t).
+        let (t, df) = (1.7, 9.0);
+        assert!((student_t_cdf(-t, df) - (1.0 - student_t_cdf(t, df))).abs() < 1e-12);
+        // t_{0.975, 10} ≈ 2.228: CDF(2.228, 10) ≈ 0.975.
+        assert!((student_t_cdf(2.228, 10.0) - 0.975).abs() < 1e-3);
+        // Large df converges to the normal: CDF(1.96, 1e6) ≈ 0.975.
+        assert!((student_t_cdf(1.96, 1e6) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn welch_detects_clear_separation() {
+        let a = [10.0, 10.1, 9.9, 10.2, 9.8];
+        let b = [5.0, 5.2, 4.9, 5.1, 4.8];
+        let r = welch_t_test(&a, &b);
+        assert!(r.t > 10.0);
+        assert!(r.p_greater < 1e-6, "p = {}", r.p_greater);
+    }
+
+    #[test]
+    fn welch_no_difference_gives_large_p() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.1, 1.9, 3.1, 3.9, 5.05];
+        let r = welch_t_test(&a, &b);
+        assert!(r.p_greater > 0.3);
+    }
+
+    #[test]
+    fn welch_direction_matters() {
+        let lo = [1.0, 1.1, 0.9];
+        let hi = [2.0, 2.1, 1.9];
+        assert!(welch_t_test(&hi, &lo).p_greater < 0.01);
+        assert!(welch_t_test(&lo, &hi).p_greater > 0.99);
+    }
+
+    #[test]
+    fn welch_scipy_reference() {
+        // scipy.stats.ttest_ind([1,2,3,4,5],[2,3,4,5,6], equal_var=False)
+        // => t = -1.0, df = 8, two-sided p = 0.3466.
+        let r = welch_t_test(&[1.0, 2.0, 3.0, 4.0, 5.0], &[2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert!((r.t + 1.0).abs() < 1e-9, "t = {}", r.t);
+        assert!((r.df - 8.0).abs() < 1e-9);
+        let two_sided = 2.0 * r.p_greater.min(1.0 - r.p_greater);
+        assert!((two_sided - 0.3466).abs() < 5e-3, "p = {two_sided}");
+    }
+
+    #[test]
+    fn regression_exact_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0];
+        let r = linear_regression(&x, &y);
+        assert!((r.slope - 2.0).abs() < 1e-12);
+        assert!((r.intercept - 1.0).abs() < 1e-12);
+        assert!((r.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_noisy_line_r2_below_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.1, 3.9, 6.2, 7.8, 10.1];
+        let r = linear_regression(&x, &y);
+        assert!((r.slope - 2.0).abs() < 0.1);
+        assert!(r.r2 > 0.99 && r.r2 <= 1.0);
+    }
+}

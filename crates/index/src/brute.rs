@@ -1,0 +1,198 @@
+//! Linear-scan reference index.
+//!
+//! Quadratic and simple on purpose: it is the ground truth that the
+//! Slim-tree and kd-tree are property-tested against, and the "no index"
+//! baseline in the benchmark harness.
+
+use crate::{IndexBuilder, Neighbor, OrdF64, RangeIndex};
+use mccatch_metric::Metric;
+
+/// Builder for [`BruteForce`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BruteForceBuilder;
+
+impl<P: Sync, M: Metric<P>> IndexBuilder<P, M> for BruteForceBuilder {
+    type Index<'a>
+        = BruteForce<'a, P, M>
+    where
+        P: 'a,
+        M: 'a;
+
+    fn build<'a>(&self, points: &'a [P], ids: Vec<u32>, metric: &'a M) -> Self::Index<'a> {
+        BruteForce::new(points, ids, metric)
+    }
+}
+
+/// Exhaustive-scan index: every query touches every indexed element.
+#[derive(Debug)]
+pub struct BruteForce<'a, P, M: Metric<P>> {
+    points: &'a [P],
+    ids: Vec<u32>,
+    metric: &'a M,
+}
+
+impl<'a, P, M: Metric<P>> BruteForce<'a, P, M> {
+    /// Creates an index over `points[ids]`. Ids are kept sorted so query
+    /// output order is deterministic.
+    pub fn new(points: &'a [P], mut ids: Vec<u32>, metric: &'a M) -> Self {
+        debug_assert!(ids.iter().all(|&i| (i as usize) < points.len()));
+        ids.sort_unstable();
+        Self { points, ids, metric }
+    }
+}
+
+impl<P: Sync, M: Metric<P>> RangeIndex<P> for BruteForce<'_, P, M> {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn range_count(&self, q: &P, radius: f64) -> usize {
+        self.ids
+            .iter()
+            .filter(|&&i| self.metric.distance(q, &self.points[i as usize]) <= radius)
+            .count()
+    }
+
+    fn range_ids(&self, q: &P, radius: f64, out: &mut Vec<u32>) {
+        out.extend(
+            self.ids
+                .iter()
+                .copied()
+                .filter(|&i| self.metric.distance(q, &self.points[i as usize]) <= radius),
+        );
+    }
+
+    fn knn(&self, q: &P, k: usize) -> Vec<Neighbor> {
+        let mut all: Vec<Neighbor> = self
+            .ids
+            .iter()
+            .map(|&i| Neighbor {
+                id: i,
+                dist: self.metric.distance(q, &self.points[i as usize]),
+            })
+            .collect();
+        all.sort_by(|a, b| OrdF64(a.dist).cmp(&OrdF64(b.dist)).then(a.id.cmp(&b.id)));
+        all.truncate(k);
+        all
+    }
+
+    /// Exact diameter for up to 2048 elements; beyond that, a deterministic
+    /// multi-sweep lower bound (pick a point, walk to the farthest point,
+    /// repeat), which is exact on most real point sets and never
+    /// overestimates.
+    fn diameter_estimate(&self) -> f64 {
+        let n = self.ids.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let d = |a: u32, b: u32| {
+            self.metric
+                .distance(&self.points[a as usize], &self.points[b as usize])
+        };
+        if n <= 2048 {
+            let mut best = 0.0f64;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    best = best.max(d(self.ids[i], self.ids[j]));
+                }
+            }
+            return best;
+        }
+        let mut best = 0.0f64;
+        let mut cur = self.ids[0];
+        for _ in 0..4 {
+            let far = self
+                .ids
+                .iter()
+                .copied()
+                .max_by(|&a, &b| OrdF64(d(cur, a)).cmp(&OrdF64(d(cur, b))))
+                .expect("non-empty");
+            best = best.max(d(cur, far));
+            cur = far;
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccatch_metric::Euclidean;
+
+    fn grid() -> Vec<Vec<f64>> {
+        // 3x3 unit grid.
+        (0..3)
+            .flat_map(|x| (0..3).map(move |y| vec![x as f64, y as f64]))
+            .collect()
+    }
+
+    #[test]
+    fn range_count_includes_self_and_boundary() {
+        let pts = grid();
+        let idx = BruteForce::new(&pts, (0..9).collect(), &Euclidean);
+        // Center point (1,1): distance 1 reaches itself + 4 axis neighbors.
+        assert_eq!(idx.range_count(&vec![1.0, 1.0], 1.0), 5);
+        // Radius 0 counts only exact matches.
+        assert_eq!(idx.range_count(&vec![1.0, 1.0], 0.0), 1);
+    }
+
+    #[test]
+    fn range_ids_sorted_and_exact() {
+        let pts = grid();
+        let idx = BruteForce::new(&pts, (0..9).collect(), &Euclidean);
+        let mut out = Vec::new();
+        idx.range_ids(&vec![0.0, 0.0], 1.0, &mut out);
+        assert_eq!(out, vec![0, 1, 3]); // (0,0), (0,1), (1,0)
+    }
+
+    #[test]
+    fn knn_orders_by_distance_then_id() {
+        let pts = grid();
+        let idx = BruteForce::new(&pts, (0..9).collect(), &Euclidean);
+        let nn = idx.knn(&vec![0.0, 0.0], 3);
+        assert_eq!(nn[0].id, 0);
+        assert_eq!(nn[0].dist, 0.0);
+        // Two ties at distance 1: ids 1 and 3 in order.
+        assert_eq!((nn[1].id, nn[2].id), (1, 3));
+    }
+
+    #[test]
+    fn knn_truncates_to_index_size() {
+        let pts = grid();
+        let idx = BruteForce::new(&pts, vec![0, 1], &Euclidean);
+        assert_eq!(idx.knn(&vec![0.0, 0.0], 10).len(), 2);
+    }
+
+    #[test]
+    fn subset_index_reports_dataset_ids() {
+        let pts = grid();
+        let idx = BruteForce::new(&pts, vec![8, 4], &Euclidean);
+        let mut out = Vec::new();
+        idx.range_ids(&vec![2.0, 2.0], 0.5, &mut out);
+        assert_eq!(out, vec![8]);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn diameter_exact_small() {
+        let pts = grid();
+        let idx = BruteForce::new(&pts, (0..9).collect(), &Euclidean);
+        let want = (8.0f64).sqrt(); // corner to corner
+        assert!((idx.diameter_estimate() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        let pts = grid();
+        let empty = BruteForce::new(&pts, vec![], &Euclidean);
+        assert_eq!(empty.len(), 0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.range_count(&vec![0.0, 0.0], 10.0), 0);
+        assert_eq!(empty.diameter_estimate(), 0.0);
+        assert!(empty.knn(&vec![0.0, 0.0], 3).is_empty());
+
+        let single = BruteForce::new(&pts, vec![4], &Euclidean);
+        assert_eq!(single.diameter_estimate(), 0.0);
+        assert_eq!(single.range_count(&vec![1.0, 1.0], 0.0), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Count-only spatial joins (Sec. IV-G of the paper).
+//!
+//! MCCATCH's hot loop is "for each point, how many neighbors within `r`?" —
+//! a *self-join adapted to return only counts of neighbors, not pairs of
+//! neighboring points* (Alg. 2). These helpers run such joins through any
+//! [`RangeIndex`], optionally in parallel: queries are independent, so each
+//! worker thread fills a disjoint slice of the output and the result is
+//! bit-identical regardless of thread count.
+
+use crate::RangeIndex;
+
+/// Upper bound on worker threads for batch joins. Chosen once per process.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Counts, for every query id in `queries`, the number of indexed elements
+/// within `radius` (the count-only join `SELFJOINC`/`JOINC` of Alg. 2/4).
+///
+/// `queries` are ids into `points`; the output is aligned with `queries`.
+/// With `threads <= 1` the join runs serially.
+pub fn batch_range_count<P, I>(
+    index: &I,
+    points: &[P],
+    queries: &[u32],
+    radius: f64,
+    threads: usize,
+) -> Vec<usize>
+where
+    P: Sync,
+    I: RangeIndex<P>,
+{
+    let mut out = vec![0usize; queries.len()];
+    let threads = threads.clamp(1, queries.len().max(1));
+    if threads == 1 || queries.len() < 256 {
+        for (slot, &q) in out.iter_mut().zip(queries) {
+            *slot = index.range_count(&points[q as usize], radius);
+        }
+        return out;
+    }
+    let chunk = queries.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (qchunk, ochunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (slot, &q) in ochunk.iter_mut().zip(qchunk) {
+                    *slot = index.range_count(&points[q as usize], radius);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Pair-returning self-join used only for microcluster gelling (Alg. 3
+/// line 12): all pairs `(a, b)` with `a < b`, both in the index, within
+/// `radius` of each other. The candidate set is tiny (`|M|` outliers), so
+/// this runs serially; pairs come out sorted and deduplicated.
+pub fn pair_join<P, I>(index: &I, points: &[P], members: &[u32], radius: f64) -> Vec<(u32, u32)>
+where
+    P: Sync,
+    I: RangeIndex<P>,
+{
+    let mut pairs = Vec::new();
+    let mut hits = Vec::new();
+    for &a in members {
+        hits.clear();
+        index.range_ids(&points[a as usize], radius, &mut hits);
+        for &b in &hits {
+            if b > a {
+                pairs.push((a, b));
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteForce;
+    use mccatch_metric::Euclidean;
+
+    fn line(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64]).collect()
+    }
+
+    #[test]
+    fn batch_count_serial_matches_manual() {
+        let pts = line(20);
+        let idx = BruteForce::new(&pts, (0..20).collect(), &Euclidean);
+        let queries: Vec<u32> = (0..20).collect();
+        let counts = batch_range_count(&idx, &pts, &queries, 1.0, 1);
+        // Interior points see 3 neighbors (self + 2), endpoints see 2.
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[10], 3);
+        assert_eq!(counts[19], 2);
+    }
+
+    #[test]
+    fn batch_count_parallel_equals_serial() {
+        let pts = line(1000);
+        let idx = BruteForce::new(&pts, (0..1000).collect(), &Euclidean);
+        let queries: Vec<u32> = (0..1000).collect();
+        let serial = batch_range_count(&idx, &pts, &queries, 3.0, 1);
+        let parallel = batch_range_count(&idx, &pts, &queries, 3.0, 8);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn batch_count_subset_queries() {
+        let pts = line(10);
+        let idx = BruteForce::new(&pts, (0..10).collect(), &Euclidean);
+        let queries = vec![0u32, 9u32];
+        let counts = batch_range_count(&idx, &pts, &queries, 100.0, 1);
+        assert_eq!(counts, vec![10, 10]);
+    }
+
+    #[test]
+    fn pair_join_produces_sorted_unique_pairs() {
+        let pts = line(6);
+        // Index over {0, 1, 4, 5}; radius 1 links 0-1 and 4-5.
+        let members = vec![0u32, 1, 4, 5];
+        let idx = BruteForce::new(&pts, members.clone(), &Euclidean);
+        let pairs = pair_join(&idx, &pts, &members, 1.0);
+        assert_eq!(pairs, vec![(0, 1), (4, 5)]);
+    }
+
+    #[test]
+    fn pair_join_empty_members() {
+        let pts = line(6);
+        let idx = BruteForce::new(&pts, vec![], &Euclidean);
+        assert!(pair_join(&idx, &pts, &[], 1.0).is_empty());
+    }
+}

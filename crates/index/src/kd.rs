@@ -1,0 +1,426 @@
+//! A kd-tree fast path for main-memory vector data under the Euclidean
+//! metric (the paper's footnote 4: "kd-trees for main-memory-based vector
+//! data"). Functionally interchangeable with the Slim-tree through
+//! [`RangeIndex`], but several times faster on dense low-dimensional
+//! vectors because it partitions coordinates instead of computing metric
+//! distances during construction.
+
+use crate::{IndexBuilder, Neighbor, OrdF64, RangeIndex};
+use mccatch_metric::Euclidean;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Builder for [`KdTree`]. Only valid with the [`Euclidean`] metric: the
+/// bounding-box pruning arithmetic assumes `L_2`.
+#[derive(Debug, Clone, Copy)]
+pub struct KdTreeBuilder {
+    /// Maximum number of points per leaf.
+    pub leaf_capacity: usize,
+}
+
+impl Default for KdTreeBuilder {
+    fn default() -> Self {
+        Self { leaf_capacity: 16 }
+    }
+}
+
+impl<P: AsRef<[f64]> + Sync> IndexBuilder<P, Euclidean> for KdTreeBuilder {
+    type Index<'a>
+        = KdTree<'a, P>
+    where
+        P: 'a;
+
+    fn build<'a>(&self, points: &'a [P], ids: Vec<u32>, _metric: &'a Euclidean) -> Self::Index<'a> {
+        KdTree::build(points, ids, self.leaf_capacity)
+    }
+}
+
+#[derive(Debug)]
+struct KdNode {
+    /// Axis-aligned bounding box of the points below this node.
+    bbox: Box<[f64]>, // interleaved [min0, max0, min1, max1, ...]
+    /// Number of points below this node.
+    count: u32,
+    kind: KdKind,
+}
+
+#[derive(Debug)]
+enum KdKind {
+    /// Range into the permuted id array.
+    Leaf { start: u32, end: u32 },
+    Split { left: u32, right: u32 },
+}
+
+/// Median-split kd-tree over `points[ids]`.
+#[derive(Debug)]
+pub struct KdTree<'a, P> {
+    points: &'a [P],
+    ids: Vec<u32>,
+    nodes: Vec<KdNode>,
+    dim: usize,
+}
+
+impl<'a, P: AsRef<[f64]>> KdTree<'a, P> {
+    /// Builds the tree. Splits the widest bounding-box dimension at the
+    /// median; wholly deterministic.
+    pub fn build(points: &'a [P], mut ids: Vec<u32>, leaf_capacity: usize) -> Self {
+        let leaf_capacity = leaf_capacity.max(1);
+        let dim = points.first().map_or(0, |p| p.as_ref().len());
+        let mut tree = Self {
+            points,
+            ids: Vec::new(),
+            nodes: Vec::new(),
+            dim,
+        };
+        if !ids.is_empty() {
+            let n = ids.len();
+            tree.build_rec(&mut ids, 0, n, leaf_capacity);
+            tree.ids = ids;
+        }
+        tree
+    }
+
+    /// Builds the subtree over `ids[start..end]`, returning its node index.
+    fn build_rec(&mut self, ids: &mut [u32], start: usize, end: usize, cap: usize) -> u32 {
+        let slice = &ids[start..end];
+        let mut bbox = vec![0.0f64; self.dim * 2];
+        for d in 0..self.dim {
+            bbox[2 * d] = f64::INFINITY;
+            bbox[2 * d + 1] = f64::NEG_INFINITY;
+        }
+        for &id in slice {
+            let c = self.points[id as usize].as_ref();
+            for d in 0..self.dim {
+                bbox[2 * d] = bbox[2 * d].min(c[d]);
+                bbox[2 * d + 1] = bbox[2 * d + 1].max(c[d]);
+            }
+        }
+        let count = (end - start) as u32;
+        if end - start <= cap {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(KdNode {
+                bbox: bbox.into_boxed_slice(),
+                count,
+                kind: KdKind::Leaf {
+                    start: start as u32,
+                    end: end as u32,
+                },
+            });
+            return idx;
+        }
+        // Split the widest dimension at the median.
+        let split_dim = (0..self.dim)
+            .max_by(|&a, &b| {
+                OrdF64(bbox[2 * a + 1] - bbox[2 * a]).cmp(&OrdF64(bbox[2 * b + 1] - bbox[2 * b]))
+            })
+            .unwrap_or(0);
+        let mid = (end - start) / 2;
+        let points = self.points;
+        ids[start..end].select_nth_unstable_by(mid, |&a, &b| {
+            OrdF64(points[a as usize].as_ref()[split_dim])
+                .cmp(&OrdF64(points[b as usize].as_ref()[split_dim]))
+                .then(a.cmp(&b))
+        });
+        // Reserve this node's slot before recursing so parents precede children.
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(KdNode {
+            bbox: bbox.into_boxed_slice(),
+            count,
+            kind: KdKind::Leaf { start: 0, end: 0 }, // patched below
+        });
+        let left = self.build_rec(ids, start, start + mid, cap);
+        let right = self.build_rec(ids, start + mid, end, cap);
+        self.nodes[idx as usize].kind = KdKind::Split { left, right };
+        idx
+    }
+
+    /// Squared distance from `q` to the nearest point of `bbox` (0 inside).
+    fn min_dist2(&self, q: &[f64], bbox: &[f64]) -> f64 {
+        let mut s = 0.0;
+        for d in 0..self.dim {
+            let (lo, hi) = (bbox[2 * d], bbox[2 * d + 1]);
+            let v = if q[d] < lo {
+                lo - q[d]
+            } else if q[d] > hi {
+                q[d] - hi
+            } else {
+                0.0
+            };
+            s += v * v;
+        }
+        s
+    }
+
+    /// Squared distance from `q` to the farthest corner of `bbox`.
+    fn max_dist2(&self, q: &[f64], bbox: &[f64]) -> f64 {
+        let mut s = 0.0;
+        for d in 0..self.dim {
+            let v = (q[d] - bbox[2 * d]).abs().max((q[d] - bbox[2 * d + 1]).abs());
+            s += v * v;
+        }
+        s
+    }
+
+    #[inline]
+    fn dist2(&self, q: &[f64], id: u32) -> f64 {
+        let c = self.points[id as usize].as_ref();
+        q.iter()
+            .zip(c)
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum()
+    }
+
+    fn count_rec(&self, node: u32, q: &[f64], r2: f64) -> usize {
+        let n = &self.nodes[node as usize];
+        let min2 = self.min_dist2(q, &n.bbox);
+        if min2 > r2 {
+            return 0;
+        }
+        if self.max_dist2(q, &n.bbox) <= r2 {
+            // Covered-subtree shortcut (count-only principle).
+            return n.count as usize;
+        }
+        match n.kind {
+            KdKind::Leaf { start, end } => self.ids[start as usize..end as usize]
+                .iter()
+                .filter(|&&id| self.dist2(q, id) <= r2)
+                .count(),
+            KdKind::Split { left, right } => {
+                self.count_rec(left, q, r2) + self.count_rec(right, q, r2)
+            }
+        }
+    }
+
+    fn ids_rec(&self, node: u32, q: &[f64], r2: f64, out: &mut Vec<u32>) {
+        let n = &self.nodes[node as usize];
+        if self.min_dist2(q, &n.bbox) > r2 {
+            return;
+        }
+        if self.max_dist2(q, &n.bbox) <= r2 {
+            self.collect(node, out);
+            return;
+        }
+        match n.kind {
+            KdKind::Leaf { start, end } => out.extend(
+                self.ids[start as usize..end as usize]
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.dist2(q, id) <= r2),
+            ),
+            KdKind::Split { left, right } => {
+                self.ids_rec(left, q, r2, out);
+                self.ids_rec(right, q, r2, out);
+            }
+        }
+    }
+
+    fn collect(&self, node: u32, out: &mut Vec<u32>) {
+        match self.nodes[node as usize].kind {
+            KdKind::Leaf { start, end } => {
+                out.extend_from_slice(&self.ids[start as usize..end as usize])
+            }
+            KdKind::Split { left, right } => {
+                self.collect(left, out);
+                self.collect(right, out);
+            }
+        }
+    }
+}
+
+impl<P: AsRef<[f64]> + Sync> RangeIndex<P> for KdTree<'_, P> {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn range_count(&self, q: &P, radius: f64) -> usize {
+        if self.ids.is_empty() {
+            return 0;
+        }
+        self.count_rec(0, q.as_ref(), radius * radius)
+    }
+
+    fn range_ids(&self, q: &P, radius: f64, out: &mut Vec<u32>) {
+        if self.ids.is_empty() {
+            return;
+        }
+        let start = out.len();
+        self.ids_rec(0, q.as_ref(), radius * radius, out);
+        out[start..].sort_unstable();
+    }
+
+    fn knn(&self, q: &P, k: usize) -> Vec<Neighbor> {
+        if self.ids.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let q = q.as_ref();
+        let mut frontier: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
+        let mut best: BinaryHeap<(OrdF64, u32)> = BinaryHeap::new();
+        frontier.push(Reverse((OrdF64(0.0), 0)));
+        while let Some(Reverse((OrdF64(lb2), node))) = frontier.pop() {
+            let tau2 = if best.len() < k {
+                f64::INFINITY
+            } else {
+                best.peek().expect("non-empty").0 .0
+            };
+            if lb2 > tau2 {
+                break;
+            }
+            let n = &self.nodes[node as usize];
+            match n.kind {
+                KdKind::Leaf { start, end } => {
+                    for &id in &self.ids[start as usize..end as usize] {
+                        let d2 = self.dist2(q, id);
+                        let tau2 = if best.len() < k {
+                            f64::INFINITY
+                        } else {
+                            best.peek().expect("non-empty").0 .0
+                        };
+                        if d2 < tau2 || (d2 == tau2 && best.len() < k) {
+                            best.push((OrdF64(d2), id));
+                            if best.len() > k {
+                                best.pop();
+                            }
+                        }
+                    }
+                }
+                KdKind::Split { left, right } => {
+                    for child in [left, right] {
+                        let lb2 = self.min_dist2(q, &self.nodes[child as usize].bbox);
+                        if best.len() < k || lb2 <= best.peek().expect("non-empty").0 .0 {
+                            frontier.push(Reverse((OrdF64(lb2), child)));
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Neighbor> = best
+            .into_iter()
+            .map(|(OrdF64(d2), id)| Neighbor {
+                id,
+                dist: d2.sqrt(),
+            })
+            .collect();
+        out.sort_by(|a, b| OrdF64(a.dist).cmp(&OrdF64(b.dist)).then(a.id.cmp(&b.id)));
+        out
+    }
+
+    /// Diameter of the root bounding box — for vector data this is the
+    /// natural analogue of the paper's "max distance between root children".
+    fn diameter_estimate(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let bbox = &self.nodes[0].bbox;
+        (0..self.dim)
+            .map(|d| {
+                let w = bbox[2 * d + 1] - bbox[2 * d];
+                w * w
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccatch_metric::{Euclidean, Metric};
+
+    fn grid(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .flat_map(|x| (0..n).map(move |y| vec![x as f64, y as f64]))
+            .collect()
+    }
+
+    fn kd<'a>(pts: &'a [Vec<f64>]) -> KdTree<'a, Vec<f64>> {
+        KdTree::build(pts, (0..pts.len() as u32).collect(), 4)
+    }
+
+    #[test]
+    fn range_count_matches_brute_force() {
+        let pts = grid(12);
+        let t = kd(&pts);
+        for q in [0usize, 17, 77, 143] {
+            for r in [0.0, 1.0, 1.5, 3.2, 20.0] {
+                let want = pts
+                    .iter()
+                    .filter(|p| Euclidean.distance(*p, &pts[q]) <= r)
+                    .count();
+                assert_eq!(t.range_count(&pts[q], r), want, "q={q} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_ids_sorted() {
+        let pts = grid(5);
+        let t = kd(&pts);
+        let mut out = Vec::new();
+        t.range_ids(&vec![0.0, 0.0], 1.0, &mut out);
+        assert_eq!(out, vec![0, 1, 5]);
+    }
+
+    #[test]
+    fn knn_matches_brute_force_ordering() {
+        let pts = grid(6);
+        let t = kd(&pts);
+        let nn = t.knn(&vec![2.2, 3.1], 4);
+        // Brute force.
+        let mut all: Vec<(f64, u32)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (Euclidean.distance(p, &vec![2.2, 3.1]), i as u32))
+            .collect();
+        all.sort_by(|a, b| OrdF64(a.0).cmp(&OrdF64(b.0)).then(a.1.cmp(&b.1)));
+        for (got, want) in nn.iter().zip(&all) {
+            assert_eq!(got.id, want.1);
+            assert!((got.dist - want.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diameter_is_bbox_diagonal() {
+        let pts = grid(4); // 0..3 in both dims
+        let t = kd(&pts);
+        assert!((t.diameter_estimate() - (18.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let pts: Vec<Vec<f64>> = vec![];
+        let t = KdTree::build(&pts, vec![], 4);
+        assert_eq!(t.range_count(&vec![0.0, 0.0], 1.0), 0);
+        assert_eq!(t.diameter_estimate(), 0.0);
+        assert!(t.knn(&vec![0.0, 0.0], 1).is_empty());
+    }
+
+    #[test]
+    fn subset_ids_preserved() {
+        let pts = grid(4);
+        let t = KdTree::build(&pts, vec![5, 10, 15], 2);
+        let mut out = Vec::new();
+        t.range_ids(&pts[10], 0.0, &mut out);
+        assert_eq!(out, vec![10]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn duplicates_counted() {
+        let pts = vec![vec![3.0, 3.0]; 9];
+        let t = kd(&pts);
+        assert_eq!(t.range_count(&vec![3.0, 3.0], 0.0), 9);
+    }
+
+    #[test]
+    fn high_dimensional_counts() {
+        // 20-dim points on a diagonal.
+        let pts: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64; 20]).collect();
+        let t = KdTree::build(&pts, (0..64).collect(), 4);
+        // Neighbor at diagonal step 1 is at distance sqrt(20).
+        let r = (20.0f64).sqrt() + 1e-9;
+        assert_eq!(t.range_count(&pts[10], r), 3);
+    }
+}

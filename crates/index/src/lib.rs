@@ -1,0 +1,132 @@
+//! Metric access methods and spatial joins for MCCATCH.
+//!
+//! Step I of MCCATCH (Alg. 1) builds a tree `T` for the dataset — "like a
+//! Slim-tree, M-tree, or R-tree" — and every later step counts neighbors
+//! through that tree. This crate provides:
+//!
+//! * [`SlimTree`] — a main-memory Slim-tree (the M-tree family member the
+//!   paper recommends for nondimensional data), with MST-based node splits
+//!   and triangle-inequality pruning;
+//! * [`KdTree`] — a kd-tree fast path for main-memory vector data under the
+//!   Euclidean metric (the paper's footnote 4);
+//! * [`VpTree`] — a vantage-point tree, a lightweight alternative metric
+//!   index demonstrating the pipeline's index-agnosticism;
+//! * [`BruteForce`] — a linear-scan reference implementation used as ground
+//!   truth in tests and as a baseline in benches;
+//! * count-only join helpers ([`batch_range_count`], [`pair_join`])
+//!   implementing the paper's *count-only* and *using-index* principles
+//!   (Sec. IV-G): neighbor joins never materialize point pairs unless the
+//!   caller explicitly asks for pairs (the microcluster gelling step).
+//!
+//! All indexes implement [`RangeIndex`]; algorithms are generic over
+//! [`IndexBuilder`] so the same pipeline runs on metric or vector data.
+
+mod brute;
+mod kd;
+mod slim;
+mod vp;
+
+pub mod join;
+
+pub use brute::{BruteForce, BruteForceBuilder};
+pub use join::{batch_range_count, pair_join};
+pub use kd::{KdTree, KdTreeBuilder};
+pub use slim::{SlimTree, SlimTreeBuilder};
+pub use vp::{VpTree, VpTreeBuilder};
+
+use mccatch_metric::Metric;
+
+/// A neighbor returned by k-NN queries: dataset id plus distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the neighbor in the dataset the index was built over.
+    pub id: u32,
+    /// Distance from the query to the neighbor.
+    pub dist: f64,
+}
+
+/// Total order on `f64` for heaps and sorts (NaN sorts last).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// An index over a subset of a dataset supporting the queries MCCATCH and
+/// the baselines need. Ids refer to positions in the dataset slice the
+/// index was built over, so indexes over subsets (outliers, inliers,
+/// microcluster members) still report dataset-level ids.
+pub trait RangeIndex<P>: Sync {
+    /// Number of indexed elements.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of indexed elements within `radius` of `q` (inclusive).
+    /// If `q` itself is indexed it is counted too — matching the paper's
+    /// "count of neighbors (+ self)".
+    fn range_count(&self, q: &P, radius: f64) -> usize;
+
+    /// Appends the ids of all indexed elements within `radius` of `q`
+    /// (inclusive) to `out`, in ascending id order.
+    fn range_ids(&self, q: &P, radius: f64, out: &mut Vec<u32>);
+
+    /// The `k` nearest indexed elements to `q`, sorted by `(distance, id)`.
+    /// Returns fewer than `k` if the index is smaller.
+    fn knn(&self, q: &P, k: usize) -> Vec<Neighbor>;
+
+    /// Estimate of the dataset diameter, derived from the index structure
+    /// (Alg. 1 line 2: "Estimate diameter l of P from T").
+    fn diameter_estimate(&self) -> f64;
+}
+
+/// Builds a [`RangeIndex`] over `ids ⊆ 0..points.len()`.
+///
+/// MCCATCH builds three trees per run (dataset, outliers, inliers), so
+/// construction is abstracted behind a builder; the pipeline in
+/// `mccatch-core` is generic over it.
+pub trait IndexBuilder<P, M: Metric<P>>: Sync {
+    /// The index type produced, borrowing the dataset and metric.
+    type Index<'a>: RangeIndex<P> + 'a
+    where
+        P: 'a,
+        M: 'a,
+        Self: 'a;
+
+    /// Builds an index over the elements of `points` selected by `ids`.
+    fn build<'a>(&self, points: &'a [P], ids: Vec<u32>, metric: &'a M) -> Self::Index<'a>;
+
+    /// Convenience: index the whole dataset.
+    fn build_all<'a>(&self, points: &'a [P], metric: &'a M) -> Self::Index<'a> {
+        self.build(points, (0..points.len() as u32).collect(), metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordf64_total_order() {
+        let mut v = vec![OrdF64(3.0), OrdF64(f64::NAN), OrdF64(-1.0), OrdF64(0.0)];
+        v.sort();
+        assert_eq!(v[0].0, -1.0);
+        assert_eq!(v[1].0, 0.0);
+        assert_eq!(v[2].0, 3.0);
+        assert!(v[3].0.is_nan());
+    }
+}

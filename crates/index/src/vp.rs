@@ -1,0 +1,396 @@
+//! A vantage-point tree: a second metric access method alongside the
+//! Slim-tree.
+//!
+//! The paper's Step I accepts "a Slim-tree, M-tree, or R-tree" — the
+//! pipeline only needs *some* metric index. The VP-tree is the classic
+//! lightweight alternative: each node picks a vantage point and splits the
+//! remaining elements by the median distance to it, giving a balanced
+//! binary tree with one distance evaluation per node per query and
+//! triangle-inequality pruning on both sides of the median shell.
+//!
+//! Compared to the Slim-tree it builds faster (no insertion reorganization)
+//! but prunes less effectively on range counts (no covered-subtree
+//! shortcut across shells); it is exposed mostly so the experiments can
+//! demonstrate MCCATCH's index-agnosticism, and property tests pit all
+//! three indexes against each other.
+
+use crate::{IndexBuilder, Neighbor, OrdF64, RangeIndex};
+use mccatch_metric::Metric;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Builder for [`VpTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct VpTreeBuilder {
+    /// Maximum number of elements per leaf.
+    pub leaf_capacity: usize,
+}
+
+impl Default for VpTreeBuilder {
+    fn default() -> Self {
+        Self { leaf_capacity: 16 }
+    }
+}
+
+impl<P: Sync, M: Metric<P>> IndexBuilder<P, M> for VpTreeBuilder {
+    type Index<'a>
+        = VpTree<'a, P, M>
+    where
+        P: 'a,
+        M: 'a;
+
+    fn build<'a>(&self, points: &'a [P], ids: Vec<u32>, metric: &'a M) -> Self::Index<'a> {
+        VpTree::build(points, ids, metric, self.leaf_capacity)
+    }
+}
+
+#[derive(Debug)]
+enum VpNode {
+    Leaf {
+        start: u32,
+        end: u32,
+    },
+    Split {
+        /// The vantage point (also stored in the inside subtree range).
+        vantage: u32,
+        /// Median distance: inside elements are `<= mu`, outside `> mu`.
+        mu: f64,
+        /// Largest distance from the vantage to anything below this node.
+        max_dist: f64,
+        inside: u32,
+        outside: u32,
+        /// Number of elements below (vantage included).
+        count: u32,
+    },
+}
+
+/// A vantage-point tree over `points[ids]` using `metric`.
+#[derive(Debug)]
+pub struct VpTree<'a, P, M: Metric<P>> {
+    points: &'a [P],
+    metric: &'a M,
+    ids: Vec<u32>,
+    nodes: Vec<VpNode>,
+}
+
+impl<'a, P, M: Metric<P>> VpTree<'a, P, M> {
+    /// Builds the tree; deterministic (vantage = first element of the
+    /// range, median split with stable tie-breaks).
+    pub fn build(points: &'a [P], mut ids: Vec<u32>, metric: &'a M, leaf_capacity: usize) -> Self {
+        let cap = leaf_capacity.max(2);
+        let mut tree = Self {
+            points,
+            metric,
+            ids: Vec::new(),
+            nodes: Vec::new(),
+        };
+        if !ids.is_empty() {
+            let n = ids.len();
+            tree.build_rec(&mut ids, 0, n, cap);
+            tree.ids = ids;
+        }
+        tree
+    }
+
+    fn build_rec(&mut self, ids: &mut [u32], start: usize, end: usize, cap: usize) -> u32 {
+        if end - start <= cap {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(VpNode::Leaf {
+                start: start as u32,
+                end: end as u32,
+            });
+            return idx;
+        }
+        // Vantage: the first element (deterministic); distances to the rest.
+        let vantage = ids[start];
+        let rest = &mut ids[start + 1..end];
+        let metric = self.metric;
+        let points = self.points;
+        let key = |a: u32| OrdF64(metric.distance(&points[vantage as usize], &points[a as usize]));
+        let mid = rest.len() / 2;
+        rest.select_nth_unstable_by(mid, |&a, &b| key(a).cmp(&key(b)).then(a.cmp(&b)));
+        let mu = metric.distance(&points[vantage as usize], &points[rest[mid] as usize]);
+        let max_dist = rest
+            .iter()
+            .map(|&a| metric.distance(&points[vantage as usize], &points[a as usize]))
+            .fold(0.0f64, f64::max);
+        let count = (end - start) as u32;
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(VpNode::Leaf { start: 0, end: 0 }); // patched below
+        // Inside: vantage itself plus [start+1 .. start+1+mid+1) (all <= mu).
+        // Clamp so both subtrees stay non-empty and strictly smaller — for
+        // a 3-element range the unclamped midpoint would swallow the whole
+        // range and recurse forever. Ties with mu may then land on either
+        // side, which the >= shell conditions below account for.
+        let inside_end = (start + 1 + mid + 1).min(end - 1);
+        let inside = self.build_rec(ids, start, inside_end, cap);
+        let outside = self.build_rec(ids, inside_end, end, cap);
+        self.nodes[idx as usize] = VpNode::Split {
+            vantage,
+            mu,
+            max_dist,
+            inside,
+            outside,
+            count,
+        };
+        idx
+    }
+
+    fn count_rec(&self, node: u32, q: &P, r: f64) -> usize {
+        match &self.nodes[node as usize] {
+            VpNode::Leaf { start, end } => self.ids[*start as usize..*end as usize]
+                .iter()
+                .filter(|&&i| self.metric.distance(q, &self.points[i as usize]) <= r)
+                .count(),
+            VpNode::Split {
+                vantage,
+                mu,
+                max_dist,
+                inside,
+                outside,
+                count,
+            } => {
+                let d = self.metric.distance(q, &self.points[*vantage as usize]);
+                // Covered shortcut: the whole subtree lives within
+                // max_dist of the vantage.
+                if d + max_dist <= r {
+                    return *count as usize;
+                }
+                let mut c = 0;
+                if d - r <= *mu {
+                    c += self.count_rec(*inside, q, r);
+                }
+                if d + r >= *mu {
+                    c += self.count_rec(*outside, q, r);
+                }
+                c
+            }
+        }
+    }
+
+    fn ids_rec(&self, node: u32, q: &P, r: f64, out: &mut Vec<u32>) {
+        match &self.nodes[node as usize] {
+            VpNode::Leaf { start, end } => out.extend(
+                self.ids[*start as usize..*end as usize]
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.metric.distance(q, &self.points[i as usize]) <= r),
+            ),
+            VpNode::Split {
+                vantage,
+                mu,
+                max_dist,
+                inside,
+                outside,
+                ..
+            } => {
+                let d = self.metric.distance(q, &self.points[*vantage as usize]);
+                if d + max_dist <= r {
+                    self.collect(node, out);
+                    return;
+                }
+                if d - r <= *mu {
+                    self.ids_rec(*inside, q, r, out);
+                }
+                if d + r >= *mu {
+                    self.ids_rec(*outside, q, r, out);
+                }
+            }
+        }
+    }
+
+    fn collect(&self, node: u32, out: &mut Vec<u32>) {
+        match &self.nodes[node as usize] {
+            VpNode::Leaf { start, end } => {
+                out.extend_from_slice(&self.ids[*start as usize..*end as usize])
+            }
+            VpNode::Split {
+                inside, outside, ..
+            } => {
+                self.collect(*inside, out);
+                self.collect(*outside, out);
+            }
+        }
+    }
+}
+
+impl<P: Sync, M: Metric<P>> RangeIndex<P> for VpTree<'_, P, M> {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn range_count(&self, q: &P, radius: f64) -> usize {
+        if self.ids.is_empty() {
+            return 0;
+        }
+        self.count_rec(0, q, radius)
+    }
+
+    fn range_ids(&self, q: &P, radius: f64, out: &mut Vec<u32>) {
+        if self.ids.is_empty() {
+            return;
+        }
+        let start = out.len();
+        self.ids_rec(0, q, radius, out);
+        out[start..].sort_unstable();
+    }
+
+    fn knn(&self, q: &P, k: usize) -> Vec<Neighbor> {
+        if self.ids.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let mut frontier: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
+        let mut best: BinaryHeap<(OrdF64, u32)> = BinaryHeap::new();
+        frontier.push(Reverse((OrdF64(0.0), 0)));
+        while let Some(Reverse((OrdF64(lb), node))) = frontier.pop() {
+            let tau = if best.len() < k {
+                f64::INFINITY
+            } else {
+                best.peek().expect("non-empty").0 .0
+            };
+            if lb > tau {
+                break;
+            }
+            match &self.nodes[node as usize] {
+                VpNode::Leaf { start, end } => {
+                    for &i in &self.ids[*start as usize..*end as usize] {
+                        let d = self.metric.distance(q, &self.points[i as usize]);
+                        let tau = if best.len() < k {
+                            f64::INFINITY
+                        } else {
+                            best.peek().expect("non-empty").0 .0
+                        };
+                        if d < tau || (d == tau && best.len() < k) {
+                            best.push((OrdF64(d), i));
+                            if best.len() > k {
+                                best.pop();
+                            }
+                        }
+                    }
+                }
+                VpNode::Split {
+                    vantage,
+                    mu,
+                    inside,
+                    outside,
+                    ..
+                } => {
+                    let d = self.metric.distance(q, &self.points[*vantage as usize]);
+                    // Lower bounds for the two shells.
+                    let lb_in = (d - mu).max(0.0);
+                    let lb_out = (mu - d).max(0.0);
+                    frontier.push(Reverse((OrdF64(lb_in.min(lb)), *inside)));
+                    frontier.push(Reverse((OrdF64(lb_out.max(lb)), *outside)));
+                }
+            }
+        }
+        let mut out: Vec<Neighbor> = best
+            .into_iter()
+            .map(|(OrdF64(dist), id)| Neighbor { id, dist })
+            .collect();
+        out.sort_by(|a, b| OrdF64(a.dist).cmp(&OrdF64(b.dist)).then(a.id.cmp(&b.id)));
+        out
+    }
+
+    /// The root shell radius bounds half the diameter; double it, matching
+    /// the "derive the grid from the tree root" idea of Alg. 1.
+    fn diameter_estimate(&self) -> f64 {
+        match self.nodes.first() {
+            Some(VpNode::Split { max_dist, .. }) => 2.0 * max_dist,
+            Some(VpNode::Leaf { start, end }) => {
+                let ids = &self.ids[*start as usize..*end as usize];
+                let mut best = 0.0f64;
+                for (i, &a) in ids.iter().enumerate() {
+                    for &b in &ids[i + 1..] {
+                        best = best.max(
+                            self.metric
+                                .distance(&self.points[a as usize], &self.points[b as usize]),
+                        );
+                    }
+                }
+                best
+            }
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccatch_metric::{Euclidean, Levenshtein};
+
+    fn line(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64]).collect()
+    }
+
+    #[test]
+    fn range_count_matches_brute_force() {
+        let pts = line(200);
+        let t = VpTree::build(&pts, (0..200).collect(), &Euclidean, 8);
+        for q in [0usize, 50, 111, 199] {
+            for r in [0.0, 1.0, 2.5, 10.0, 300.0] {
+                let want = pts
+                    .iter()
+                    .filter(|p| (p[0] - pts[q][0]).abs() <= r)
+                    .count();
+                assert_eq!(t.range_count(&pts[q], r), want, "q={q} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_ids_sorted_and_exact() {
+        let pts = line(64);
+        let t = VpTree::build(&pts, (0..64).collect(), &Euclidean, 4);
+        let mut out = Vec::new();
+        t.range_ids(&pts[10], 2.0, &mut out);
+        assert_eq!(out, vec![8, 9, 10, 11, 12]);
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pts = line(100);
+        let t = VpTree::build(&pts, (0..100).collect(), &Euclidean, 4);
+        let nn = t.knn(&pts[42], 5);
+        let ids: Vec<u32> = nn.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![42, 41, 43, 40, 44]);
+    }
+
+    #[test]
+    fn string_metric_works() {
+        let words: Vec<String> = ["cat", "car", "cart", "dog", "dot", "zebra"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let t = VpTree::build(&words, (0..6).collect(), &Levenshtein, 2);
+        assert_eq!(t.range_count(&"cat".to_string(), 1.0), 3);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let pts: Vec<Vec<f64>> = vec![];
+        let t = VpTree::build(&pts, vec![], &Euclidean, 4);
+        assert_eq!(t.range_count(&vec![0.0], 5.0), 0);
+        assert_eq!(t.diameter_estimate(), 0.0);
+        let pts = line(1);
+        let t = VpTree::build(&pts, vec![0], &Euclidean, 4);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.range_count(&pts[0], 0.0), 1);
+    }
+
+    #[test]
+    fn diameter_estimate_reasonable() {
+        let pts = line(1000);
+        let t = VpTree::build(&pts, (0..1000).collect(), &Euclidean, 16);
+        let est = t.diameter_estimate();
+        assert!(est >= 999.0 * 0.5 && est <= 999.0 * 2.5, "est={est}");
+    }
+
+    #[test]
+    fn duplicates_counted() {
+        let pts = vec![vec![2.0]; 33];
+        let t = VpTree::build(&pts, (0..33).collect(), &Euclidean, 4);
+        assert_eq!(t.range_count(&vec![2.0], 0.0), 33);
+    }
+}

@@ -1,0 +1,115 @@
+//! # MCCATCH — scalable microcluster detection
+//!
+//! The batteries-included facade for the MCCATCH workspace, a faithful
+//! Rust reproduction of *"MCCATCH: Scalable Microcluster Detection in
+//! Dimensional and Nondimensional Datasets"* (Sánchez Vinces, Cordeiro,
+//! Faloutsos — ICDE 2024).
+//!
+//! MCCATCH detects and ranks **microclusters of outliers** — both 'one-off'
+//! singletons and small groups of mutually close anomalies — in any
+//! dataset that has a distance function: vectors, strings, trees, or your
+//! own metric type. It is deterministic, needs no hyperparameter tuning,
+//! and its scores obey the paper's Isolation and Cardinality axioms.
+//!
+//! ## Vector data in one call
+//!
+//! ```
+//! let mut points: Vec<Vec<f64>> = (0..200)
+//!     .map(|i| vec![(i % 20) as f64 * 0.1, (i / 20) as f64 * 0.1])
+//!     .collect();
+//! points.push(vec![30.0, 30.0]); // a 2-point microcluster …
+//! points.push(vec![30.1, 30.0]);
+//! points.push(vec![-25.0, 10.0]); // … and a one-off outlier
+//!
+//! let out = mccatch::detect_vectors(&points, &mccatch::Params::default());
+//! assert_eq!(out.num_outliers(), 3);
+//! assert_eq!(out.cluster_of(200).unwrap().cardinality(), 2);
+//! ```
+//!
+//! ## Nondimensional data: bring a metric
+//!
+//! ```
+//! use mccatch::metrics::Levenshtein;
+//!
+//! let mut words: Vec<String> = ["smith", "smyth", "smithe", "smit", "smiths",
+//!     "smythe", "psmith", "smitt", "asmith", "smity"]
+//!     .iter().map(|s| s.to_string()).collect();
+//! words.push("xylophonist".into());
+//!
+//! let out = mccatch::detect_metric(&words, &Levenshtein, &mccatch::Params::default());
+//! assert!(out.is_outlier(10));
+//! ```
+//!
+//! The re-exported sub-crates offer full control: [`core`] (the algorithm
+//! and its intermediate artifacts), [`index`] (Slim-tree / kd-tree /
+//! brute force), [`metrics`] (distances), [`data`] (paper-analogue dataset
+//! generators), [`eval`] (AUROC & friends), and [`baselines`] (the 11
+//! competitors from the paper's evaluation).
+
+pub use mccatch_core::{
+    mccatch, Cutoff, McCatchOutput, Microcluster, OraclePlot, OraclePoint, Params, RunStats,
+};
+
+/// The underlying algorithm crate (plateaus, cutoff, gelling, scoring).
+pub use mccatch_core as core;
+
+/// Metric access methods: Slim-tree, kd-tree, brute force.
+pub use mccatch_index as index;
+
+/// Distance functions and the `Metric` trait.
+pub use mccatch_metric as metrics;
+
+/// Dataset generators mirroring the paper's evaluation data.
+pub use mccatch_data as data;
+
+/// Evaluation metrics and statistics.
+pub use mccatch_eval as eval;
+
+/// The 11 competitor detectors.
+pub use mccatch_baselines as baselines;
+
+use mccatch_index::{KdTreeBuilder, SlimTreeBuilder};
+use mccatch_metric::{Euclidean, Metric};
+
+/// Runs MCCATCH on dense vector data with the Euclidean metric and a
+/// kd-tree index — the fast path for dimensional datasets (paper
+/// footnote 4: "kd-trees for main-memory-based vector data").
+pub fn detect_vectors(points: &[Vec<f64>], params: &Params) -> McCatchOutput {
+    mccatch_core::mccatch(points, &Euclidean, &KdTreeBuilder::default(), params)
+}
+
+/// Runs MCCATCH on arbitrary metric data with a Slim-tree index — the
+/// general path that handles nondimensional datasets (strings, trees,
+/// custom types).
+pub fn detect_metric<P, M>(points: &[P], metric: &M, params: &Params) -> McCatchOutput
+where
+    P: Sync,
+    M: Metric<P>,
+{
+    mccatch_core::mccatch(points, metric, &SlimTreeBuilder::default(), params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_vectors_smoke() {
+        let mut pts: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
+            .collect();
+        pts.push(vec![500.0, 500.0]);
+        let out = detect_vectors(&pts, &Params::default());
+        assert!(out.is_outlier(100));
+    }
+
+    #[test]
+    fn detect_metric_smoke() {
+        let mut pts: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
+            .collect();
+        pts.push(vec![500.0, 500.0]);
+        let out = detect_metric(&pts, &Euclidean, &Params::default());
+        assert!(out.is_outlier(100));
+    }
+}

@@ -1,0 +1,205 @@
+//! Additional metrics for common nondimensional data shapes: Hamming
+//! distance on fixed-length codes, Jaccard distance on sets, and angular
+//! distance on rays.
+//!
+//! These broaden goal G1 ("work with any metric dataset") beyond the three
+//! modalities the paper evaluates: categorical codes, market-basket /
+//! token sets, and direction-of-arrival data all come up in the fraud and
+//! intrusion settings that motivate microcluster detection.
+
+use crate::{universal_code_length, Metric};
+
+/// Hamming distance between equal-length sequences: the number of
+/// positions where they differ. A true metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Hamming;
+
+impl Hamming {
+    /// Positions where `a` and `b` differ.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ (Hamming is undefined there; use
+    /// [`crate::Levenshtein`] for variable-length data).
+    pub fn count<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+        assert_eq!(a.len(), b.len(), "Hamming needs equal lengths");
+        a.iter().zip(b).filter(|(x, y)| x != y).count()
+    }
+}
+
+impl Metric<Vec<u8>> for Hamming {
+    #[inline]
+    fn distance(&self, a: &Vec<u8>, b: &Vec<u8>) -> f64 {
+        Hamming::count(a, b) as f64
+    }
+
+    /// One unit of distance = one substituted symbol: the symbol plus its
+    /// position, `⟨#alphabet⟩ + ⟨len⟩`.
+    fn transformation_cost(&self, data: &[Vec<u8>]) -> f64 {
+        let mut symbols: Vec<u8> = data.iter().flatten().copied().collect();
+        symbols.sort_unstable();
+        symbols.dedup();
+        let len = data.first().map_or(1, Vec::len).max(1) as u64;
+        universal_code_length(symbols.len().max(1) as u64) + universal_code_length(len)
+    }
+}
+
+/// Jaccard distance between sets: `1 − |A∩B| / |A∪B|`. A true metric on
+/// finite sets (Steinhaus transform of the symmetric difference); two
+/// empty sets are at distance 0.
+///
+/// Elements must be stored *sorted and deduplicated* — construct inputs
+/// with [`jaccard_set`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Jaccard;
+
+/// Normalizes a collection into the sorted-unique form [`Jaccard`] expects.
+pub fn jaccard_set(items: impl IntoIterator<Item = u32>) -> Vec<u32> {
+    let mut v: Vec<u32> = items.into_iter().collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+impl Metric<Vec<u32>> for Jaccard {
+    fn distance(&self, a: &Vec<u32>, b: &Vec<u32>) -> f64 {
+        debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "unsorted Jaccard set");
+        debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "unsorted Jaccard set");
+        if a.is_empty() && b.is_empty() {
+            return 0.0;
+        }
+        // Sorted-merge intersection count.
+        let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = a.len() + b.len() - inter;
+        1.0 - inter as f64 / union as f64
+    }
+
+    /// One unit of Jaccard distance swaps the whole set in the worst case;
+    /// describing an element change needs `⟨#universe⟩` bits, scaled by a
+    /// typical set size.
+    fn transformation_cost(&self, data: &[Vec<u32>]) -> f64 {
+        let universe = data
+            .iter()
+            .flat_map(|s| s.iter().copied())
+            .max()
+            .map_or(1, |m| m as u64 + 1);
+        let avg_len = if data.is_empty() {
+            1.0
+        } else {
+            (data.iter().map(Vec::len).sum::<usize>() as f64 / data.len() as f64).max(1.0)
+        };
+        universal_code_length(universe.max(1)) * avg_len
+    }
+}
+
+/// Angular distance between nonzero vectors: the angle between them in
+/// radians (`arccos` of the cosine similarity). A true metric on rays
+/// (it is the geodesic distance on the unit sphere after normalization).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Angular;
+
+impl<P: AsRef<[f64]> + Sync> Metric<P> for Angular {
+    fn distance(&self, a: &P, b: &P) -> f64 {
+        let (a, b) = (a.as_ref(), b.as_ref());
+        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            // A zero vector has no direction; treat it as identical to
+            // another zero vector and maximally distant otherwise.
+            return if na == nb { 0.0 } else { std::f64::consts::FRAC_PI_2 };
+        }
+        (dot / (na * nb)).clamp(-1.0, 1.0).acos()
+    }
+
+    fn transformation_cost(&self, data: &[P]) -> f64 {
+        data.first().map_or(1.0, |p| p.as_ref().len().max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_known_values() {
+        assert_eq!(Hamming::count(b"karolin", b"kathrin"), 3);
+        assert_eq!(Hamming::count(b"", b""), 0);
+        assert_eq!(Hamming.distance(&b"abc".to_vec(), &b"abd".to_vec()), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hamming_rejects_unequal_lengths() {
+        let _ = Hamming::count(b"ab", b"abc");
+    }
+
+    #[test]
+    fn jaccard_known_values() {
+        let a = jaccard_set([1, 2, 3]);
+        let b = jaccard_set([2, 3, 4]);
+        // intersection 2, union 4 -> 0.5.
+        assert!((Jaccard.distance(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(Jaccard.distance(&a, &a), 0.0);
+        let empty = jaccard_set([]);
+        assert_eq!(Jaccard.distance(&empty, &empty), 0.0);
+        assert_eq!(Jaccard.distance(&a, &empty), 1.0);
+    }
+
+    #[test]
+    fn jaccard_set_normalizes() {
+        assert_eq!(jaccard_set([3, 1, 3, 2, 1]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn jaccard_triangle_spot_checks() {
+        let sets: Vec<Vec<u32>> = vec![
+            jaccard_set([1, 2]),
+            jaccard_set([2, 3]),
+            jaccard_set([1, 2, 3, 4]),
+            jaccard_set([5]),
+            jaccard_set([]),
+        ];
+        for a in &sets {
+            for b in &sets {
+                for c in &sets {
+                    let ab = Jaccard.distance(a, b);
+                    let bc = Jaccard.distance(b, c);
+                    let ac = Jaccard.distance(a, c);
+                    assert!(ac <= ab + bc + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn angular_known_values() {
+        let x = vec![1.0, 0.0];
+        let y = vec![0.0, 1.0];
+        let neg = vec![-1.0, 0.0];
+        assert!((Angular.distance(&x, &y) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((Angular.distance(&x, &neg) - std::f64::consts::PI).abs() < 1e-12);
+        assert_eq!(Angular.distance(&x, &x), 0.0);
+        // Scale invariance: rays, not points.
+        let x10 = vec![10.0, 0.0];
+        assert_eq!(Angular.distance(&x, &x10), 0.0);
+    }
+
+    #[test]
+    fn angular_zero_vectors() {
+        let z = vec![0.0, 0.0];
+        let x = vec![1.0, 0.0];
+        assert_eq!(Angular.distance(&z, &z), 0.0);
+        assert!(Angular.distance(&z, &x) > 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! String metrics: Levenshtein ("L-Edit") and Soundex-coded distance.
+//!
+//! The paper analyses last names with "the L-Edit distance" and suggests
+//! "string-editing or soundex encoding distance" for strings in general
+//! (Sec. V). Both are provided here. Levenshtein operates on Unicode scalar
+//! values so accented non-English surnames are handled correctly.
+
+use crate::{universal_code_length, Metric};
+
+/// The Levenshtein edit distance (unit costs for insertion, deletion and
+/// substitution) — the "L-Edit" distance of the paper.
+///
+/// This is a true metric on strings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Levenshtein;
+
+/// Core two-row DP over arbitrary symbol slices, shared by [`Levenshtein`]
+/// and [`SoundexDistance`] and by the fingerprint ridge sequences in
+/// `mccatch-data`.
+pub(crate) fn edit_distance<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Keep the shorter sequence as the row to halve memory traffic.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, lc) in long.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let cost_sub = prev_diag + usize::from(lc != sc);
+            prev_diag = row[j + 1];
+            row[j + 1] = cost_sub.min(row[j] + 1).min(prev_diag + 1);
+        }
+    }
+    row[short.len()]
+}
+
+impl Levenshtein {
+    /// Edit distance between two strings as an integer.
+    pub fn edit_distance(a: &str, b: &str) -> usize {
+        // Fast path: byte-identical strings.
+        if a == b {
+            return 0;
+        }
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        edit_distance(&av, &bv)
+    }
+}
+
+impl Metric<String> for Levenshtein {
+    #[inline]
+    fn distance(&self, a: &String, b: &String) -> f64 {
+        Levenshtein::edit_distance(a, b) as f64
+    }
+
+    /// Def. 7: for words under edit distance, `t` is the cost of describing
+    /// (i) which of the three operations to perform, (ii) the new character,
+    /// and (iii) the position: `⟨3⟩ + ⟨#distinct chars⟩ + ⟨#chars longest word⟩`.
+    fn transformation_cost(&self, data: &[String]) -> f64 {
+        let mut chars: Vec<char> = data.iter().flat_map(|s| s.chars()).collect();
+        chars.sort_unstable();
+        chars.dedup();
+        let distinct = chars.len().max(1) as u64;
+        let longest = data
+            .iter()
+            .map(|s| s.chars().count())
+            .max()
+            .unwrap_or(1)
+            .max(1) as u64;
+        universal_code_length(3) + universal_code_length(distinct) + universal_code_length(longest)
+    }
+}
+
+/// American Soundex code of a word: an initial letter followed by three
+/// digits, e.g. `soundex("Robert") == "R163"`.
+///
+/// Non-ASCII-alphabetic characters are skipped; the empty input produces
+/// `"0000"` so that distances remain defined.
+pub fn soundex(word: &str) -> [u8; 4] {
+    fn code(c: u8) -> u8 {
+        match c {
+            b'b' | b'f' | b'p' | b'v' => b'1',
+            b'c' | b'g' | b'j' | b'k' | b'q' | b's' | b'x' | b'z' => b'2',
+            b'd' | b't' => b'3',
+            b'l' => b'4',
+            b'm' | b'n' => b'5',
+            b'r' => b'6',
+            // a e i o u y h w -> 0 (not coded)
+            _ => b'0',
+        }
+    }
+    let letters: Vec<u8> = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_lowercase() as u8)
+        .collect();
+    let Some((&first, rest)) = letters.split_first() else {
+        return *b"0000";
+    };
+    let mut out = [b'0'; 4];
+    out[0] = first.to_ascii_uppercase();
+    let mut last_code = code(first);
+    let mut n = 1;
+    for &c in rest {
+        let k = code(c);
+        if k != b'0' && k != last_code && n < 4 {
+            out[n] = k;
+            n += 1;
+        }
+        // 'h' and 'w' are transparent: consonants separated by them count as
+        // adjacent. Vowels reset the run.
+        if c != b'h' && c != b'w' {
+            last_code = k;
+        }
+    }
+    out
+}
+
+/// Distance between the Soundex codes of two words (edit distance on the
+/// 4-character codes). A *pseudometric*: phonetically identical words are at
+/// distance zero. The triangle inequality still holds (it is a metric on
+/// codes composed with the encoding function), so metric trees remain
+/// correct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SoundexDistance;
+
+impl Metric<String> for SoundexDistance {
+    #[inline]
+    fn distance(&self, a: &String, b: &String) -> f64 {
+        let (ca, cb) = (soundex(a), soundex(b));
+        edit_distance(&ca, &cb) as f64
+    }
+
+    /// Codes are 4 symbols over {letter, 7 digits}: ⟨3⟩ + ⟨33⟩ + ⟨4⟩.
+    fn transformation_cost(&self, _data: &[String]) -> f64 {
+        universal_code_length(3) + universal_code_length(26 + 7) + universal_code_length(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: &str) -> String {
+        x.to_owned()
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(Levenshtein::edit_distance("kitten", "sitting"), 3);
+        assert_eq!(Levenshtein::edit_distance("flaw", "lawn"), 2);
+        assert_eq!(Levenshtein::edit_distance("", ""), 0);
+        assert_eq!(Levenshtein::edit_distance("abc", ""), 3);
+        assert_eq!(Levenshtein::edit_distance("", "abc"), 3);
+        assert_eq!(Levenshtein::edit_distance("same", "same"), 0);
+    }
+
+    #[test]
+    fn levenshtein_unicode_counts_scalars_not_bytes() {
+        // 'ø' is 2 bytes in UTF-8 but one substitution.
+        assert_eq!(Levenshtein::edit_distance("søren", "soren"), 1);
+        assert_eq!(Levenshtein::edit_distance("müller", "mueller"), 2);
+    }
+
+    #[test]
+    fn levenshtein_symmetry() {
+        let pairs = [("smith", "smythe"), ("garcía", "garcia"), ("o", "oo")];
+        for (a, b) in pairs {
+            assert_eq!(
+                Levenshtein::edit_distance(a, b),
+                Levenshtein::edit_distance(b, a)
+            );
+        }
+    }
+
+    #[test]
+    fn levenshtein_triangle_spot_checks() {
+        let words = ["smith", "smyth", "schmidt", "smit", ""];
+        for a in words {
+            for b in words {
+                for c in words {
+                    let ab = Levenshtein::edit_distance(a, b);
+                    let bc = Levenshtein::edit_distance(b, c);
+                    let ac = Levenshtein::edit_distance(a, c);
+                    assert!(ac <= ab + bc, "triangle violated: {a} {b} {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soundex_classic_examples() {
+        assert_eq!(&soundex("Robert"), b"R163");
+        assert_eq!(&soundex("Rupert"), b"R163");
+        assert_eq!(&soundex("Tymczak"), b"T522");
+        assert_eq!(&soundex("Pfister"), b"P236");
+        assert_eq!(&soundex("Honeyman"), b"H555");
+        assert_eq!(&soundex("Ashcraft"), b"A261"); // h/w transparency
+    }
+
+    #[test]
+    fn soundex_empty_and_nonalpha() {
+        assert_eq!(&soundex(""), b"0000");
+        assert_eq!(&soundex("123"), b"0000");
+    }
+
+    #[test]
+    fn soundex_distance_zero_for_homophones() {
+        assert_eq!(SoundexDistance.distance(&s("Robert"), &s("Rupert")), 0.0);
+    }
+
+    #[test]
+    fn soundex_distance_positive_for_different_sounds() {
+        assert!(SoundexDistance.distance(&s("Robert"), &s("Nakamura")) > 0.0);
+    }
+
+    #[test]
+    fn transformation_cost_uses_dataset_stats() {
+        let data = vec![s("ab"), s("abcd")];
+        // distinct chars = 4, longest = 4 => <3> + <4> + <4> = 2.585 + 3 + 3
+        let want = universal_code_length(3) + 2.0 * universal_code_length(4);
+        assert!((Levenshtein.transformation_cost(&data) - want).abs() < 1e-12);
+    }
+}

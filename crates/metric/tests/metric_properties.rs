@@ -1,0 +1,140 @@
+//! Property-based tests for the metric axioms.
+//!
+//! Every metric shipped by `mccatch-metric` must satisfy identity, symmetry
+//! and the triangle inequality — the Slim-tree's pruning correctness in
+//! `mccatch-index` depends on it.
+
+use mccatch_metric::{
+    Chebyshev, Euclidean, Levenshtein, Manhattan, Metric, Minkowski, OrderedTree, SoundexDistance,
+    TreeEditDistance, TreeNode,
+};
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-9;
+
+fn vec3() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, 3)
+}
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-zéøü]{0,12}".prop_map(|s| s)
+}
+
+/// Random small ordered tree, built as a parent-pointer sequence.
+fn tree() -> impl Strategy<Value = OrderedTree> {
+    (
+        prop::collection::vec(0u32..5, 1..10),
+        prop::collection::vec(0usize..8, 0..9),
+    )
+        .prop_map(|(labels, parents)| {
+            // Node i>0 attaches under node parents[i-1] % i (a valid earlier node).
+            let n = labels.len();
+            let mut nodes: Vec<TreeNode> = labels.iter().map(|&l| TreeNode::new(l)).collect();
+            // Build children lists.
+            let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+            for i in 1..n {
+                let p = parents.get(i - 1).copied().unwrap_or(0) % i;
+                children[p].push(i);
+            }
+            // Assemble bottom-up (higher indices attach first).
+            for i in (1..n).rev() {
+                let kids: Vec<TreeNode> = children[i]
+                    .iter()
+                    .map(|&c| std::mem::replace(&mut nodes[c], TreeNode::new(0)))
+                    .collect();
+                nodes[i].children = kids;
+            }
+            let kids: Vec<TreeNode> = children[0]
+                .iter()
+                .map(|&c| std::mem::replace(&mut nodes[c], TreeNode::new(0)))
+                .collect();
+            nodes[0].children = kids;
+            OrderedTree::from_node(&nodes[0])
+        })
+}
+
+macro_rules! metric_axioms {
+    ($name:ident, $metric:expr, $strategy:expr) => {
+        mod $name {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn identity(a in $strategy) {
+                    let m = $metric;
+                    prop_assert!(m.distance(&a, &a).abs() <= EPS);
+                }
+
+                #[test]
+                fn symmetry(a in $strategy, b in $strategy) {
+                    let m = $metric;
+                    prop_assert!((m.distance(&a, &b) - m.distance(&b, &a)).abs() <= EPS);
+                }
+
+                #[test]
+                fn non_negativity(a in $strategy, b in $strategy) {
+                    let m = $metric;
+                    prop_assert!(m.distance(&a, &b) >= -EPS);
+                }
+
+                #[test]
+                fn triangle(a in $strategy, b in $strategy, c in $strategy) {
+                    let m = $metric;
+                    let ab = m.distance(&a, &b);
+                    let bc = m.distance(&b, &c);
+                    let ac = m.distance(&a, &c);
+                    // Relative tolerance for float accumulation.
+                    prop_assert!(ac <= ab + bc + EPS * (1.0 + ab + bc));
+                }
+            }
+        }
+    };
+}
+
+metric_axioms!(euclidean, Euclidean, vec3());
+metric_axioms!(manhattan, Manhattan, vec3());
+metric_axioms!(chebyshev, Chebyshev, vec3());
+metric_axioms!(minkowski_p3, Minkowski::new(3.0), vec3());
+metric_axioms!(levenshtein, Levenshtein, word());
+metric_axioms!(soundex_dist, SoundexDistance, word());
+metric_axioms!(tree_edit, TreeEditDistance, tree());
+
+proptest! {
+    /// Levenshtein distance is bounded by the longer string's length.
+    #[test]
+    fn levenshtein_upper_bound(a in word(), b in word()) {
+        let d = Levenshtein.distance(&a, &b);
+        let bound = a.chars().count().max(b.chars().count()) as f64;
+        prop_assert!(d <= bound);
+    }
+
+    /// Levenshtein distance is at least the length difference.
+    #[test]
+    fn levenshtein_lower_bound(a in word(), b in word()) {
+        let d = Levenshtein.distance(&a, &b);
+        let lower = (a.chars().count() as i64 - b.chars().count() as i64).unsigned_abs() as f64;
+        prop_assert!(d >= lower);
+    }
+
+    /// Tree edit distance is bounded by the sum of sizes (delete all + insert all).
+    #[test]
+    fn ted_upper_bound(a in tree(), b in tree()) {
+        let d = TreeEditDistance.distance(&a, &b);
+        prop_assert!(d <= (a.size() + b.size()) as f64);
+    }
+
+    /// Tree edit distance at least the size difference.
+    #[test]
+    fn ted_lower_bound(a in tree(), b in tree()) {
+        let d = TreeEditDistance.distance(&a, &b);
+        let lower = (a.size() as i64 - b.size() as i64).unsigned_abs() as f64;
+        prop_assert!(d >= lower);
+    }
+
+    /// Identity of indiscernibles for Levenshtein (a true metric).
+    #[test]
+    fn levenshtein_zero_iff_equal(a in word(), b in word()) {
+        let d = Levenshtein.distance(&a, &b);
+        prop_assert_eq!(d == 0.0, a == b);
+    }
+}

@@ -1,0 +1,49 @@
+//! Unusual-skeleton detection (paper Fig. 1(iii)): graph data under tree
+//! edit distance.
+//!
+//! The paper analyses 203 skeleton graphs (200 human silhouettes, 3 wild
+//! animals) with graph edit distance and reports a perfect AUROC of 1.0.
+//! This example runs the pipeline on the skeleton-tree generator with the
+//! exact Zhang–Shasha tree edit distance.
+//!
+//! `cargo run --release -p mccatch --example skeletons`
+
+use mccatch::data::skeletons;
+use mccatch::eval::auroc;
+use mccatch::metrics::TreeEditDistance;
+use mccatch::{detect_metric, Params};
+use std::time::Instant;
+
+fn main() {
+    let data = skeletons(200, 3);
+    println!(
+        "detecting unusual skeletons among {} (3 wild animals planted)…",
+        data.len()
+    );
+
+    let t0 = Instant::now();
+    let out = detect_metric(&data.points, &TreeEditDistance, &Params::default());
+    println!("runtime: {:.2?}", t0.elapsed());
+
+    let score = auroc(&out.point_scores, &data.labels);
+    println!("AUROC vs ground truth: {score:.3}  (paper: 1.0 on the real corpus)");
+    println!("outliers flagged: {}", out.num_outliers());
+
+    println!("\nwild-animal skeleton ranks (200=quadruped, 201=snake, 202=bird):");
+    let mut ranked: Vec<(f64, usize)> = out
+        .point_scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i))
+        .collect();
+    ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    for target in 200..203usize {
+        let rank = ranked.iter().position(|&(_, i)| i == target).unwrap() + 1;
+        println!(
+            "  skeleton {target}: rank {rank}/{} (score {:.2}, {} nodes)",
+            data.len(),
+            out.point_scores[target],
+            data.points[target].size()
+        );
+    }
+}

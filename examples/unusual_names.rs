@@ -1,0 +1,60 @@
+//! Unusual-name detection (paper Fig. 1(ii)): nondimensional data under
+//! the L-Edit (Levenshtein) distance.
+//!
+//! The paper scores 5,050 last names and finds that the 50 non-English
+//! names receive the highest anomaly scores (AUROC 0.75 on the real
+//! corpus). This example reproduces the experiment on the synthetic name
+//! generator: English-phonotactics inliers versus outliers drawn from
+//! Italian / Japanese / Polish / Greek / Scandinavian profiles.
+//!
+//! `cargo run --release -p mccatch --example unusual_names`
+
+use mccatch::data::last_names;
+use mccatch::eval::auroc;
+use mccatch::metrics::Levenshtein;
+use mccatch::{detect_metric, Params};
+use std::time::Instant;
+
+fn main() {
+    let n_inliers: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    let data = last_names(n_inliers, 50, 7);
+    println!(
+        "detecting unusual names among {} (50 planted non-English)…",
+        data.len()
+    );
+
+    let t0 = Instant::now();
+    let out = detect_metric(&data.points, &Levenshtein, &Params::default());
+    println!("runtime: {:.2?}", t0.elapsed());
+
+    println!(
+        "AUROC vs ground truth: {:.3}  (paper: 0.75 on the real corpus)",
+        auroc(&out.point_scores, &data.labels)
+    );
+    println!("outliers flagged: {}", out.num_outliers());
+
+    // Show the most anomalous names.
+    let mut ranked: Vec<(f64, usize)> = out
+        .point_scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i))
+        .collect();
+    ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    println!("\nhighest-scored names:");
+    for &(score, i) in ranked.iter().take(15) {
+        println!(
+            "  {:>20}  score {:.2}  {}",
+            data.points[i],
+            score,
+            if data.labels[i] { "(non-English)" } else { "" }
+        );
+    }
+    println!("\nlowest-scored names:");
+    for &(score, i) in ranked.iter().rev().take(5) {
+        println!("  {:>20}  score {:.2}", data.points[i], score);
+    }
+}

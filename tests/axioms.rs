@@ -1,0 +1,72 @@
+//! Axiom-obedience integration tests (paper Sec. III and Tab. V): across
+//! shapes and random instances, the green microcluster must outscore the
+//! red one under both the Isolation and the Cardinality axiom.
+
+use mccatch::data::{axiom_scenario, Axiom, InlierShape};
+use mccatch::eval::welch_t_test;
+use mccatch::{detect_vectors, McCatchOutput, Params};
+
+/// Score of the microcluster containing the given planted members; panics
+/// if they were not all gelled into one cluster.
+fn planted_score(out: &McCatchOutput, members: &[u32], tag: &str) -> f64 {
+    let mc = out
+        .cluster_of(members[0])
+        .unwrap_or_else(|| panic!("{tag} microcluster not flagged"));
+    let recovered = members.iter().filter(|m| mc.members.contains(m)).count();
+    assert!(
+        recovered * 2 >= members.len(),
+        "{tag} microcluster fragmented: {recovered}/{}",
+        members.len()
+    );
+    mc.score
+}
+
+#[test]
+fn isolation_axiom_all_shapes() {
+    for shape in InlierShape::ALL {
+        for seed in 0..3 {
+            let s = axiom_scenario(shape, Axiom::Isolation, 20_000, seed);
+            let out = detect_vectors(&s.data.points, &Params::default());
+            let red = planted_score(&out, &s.red, "red");
+            let green = planted_score(&out, &s.green, "green");
+            assert!(
+                green > red,
+                "{:?} seed {seed}: green {green} <= red {red}",
+                shape
+            );
+        }
+    }
+}
+
+#[test]
+fn cardinality_axiom_all_shapes() {
+    for shape in InlierShape::ALL {
+        for seed in 0..3 {
+            let s = axiom_scenario(shape, Axiom::Cardinality, 20_000, seed);
+            let out = detect_vectors(&s.data.points, &Params::default());
+            let red = planted_score(&out, &s.red, "red");
+            let green = planted_score(&out, &s.green, "green");
+            assert!(
+                green > red,
+                "{:?} seed {seed}: green {green} <= red {red}",
+                shape
+            );
+        }
+    }
+}
+
+#[test]
+fn axiom_obedience_is_statistically_significant() {
+    // A miniature Tab. V: 10 seeds of the Gaussian isolation scenario; the
+    // one-sided Welch test must reject "green == red" decisively.
+    let mut greens = Vec::new();
+    let mut reds = Vec::new();
+    for seed in 0..10 {
+        let s = axiom_scenario(InlierShape::Gaussian, Axiom::Isolation, 10_000, 100 + seed);
+        let out = detect_vectors(&s.data.points, &Params::default());
+        greens.push(planted_score(&out, &s.green, "green"));
+        reds.push(planted_score(&out, &s.red, "red"));
+    }
+    let t = welch_t_test(&greens, &reds);
+    assert!(t.p_greater < 1e-4, "p = {}", t.p_greater);
+}
