@@ -90,8 +90,10 @@ where
     let mut scratch = Vec::new();
     (0..points.len())
         .map(|i| {
-            let others: Vec<&[f64]> =
-                knn[i].iter().map(|n| points[n.id as usize].as_slice()).collect();
+            let others: Vec<&[f64]> = knn[i]
+                .iter()
+                .map(|n| points[n.id as usize].as_slice())
+                .collect();
             1.0 / (1.0 + abof(&points[i], &others, &mut scratch))
         })
         .collect()

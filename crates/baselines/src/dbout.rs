@@ -32,7 +32,12 @@ where
 /// The paper's radius grid for DB-Out/LOCI, relative to the dataset
 /// diameter `l` (Tab. II).
 pub fn radius_grid(diameter: f64) -> [f64; 4] {
-    [diameter * 0.05, diameter * 0.1, diameter * 0.25, diameter * 0.5]
+    [
+        diameter * 0.05,
+        diameter * 0.1,
+        diameter * 0.25,
+        diameter * 0.5,
+    ]
 }
 
 /// Convenience: the dataset diameter estimated from an index build, so the

@@ -136,7 +136,10 @@ mod tests {
             .map(|i| vec![(i % 20) as f64 * 0.1, (i / 20) as f64 * 0.1])
             .collect();
         for k in 0..8 {
-            pts.push(vec![25.0 + 0.05 * (k % 4) as f64, 25.0 + 0.05 * (k / 4) as f64]);
+            pts.push(vec![
+                25.0 + 0.05 * (k % 4) as f64,
+                25.0 + 0.05 * (k / 4) as f64,
+            ]);
         }
         pts.push(vec![-30.0, 10.0]);
         pts
@@ -146,8 +149,14 @@ mod tests {
     fn microcluster_points_score_high_with_small_psi_ensemble() {
         let pts = scenario();
         let r = dmca(&pts, &KdTreeBuilder::default(), 32, 64, 0.03, 11);
-        let max_inlier = r.point_scores[..400].iter().cloned().fold(f64::MIN, f64::max);
-        let min_mc = r.point_scores[400..408].iter().cloned().fold(f64::MAX, f64::min);
+        let max_inlier = r.point_scores[..400]
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max);
+        let min_mc = r.point_scores[400..408]
+            .iter()
+            .cloned()
+            .fold(f64::MAX, f64::min);
         assert!(min_mc > max_inlier, "mc {min_mc} vs inlier {max_inlier}");
     }
 

@@ -149,7 +149,10 @@ mod tests {
     fn flags_microcluster_and_isolate_points() {
         let pts = blob_plus_mc_and_isolate();
         let r = gen2out(&pts, &KdTreeBuilder::default(), 64, 128, 0.05, 7);
-        let max_inlier = r.point_scores[..400].iter().cloned().fold(f64::MIN, f64::max);
+        let max_inlier = r.point_scores[..400]
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max);
         assert!(r.point_scores[406] > max_inlier, "isolate not top");
         // Some group must contain microcluster members.
         let has_mc_group = r

@@ -33,7 +33,13 @@ enum ITree {
 }
 
 impl ITree {
-    fn build(points: &[Vec<f64>], ids: &mut [u32], depth: usize, max_depth: usize, rng: &mut StdRng) -> ITree {
+    fn build(
+        points: &[Vec<f64>],
+        ids: &mut [u32],
+        depth: usize,
+        max_depth: usize,
+        rng: &mut StdRng,
+    ) -> ITree {
         if ids.len() <= 1 || depth >= max_depth {
             return ITree::Leaf { size: ids.len() };
         }
@@ -187,9 +193,17 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let pts: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, (i * 7 % 13) as f64]).collect();
-        assert_eq!(iforest_scores(&pts, 20, 32, 7), iforest_scores(&pts, 20, 32, 7));
-        assert_ne!(iforest_scores(&pts, 20, 32, 7), iforest_scores(&pts, 20, 32, 8));
+        let pts: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, (i * 7 % 13) as f64])
+            .collect();
+        assert_eq!(
+            iforest_scores(&pts, 20, 32, 7),
+            iforest_scores(&pts, 20, 32, 7)
+        );
+        assert_ne!(
+            iforest_scores(&pts, 20, 32, 7),
+            iforest_scores(&pts, 20, 32, 8)
+        );
     }
 
     #[test]

@@ -121,7 +121,9 @@ mod tests {
 
     #[test]
     fn outliers_score_highest() {
-        let mut pts: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 8) as f64 * 0.1, (i / 8) as f64 * 0.1]).collect();
+        let mut pts: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 8) as f64 * 0.1, (i / 8) as f64 * 0.1])
+            .collect();
         for i in 0..40 {
             pts.push(vec![20.0 + (i % 8) as f64 * 0.1, (i / 8) as f64 * 0.1]);
         }
@@ -135,7 +137,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let pts: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, (i * 3 % 11) as f64]).collect();
+        let pts: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![i as f64, (i * 3 % 11) as f64])
+            .collect();
         assert_eq!(
             kmeans_minus_minus(&pts, 3, 2, 10, 1),
             kmeans_minus_minus(&pts, 3, 2, 10, 1)

@@ -62,7 +62,10 @@ where
             indegree[n.id as usize] += 1;
         }
     }
-    indegree.into_iter().map(|d| 1.0 / (1.0 + d as f64)).collect()
+    indegree
+        .into_iter()
+        .map(|d| 1.0 / (1.0 + d as f64))
+        .collect()
 }
 
 #[cfg(test)]

@@ -90,13 +90,18 @@ pub fn aloci_scores(points: &[Vec<f64>], levels: usize, n_min: usize) -> Vec<f64
             hi[d] = hi[d].max(p[d]);
         }
     }
-    let side0 = (0..dim).map(|d| hi[d] - lo[d]).fold(0.0f64, f64::max).max(1e-12);
+    let side0 = (0..dim)
+        .map(|d| hi[d] - lo[d])
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
     let mut scores = vec![0.0f64; n];
     for g in 1..=levels {
         let side = side0 / (1u64 << g) as f64;
         // Cell key per point; counts per cell; parent cell aggregates.
         let key = |p: &[f64]| -> Vec<i64> {
-            (0..dim).map(|d| ((p[d] - lo[d]) / side).floor() as i64).collect()
+            (0..dim)
+                .map(|d| ((p[d] - lo[d]) / side).floor() as i64)
+                .collect()
         };
         let mut cell_counts: HashMap<Vec<i64>, usize> = HashMap::new();
         for p in points {
@@ -152,7 +157,14 @@ mod tests {
     fn loci_flags_the_isolate() {
         let pts = blob_with_outlier();
         let radii = [2.0, 5.0, 12.0];
-        let s = loci_scores(&pts, &Euclidean, &SlimTreeBuilder::default(), &radii, 0.5, 20);
+        let s = loci_scores(
+            &pts,
+            &Euclidean,
+            &SlimTreeBuilder::default(),
+            &radii,
+            0.5,
+            20,
+        );
         let max_inlier = s[..100].iter().cloned().fold(f64::MIN, f64::max);
         assert!(s[100] > max_inlier, "outlier {} vs {max_inlier}", s[100]);
     }
@@ -160,8 +172,15 @@ mod tests {
     #[test]
     fn loci_empty_input() {
         let pts: Vec<Vec<f64>> = vec![];
-        assert!(loci_scores(&pts, &Euclidean, &SlimTreeBuilder::default(), &[1.0], 0.5, 5)
-            .is_empty());
+        assert!(loci_scores(
+            &pts,
+            &Euclidean,
+            &SlimTreeBuilder::default(),
+            &[1.0],
+            0.5,
+            5
+        )
+        .is_empty());
     }
 
     #[test]
@@ -179,6 +198,10 @@ mod tests {
             .collect();
         let s = aloci_scores(&pts, 3, 10);
         // No strong anomalies on a regular grid.
-        assert!(s.iter().all(|&x| x < 3.5), "max {}", s.iter().cloned().fold(f64::MIN, f64::max));
+        assert!(
+            s.iter().all(|&x| x < 3.5),
+            "max {}",
+            s.iter().cloned().fold(f64::MIN, f64::max)
+        );
     }
 }

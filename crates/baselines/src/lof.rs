@@ -22,7 +22,10 @@ where
     }
     let knn = knn_all(points, metric, builder, k);
     // k-distance of each point = distance to its k-th neighbor.
-    let k_dist: Vec<f64> = knn.iter().map(|nn| nn.last().map_or(0.0, |x| x.dist)).collect();
+    let k_dist: Vec<f64> = knn
+        .iter()
+        .map(|nn| nn.last().map_or(0.0, |x| x.dist))
+        .collect();
     // Local reachability density: 1 / mean reach-dist to the neighbors.
     let lrd: Vec<f64> = knn
         .iter()

@@ -213,7 +213,13 @@ mod tests {
     #[test]
     fn ordering_is_a_permutation() {
         let pts = blobs_and_outlier();
-        let res = optics(&pts, &Euclidean, &SlimTreeBuilder::default(), f64::INFINITY, 5);
+        let res = optics(
+            &pts,
+            &Euclidean,
+            &SlimTreeBuilder::default(),
+            f64::INFINITY,
+            5,
+        );
         let mut seen = res.ordering.clone();
         seen.sort_unstable();
         let want: Vec<u32> = (0..pts.len() as u32).collect();
@@ -223,7 +229,13 @@ mod tests {
     #[test]
     fn outlier_has_largest_reachability_score() {
         let pts = blobs_and_outlier();
-        let s = optics_scores(&pts, &Euclidean, &SlimTreeBuilder::default(), f64::INFINITY, 5);
+        let s = optics_scores(
+            &pts,
+            &Euclidean,
+            &SlimTreeBuilder::default(),
+            f64::INFINITY,
+            5,
+        );
         let max_in = s[..80].iter().cloned().fold(f64::MIN, f64::max);
         assert!(s[80] > max_in, "{} vs {max_in}", s[80]);
         assert!(s.iter().all(|x| x.is_finite()));
@@ -232,7 +244,13 @@ mod tests {
     #[test]
     fn cluster_members_have_small_reachability() {
         let pts = blobs_and_outlier();
-        let res = optics(&pts, &Euclidean, &SlimTreeBuilder::default(), f64::INFINITY, 5);
+        let res = optics(
+            &pts,
+            &Euclidean,
+            &SlimTreeBuilder::default(),
+            f64::INFINITY,
+            5,
+        );
         // Interior points reach their cluster within the grid pitch ~0.28.
         let finite: Vec<f64> = res.reachability[..80]
             .iter()
@@ -258,8 +276,20 @@ mod tests {
     #[test]
     fn deterministic() {
         let pts = blobs_and_outlier();
-        let a = optics(&pts, &Euclidean, &SlimTreeBuilder::default(), f64::INFINITY, 5);
-        let b = optics(&pts, &Euclidean, &SlimTreeBuilder::default(), f64::INFINITY, 5);
+        let a = optics(
+            &pts,
+            &Euclidean,
+            &SlimTreeBuilder::default(),
+            f64::INFINITY,
+            5,
+        );
+        let b = optics(
+            &pts,
+            &Euclidean,
+            &SlimTreeBuilder::default(),
+            f64::INFINITY,
+            5,
+        );
         assert_eq!(a.ordering, b.ordering);
         assert_eq!(a.reachability, b.reachability);
     }

@@ -34,7 +34,11 @@ pub fn rpca_scores(points: &[Vec<f64>], k: usize, trim_rounds: usize) -> Vec<f64
             .collect();
         errs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let keep = (active.len() as f64 * 0.95).ceil() as usize;
-        active = errs.into_iter().take(keep.max(k + 1)).map(|(_, i)| i).collect();
+        active = errs
+            .into_iter()
+            .take(keep.max(k + 1))
+            .map(|(_, i)| i)
+            .collect();
         active.sort_unstable();
     }
     points
@@ -159,7 +163,11 @@ mod tests {
             .collect();
         let s = rpca_scores(&pts, 1, 0);
         // A line needs one component: errors ~ 0.
-        assert!(s.iter().all(|&e| e < 1e-6), "max {:?}", s.iter().cloned().fold(f64::MIN, f64::max));
+        assert!(
+            s.iter().all(|&e| e < 1e-6),
+            "max {:?}",
+            s.iter().cloned().fold(f64::MIN, f64::max)
+        );
     }
 
     #[test]
@@ -175,7 +183,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let pts: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, (i * i % 17) as f64]).collect();
+        let pts: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![i as f64, (i * i % 17) as f64])
+            .collect();
         assert_eq!(rpca_scores(&pts, 2, 1), rpca_scores(&pts, 2, 1));
     }
 }

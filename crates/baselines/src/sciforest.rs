@@ -58,7 +58,8 @@ impl SciNode {
         let dim = points[0].len();
         let q = q.min(dim).max(1);
         // tau candidate hyperplanes; keep the best SD-gain split.
-        let mut best: Option<(Vec<(usize, f64)>, f64, f64)> = None; // plane, threshold, gain
+        type Candidate = (Vec<(usize, f64)>, f64, f64); // plane, threshold, gain
+        let mut best: Option<Candidate> = None;
         let mut proj = Vec::with_capacity(ids.len());
         for _ in 0..tau {
             // Random q distinct attributes with +-U(0.5, 1) weights,

@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mccatch_baselines::{dmca, gen2out, iforest_scores, knn_out_scores, lof_scores};
-use mccatch_core::{mccatch, Params};
+use mccatch_bench::detect;
+use mccatch_core::Params;
 use mccatch_data::http;
 use mccatch_index::KdTreeBuilder;
 use mccatch_metric::Euclidean;
@@ -17,7 +18,7 @@ fn bench_detectors(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("mccatch", |b| {
         b.iter(|| {
-            mccatch(
+            detect(
                 black_box(pts),
                 &Euclidean,
                 &KdTreeBuilder::default(),
@@ -26,7 +27,16 @@ fn bench_detectors(c: &mut Criterion) {
         })
     });
     group.bench_function("gen2out", |b| {
-        b.iter(|| gen2out(black_box(pts), &KdTreeBuilder::default(), 100, 256, 0.05, 42))
+        b.iter(|| {
+            gen2out(
+                black_box(pts),
+                &KdTreeBuilder::default(),
+                100,
+                256,
+                0.05,
+                42,
+            )
+        })
     });
     group.bench_function("dmca", |b| {
         b.iter(|| dmca(black_box(pts), &KdTreeBuilder::default(), 64, 128, 0.05, 42))

@@ -77,9 +77,7 @@ fn bench_knn(c: &mut Criterion) {
     let ids: Vec<u32> = (0..n as u32).collect();
     let slim = SlimTree::build(&pts, ids.clone(), &Euclidean, 32);
     let kd = KdTree::build(&pts, ids, 16);
-    group.bench_function("slim", |b| {
-        b.iter(|| slim.knn(black_box(&pts[123]), 10))
-    });
+    group.bench_function("slim", |b| b.iter(|| slim.knn(black_box(&pts[123]), 10)));
     group.bench_function("kd", |b| b.iter(|| kd.knn(black_box(&pts[123]), 10)));
     group.finish();
 }

@@ -1,8 +1,10 @@
 //! Criterion benchmark for the end-to-end MCCATCH pipeline across data
-//! sizes and index kinds — the microbenchmark companion to Fig. 7.
+//! sizes and index kinds — the microbenchmark companion to Fig. 7 — plus
+//! the staged-API serving path (fit once, score queries many times).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mccatch_core::{mccatch, Params};
+use mccatch_bench::detect;
+use mccatch_core::{McCatch, Params};
 use mccatch_data::{http, uniform};
 use mccatch_index::{KdTreeBuilder, SlimTreeBuilder};
 use mccatch_metric::Euclidean;
@@ -15,7 +17,7 @@ fn bench_pipeline_sizes(c: &mut Criterion) {
         let pts = uniform(n, 2, 1);
         group.bench_with_input(BenchmarkId::new("kd", n), &pts, |b, pts| {
             b.iter(|| {
-                mccatch(
+                detect(
                     black_box(pts),
                     &Euclidean,
                     &KdTreeBuilder::default(),
@@ -25,7 +27,7 @@ fn bench_pipeline_sizes(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("slim", n), &pts, |b, pts| {
             b.iter(|| {
-                mccatch(
+                detect(
                     black_box(pts),
                     &Euclidean,
                     &SlimTreeBuilder::default(),
@@ -43,7 +45,7 @@ fn bench_pipeline_http(c: &mut Criterion) {
     let data = http(20_000, 1);
     group.bench_function("n20k", |b| {
         b.iter(|| {
-            mccatch(
+            detect(
                 black_box(&data.points),
                 &Euclidean,
                 &KdTreeBuilder::default(),
@@ -54,5 +56,39 @@ fn bench_pipeline_http(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline_sizes, bench_pipeline_http);
+/// The serving path the staged API exists for: amortize Step I across
+/// requests. `fit_detect` pays tree construction per call (what the
+/// legacy free function always did); `detect_refit` and `score_queries`
+/// reuse one fitted handle.
+fn bench_serving_path(c: &mut Criterion) {
+    let pts = uniform(8_000, 2, 1);
+    let queries = uniform(64, 2, 2);
+    let kd = KdTreeBuilder::default();
+    let detector = McCatch::builder().build().expect("valid params");
+
+    let mut group = c.benchmark_group("mccatch_serving_8k");
+    group.sample_size(10);
+    group.bench_function("fit_detect", |b| {
+        b.iter(|| {
+            detector
+                .fit(black_box(&pts), &Euclidean, &kd)
+                .expect("fit")
+                .detect()
+        })
+    });
+    let fitted = detector.fit(&pts, &Euclidean, &kd).expect("fit");
+    fitted.detect(); // warm the lazy caches like a long-lived service
+    group.bench_function("detect_refit_free", |b| b.iter(|| fitted.detect()));
+    group.bench_function("score_64_queries", |b| {
+        b.iter(|| fitted.score_points(black_box(&queries)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline_sizes,
+    bench_pipeline_http,
+    bench_serving_path
+);
 criterion_main!(benches);

@@ -12,8 +12,8 @@
 //!
 //! Options: `--cap 3000`, `--seed 9`.
 
-use mccatch_bench::{print_table, Args};
-use mccatch_core::{mccatch, Params};
+use mccatch_bench::{detect, print_table, Args};
+use mccatch_core::Params;
 use mccatch_data::BENCHMARKS;
 use mccatch_index::SlimTreeBuilder;
 use mccatch_metric::{CountingMetric, Euclidean};
@@ -53,7 +53,7 @@ fn main() {
     for spec in BENCHMARKS.iter().filter(|s| s.name != "Speech") {
         let scale = (cap as f64 / spec.n as f64).min(1.0);
         let data = spec.generate_scaled(scale, seed);
-        let out = mccatch(
+        let out = detect(
             &data.points,
             &Euclidean,
             &mccatch_index::KdTreeBuilder::default(),
@@ -85,7 +85,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["dataset", "F1 (MDL)", "F1 (3-sigma)", "d (MDL)", "d (3-sigma)"],
+        &[
+            "dataset",
+            "F1 (MDL)",
+            "F1 (3-sigma)",
+            "d (MDL)",
+            "d (3-sigma)",
+        ],
         &rows,
     );
 
@@ -94,12 +100,21 @@ fn main() {
     println!("Ablation 2 — sparse-focused principle: distance calls with/without the c-cutoff");
     println!();
     let mut rows = Vec::new();
-    for spec in BENCHMARKS.iter().filter(|s| s.n >= 1_000 && s.name != "Speech").take(6) {
+    for spec in BENCHMARKS
+        .iter()
+        .filter(|s| s.n >= 1_000 && s.name != "Speech")
+        .take(6)
+    {
         let scale = (cap as f64 / spec.n as f64).min(1.0);
         let data = spec.generate_scaled(scale, seed);
         let count_with = {
             let m = CountingMetric::new(Euclidean);
-            let _ = mccatch(&data.points, &m, &SlimTreeBuilder::default(), &Params::default());
+            let _ = detect(
+                &data.points,
+                &m,
+                &SlimTreeBuilder::default(),
+                &Params::default(),
+            );
             m.calls()
         };
         let count_without = {
@@ -108,7 +123,7 @@ fn main() {
                 max_mc_cardinality: Some(data.len()), // never drop anyone
                 ..Params::default()
             };
-            let _ = mccatch(&data.points, &m, &SlimTreeBuilder::default(), &p);
+            let _ = detect(&data.points, &m, &SlimTreeBuilder::default(), &p);
             m.calls()
         };
         rows.push(vec![
@@ -120,9 +135,17 @@ fn main() {
         ]);
     }
     print_table(
-        &["dataset", "n", "dist calls (sparse)", "dist calls (full)", "savings"],
+        &[
+            "dataset",
+            "n",
+            "dist calls (sparse)",
+            "dist calls (full)",
+            "savings",
+        ],
         &rows,
     );
     println!();
-    println!("note: 'full' also changes c, so its flags differ; the column isolates join cost only.");
+    println!(
+        "note: 'full' also changes c, so its flags differ; the column isolates join cost only."
+    );
 }

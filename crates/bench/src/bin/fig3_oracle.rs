@@ -8,7 +8,8 @@
 //! Pipe to a file and plot with any tool:
 //! `cargo run --release -p mccatch-bench --bin fig3_oracle > fig3.tsv`
 
-use mccatch_core::{mccatch, Params};
+use mccatch_bench::detect;
+use mccatch_core::Params;
 use mccatch_data::rng::{gaussian_point, rng};
 use mccatch_index::{BruteForceBuilder, IndexBuilder, RangeIndex};
 use mccatch_metric::Euclidean;
@@ -33,14 +34,17 @@ fn main() {
     points.push(vec![43.0, 30.0]);
     let c_id = points.len() as u32; // microcluster core
     for k in 0..8 {
-        points.push(vec![70.0 + 0.15 * (k % 4) as f64, 75.0 + 0.15 * (k / 4) as f64]);
+        points.push(vec![
+            70.0 + 0.15 * (k % 4) as f64,
+            75.0 + 0.15 * (k / 4) as f64,
+        ]);
     }
     let d_id = points.len() as u32; // microcluster halo
     points.push(vec![72.5, 75.0]);
     let e_id = points.len() as u32; // isolate
     points.push(vec![110.0, 5.0]);
 
-    let out = mccatch(&points, &Euclidean, &BruteForceBuilder, &Params::default());
+    let out = detect(&points, &Euclidean, &BruteForceBuilder, &Params::default());
 
     println!("# Fig. 3(iii): neighborhood count curves for the points of interest");
     println!("# columns: radius_index radius count_A count_B count_C count_D count_E");
@@ -78,7 +82,10 @@ fn main() {
     for (k, (&h, &radius)) in out.oracle.histogram().iter().zip(&out.radii).enumerate() {
         println!("{k}\t{radius:.5}\t{h}");
     }
-    println!("# cutoff d = {:.5} (bin {:?}, mode bin {:?})", out.cutoff.d, out.cutoff.cut_index, out.cutoff.mode_index);
+    println!(
+        "# cutoff d = {:.5} (bin {:?}, mode bin {:?})",
+        out.cutoff.d, out.cutoff.cut_index, out.cutoff.mode_index
+    );
 
     println!();
     println!("# detected microclusters (most strange first):");

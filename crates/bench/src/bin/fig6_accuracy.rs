@@ -11,14 +11,19 @@
 //! outlier fractions); `--full` uses the paper's full cardinalities
 //! (slow); `--seed 9`.
 
-use mccatch_bench::{cell, print_table, run_baseline, run_mccatch, Args, MethodRun, FIG6_METHODS};
+use mccatch_bench::{
+    cell, detect, print_table, run_baseline, run_mccatch, Args, MethodRun, FIG6_METHODS,
+};
+use mccatch_core::Params;
 use mccatch_data::{fingerprints, last_names, skeletons, BENCHMARKS};
+use mccatch_eval::{auroc, average_precision, max_f1};
 use mccatch_eval::{harmonic_mean, rank_descending};
 use mccatch_index::SlimTreeBuilder;
 use mccatch_metric::{Levenshtein, TreeEditDistance};
-use mccatch_core::{mccatch, Params};
-use mccatch_eval::{auroc, average_precision, max_f1};
 use std::time::Instant;
+
+/// One method's `(auroc, ap, maxf1)` samples across datasets.
+type MethodMetrics = (&'static str, Vec<(f64, f64, f64)>);
 
 fn main() {
     let args = Args::parse();
@@ -26,11 +31,14 @@ fn main() {
     let full = args.flag("full");
     let seed: u64 = args.get("seed", 9);
 
-    println!("Fig. 6 / Tab. IV — accuracy comparison (cap = {})", if full { "full".into() } else { cap.to_string() });
+    println!(
+        "Fig. 6 / Tab. IV — accuracy comparison (cap = {})",
+        if full { "full".into() } else { cap.to_string() }
+    );
     println!();
 
     // method -> (auroc, ap, maxf1) per dataset (NaN = skipped/not applicable)
-    let mut per_method: Vec<(&'static str, Vec<(f64, f64, f64)>)> =
+    let mut per_method: Vec<MethodMetrics> =
         FIG6_METHODS.iter().map(|&m| (m, Vec::new())).collect();
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut dataset_names: Vec<String> = Vec::new();
@@ -78,7 +86,12 @@ fn main() {
     // ---- nondimensional datasets: only MCCATCH applies (goal G1) ----
     let t0 = Instant::now();
     let names = last_names(if full { 5000 } else { 2000.min(cap) }, 50, seed);
-    let out = mccatch(&names.points, &Levenshtein, &SlimTreeBuilder::default(), &Params::default());
+    let out = detect(
+        &names.points,
+        &Levenshtein,
+        &SlimTreeBuilder::default(),
+        &Params::default(),
+    );
     nondim_row(
         &mut rows,
         &mut per_method,
@@ -92,7 +105,12 @@ fn main() {
         ),
     );
     let prints = fingerprints(if full { 398 } else { 398.min(cap) }, 10, seed);
-    let out = mccatch(&prints.points, &Levenshtein, &SlimTreeBuilder::default(), &Params::default());
+    let out = detect(
+        &prints.points,
+        &Levenshtein,
+        &SlimTreeBuilder::default(),
+        &Params::default(),
+    );
     nondim_row(
         &mut rows,
         &mut per_method,
@@ -106,7 +124,12 @@ fn main() {
         ),
     );
     let skel = skeletons(200, seed);
-    let out = mccatch(&skel.points, &TreeEditDistance, &SlimTreeBuilder::default(), &Params::default());
+    let out = detect(
+        &skel.points,
+        &TreeEditDistance,
+        &SlimTreeBuilder::default(),
+        &Params::default(),
+    );
     nondim_row(
         &mut rows,
         &mut per_method,
@@ -158,7 +181,12 @@ fn main() {
             row.push(if list.is_empty() {
                 "--".to_owned()
             } else {
-                format!("{:.1} ({}/{} ds)", harmonic_mean(list), list.len(), n_datasets)
+                format!(
+                    "{:.1} ({}/{} ds)",
+                    harmonic_mean(list),
+                    list.len(),
+                    n_datasets
+                )
             });
             let _ = m;
         }
@@ -168,17 +196,17 @@ fn main() {
     headers.extend(FIG6_METHODS);
     print_table(&headers, &tab4);
     println!();
+    println!("paper Tab. IV: MCCATCH best H-mean rank on all three metrics (1.8 / 2.3 / 1.8);");
     println!(
-        "paper Tab. IV: MCCATCH best H-mean rank on all three metrics (1.8 / 2.3 / 1.8);"
+        "paper Fig. 6: MCCATCH wins on microcluster datasets + nondimensional, ties elsewhere."
     );
-    println!("paper Fig. 6: MCCATCH wins on microcluster datasets + nondimensional, ties elsewhere.");
 }
 
 /// Adds a row for a nondimensional dataset: baselines print the paper's
 /// NON-APPL / NEED-MODIF markers and contribute no rank sample.
 fn nondim_row(
     rows: &mut Vec<Vec<String>>,
-    per_method: &mut [(&'static str, Vec<(f64, f64, f64)>)],
+    per_method: &mut [MethodMetrics],
     dataset_names: &mut Vec<String>,
     name: &str,
     n: usize,

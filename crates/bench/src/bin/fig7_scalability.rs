@@ -11,8 +11,8 @@
 //! Options: `--max-n 160000` largest sample (paper: 1M; pass 1000000 to
 //! match), `--steps 5` sweep points, `--dims 2,20,50`.
 
-use mccatch_bench::{print_table, Args};
-use mccatch_core::{mccatch, Params};
+use mccatch_bench::{detect, print_table, Args};
+use mccatch_core::Params;
 use mccatch_data::{diagonal, uniform};
 use mccatch_eval::{correlation_dimension, linear_regression};
 use mccatch_index::SlimTreeBuilder;
@@ -49,9 +49,14 @@ fn main() {
             // u = 1); the measured correlation dimension is reported as a
             // diagnostic (it saturates for high-d Uniform at laptop sample
             // sizes — distance concentration).
-            let nominal_u = if workload == "Uniform" { dim as f64 } else { 1.0 };
+            let nominal_u = if workload == "Uniform" {
+                dim as f64
+            } else {
+                1.0
+            };
             let sample = gen(sizes[sizes.len() / 2].min(20_000));
-            let fd = correlation_dimension(&sample, &Euclidean, &SlimTreeBuilder::default(), 15, 500);
+            let fd =
+                correlation_dimension(&sample, &Euclidean, &SlimTreeBuilder::default(), 15, 500);
             let u = nominal_u;
             let expected = 2.0 - 1.0 / u;
 
@@ -63,7 +68,12 @@ fn main() {
                 let pts = gen(n);
                 let metric = CountingMetric::new(Euclidean);
                 let t0 = Instant::now();
-                let out = mccatch(&pts, &metric, &SlimTreeBuilder::default(), &Params::default());
+                let out = detect(
+                    &pts,
+                    &metric,
+                    &SlimTreeBuilder::default(),
+                    &Params::default(),
+                );
                 let wall = t0.elapsed();
                 let dists = metric.calls();
                 log_n.push((n as f64).log2());
@@ -77,7 +87,10 @@ fn main() {
                     out.num_outliers().to_string(),
                 ]);
             }
-            print_table(&["workload", "n", "wall", "distance calls", "outliers"], &rows);
+            print_table(
+                &["workload", "n", "wall", "distance calls", "outliers"],
+                &rows,
+            );
             let slope_t = linear_regression(&log_n, &log_t);
             let slope_d = linear_regression(&log_n, &log_d);
             println!(
@@ -96,7 +109,13 @@ fn main() {
     }
     println!("summary (paper Fig. 7: expected slopes 1.00 for Diagonal; 1.50/1.95/1.98 for Uniform 2/20/50-d):");
     print_table(
-        &["workload", "u nominal (meas.)", "expected 2-1/u", "wall slope", "distance slope"],
+        &[
+            "workload",
+            "u nominal (meas.)",
+            "expected 2-1/u",
+            "wall slope",
+            "distance slope",
+        ],
         &summary,
     );
     println!();

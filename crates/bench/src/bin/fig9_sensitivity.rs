@@ -6,15 +6,15 @@
 //!
 //! Options: `--cap 3000` size cap per dataset, `--seed 9`.
 
-use mccatch_bench::{print_table, Args};
-use mccatch_core::{mccatch, Params};
+use mccatch_bench::{detect, print_table, Args};
+use mccatch_core::Params;
 use mccatch_data::BENCHMARKS;
 use mccatch_eval::auroc;
 use mccatch_index::KdTreeBuilder;
 use mccatch_metric::Euclidean;
 
 fn run(points: &[Vec<f64>], labels: &[bool], params: &Params) -> f64 {
-    let out = mccatch(points, &Euclidean, &KdTreeBuilder::default(), params);
+    let out = detect(points, &Euclidean, &KdTreeBuilder::default(), params);
     auroc(&out.point_scores, labels)
 }
 

@@ -34,7 +34,13 @@ fn main() {
 
     // Nondimensional.
     let names = last_names(2_000.min(cap), 50, seed);
-    let fd = correlation_dimension(&names.points, &Levenshtein, &SlimTreeBuilder::default(), 15, 400);
+    let fd = correlation_dimension(
+        &names.points,
+        &Levenshtein,
+        &SlimTreeBuilder::default(),
+        15,
+        400,
+    );
     rows.push(vec![
         "Last Names".into(),
         "5,050 (analogue scaled)".into(),
@@ -43,7 +49,13 @@ fn main() {
         format!("{:.2}", names.outlier_percent()),
     ]);
     let prints = fingerprints(398, 10, seed);
-    let fd = correlation_dimension(&prints.points, &Levenshtein, &SlimTreeBuilder::default(), 15, 400);
+    let fd = correlation_dimension(
+        &prints.points,
+        &Levenshtein,
+        &SlimTreeBuilder::default(),
+        15,
+        400,
+    );
     rows.push(vec![
         "Fingerprints".into(),
         prints.len().to_string(),
@@ -52,7 +64,13 @@ fn main() {
         format!("{:.2}", prints.outlier_percent()),
     ]);
     let skel = skeletons(200, seed);
-    let fd = correlation_dimension(&skel.points, &TreeEditDistance, &SlimTreeBuilder::default(), 15, 203);
+    let fd = correlation_dimension(
+        &skel.points,
+        &TreeEditDistance,
+        &SlimTreeBuilder::default(),
+        15,
+        203,
+    );
     rows.push(vec![
         "Skeletons".into(),
         skel.len().to_string(),
@@ -65,7 +83,8 @@ fn main() {
     for spec in BENCHMARKS {
         let scale = (cap as f64 / spec.n as f64).min(1.0);
         let data = spec.generate_scaled(scale, seed);
-        let fd = correlation_dimension(&data.points, &Euclidean, &KdTreeBuilder::default(), 15, 500);
+        let fd =
+            correlation_dimension(&data.points, &Euclidean, &KdTreeBuilder::default(), 15, 500);
         rows.push(vec![
             spec.name.into(),
             format!("{} (of {})", data.len(), spec.n),
@@ -77,8 +96,13 @@ fn main() {
 
     // Satellite tiles.
     for img in [shanghai(seed), volcanoes(seed)] {
-        let fd =
-            correlation_dimension(&img.data.points, &Euclidean, &KdTreeBuilder::default(), 15, 500);
+        let fd = correlation_dimension(
+            &img.data.points,
+            &Euclidean,
+            &KdTreeBuilder::default(),
+            15,
+            500,
+        );
         rows.push(vec![
             img.data.name.clone(),
             img.data.len().to_string(),
@@ -111,10 +135,18 @@ fn main() {
     }
 
     print_table(
-        &["dataset", "# points", "# features", "fractal dim", "% outliers"],
+        &[
+            "dataset",
+            "# points",
+            "# features",
+            "fractal dim",
+            "% outliers",
+        ],
         &rows,
     );
     println!();
-    println!("paper Tab. III reference fractal dims: Last Names 5.3, Fingerprints 8.0, Skeletons 2.1,");
+    println!(
+        "paper Tab. III reference fractal dims: Last Names 5.3, Fingerprints 8.0, Skeletons 2.1,"
+    );
     println!("Http 1.2, Shuttle 1.8, Uniform-d ~ d, Diagonal 1.0.");
 }

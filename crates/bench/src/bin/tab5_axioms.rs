@@ -7,20 +7,28 @@
 //! Options: `--trials 50` (paper: 50), `--inliers 20000` (paper: ~1M; the
 //! geometry is size-invariant, see `mccatch-data`), `--seed 0`.
 
-use mccatch_bench::{print_table, Args};
-use mccatch_core::{mccatch, Params};
+use mccatch_baselines::gen2out;
+use mccatch_bench::{detect, print_table, Args};
+use mccatch_core::Params;
 use mccatch_data::{axiom_scenario, Axiom, InlierShape};
 use mccatch_eval::welch_t_test;
 use mccatch_index::KdTreeBuilder;
 use mccatch_metric::Euclidean;
-use mccatch_baselines::gen2out;
 
 /// Score of the planted microcluster under MCCATCH: the score of the
 /// cluster containing the majority of its members, `None` if missed.
 fn mccatch_mc_score(points: &[Vec<f64>], members: &[u32]) -> Option<f64> {
-    let out = mccatch(points, &Euclidean, &KdTreeBuilder::default(), &Params::default());
+    let out = detect(
+        points,
+        &Euclidean,
+        &KdTreeBuilder::default(),
+        &Params::default(),
+    );
     let mc = out.cluster_of(members[0])?;
-    let recovered = members.iter().filter(|m| mc.members.binary_search(m).is_ok()).count();
+    let recovered = members
+        .iter()
+        .filter(|m| mc.members.binary_search(m).is_ok())
+        .count();
     (recovered * 2 >= members.len()).then_some(mc.score)
 }
 
@@ -31,7 +39,10 @@ fn gen2out_mc_score(points: &[Vec<f64>], members: &[u32]) -> Option<f64> {
     res.groups
         .iter()
         .find(|g| {
-            let hit = members.iter().filter(|m| g.members.binary_search(m).is_ok()).count();
+            let hit = members
+                .iter()
+                .filter(|m| g.members.binary_search(m).is_ok())
+                .count();
             hit * 2 >= members.len()
         })
         .map(|g| g.score)

@@ -6,17 +6,22 @@
 //! D.MCA > 10 h on a stock desktop). Defaults here are scaled for quick
 //! runs; pass `--axiom-n 1000000 --full` to match the paper's sizes.
 
-use mccatch_bench::{print_table, Args};
-use mccatch_core::{mccatch, Params};
-use mccatch_data::{axiom_scenario, benchmark_by_name, Axiom, InlierShape};
 use mccatch_baselines::{dmca, gen2out};
+use mccatch_bench::{detect, print_table, Args};
+use mccatch_core::Params;
+use mccatch_data::{axiom_scenario, benchmark_by_name, Axiom, InlierShape};
 use mccatch_index::KdTreeBuilder;
 use mccatch_metric::Euclidean;
 use std::time::{Duration, Instant};
 
 fn time_all(name: &str, points: &[Vec<f64>], dmca_cap: usize) -> Vec<String> {
     let t0 = Instant::now();
-    let out = mccatch(points, &Euclidean, &KdTreeBuilder::default(), &Params::default());
+    let out = detect(
+        points,
+        &Euclidean,
+        &KdTreeBuilder::default(),
+        &Params::default(),
+    );
     let t_mccatch = t0.elapsed();
     let t0 = Instant::now();
     let _ = gen2out(points, &KdTreeBuilder::default(), 100, 256, 0.05, 42);
@@ -58,9 +63,17 @@ fn main() {
     let mut rows = Vec::new();
 
     let iso = axiom_scenario(InlierShape::Gaussian, Axiom::Isolation, axiom_n, 1);
-    rows.push(time_all("Gauss. (Isolation Ax.)", &iso.data.points, dmca_cap));
+    rows.push(time_all(
+        "Gauss. (Isolation Ax.)",
+        &iso.data.points,
+        dmca_cap,
+    ));
     let card = axiom_scenario(InlierShape::Cross, Axiom::Cardinality, axiom_n, 1);
-    rows.push(time_all("Cross (Cardinality Ax.)", &card.data.points, dmca_cap));
+    rows.push(time_all(
+        "Cross (Cardinality Ax.)",
+        &card.data.points,
+        dmca_cap,
+    ));
 
     for name in ["Http", "Satellite", "Speech"] {
         let spec = benchmark_by_name(name).expect("preset");
@@ -79,5 +92,7 @@ fn main() {
     );
     println!();
     println!("paper Tab. VI (1M axiom sets, full HTTP): D.MCA >10h, Gen2Out 2h, MCCATCH 12min;");
-    println!("HTTP 222K: D.MCA 6min, Gen2Out 18min, MCCATCH 4min — MCCATCH fastest in nearly all cases.");
+    println!(
+        "HTTP 222K: D.MCA 6min, Gen2Out 18min, MCCATCH 4min — MCCATCH fastest in nearly all cases."
+    );
 }

@@ -8,12 +8,30 @@
 //! text tables that mirror the paper's rows.
 
 use mccatch_baselines as bl;
-use mccatch_core::{mccatch, McCatchOutput, Params};
+use mccatch_core::{McCatch, McCatchOutput, Params};
 use mccatch_eval::auroc;
-use mccatch_index::KdTreeBuilder;
-use mccatch_metric::Euclidean;
+use mccatch_index::{IndexBuilder, KdTreeBuilder};
+use mccatch_metric::{Euclidean, Metric};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
+
+/// One-shot MCCATCH through the staged builder API — the harness-wide
+/// replacement for the deprecated `mccatch_core::mccatch` free function.
+/// Experiment binaries run fresh data/parameter combinations each call, so
+/// configure-fit-detect is the whole lifecycle here; services should hold
+/// on to the `Fitted` handle instead.
+pub fn detect<P, M, B>(points: &[P], metric: &M, builder: &B, params: &Params) -> McCatchOutput
+where
+    P: Sync,
+    M: Metric<P>,
+    B: IndexBuilder<P, M>,
+{
+    McCatch::new(params.clone())
+        .expect("valid MCCATCH params")
+        .fit(points, metric, builder)
+        .expect("fit is infallible for valid params")
+        .detect()
+}
 
 /// Minimal `--key value` / `--flag` argument parser for the harness
 /// binaries (kept dependency-free by design; see DESIGN.md §6).
@@ -93,7 +111,12 @@ pub const FIG6_METHODS: &[&str] = &[
 /// dataset and wraps the evaluation.
 pub fn run_mccatch(points: &[Vec<f64>], labels: &[bool]) -> (MethodRun, McCatchOutput) {
     let t0 = Instant::now();
-    let out = mccatch(points, &Euclidean, &KdTreeBuilder::default(), &Params::default());
+    let out = detect(
+        points,
+        &Euclidean,
+        &KdTreeBuilder::default(),
+        &Params::default(),
+    );
     let runtime = t0.elapsed();
     let run = MethodRun {
         method: "MCCATCH",
@@ -177,16 +200,14 @@ pub fn run_baseline(method: &'static str, points: &[Vec<f64>], labels: &[bool]) 
             .iter()
             .map(|&(t, psi)| bl::iforest_scores(points, t, psi, 42))
             .collect(),
-        "Gen2Out" => vec![
-            bl::gen2out(points, &KdTreeBuilder::default(), 100, 256, 0.05, 42).point_scores,
-        ],
+        "Gen2Out" => {
+            vec![bl::gen2out(points, &KdTreeBuilder::default(), 100, 256, 0.05, 42).point_scores]
+        }
         "D.MCA" => {
             if n > 120_000 {
                 return MethodRun::skipped(method, "excessive runtime");
             }
-            vec![
-                bl::dmca(points, &KdTreeBuilder::default(), 64, 128, 0.05, 42).point_scores,
-            ]
+            vec![bl::dmca(points, &KdTreeBuilder::default(), 64, 128, 0.05, 42).point_scores]
         }
         "RDA" => [(1usize, 2usize), (2, 2), (4, 2)]
             .iter()

@@ -11,12 +11,17 @@
 //! ```text
 //! USAGE:
 //!   mccatch [--input FILE] [--mode csv|lines] [--radii 15] [--slope 0.1]
-//!           [--max-card N] [--points] [--top K]
+//!           [--max-card N] [--threads N] [--points] [--top K]
 //! ```
+//!
+//! Invalid hyperparameters are reported as proper CLI errors (exit code
+//! 1), never panics: parsing builds a `McCatch` via the validating
+//! builder and forwards its `McCatchError` as the error message.
 
-use mccatch::metrics::Levenshtein;
-use mccatch::{detect_metric, detect_vectors, McCatchOutput, Params};
-use std::io::Read;
+use mccatch::index::{KdTreeBuilder, SlimTreeBuilder};
+use mccatch::metrics::{Euclidean, Levenshtein};
+use mccatch::{McCatch, McCatchOutput, Params};
+use std::io::{Read, Write};
 use std::process::ExitCode;
 
 struct Cli {
@@ -24,6 +29,7 @@ struct Cli {
     mode: String,
     params: Params,
     show_points: bool,
+    /// Number of microclusters to print; 0 means all.
     top: usize,
 }
 
@@ -61,6 +67,11 @@ fn parse_cli() -> Result<Cli, String> {
                         .map_err(|e| format!("--max-card: {e}"))?,
                 )
             }
+            "--threads" | "-j" => {
+                cli.params.threads = need("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
             "--points" | "-p" => cli.show_points = true,
             "--top" | "-t" => {
                 cli.top = need("--top")?.parse().map_err(|e| format!("--top: {e}"))?
@@ -69,9 +80,11 @@ fn parse_cli() -> Result<Cli, String> {
                 println!(
                     "mccatch: microcluster detection (MCCATCH, ICDE 2024)\n\n\
                      usage: mccatch [--input FILE] [--mode csv|lines] [--radii 15]\n\
-                            [--slope 0.1] [--max-card N] [--points] [--top K]\n\n\
+                            [--slope 0.1] [--max-card N] [--threads N] [--points] [--top K]\n\n\
                      csv mode:   one point per line, comma/whitespace separated floats\n\
-                     lines mode: one string per line, Levenshtein distance"
+                     lines mode: one string per line, Levenshtein distance\n\n\
+                     --threads 0 (default) uses all cores; results never depend on it\n\
+                     --top 0 prints all microclusters"
                 );
                 std::process::exit(0);
             }
@@ -122,15 +135,31 @@ fn parse_csv(text: &str) -> Result<Vec<Vec<f64>>, String> {
     Ok(points)
 }
 
-fn report(out: &McCatchOutput, labels: &[String], cli: &Cli) {
-    println!("# points: {}", out.point_scores.len());
-    println!("# diameter estimate: {:.6}", out.diameter);
-    println!("# cutoff d: {:.6}", out.cutoff.d);
-    println!("# outliers: {}", out.num_outliers());
-    println!("# microclusters: {}", out.microclusters.len());
-    println!();
-    println!("rank\tsize\tscore\tbridge\tmembers");
-    for (rank, mc) in out.microclusters.iter().take(cli.top).enumerate() {
+/// `--top 0` means "all microclusters".
+fn effective_top(top: usize, available: usize) -> usize {
+    if top == 0 {
+        available
+    } else {
+        top
+    }
+}
+
+/// Streams the report to stdout. Returns `Err` on I/O failure so a
+/// closed pipe (`mccatch … | head`) ends the program cleanly instead of
+/// panicking (Rust ignores SIGPIPE; `println!` would abort with a
+/// broken-pipe backtrace).
+fn report(out: &McCatchOutput, labels: &[String], cli: &Cli) -> std::io::Result<()> {
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    writeln!(w, "# points: {}", out.point_scores.len())?;
+    writeln!(w, "# diameter estimate: {:.6}", out.diameter)?;
+    writeln!(w, "# cutoff d: {:.6}", out.cutoff.d)?;
+    writeln!(w, "# outliers: {}", out.num_outliers())?;
+    writeln!(w, "# microclusters: {}", out.microclusters.len())?;
+    writeln!(w)?;
+    writeln!(w, "rank\tsize\tscore\tbridge\tmembers")?;
+    let top = effective_top(cli.top, out.microclusters.len());
+    for (rank, mc) in out.microclusters.iter().take(top).enumerate() {
         let members: Vec<&str> = mc
             .members
             .iter()
@@ -138,7 +167,8 @@ fn report(out: &McCatchOutput, labels: &[String], cli: &Cli) {
             .map(|&m| labels[m as usize].as_str())
             .collect();
         let ellipsis = if mc.members.len() > 8 { ",…" } else { "" };
-        println!(
+        writeln!(
+            w,
             "{}\t{}\t{:.3}\t{:.4}\t{}{}",
             rank + 1,
             mc.cardinality(),
@@ -146,19 +176,33 @@ fn report(out: &McCatchOutput, labels: &[String], cli: &Cli) {
             mc.bridge_length,
             members.join(","),
             ellipsis
-        );
+        )?;
     }
     if cli.show_points {
-        println!();
-        println!("point\tscore\toutlier");
+        writeln!(w)?;
+        writeln!(w, "point\tscore\toutlier")?;
         for (i, s) in out.point_scores.iter().enumerate() {
-            println!("{}\t{:.4}\t{}", labels[i], s, out.is_outlier(i as u32));
+            writeln!(w, "{}\t{:.4}\t{}", labels[i], s, out.is_outlier(i as u32))?;
         }
+    }
+    Ok(())
+}
+
+/// A closed downstream pipe is a normal way for readers to stop
+/// consuming; everything else is a real reporting failure.
+fn print_report(out: &McCatchOutput, labels: &[String], cli: &Cli) -> Result<(), String> {
+    match report(out, labels, cli) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("stdout: {e}")),
     }
 }
 
 fn run() -> Result<(), String> {
     let cli = parse_cli()?;
+    // Validate hyperparameters before reading any data: typed errors from
+    // the builder, rendered as ordinary CLI failures.
+    let detector = McCatch::new(cli.params.clone()).map_err(|e| e.to_string())?;
     let text = read_input(&cli.input)?;
     match cli.mode.as_str() {
         "csv" => {
@@ -167,8 +211,11 @@ fn run() -> Result<(), String> {
                 return Err("no data points found".to_owned());
             }
             let labels: Vec<String> = (0..points.len()).map(|i| i.to_string()).collect();
-            let out = detect_vectors(&points, &cli.params);
-            report(&out, &labels, &cli);
+            let kd = KdTreeBuilder::default();
+            let fitted = detector
+                .fit(&points, &Euclidean, &kd)
+                .map_err(|e| e.to_string())?;
+            print_report(&fitted.detect(), &labels, &cli)?;
         }
         "lines" => {
             let lines: Vec<String> = text
@@ -180,8 +227,11 @@ fn run() -> Result<(), String> {
             if lines.is_empty() {
                 return Err("no lines found".to_owned());
             }
-            let out = detect_metric(&lines, &Levenshtein, &cli.params);
-            report(&out, &lines, &cli);
+            let slim = SlimTreeBuilder::default();
+            let fitted = detector
+                .fit(&lines, &Levenshtein, &slim)
+                .map_err(|e| e.to_string())?;
+            print_report(&fitted.detect(), &lines, &cli)?;
         }
         other => return Err(format!("unknown mode: {other} (use csv|lines)")),
     }
@@ -205,10 +255,7 @@ mod tests {
     #[test]
     fn parse_csv_commas_and_whitespace() {
         let pts = parse_csv("1.0, 2.0\n3.0\t4.0\n# comment\n\n5;6\n").unwrap();
-        assert_eq!(
-            pts,
-            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]
-        );
+        assert_eq!(pts, vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
     }
 
     #[test]
@@ -225,5 +272,22 @@ mod tests {
     #[test]
     fn parse_csv_empty_is_ok_but_empty() {
         assert!(parse_csv("# only comments\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn top_zero_means_all() {
+        assert_eq!(effective_top(0, 37), 37);
+        assert_eq!(effective_top(5, 37), 5);
+        assert_eq!(effective_top(50, 37), 50); // take() clamps anyway
+    }
+
+    #[test]
+    fn invalid_params_become_cli_errors_not_panics() {
+        let bad = Params {
+            num_radii: 1,
+            ..Params::default()
+        };
+        let err = McCatch::new(bad).unwrap_err().to_string();
+        assert!(err.contains("num_radii"), "{err}");
     }
 }

@@ -26,10 +26,13 @@ pub struct Cutoff {
 /// and per-value absolute deviation from the average, each under the
 /// universal integer code, with "+1"s guarding zeros.
 pub fn compression_cost(values: &[u64]) -> f64 {
-    assert!(!values.is_empty(), "cost of an empty partition is undefined");
+    assert!(
+        !values.is_empty(),
+        "cost of an empty partition is undefined"
+    );
     let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
-    let mut cost = universal_code_length(values.len() as u64)
-        + universal_code_length(1 + mean.ceil() as u64);
+    let mut cost =
+        universal_code_length(values.len() as u64) + universal_code_length(1 + mean.ceil() as u64);
     for &v in values {
         let dev = (v as f64 - mean).abs().ceil() as u64;
         cost += universal_code_length(1 + dev);
@@ -60,8 +63,7 @@ pub fn compute_cutoff(histogram: &[u64], radii: &[f64]) -> Cutoff {
     let a = histogram.len();
     let mut best: Option<(f64, usize)> = None;
     for cut in (mode + 1)..a {
-        let cost =
-            compression_cost(&histogram[mode..cut]) + compression_cost(&histogram[cut..a]);
+        let cost = compression_cost(&histogram[mode..cut]) + compression_cost(&histogram[cut..a]);
         // Strict less-than: earliest minimizing cut wins, deterministic.
         if best.is_none_or(|(bc, _)| cost < bc) {
             best = Some((cost, cut));

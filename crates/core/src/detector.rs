@@ -1,0 +1,652 @@
+//! The staged, reusable MCCATCH detector: configure once, fit once,
+//! detect (and score new points) many times.
+//!
+//! The legacy free function [`crate::pipeline::mccatch`] rebuilds the
+//! metric tree on every call — fine for a one-shot analysis, wasteful for
+//! a service answering many detection or scoring requests over the same
+//! reference dataset. This module splits the pipeline at its natural
+//! seams:
+//!
+//! 1. **Configure** — [`McCatch::builder`] validates hyperparameters and
+//!    returns configuration errors as [`McCatchError`] values instead of
+//!    panicking.
+//! 2. **Fit** — [`McCatch::fit`] runs Alg. 1 step I exactly once: build
+//!    the tree, estimate the diameter, derive the radius grid.
+//! 3. **Detect / serve** — the [`Fitted`] handle exposes the full
+//!    pipeline ([`Fitted::detect`]), the lazily computed intermediate
+//!    artifacts ([`Fitted::oracle`], [`Fitted::cutoff`]) for
+//!    observability, and [`Fitted::score_points`] to rank *new* points
+//!    against the fitted reference set — the serving path.
+//!
+//! Everything downstream of `fit` is deterministic and cached, so calling
+//! [`Fitted::detect`] twice is both cheap (the joins run once) and
+//! bit-identical to two independent legacy `mccatch()` runs.
+//!
+//! ```
+//! use mccatch_core::McCatch;
+//! use mccatch_index::KdTreeBuilder;
+//! use mccatch_metric::Euclidean;
+//!
+//! let mut points: Vec<Vec<f64>> = (0..100)
+//!     .map(|i| vec![(i % 10) as f64 * 0.1, (i / 10) as f64 * 0.1])
+//!     .collect();
+//! points.push(vec![30.0, 30.0]);
+//!
+//! let detector = McCatch::builder().build()?;
+//! let kd = KdTreeBuilder::default();
+//! let fitted = detector.fit(&points, &Euclidean, &kd)?;
+//!
+//! let out = fitted.detect();
+//! assert!(out.is_outlier(100));
+//!
+//! // Serving path: rank held-out points against the fitted reference.
+//! let scores = fitted.score_points(&[vec![0.35, 0.35], vec![-20.0, 40.0]]);
+//! assert!(scores[1] > scores[0]);
+//! # Ok::<(), mccatch_core::McCatchError>(())
+//! ```
+
+use crate::counts::count_neighbors;
+use crate::cutoff::{compute_cutoff, Cutoff};
+use crate::error::McCatchError;
+use crate::gel::{spot_microclusters, SpottedMcs};
+use crate::oracle::OraclePlot;
+use crate::params::{Params, RadiusGrid, Resolved};
+use crate::result::{McCatchOutput, Microcluster, RunStats};
+use crate::score::{complement_of_sorted, score_microclusters, McScores};
+use mccatch_index::{IndexBuilder, RangeIndex};
+use mccatch_metric::{universal_code_length_f64, Metric};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Step-by-step construction of a validated [`McCatch`] detector.
+///
+/// Unset knobs keep the paper's hands-off defaults (`a = 15`, `b = 0.1`,
+/// `c = ⌈n·0.1⌉`, all cores).
+#[derive(Debug, Clone, Default)]
+pub struct McCatchBuilder {
+    params: Params,
+}
+
+impl McCatchBuilder {
+    /// Number of neighborhood radii `a` (paper default 15; must be ≥ 2).
+    pub fn num_radii(mut self, a: usize) -> Self {
+        self.params.num_radii = a;
+        self
+    }
+
+    /// Maximum plateau slope `b` (paper default 0.1; must be ≥ 0).
+    pub fn max_plateau_slope(mut self, b: f64) -> Self {
+        self.params.max_plateau_slope = b;
+        self
+    }
+
+    /// Absolute maximum microcluster cardinality `c` (clamped to ≥ 1 at
+    /// resolution, matching the paper's derived default). Without this
+    /// call, `c` defaults to the paper's `⌈n · 0.1⌉`.
+    pub fn max_mc_cardinality(mut self, c: usize) -> Self {
+        self.params.max_mc_cardinality = Some(c);
+        self
+    }
+
+    /// Worker threads for the counting joins; 0 (default) means all
+    /// available cores. Thread count never changes results.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.params.threads = threads;
+        self
+    }
+
+    /// Replaces the whole parameter set at once.
+    pub fn params(mut self, params: Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Validates the configuration and builds the detector.
+    pub fn build(self) -> Result<McCatch, McCatchError> {
+        McCatch::new(self.params)
+    }
+}
+
+/// A validated MCCATCH configuration, ready to [`fit`](McCatch::fit)
+/// datasets. Construction is the only place hyperparameters are checked;
+/// everything downstream is infallible on the parameter side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McCatch {
+    params: Params,
+}
+
+impl McCatch {
+    /// Starts a builder with the paper's defaults.
+    pub fn builder() -> McCatchBuilder {
+        McCatchBuilder::default()
+    }
+
+    /// Validates `params` and builds the detector.
+    pub fn new(params: Params) -> Result<Self, McCatchError> {
+        params.validate()?;
+        Ok(Self { params })
+    }
+
+    /// The validated hyperparameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Runs Alg. 1 step I once: builds the index over `points`, estimates
+    /// the diameter, and derives the radius grid. The returned [`Fitted`]
+    /// handle borrows `points`, `metric`, and `index_builder` and serves
+    /// any number of [`detect`](Fitted::detect) /
+    /// [`score_points`](Fitted::score_points) calls.
+    pub fn fit<'a, P, M, B>(
+        &self,
+        points: &'a [P],
+        metric: &'a M,
+        index_builder: &'a B,
+    ) -> Result<Fitted<'a, P, M, B>, McCatchError>
+    where
+        P: Sync,
+        M: Metric<P>,
+        B: IndexBuilder<P, M>,
+    {
+        let resolved = self.params.try_resolve(points.len())?;
+        let t0 = Instant::now();
+        let tree = index_builder.build_all(points, metric);
+        let diameter = tree.diameter_estimate();
+        let grid = RadiusGrid::new(diameter, resolved.a);
+        let t_build = t0.elapsed();
+        Ok(Fitted {
+            points,
+            metric,
+            index_builder,
+            resolved,
+            tree,
+            grid,
+            t_build,
+            oracle: OnceLock::new(),
+            cutoff: OnceLock::new(),
+            spotted: OnceLock::new(),
+            scored: OnceLock::new(),
+            inlier_tree: OnceLock::new(),
+        })
+    }
+}
+
+/// Timings of the lazily computed Oracle plot.
+#[derive(Debug, Clone, Copy)]
+struct OracleTimings {
+    t_count: Duration,
+    t_plateaus: Duration,
+}
+
+/// A detector fitted to a reference dataset: the tree, diameter estimate,
+/// and radius grid are built once; the Oracle plot, cutoff, and spotted
+/// microclusters are computed lazily on first use and cached.
+///
+/// Obtained from [`McCatch::fit`]. All accessors are `&self`; the handle
+/// is `Sync` whenever the point type is, so one fitted detector can serve
+/// concurrent readers.
+pub struct Fitted<'a, P, M, B>
+where
+    P: Sync,
+    M: Metric<P>,
+    B: IndexBuilder<P, M>,
+{
+    points: &'a [P],
+    metric: &'a M,
+    index_builder: &'a B,
+    resolved: Resolved,
+    tree: B::Index<'a>,
+    grid: RadiusGrid,
+    t_build: Duration,
+    #[allow(clippy::type_complexity)]
+    oracle: OnceLock<(OraclePlot, Vec<usize>, OracleTimings)>,
+    cutoff: OnceLock<Cutoff>,
+    spotted: OnceLock<(SpottedMcs, Duration)>,
+    scored: OnceLock<(Vec<Microcluster>, McScores, Duration)>,
+    inlier_tree: OnceLock<Option<B::Index<'a>>>,
+}
+
+impl<'a, P, M, B> Fitted<'a, P, M, B>
+where
+    P: Sync,
+    M: Metric<P>,
+    B: IndexBuilder<P, M>,
+{
+    /// The reference dataset this detector was fitted to.
+    pub fn points(&self) -> &'a [P] {
+        self.points
+    }
+
+    /// Number of reference points `n`.
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The diameter estimate `l` (Alg. 1 line 2).
+    pub fn diameter(&self) -> f64 {
+        self.grid.diameter()
+    }
+
+    /// The radius grid `R = {l/2^(a-1), …, l}` (Alg. 1 line 3).
+    pub fn radii(&self) -> &[f64] {
+        self.grid.radii()
+    }
+
+    /// The resolved hyperparameters (`c` and `threads` made absolute).
+    pub fn resolved(&self) -> Resolved {
+        self.resolved
+    }
+
+    /// Whether the fitted dataset has no usable geometry: empty, a single
+    /// point, or all points identical (zero diameter). Degenerate fits
+    /// report no microclusters and all-zero scores.
+    pub fn is_degenerate(&self) -> bool {
+        self.points.is_empty() || self.grid.is_degenerate()
+    }
+
+    /// The Oracle plot (Alg. 2): per point, 1NN Distance `x` vs Group 1NN
+    /// Distance `y`. Computed on first call (the expensive counting
+    /// joins), cached afterwards.
+    pub fn oracle(&self) -> &OraclePlot {
+        &self.oracle_entry().0
+    }
+
+    /// Active-set sizes before each counting join — the sparse-focused
+    /// principle's diagnostic (length `a - 1`).
+    pub fn active_per_radius(&self) -> &[usize] {
+        &self.oracle_entry().1
+    }
+
+    /// The MDL cutoff `d` (Def. 6) over the histogram of 1NN distances.
+    /// Lazily computed; `d` is infinite when no cut splits the histogram
+    /// (degenerate or structureless data).
+    pub fn cutoff(&self) -> &Cutoff {
+        self.cutoff.get_or_init(|| {
+            if self.is_degenerate() {
+                Cutoff {
+                    cut_index: None,
+                    d: f64::INFINITY,
+                    mode_index: None,
+                }
+            } else {
+                compute_cutoff(self.oracle().histogram(), self.grid.radii())
+            }
+        })
+    }
+
+    /// Runs the remaining pipeline (spot, gel, score — Alg. 3 and 4) and
+    /// assembles the full [`McCatchOutput`]. Every expensive stage runs
+    /// once and is cached: repeat calls only clone the cached artifacts.
+    /// Outputs are bit-identical on every call, and equal to what the
+    /// legacy one-shot [`crate::pipeline::mccatch`] returns for the same
+    /// data and parameters.
+    pub fn detect(&self) -> McCatchOutput {
+        let n = self.points.len();
+        if self.is_degenerate() {
+            let mut stats = RunStats {
+                t_build: self.t_build,
+                ..RunStats::default()
+            };
+            stats.t_total = self.t_build;
+            return McCatchOutput {
+                microclusters: Vec::new(),
+                point_scores: vec![0.0; n],
+                outliers: Vec::new(),
+                oracle: self.oracle().clone(),
+                cutoff: self.cutoff().clone(),
+                radii: self.grid.radii().to_vec(),
+                diameter: self.grid.diameter(),
+                stats,
+            };
+        }
+
+        let timings = self.oracle_entry().2;
+        let (spotted, t_spot) = self.spotted();
+        let (microclusters, scores, t_score) = self.scored();
+
+        let stats = RunStats {
+            t_build: self.t_build,
+            t_count: timings.t_count,
+            t_plateaus: timings.t_plateaus,
+            t_spot: *t_spot,
+            t_score: *t_score,
+            t_total: self.t_build + timings.t_count + timings.t_plateaus + *t_spot + *t_score,
+            active_per_radius: self.active_per_radius().to_vec(),
+        };
+        McCatchOutput {
+            microclusters: microclusters.clone(),
+            point_scores: scores.point_scores.clone(),
+            outliers: spotted.outliers.clone(),
+            oracle: self.oracle().clone(),
+            cutoff: self.cutoff().clone(),
+            radii: self.grid.radii().to_vec(),
+            diameter: self.grid.diameter(),
+            stats,
+        }
+    }
+
+    /// Scores *new* points against the fitted reference set — the serving
+    /// path. Each query gets the paper's per-point score `⟨1 + g/r₁⟩`
+    /// (Alg. 4 lines 21–24), where `g` is the query's distance to its
+    /// nearest reference **inlier**, quantized down to the radius grid
+    /// exactly like the in-run outlier scores. A query that coincides
+    /// with a reference inlier scores 0; queries far from every inlier —
+    /// including ones sitting on a known microcluster — score high.
+    ///
+    /// Does not modify the fit: queries are not added to the reference
+    /// set. Degenerate fits score everything 0.
+    pub fn score_points(&self, queries: &[P]) -> Vec<f64> {
+        if self.is_degenerate() {
+            return vec![0.0; queries.len()];
+        }
+        let radii = self.grid.radii();
+        let r1 = radii[0];
+        let reference: &dyn RangeIndex<P> = match self.inlier_tree() {
+            // All reference points are outliers (tiny pathological fits):
+            // fall back to the full tree so scores stay meaningful.
+            None => &self.tree,
+            Some(t) => t,
+        };
+        queries
+            .iter()
+            .map(|q| {
+                let nn = reference.knn(q, 1);
+                let exact = nn.first().map_or(f64::INFINITY, |p| p.dist);
+                let g = quantize_down(exact, radii);
+                universal_code_length_f64(1.0 + g / r1)
+            })
+            .collect()
+    }
+
+    fn oracle_entry(&self) -> &(OraclePlot, Vec<usize>, OracleTimings) {
+        self.oracle.get_or_init(|| {
+            if self.is_degenerate() {
+                // Mirror the legacy degenerate branch: an empty counting
+                // pass so the plot is well-formed with all-zero entries.
+                let table = count_neighbors(&self.tree, self.points, self.grid.radii(), 0, 1);
+                let plot = OraclePlot::from_counts(
+                    &table,
+                    self.grid.radii(),
+                    self.resolved.b,
+                    self.resolved.c,
+                );
+                let timings = OracleTimings {
+                    t_count: Duration::default(),
+                    t_plateaus: Duration::default(),
+                };
+                return (plot, table.active_per_radius, timings);
+            }
+            let t0 = Instant::now();
+            let table = count_neighbors(
+                &self.tree,
+                self.points,
+                self.grid.radii(),
+                self.resolved.c,
+                self.resolved.threads,
+            );
+            let t_count = t0.elapsed();
+            let t0 = Instant::now();
+            let plot = OraclePlot::from_counts(
+                &table,
+                self.grid.radii(),
+                self.resolved.b,
+                self.resolved.c,
+            );
+            let t_plateaus = t0.elapsed();
+            (
+                plot,
+                table.active_per_radius,
+                OracleTimings {
+                    t_count,
+                    t_plateaus,
+                },
+            )
+        })
+    }
+
+    fn spotted(&self) -> &(SpottedMcs, Duration) {
+        self.spotted.get_or_init(|| {
+            let t0 = Instant::now();
+            let spotted = spot_microclusters(
+                self.points,
+                self.metric,
+                self.index_builder,
+                self.oracle(),
+                self.cutoff(),
+                self.grid.radii(),
+            );
+            (spotted, t0.elapsed())
+        })
+    }
+
+    /// Step IV (Alg. 4), run once: scores plus the ranked microcluster
+    /// list. Later `detect()` calls only clone the cached results.
+    fn scored(&self) -> &(Vec<Microcluster>, McScores, Duration) {
+        self.scored.get_or_init(|| {
+            let (spotted, _) = self.spotted();
+            let t0 = Instant::now();
+            let scores = score_microclusters(
+                self.points,
+                self.metric,
+                self.index_builder,
+                &spotted.clusters,
+                &spotted.outliers,
+                self.oracle(),
+                self.grid.radii(),
+                self.resolved.threads,
+            );
+            let t_score = t0.elapsed();
+
+            // Rank most-strange-first (Probl. 1); deterministic tie-breaks.
+            let mut microclusters: Vec<Microcluster> = spotted
+                .clusters
+                .iter()
+                .cloned()
+                .zip(scores.mc_scores.iter().copied())
+                .zip(scores.bridges.iter().copied())
+                .zip(scores.mean_1nn.iter().copied())
+                .map(
+                    |(((members, score), bridge_length), mean_1nn)| Microcluster {
+                        members,
+                        score,
+                        bridge_length,
+                        mean_1nn,
+                    },
+                )
+                .collect();
+            microclusters.sort_by(|x, y| {
+                y.score
+                    .total_cmp(&x.score)
+                    .then(x.members.len().cmp(&y.members.len()))
+                    .then(x.members[0].cmp(&y.members[0]))
+            });
+            (microclusters, scores, t_score)
+        })
+    }
+
+    /// The index over the reference inliers, built lazily for the serving
+    /// path; `None` when every reference point is an outlier.
+    fn inlier_tree(&self) -> Option<&B::Index<'a>> {
+        self.inlier_tree
+            .get_or_init(|| {
+                let outliers = &self.spotted().0.outliers;
+                let inliers = complement_of_sorted(self.points.len(), outliers);
+                if inliers.is_empty() {
+                    None
+                } else {
+                    Some(self.index_builder.build(self.points, inliers, self.metric))
+                }
+            })
+            .as_ref()
+    }
+}
+
+/// Quantizes an exact nearest-inlier distance down to the radius grid the
+/// way Alg. 4 lines 1–12 do for in-run outliers: the largest grid radius
+/// at which the inlier neighborhood is still empty (`r_0 = 0`; capped at
+/// `r_a` when even the largest radius finds no inlier).
+fn quantize_down(exact: f64, radii: &[f64]) -> f64 {
+    let a = radii.len();
+    for (k, &r) in radii.iter().enumerate() {
+        if r >= exact {
+            return if k == 0 { 0.0 } else { radii[k - 1] };
+        }
+    }
+    radii[a - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccatch_index::{BruteForceBuilder, SlimTreeBuilder};
+    use mccatch_metric::{Euclidean, Levenshtein};
+
+    fn blob_with_strays() -> Vec<Vec<f64>> {
+        let mut pts: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 20) as f64 * 0.1, (i / 20) as f64 * 0.1])
+            .collect();
+        pts.push(vec![30.0, 30.0]);
+        pts.push(vec![30.1, 30.0]);
+        pts.push(vec![-40.0, 15.0]);
+        pts
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(McCatch::builder().build().is_ok());
+        assert_eq!(
+            McCatch::builder().num_radii(1).build().unwrap_err(),
+            McCatchError::InvalidNumRadii { got: 1 }
+        );
+        assert!(matches!(
+            McCatch::builder().max_plateau_slope(-2.0).build(),
+            Err(McCatchError::InvalidSlope { .. })
+        ));
+        // Explicit c = 0 is clamped at resolution (seed-compatible), not
+        // rejected: the legacy shims accepted it and must keep doing so.
+        assert!(McCatch::builder().max_mc_cardinality(0).build().is_ok());
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let det = McCatch::builder()
+            .num_radii(9)
+            .max_plateau_slope(0.2)
+            .max_mc_cardinality(7)
+            .threads(2)
+            .build()
+            .unwrap();
+        assert_eq!(
+            det.params(),
+            &Params {
+                num_radii: 9,
+                max_plateau_slope: 0.2,
+                max_mc_cardinality: Some(7),
+                threads: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn detect_twice_is_identical() {
+        let pts = blob_with_strays();
+        let det = McCatch::builder().build().unwrap();
+        let slim = SlimTreeBuilder::default();
+        let fitted = det.fit(&pts, &Euclidean, &slim).unwrap();
+        let a = fitted.detect();
+        let b = fitted.detect();
+        assert_eq!(a.outliers, b.outliers);
+        assert_eq!(a.point_scores, b.point_scores);
+        assert_eq!(a.microclusters, b.microclusters);
+    }
+
+    #[test]
+    fn lazy_artifacts_match_detect_output() {
+        let pts = blob_with_strays();
+        let det = McCatch::builder().build().unwrap();
+        let brute = BruteForceBuilder;
+        let fitted = det.fit(&pts, &Euclidean, &brute).unwrap();
+        // Observability accessors before any detect() call.
+        assert!(fitted.cutoff().d.is_finite());
+        assert_eq!(fitted.oracle().points().len(), pts.len());
+        let out = fitted.detect();
+        assert_eq!(out.cutoff, *fitted.cutoff());
+        assert_eq!(out.radii, fitted.radii());
+        assert_eq!(out.stats.active_per_radius, fitted.active_per_radius());
+    }
+
+    #[test]
+    fn score_points_ranks_outlier_queries_high() {
+        let pts = blob_with_strays();
+        let det = McCatch::builder().build().unwrap();
+        let slim = SlimTreeBuilder::default();
+        let fitted = det.fit(&pts, &Euclidean, &slim).unwrap();
+        let scores = fitted.score_points(&[
+            vec![0.55, 0.55],   // inside the blob
+            vec![-40.0, -40.0], // far from everything
+            vec![30.05, 30.0],  // on the known microcluster
+        ]);
+        assert!(scores[1] > scores[0], "{scores:?}");
+        assert!(scores[2] > scores[0], "{scores:?}");
+    }
+
+    #[test]
+    fn score_points_matches_in_run_scores_for_reference_points() {
+        let pts = blob_with_strays();
+        let det = McCatch::builder().build().unwrap();
+        let slim = SlimTreeBuilder::default();
+        let fitted = det.fit(&pts, &Euclidean, &slim).unwrap();
+        let out = fitted.detect();
+        // Outlier queries that *are* reference outliers reproduce their
+        // in-run per-point scores (same g quantization, same formula).
+        for &i in &out.outliers {
+            let q = fitted.score_points(std::slice::from_ref(&pts[i as usize]));
+            assert_eq!(q[0], out.point_scores[i as usize], "point {i}");
+        }
+    }
+
+    #[test]
+    fn degenerate_fits_are_well_formed() {
+        let det = McCatch::builder().build().unwrap();
+        let slim = SlimTreeBuilder::default();
+
+        let empty: Vec<Vec<f64>> = Vec::new();
+        let fitted = det.fit(&empty, &Euclidean, &slim).unwrap();
+        assert!(fitted.is_degenerate());
+        let out = fitted.detect();
+        assert!(out.microclusters.is_empty());
+        assert_eq!(fitted.score_points(&[vec![1.0, 1.0]]), vec![0.0]);
+
+        let same = vec![vec![5.0, 5.0]; 40];
+        let fitted = det.fit(&same, &Euclidean, &slim).unwrap();
+        assert!(fitted.is_degenerate());
+        assert_eq!(fitted.detect().point_scores, vec![0.0; 40]);
+    }
+
+    #[test]
+    fn nondimensional_fit_and_score() {
+        let mut words: Vec<String> = ["smith", "smyth", "smithe", "smit", "smiths", "smythe"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        words.push("xylophonist".into());
+        let det = McCatch::builder().build().unwrap();
+        let slim = SlimTreeBuilder::default();
+        let fitted = det.fit(&words, &Levenshtein, &slim).unwrap();
+        let out = fitted.detect();
+        assert!(out.is_outlier(6));
+        let scores = fitted.score_points(&["smyths".to_string(), "zzzzzzzzzzzz".to_string()]);
+        assert!(scores[1] > scores[0], "{scores:?}");
+    }
+
+    #[test]
+    fn quantize_down_matches_alg4_convention() {
+        let radii = [1.0, 2.0, 4.0, 8.0];
+        assert_eq!(quantize_down(0.0, &radii), 0.0);
+        assert_eq!(quantize_down(0.5, &radii), 0.0); // within r_1 -> r_0 = 0
+        assert_eq!(quantize_down(1.5, &radii), 1.0);
+        assert_eq!(quantize_down(4.0, &radii), 2.0); // inclusive counts
+        assert_eq!(quantize_down(5.0, &radii), 4.0);
+        assert_eq!(quantize_down(100.0, &radii), 8.0); // beyond the grid
+    }
+}

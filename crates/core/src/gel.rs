@@ -131,8 +131,7 @@ mod tests {
         let table = count_neighbors(&tree, pts, grid.radii(), 7, 1);
         let oracle = OraclePlot::from_counts(&table, grid.radii(), 0.1, 7);
         let cut = compute_cutoff(oracle.histogram(), grid.radii());
-        let spotted =
-            spot_microclusters(pts, &Euclidean, &builder, &oracle, &cut, grid.radii());
+        let spotted = spot_microclusters(pts, &Euclidean, &builder, &oracle, &cut, grid.radii());
         (spotted, cut)
     }
 

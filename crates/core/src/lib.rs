@@ -26,8 +26,13 @@
 //!
 //! ## Quick start
 //!
+//! Configuration is validated up front ([`McCatch::builder`] returns
+//! [`McCatchError`] values, never panics), fitting builds the tree and
+//! radius grid once, and the [`Fitted`] handle answers any number of
+//! detection and scoring requests:
+//!
 //! ```
-//! use mccatch_core::{mccatch, Params};
+//! use mccatch_core::McCatch;
 //! use mccatch_index::SlimTreeBuilder;
 //! use mccatch_metric::Euclidean;
 //!
@@ -39,14 +44,25 @@
 //! points.push(vec![30.1, 30.0]);
 //! points.push(vec![-40.0, 15.0]);
 //!
-//! let out = mccatch(&points, &Euclidean, &SlimTreeBuilder::default(), &Params::default());
+//! let slim = SlimTreeBuilder::default();
+//! let fitted = McCatch::builder().build()?.fit(&points, &Euclidean, &slim)?;
+//! let out = fitted.detect();
 //! assert!(out.is_outlier(100) && out.is_outlier(101) && out.is_outlier(102));
 //! // The two strays gel into one 2-point microcluster.
 //! assert_eq!(out.cluster_of(100).unwrap().cardinality(), 2);
+//! // Serving path: rank new points against the fitted reference set.
+//! let scores = fitted.score_points(&[vec![0.5, 0.5], vec![25.0, -30.0]]);
+//! assert!(scores[1] > scores[0]);
+//! # Ok::<(), mccatch_core::McCatchError>(())
 //! ```
+//!
+//! The one-shot [`mccatch`] free function from earlier releases is kept
+//! as a deprecated shim over the staged API.
 
 pub mod counts;
 pub mod cutoff;
+pub mod detector;
+pub mod error;
 pub mod gel;
 pub mod oracle;
 pub mod params;
@@ -57,8 +73,11 @@ pub mod score;
 pub mod unionfind;
 
 pub use cutoff::{compression_cost, compute_cutoff, Cutoff};
+pub use detector::{Fitted, McCatch, McCatchBuilder};
+pub use error::McCatchError;
 pub use oracle::{OraclePlot, OraclePoint};
 pub use params::{Params, RadiusGrid, Resolved};
+#[allow(deprecated)]
 pub use pipeline::mccatch;
 pub use result::{McCatchOutput, Microcluster, RunStats};
 pub use score::def7_score;

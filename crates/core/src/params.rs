@@ -4,6 +4,8 @@
 //! tuning: `a = 15`, `b = 0.1`, `c = ⌈n · 0.1⌉` were used in every
 //! experiment, and Fig. 9 shows accuracy is flat in their neighborhood.
 
+use crate::error::McCatchError;
+
 /// MCCATCH hyperparameters with the paper's defaults.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Params {
@@ -33,22 +35,30 @@ impl Default for Params {
 }
 
 impl Params {
-    /// Validates and resolves derived values for a dataset of `n` elements.
+    /// Checks the hyperparameter invariants without touching any data:
+    /// `num_radii ≥ 2` and `max_plateau_slope ≥ 0` (and not NaN).
     ///
-    /// # Panics
-    /// Panics if `num_radii < 2` or `max_plateau_slope` is negative/NaN —
-    /// both are programming errors, not data conditions.
-    pub fn resolve(&self, n: usize) -> Resolved {
-        assert!(
-            self.num_radii >= 2,
-            "num_radii (a) must be at least 2, got {}",
-            self.num_radii
-        );
-        assert!(
-            self.max_plateau_slope >= 0.0,
-            "max_plateau_slope (b) must be non-negative, got {}",
-            self.max_plateau_slope
-        );
+    /// An explicit `max_mc_cardinality` of 0 is *not* an error: it is
+    /// clamped to 1 during resolution, exactly as the pre-staged-API
+    /// releases did — the compatibility shims must keep their behavior.
+    pub fn validate(&self) -> Result<(), McCatchError> {
+        if self.num_radii < 2 {
+            return Err(McCatchError::InvalidNumRadii {
+                got: self.num_radii,
+            });
+        }
+        if self.max_plateau_slope.is_nan() || self.max_plateau_slope < 0.0 {
+            return Err(McCatchError::InvalidSlope {
+                got: self.max_plateau_slope,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates and resolves derived values for a dataset of `n` elements,
+    /// reporting invalid hyperparameters as a [`McCatchError`] value.
+    pub fn try_resolve(&self, n: usize) -> Result<Resolved, McCatchError> {
+        self.validate()?;
         let c = self
             .max_mc_cardinality
             .unwrap_or_else(|| ((n as f64) * 0.1).ceil() as usize)
@@ -58,12 +68,22 @@ impl Params {
         } else {
             self.threads
         };
-        Resolved {
+        Ok(Resolved {
             a: self.num_radii,
             b: self.max_plateau_slope,
             c,
             threads,
-        }
+        })
+    }
+
+    /// Validates and resolves derived values for a dataset of `n` elements.
+    ///
+    /// # Panics
+    /// Panics if the parameters are invalid; prefer [`Params::try_resolve`],
+    /// which returns the failure as a [`McCatchError`].
+    #[deprecated(since = "0.2.0", note = "use `Params::try_resolve` instead")]
+    pub fn resolve(&self, n: usize) -> Resolved {
+        self.try_resolve(n).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -115,6 +135,11 @@ impl RadiusGrid {
         self.radii.len()
     }
 
+    /// Always false: a grid carries at least 2 radii by construction.
+    pub fn is_empty(&self) -> bool {
+        self.radii.is_empty()
+    }
+
     /// True when the grid is degenerate (zero diameter): every radius is 0.
     pub fn is_degenerate(&self) -> bool {
         self.diameter <= 0.0
@@ -135,9 +160,9 @@ mod tests {
 
     #[test]
     fn resolve_derives_c_as_ten_percent_ceil() {
-        let r = Params::default().resolve(1001);
+        let r = Params::default().try_resolve(1001).unwrap();
         assert_eq!(r.c, 101); // ceil(100.1)
-        let r = Params::default().resolve(10);
+        let r = Params::default().try_resolve(10).unwrap();
         assert_eq!(r.c, 1);
     }
 
@@ -147,22 +172,58 @@ mod tests {
             max_mc_cardinality: Some(42),
             ..Params::default()
         };
-        assert_eq!(p.resolve(1_000_000).c, 42);
+        assert_eq!(p.try_resolve(1_000_000).unwrap().c, 42);
     }
 
     #[test]
     fn resolve_clamps_c_to_one() {
-        let r = Params::default().resolve(0);
+        let r = Params::default().try_resolve(0).unwrap();
         assert_eq!(r.c, 1);
     }
 
     #[test]
-    #[should_panic(expected = "num_radii")]
-    fn resolve_rejects_single_radius() {
+    fn try_resolve_rejects_single_radius() {
         let p = Params {
             num_radii: 1,
             ..Params::default()
         };
+        assert_eq!(
+            p.try_resolve(10),
+            Err(crate::error::McCatchError::InvalidNumRadii { got: 1 })
+        );
+    }
+
+    #[test]
+    fn try_resolve_rejects_negative_and_nan_slope() {
+        for bad in [-0.1, f64::NAN] {
+            let p = Params {
+                max_plateau_slope: bad,
+                ..Params::default()
+            };
+            assert!(matches!(
+                p.try_resolve(10),
+                Err(crate::error::McCatchError::InvalidSlope { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn explicit_zero_cardinality_clamps_like_the_seed_releases() {
+        let p = Params {
+            max_mc_cardinality: Some(0),
+            ..Params::default()
+        };
+        assert_eq!(p.try_resolve(10).unwrap().c, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_radii")]
+    fn legacy_resolve_still_panics() {
+        let p = Params {
+            num_radii: 1,
+            ..Params::default()
+        };
+        #[allow(deprecated)]
         let _ = p.resolve(10);
     }
 

@@ -1,4 +1,5 @@
-//! The end-to-end MCCATCH pipeline (Alg. 1).
+//! The end-to-end MCCATCH pipeline (Alg. 1) as a one-shot free function —
+//! a deprecated compatibility shim over the staged detector API.
 //!
 //! ```text
 //! I.   Build tree T; estimate diameter l; derive radii R.
@@ -7,126 +8,60 @@
 //! III. Compute the MDL cutoff d; spot and gel microclusters.
 //! IV.  Compute compression-based scores per microcluster and per point.
 //! ```
+//!
+//! Step I is the part worth reusing across runs; [`crate::McCatch`]
+//! splits it out. This module keeps the original entry point alive for
+//! existing callers: one call = configure + fit + detect.
 
-use crate::counts::count_neighbors;
-use crate::cutoff::{compute_cutoff, Cutoff};
-use crate::gel::spot_microclusters;
-use crate::oracle::OraclePlot;
-use crate::params::{Params, RadiusGrid};
-use crate::result::{McCatchOutput, Microcluster, RunStats};
-use crate::score::score_microclusters;
-use mccatch_index::{IndexBuilder, RangeIndex};
+use crate::detector::McCatch;
+use crate::params::Params;
+use crate::result::McCatchOutput;
+use mccatch_index::IndexBuilder;
 use mccatch_metric::Metric;
-use std::time::Instant;
 
 /// Runs MCCATCH over `points` with the given metric, index builder and
 /// hyperparameters. Deterministic: identical inputs produce identical
 /// outputs regardless of `params.threads`.
+///
+/// # Panics
+/// Panics if `params` is invalid. Prefer the staged API, which reports
+/// configuration problems as [`crate::McCatchError`] values and reuses
+/// the fitted tree across detections:
+///
+/// ```
+/// # use mccatch_core::{McCatch, Params};
+/// # use mccatch_index::BruteForceBuilder;
+/// # use mccatch_metric::Euclidean;
+/// # let points = vec![vec![0.0], vec![1.0], vec![50.0]];
+/// let fitted = McCatch::builder()
+///     .build()?
+///     .fit(&points, &Euclidean, &BruteForceBuilder)?;
+/// let out = fitted.detect();
+/// # Ok::<(), mccatch_core::McCatchError>(())
+/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `McCatch::builder().build()?.fit(points, metric, builder)?.detect()`"
+)]
 pub fn mccatch<P, M, B>(points: &[P], metric: &M, builder: &B, params: &Params) -> McCatchOutput
 where
     P: Sync,
     M: Metric<P>,
     B: IndexBuilder<P, M>,
 {
-    let t_start = Instant::now();
-    let n = points.len();
-    let resolved = params.resolve(n);
-    let mut stats = RunStats::default();
-
-    // ---- Step I: tree, diameter, radii (Alg. 1 lines 1-3) ----
-    let t0 = Instant::now();
-    let tree = builder.build_all(points, metric);
-    let diameter = tree.diameter_estimate();
-    let grid = RadiusGrid::new(diameter, resolved.a);
-    stats.t_build = t0.elapsed();
-
-    // Degenerate data (empty, single point, or all-identical points): no
-    // geometry to analyse — report no microclusters, zero scores.
-    if n == 0 || grid.is_degenerate() {
-        stats.t_total = t_start.elapsed();
-        let empty_table = count_neighbors(&tree, points, grid.radii(), 0, 1);
-        let oracle = OraclePlot::from_counts(&empty_table, grid.radii(), resolved.b, resolved.c);
-        return McCatchOutput {
-            microclusters: Vec::new(),
-            point_scores: vec![0.0; n],
-            outliers: Vec::new(),
-            oracle,
-            cutoff: Cutoff {
-                cut_index: None,
-                d: f64::INFINITY,
-                mode_index: None,
-            },
-            radii: grid.radii().to_vec(),
-            diameter,
-            stats,
-        };
-    }
-
-    // ---- Step II: Oracle plot (Alg. 2) ----
-    let t0 = Instant::now();
-    let table = count_neighbors(&tree, points, grid.radii(), resolved.c, resolved.threads);
-    stats.t_count = t0.elapsed();
-    stats.active_per_radius = table.active_per_radius.clone();
-    let t0 = Instant::now();
-    let oracle = OraclePlot::from_counts(&table, grid.radii(), resolved.b, resolved.c);
-    stats.t_plateaus = t0.elapsed();
-
-    // ---- Step III: cutoff + gelling (Alg. 3) ----
-    let t0 = Instant::now();
-    let cutoff = compute_cutoff(oracle.histogram(), grid.radii());
-    let spotted = spot_microclusters(points, metric, builder, &oracle, &cutoff, grid.radii());
-    stats.t_spot = t0.elapsed();
-
-    // ---- Step IV: scores (Alg. 4) ----
-    let t0 = Instant::now();
-    let scores = score_microclusters(
-        points,
-        metric,
-        builder,
-        &spotted.clusters,
-        &spotted.outliers,
-        &oracle,
-        grid.radii(),
-        resolved.threads,
-    );
-    stats.t_score = t0.elapsed();
-
-    // Rank most-strange-first (Probl. 1); deterministic tie-breaks.
-    let mut microclusters: Vec<Microcluster> = spotted
-        .clusters
-        .into_iter()
-        .zip(scores.mc_scores)
-        .zip(scores.bridges)
-        .zip(scores.mean_1nn)
-        .map(|(((members, score), bridge_length), mean_1nn)| Microcluster {
-            members,
-            score,
-            bridge_length,
-            mean_1nn,
-        })
-        .collect();
-    microclusters.sort_by(|x, y| {
-        y.score
-            .total_cmp(&x.score)
-            .then(x.members.len().cmp(&y.members.len()))
-            .then(x.members[0].cmp(&y.members[0]))
-    });
-
-    stats.t_total = t_start.elapsed();
-    McCatchOutput {
-        microclusters,
-        point_scores: scores.point_scores,
-        outliers: spotted.outliers,
-        oracle,
-        cutoff,
-        radii: grid.radii().to_vec(),
-        diameter,
-        stats,
-    }
+    let detector = McCatch::new(params.clone()).unwrap_or_else(|e| panic!("{e}"));
+    let fitted = detector
+        .fit(points, metric, builder)
+        .unwrap_or_else(|e| panic!("{e}"));
+    fitted.detect()
 }
 
 #[cfg(test)]
 mod tests {
+    // The legacy one-shot entry point must keep behaving exactly as it
+    // always has; these tests intentionally exercise the deprecated shim.
+    #![allow(deprecated)]
+
     use super::*;
     use mccatch_index::{BruteForceBuilder, KdTreeBuilder, SlimTreeBuilder};
     use mccatch_metric::{Euclidean, Levenshtein};
@@ -148,7 +83,10 @@ mod tests {
         // Microcluster: 8 points near (30, 30), spacing 0.08.
         let mc_start = pts.len() as u32;
         for k in 0..8 {
-            pts.push(vec![30.0 + 0.08 * (k % 4) as f64, 30.0 + 0.08 * (k / 4) as f64]);
+            pts.push(vec![
+                30.0 + 0.08 * (k % 4) as f64,
+                30.0 + 0.08 * (k / 4) as f64,
+            ]);
         }
         let mc: Vec<u32> = (mc_start..mc_start + 8).collect();
         // Halo of the microcluster 'D'.
@@ -162,7 +100,12 @@ mod tests {
     #[test]
     fn toy_scenario_end_to_end() {
         let (pts, mc, _, b, e) = fig3_points();
-        let out = mccatch(&pts, &Euclidean, &SlimTreeBuilder::default(), &Params::default());
+        let out = mccatch(
+            &pts,
+            &Euclidean,
+            &SlimTreeBuilder::default(),
+            &Params::default(),
+        );
         assert!(out.cutoff.d.is_finite());
         // The isolate and the halo point must be flagged.
         assert!(out.is_outlier(e), "isolate missed");
@@ -180,7 +123,12 @@ mod tests {
     #[test]
     fn ranking_is_most_strange_first() {
         let (pts, ..) = fig3_points();
-        let out = mccatch(&pts, &Euclidean, &SlimTreeBuilder::default(), &Params::default());
+        let out = mccatch(
+            &pts,
+            &Euclidean,
+            &SlimTreeBuilder::default(),
+            &Params::default(),
+        );
         for w in out.microclusters.windows(2) {
             assert!(w[0].score >= w[1].score);
         }
@@ -189,7 +137,12 @@ mod tests {
     #[test]
     fn outlier_points_score_higher_than_inliers() {
         let (pts, mc, _, _, e) = fig3_points();
-        let out = mccatch(&pts, &Euclidean, &SlimTreeBuilder::default(), &Params::default());
+        let out = mccatch(
+            &pts,
+            &Euclidean,
+            &SlimTreeBuilder::default(),
+            &Params::default(),
+        );
         let max_inlier = (0..200u32)
             .map(|i| out.point_scores[i as usize])
             .fold(f64::NEG_INFINITY, f64::max);
@@ -236,7 +189,12 @@ mod tests {
     #[test]
     fn empty_dataset() {
         let pts: Vec<Vec<f64>> = vec![];
-        let out = mccatch(&pts, &Euclidean, &SlimTreeBuilder::default(), &Params::default());
+        let out = mccatch(
+            &pts,
+            &Euclidean,
+            &SlimTreeBuilder::default(),
+            &Params::default(),
+        );
         assert!(out.microclusters.is_empty());
         assert!(out.point_scores.is_empty());
         assert_eq!(out.num_outliers(), 0);
@@ -245,7 +203,12 @@ mod tests {
     #[test]
     fn single_point_dataset() {
         let pts = vec![vec![1.0, 2.0]];
-        let out = mccatch(&pts, &Euclidean, &SlimTreeBuilder::default(), &Params::default());
+        let out = mccatch(
+            &pts,
+            &Euclidean,
+            &SlimTreeBuilder::default(),
+            &Params::default(),
+        );
         assert!(out.microclusters.is_empty());
         assert_eq!(out.point_scores, vec![0.0]);
     }
@@ -253,7 +216,12 @@ mod tests {
     #[test]
     fn identical_points_dataset() {
         let pts = vec![vec![5.0, 5.0]; 50];
-        let out = mccatch(&pts, &Euclidean, &SlimTreeBuilder::default(), &Params::default());
+        let out = mccatch(
+            &pts,
+            &Euclidean,
+            &SlimTreeBuilder::default(),
+            &Params::default(),
+        );
         assert!(out.microclusters.is_empty());
         assert!(out.point_scores.iter().all(|&s| s == 0.0));
         assert_eq!(out.diameter, 0.0);
@@ -262,7 +230,12 @@ mod tests {
     #[test]
     fn two_point_dataset() {
         let pts = vec![vec![0.0], vec![10.0]];
-        let out = mccatch(&pts, &Euclidean, &SlimTreeBuilder::default(), &Params::default());
+        let out = mccatch(
+            &pts,
+            &Euclidean,
+            &SlimTreeBuilder::default(),
+            &Params::default(),
+        );
         // With n = 2 everything is ambiguous; just require no panic and a
         // well-formed output.
         assert_eq!(out.point_scores.len(), 2);

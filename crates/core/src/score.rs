@@ -28,6 +28,22 @@ pub struct McScores {
     pub nearest_inlier_dist: Vec<f64>,
 }
 
+/// Ids in `0..n` not present in `sorted` (which must be ascending) —
+/// the inlier set as the complement of the outlier set. Shared by the
+/// scoring joins here and the serving path's inlier index.
+pub(crate) fn complement_of_sorted(n: usize, sorted: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(n - sorted.len());
+    let mut si = sorted.iter().peekable();
+    for i in 0..n as u32 {
+        if si.peek() == Some(&&i) {
+            si.next();
+        } else {
+            out.push(i);
+        }
+    }
+    out
+}
+
 /// Def. 7 applied to one microcluster.
 ///
 /// `t` is the transformation cost of the metric space; `r1` the smallest
@@ -75,18 +91,7 @@ where
     // Outliers: the largest radius with zero inlier neighbors, found by
     // joining the unresolved outliers against the inlier tree per radius,
     // smallest first (Alg. 4 lines 1-12). r_0 is defined as 0.
-    let inliers: Vec<u32> = {
-        let mut out = Vec::with_capacity(n - outliers.len());
-        let mut oi = outliers.iter().peekable();
-        for i in 0..n as u32 {
-            if oi.peek() == Some(&&i) {
-                oi.next();
-            } else {
-                out.push(i);
-            }
-        }
-        out
-    };
+    let inliers = complement_of_sorted(n, outliers);
     if !outliers.is_empty() && !inliers.is_empty() {
         let inlier_tree = builder.build(points, inliers, metric);
         let mut unresolved: Vec<u32> = outliers.to_vec();

@@ -5,10 +5,24 @@
 //! rotation of vector data), must be deterministic, and must produce a
 //! well-formed partition of the outlier set regardless of input geometry.
 
-use mccatch_core::{mccatch, Params};
-use mccatch_index::{BruteForceBuilder, KdTreeBuilder};
+use mccatch_core::{McCatch, McCatchOutput, Params};
+use mccatch_index::{BruteForceBuilder, IndexBuilder, KdTreeBuilder};
 use mccatch_metric::Euclidean;
 use proptest::prelude::*;
+
+/// The staged API, one-shot: the property suite runs through the same
+/// builder/fit/detect path the production callers use.
+fn run<B: IndexBuilder<Vec<f64>, Euclidean>>(
+    pts: &[Vec<f64>],
+    builder: &B,
+    params: &Params,
+) -> McCatchOutput {
+    McCatch::new(params.clone())
+        .expect("valid params")
+        .fit(pts, &Euclidean, builder)
+        .expect("fit")
+        .detect()
+}
 
 /// Random small dataset: a few dense blobs plus a few free points, so
 /// interesting structure appears with high probability.
@@ -44,8 +58,8 @@ proptest! {
     #[test]
     fn deterministic_across_runs(pts in dataset()) {
         let p = Params::default();
-        let a = mccatch(&pts, &Euclidean, &BruteForceBuilder, &p);
-        let b = mccatch(&pts, &Euclidean, &BruteForceBuilder, &p);
+        let a = run(&pts, &BruteForceBuilder, &p);
+        let b = run(&pts, &BruteForceBuilder, &p);
         prop_assert_eq!(a.outliers, b.outliers);
         prop_assert_eq!(a.point_scores, b.point_scores);
     }
@@ -53,12 +67,12 @@ proptest! {
     #[test]
     fn scale_invariant_decisions(pts in dataset(), scale in 0.01..100.0f64) {
         let p = Params::default();
-        let a = mccatch(&pts, &Euclidean, &BruteForceBuilder, &p);
+        let a = run(&pts, &BruteForceBuilder, &p);
         let scaled: Vec<Vec<f64>> = pts
             .iter()
             .map(|q| q.iter().map(|x| x * scale).collect())
             .collect();
-        let b = mccatch(&scaled, &Euclidean, &BruteForceBuilder, &p);
+        let b = run(&scaled, &BruteForceBuilder, &p);
         // The radius grid scales with the diameter, so every decision —
         // histogram bins, cutoff index, outlier flags — is scale-free.
         prop_assert_eq!(&a.outliers, &b.outliers);
@@ -68,18 +82,18 @@ proptest! {
     #[test]
     fn translation_invariant_decisions(pts in dataset(), dx in -1e4..1e4f64, dy in -1e4..1e4f64) {
         let p = Params::default();
-        let a = mccatch(&pts, &Euclidean, &BruteForceBuilder, &p);
+        let a = run(&pts, &BruteForceBuilder, &p);
         let moved: Vec<Vec<f64>> = pts
             .iter()
             .map(|q| vec![q[0] + dx, q[1] + dy])
             .collect();
-        let b = mccatch(&moved, &Euclidean, &BruteForceBuilder, &p);
+        let b = run(&moved, &BruteForceBuilder, &p);
         prop_assert_eq!(&a.outliers, &b.outliers);
     }
 
     #[test]
     fn microclusters_partition_the_outlier_set(pts in dataset()) {
-        let out = mccatch(&pts, &Euclidean, &BruteForceBuilder, &Params::default());
+        let out = run(&pts, &BruteForceBuilder, &Params::default());
         let mut seen = std::collections::BTreeSet::new();
         for mc in &out.microclusters {
             prop_assert!(!mc.members.is_empty());
@@ -98,7 +112,7 @@ proptest! {
 
     #[test]
     fn point_scores_finite_and_nonnegative(pts in dataset()) {
-        let out = mccatch(&pts, &Euclidean, &BruteForceBuilder, &Params::default());
+        let out = run(&pts, &BruteForceBuilder, &Params::default());
         prop_assert_eq!(out.point_scores.len(), pts.len());
         for &s in &out.point_scores {
             prop_assert!(s.is_finite() && s >= 0.0);
@@ -114,8 +128,8 @@ proptest! {
         // differ (bbox diagonal vs true max pairwise), so compare kd at
         // both settings only when the diameters agree.
         let p = Params::default();
-        let kd = mccatch(&pts, &Euclidean, &KdTreeBuilder::default(), &p);
-        let brute = mccatch(&pts, &Euclidean, &BruteForceBuilder, &p);
+        let kd = run(&pts, &KdTreeBuilder::default(), &p);
+        let brute = run(&pts, &BruteForceBuilder, &p);
         if (kd.diameter - brute.diameter).abs() <= 1e-9 * brute.diameter.max(1.0) {
             prop_assert_eq!(kd.outliers, brute.outliers);
         }
@@ -128,12 +142,12 @@ proptest! {
         // MDL cut can absorb a lone extreme bin into the inlier partition
         // when the rest of the histogram tail is empty — a documented edge
         // case of the paper's cutoff; the ranking is unaffected.)
-        let brute = mccatch(&pts, &Euclidean, &BruteForceBuilder, &Params::default());
+        let brute = run(&pts, &BruteForceBuilder, &Params::default());
         prop_assume!(brute.diameter > 1.0);
         let mut with_far = pts.clone();
         let far = vec![brute.diameter * 100.0, brute.diameter * 100.0];
         with_far.push(far);
-        let out = mccatch(&with_far, &Euclidean, &BruteForceBuilder, &Params::default());
+        let out = run(&with_far, &BruteForceBuilder, &Params::default());
         let far_id = (with_far.len() - 1) as u32;
         let far_score = out.point_scores[far_id as usize];
         let max_other = out.point_scores[..pts.len()]

@@ -8,12 +8,12 @@ use proptest::prelude::*;
 
 fn params() -> impl Strategy<Value = (usize, usize, f64, f64, f64, f64)> {
     (
-        1usize..500,          // cardinality m
-        500usize..2_000_000,  // dataset size n
-        0.1..1e6f64,          // bridge length
-        0.0..1e3f64,          // mean 1NN distance
-        1e-6..10.0f64,        // r1
-        1.0..500.0f64,        // transformation cost t
+        1usize..500,         // cardinality m
+        500usize..2_000_000, // dataset size n
+        0.1..1e6f64,         // bridge length
+        0.0..1e3f64,         // mean 1NN distance
+        1e-6..10.0f64,       // r1
+        1.0..500.0f64,       // transformation cost t
     )
 }
 

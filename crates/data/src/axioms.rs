@@ -247,7 +247,10 @@ mod tests {
     fn bridges_symmetric_under_cardinality() {
         let s = axiom_scenario(InlierShape::Arc, Axiom::Cardinality, 2000, 1);
         let center_x = |ids: &[u32]| -> f64 {
-            ids.iter().map(|&i| s.data.points[i as usize][0]).sum::<f64>() / ids.len() as f64
+            ids.iter()
+                .map(|&i| s.data.points[i as usize][0])
+                .sum::<f64>()
+                / ids.len() as f64
         };
         // Mirrored placement about x = 50.
         assert!((center_x(&s.red) + center_x(&s.green) - 100.0).abs() < 1.0);
@@ -260,10 +263,18 @@ mod tests {
         for shape in InlierShape::ALL {
             let s = axiom_scenario(shape, Axiom::Isolation, 3000, 5);
             // Tight: every red member within 3 of the red centroid.
-            let cx: f64 =
-                s.red.iter().map(|&i| s.data.points[i as usize][0]).sum::<f64>() / 10.0;
-            let cy: f64 =
-                s.red.iter().map(|&i| s.data.points[i as usize][1]).sum::<f64>() / 10.0;
+            let cx: f64 = s
+                .red
+                .iter()
+                .map(|&i| s.data.points[i as usize][0])
+                .sum::<f64>()
+                / 10.0;
+            let cy: f64 = s
+                .red
+                .iter()
+                .map(|&i| s.data.points[i as usize][1])
+                .sum::<f64>()
+                / 10.0;
             for &i in &s.red {
                 let p = &s.data.points[i as usize];
                 let d = ((p[0] - cx).powi(2) + (p[1] - cy).powi(2)).sqrt();

@@ -32,17 +32,23 @@ struct Profile {
 const PROFILES: &[Profile] = &[
     // Italian
     Profile {
-        onsets: &["ross", "ferr", "espos", "bianch", "romagn", "colomb", "ricc", "marin"],
+        onsets: &[
+            "ross", "ferr", "espos", "bianch", "romagn", "colomb", "ricc", "marin",
+        ],
         suffixes: &["ini", "etti", "ella", "ucci", "aro", "one"],
     },
     // Japanese (romaji)
     Profile {
-        onsets: &["naka", "yama", "taka", "kobaya", "matsu", "fuji", "wata", "haya"],
+        onsets: &[
+            "naka", "yama", "taka", "kobaya", "matsu", "fuji", "wata", "haya",
+        ],
         suffixes: &["moto", "shita", "hashi", "mura", "saki", "nabe"],
     },
     // Polish
     Profile {
-        onsets: &["kowal", "nowak", "wisni", "wojci", "kami", "lewan", "zieli", "szyma"],
+        onsets: &[
+            "kowal", "nowak", "wisni", "wojci", "kami", "lewan", "zieli", "szyma",
+        ],
         suffixes: &["ski", "czyk", "ewski", "owska", "nski"],
     },
     // Greek

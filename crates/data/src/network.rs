@@ -99,7 +99,7 @@ mod tests {
         assert_eq!(d.len(), 222_027);
         // ~0.03% outliers plus the 30-point DoS cluster.
         let outliers = d.num_outliers();
-        assert!(outliers >= 90 && outliers <= 110, "outliers = {outliers}");
+        assert!((90..=110).contains(&outliers), "outliers = {outliers}");
     }
 
     #[test]

@@ -100,7 +100,11 @@ pub fn volcanoes(seed: u64) -> TileImage {
     }
     let mut labels = vec![false; n];
     // 3-tile snow microcluster at the summit (Fig. 8(i)).
-    let summit = [30 * width as u32 + 30, 30 * width as u32 + 31, 31 * width as u32 + 30];
+    let summit = [
+        30 * width as u32 + 30,
+        30 * width as u32 + 31,
+        31 * width as u32 + 30,
+    ];
     for &i in &summit {
         points[i as usize] = vec![
             240.0 + 2.0 * normal(&mut r),

@@ -179,7 +179,9 @@ mod tests {
         for t in &d.points[..5] {
             // Torso + neck(s) + head + 2 arms + hands + 2 legs + feet >= 12.
             assert!(t.size() >= 12, "skeleton too small: {}", t.size());
-            assert!(t.size() <= 30, "skeleton too big: {}", t.size());
+            // Structural maximum: 1 torso + 3 neck + 1 head + 2 spine +
+            // 2×(4 arm + 1 hand + 3 fingers) + 2×(4 leg + 1 foot) = 33.
+            assert!(t.size() <= 33, "skeleton too big: {}", t.size());
         }
     }
 }

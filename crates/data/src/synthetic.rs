@@ -13,7 +13,9 @@ use rand::Rng;
 /// `n` points uniform in `[0, 100]^dim`.
 pub fn uniform(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut r = rng(seed ^ 0x00F1_F0F0);
-    (0..n).map(|_| uniform_point(&mut r, dim, 0.0, 100.0)).collect()
+    (0..n)
+        .map(|_| uniform_point(&mut r, dim, 0.0, 100.0))
+        .collect()
 }
 
 /// `n` points on the main diagonal of `[0, 100]^dim`, with tiny per-axis

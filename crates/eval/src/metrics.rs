@@ -161,7 +161,9 @@ mod tests {
     fn auroc_random_is_half() {
         // All scores identical: midranks give exactly 0.5.
         let scores = [0.5; 10];
-        let labels = [true, false, true, false, true, false, true, false, true, false];
+        let labels = [
+            true, false, true, false, true, false, true, false, true, false,
+        ];
         assert_eq!(auroc(&scores, &labels), 0.5);
     }
 

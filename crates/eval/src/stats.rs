@@ -35,8 +35,7 @@ pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     // Use the symmetry relation for fast convergence.
     if x < (a + 1.0) / (a + b + 2.0) {
@@ -126,9 +125,8 @@ pub struct TTest {
 pub fn welch_t_test(a: &[f64], b: &[f64]) -> TTest {
     assert!(a.len() >= 2 && b.len() >= 2, "need >= 2 samples per side");
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    let var = |v: &[f64], m: f64| {
-        v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() - 1) as f64
-    };
+    let var =
+        |v: &[f64], m: f64| v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() - 1) as f64;
     let (ma, mb) = (mean(a), mean(b));
     let (va, vb) = (var(a, ma).max(1e-300), var(b, mb).max(1e-300));
     let (na, nb) = (a.len() as f64, b.len() as f64);
@@ -163,7 +161,11 @@ pub fn linear_regression(x: &[f64], y: &[f64]) -> Regression {
     let syy: f64 = y.iter().map(|b| (b - my) * (b - my)).sum();
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Regression {
         slope,
         intercept,

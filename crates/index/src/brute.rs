@@ -37,7 +37,11 @@ impl<'a, P, M: Metric<P>> BruteForce<'a, P, M> {
     pub fn new(points: &'a [P], mut ids: Vec<u32>, metric: &'a M) -> Self {
         debug_assert!(ids.iter().all(|&i| (i as usize) < points.len()));
         ids.sort_unstable();
-        Self { points, ids, metric }
+        Self {
+            points,
+            ids,
+            metric,
+        }
     }
 }
 

@@ -47,8 +47,14 @@ struct KdNode {
 #[derive(Debug)]
 enum KdKind {
     /// Range into the permuted id array.
-    Leaf { start: u32, end: u32 },
-    Split { left: u32, right: u32 },
+    Leaf {
+        start: u32,
+        end: u32,
+    },
+    Split {
+        left: u32,
+        right: u32,
+    },
 }
 
 /// Median-split kd-tree over `points[ids]`.
@@ -155,7 +161,9 @@ impl<'a, P: AsRef<[f64]>> KdTree<'a, P> {
     fn max_dist2(&self, q: &[f64], bbox: &[f64]) -> f64 {
         let mut s = 0.0;
         for d in 0..self.dim {
-            let v = (q[d] - bbox[2 * d]).abs().max((q[d] - bbox[2 * d + 1]).abs());
+            let v = (q[d] - bbox[2 * d])
+                .abs()
+                .max((q[d] - bbox[2 * d + 1]).abs());
             s += v * v;
         }
         s

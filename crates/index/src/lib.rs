@@ -122,7 +122,7 @@ mod tests {
 
     #[test]
     fn ordf64_total_order() {
-        let mut v = vec![OrdF64(3.0), OrdF64(f64::NAN), OrdF64(-1.0), OrdF64(0.0)];
+        let mut v = [OrdF64(3.0), OrdF64(f64::NAN), OrdF64(-1.0), OrdF64(0.0)];
         v.sort();
         assert_eq!(v[0].0, -1.0);
         assert_eq!(v[1].0, 0.0);

@@ -668,10 +668,7 @@ mod tests {
         (0..n).map(|i| vec![i as f64, 0.0]).collect()
     }
 
-    fn tree<'a>(
-        pts: &'a [Vec<f64>],
-        cap: usize,
-    ) -> SlimTree<'a, Vec<f64>, Euclidean> {
+    fn tree<'a>(pts: &'a [Vec<f64>], cap: usize) -> SlimTree<'a, Vec<f64>, Euclidean> {
         SlimTree::build(pts, (0..pts.len() as u32).collect(), &Euclidean, cap)
     }
 

@@ -117,6 +117,7 @@ impl<'a, P, M: Metric<P>> VpTree<'a, P, M> {
         let count = (end - start) as u32;
         let idx = self.nodes.len() as u32;
         self.nodes.push(VpNode::Leaf { start: 0, end: 0 }); // patched below
+
         // Inside: vantage itself plus [start+1 .. start+1+mid+1) (all <= mu).
         // Clamp so both subtrees stay non-empty and strictly smaller — for
         // a 3-element range the unclamped midpoint would swallow the whole
@@ -330,10 +331,7 @@ mod tests {
         let t = VpTree::build(&pts, (0..200).collect(), &Euclidean, 8);
         for q in [0usize, 50, 111, 199] {
             for r in [0.0, 1.0, 2.5, 10.0, 300.0] {
-                let want = pts
-                    .iter()
-                    .filter(|p| (p[0] - pts[q][0]).abs() <= r)
-                    .count();
+                let want = pts.iter().filter(|p| (p[0] - pts[q][0]).abs() <= r).count();
                 assert_eq!(t.range_count(&pts[q], r), want, "q={q} r={r}");
             }
         }
@@ -384,7 +382,7 @@ mod tests {
         let pts = line(1000);
         let t = VpTree::build(&pts, (0..1000).collect(), &Euclidean, 16);
         let est = t.diameter_estimate();
-        assert!(est >= 999.0 * 0.5 && est <= 999.0 * 2.5, "est={est}");
+        assert!((999.0 * 0.5..=999.0 * 2.5).contains(&est), "est={est}");
     }
 
     #[test]

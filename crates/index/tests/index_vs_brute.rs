@@ -2,9 +2,7 @@
 //! brute-force reference on every query type, for random point sets, random
 //! subsets, random radii, and both vector and string data.
 
-use mccatch_index::{
-    pair_join, BruteForce, KdTree, RangeIndex, SlimTree,
-};
+use mccatch_index::{pair_join, BruteForce, KdTree, RangeIndex, SlimTree};
 use mccatch_metric::{Euclidean, Levenshtein};
 use proptest::prelude::*;
 

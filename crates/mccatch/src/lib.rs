@@ -11,9 +11,22 @@
 //! own metric type. It is deterministic, needs no hyperparameter tuning,
 //! and its scores obey the paper's Isolation and Cardinality axioms.
 //!
-//! ## Vector data in one call
+//! ## The staged API: fit once, detect many
+//!
+//! [`McCatch::builder`] validates configuration up front (errors are
+//! [`McCatchError`] values — nothing panics), [`McCatch::fit`] builds the
+//! metric tree, diameter estimate, and radius grid exactly once, and the
+//! resulting [`Fitted`] handle answers any number of requests:
+//! [`Fitted::detect`] runs the full pipeline, [`Fitted::score_points`]
+//! ranks *new* points against the fitted reference set (the serving
+//! path), and [`Fitted::oracle`] / [`Fitted::cutoff`] expose the
+//! intermediate artifacts for observability.
 //!
 //! ```
+//! use mccatch::index::KdTreeBuilder;
+//! use mccatch::metrics::Euclidean;
+//! use mccatch::McCatch;
+//!
 //! let mut points: Vec<Vec<f64>> = (0..200)
 //!     .map(|i| vec![(i % 20) as f64 * 0.1, (i / 20) as f64 * 0.1])
 //!     .collect();
@@ -21,24 +34,53 @@
 //! points.push(vec![30.1, 30.0]);
 //! points.push(vec![-25.0, 10.0]); // … and a one-off outlier
 //!
-//! let out = mccatch::detect_vectors(&points, &mccatch::Params::default());
+//! let detector = McCatch::builder().build()?;
+//! let kd = KdTreeBuilder::default();
+//! let fitted = detector.fit(&points, &Euclidean, &kd)?;
+//!
+//! let out = fitted.detect();
 //! assert_eq!(out.num_outliers(), 3);
 //! assert_eq!(out.cluster_of(200).unwrap().cardinality(), 2);
+//!
+//! // Serve: score held-out points against the same fit — no re-indexing.
+//! let scores = fitted.score_points(&[vec![0.55, 0.45], vec![40.0, -40.0]]);
+//! assert!(scores[1] > scores[0]);
+//! # Ok::<(), mccatch::McCatchError>(())
 //! ```
 //!
 //! ## Nondimensional data: bring a metric
 //!
 //! ```
+//! use mccatch::index::SlimTreeBuilder;
 //! use mccatch::metrics::Levenshtein;
+//! use mccatch::McCatch;
 //!
 //! let mut words: Vec<String> = ["smith", "smyth", "smithe", "smit", "smiths",
 //!     "smythe", "psmith", "smitt", "asmith", "smity"]
 //!     .iter().map(|s| s.to_string()).collect();
 //! words.push("xylophonist".into());
 //!
-//! let out = mccatch::detect_metric(&words, &Levenshtein, &mccatch::Params::default());
-//! assert!(out.is_outlier(10));
+//! let slim = SlimTreeBuilder::default();
+//! let fitted = McCatch::builder().build()?.fit(&words, &Levenshtein, &slim)?;
+//! assert!(fitted.detect().is_outlier(10));
+//! # Ok::<(), mccatch::McCatchError>(())
 //! ```
+//!
+//! ## Invalid configuration is a value, not a panic
+//!
+//! ```
+//! use mccatch::{McCatch, McCatchError};
+//!
+//! let err = McCatch::builder().num_radii(1).build().unwrap_err();
+//! assert_eq!(err, McCatchError::InvalidNumRadii { got: 1 });
+//! ```
+//!
+//! ## Legacy one-shot shims
+//!
+//! The original free functions — [`detect_vectors`], [`detect_metric`],
+//! and [`mccatch()`](mccatch) — are kept as deprecated shims over the
+//! staged API. They rebuild the index on every call and panic on invalid
+//! parameters; prefer the builder.
 //!
 //! The re-exported sub-crates offer full control: [`core`] (the algorithm
 //! and its intermediate artifacts), [`index`] (Slim-tree / kd-tree /
@@ -47,8 +89,15 @@
 //! competitors from the paper's evaluation).
 
 pub use mccatch_core::{
-    mccatch, Cutoff, McCatchOutput, Microcluster, OraclePlot, OraclePoint, Params, RunStats,
+    Cutoff, Fitted, McCatch, McCatchBuilder, McCatchError, McCatchOutput, Microcluster, OraclePlot,
+    OraclePoint, Params, RunStats,
 };
+
+/// The legacy one-shot entry point, re-exported (deprecated) so existing
+/// `mccatch::mccatch(...)` callers keep compiling; they see the
+/// deprecation note at the use site.
+#[allow(deprecated)]
+pub use mccatch_core::mccatch;
 
 /// The underlying algorithm crate (plateaus, cutoff, gelling, scoring).
 pub use mccatch_core as core;
@@ -74,42 +123,98 @@ use mccatch_metric::{Euclidean, Metric};
 /// Runs MCCATCH on dense vector data with the Euclidean metric and a
 /// kd-tree index — the fast path for dimensional datasets (paper
 /// footnote 4: "kd-trees for main-memory-based vector data").
+///
+/// # Panics
+/// Panics if `params` is invalid; the staged [`McCatch`] API reports the
+/// same conditions as [`McCatchError`] values instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `McCatch::builder().build()?.fit(points, &Euclidean, &KdTreeBuilder::default())?.detect()`"
+)]
 pub fn detect_vectors(points: &[Vec<f64>], params: &Params) -> McCatchOutput {
-    mccatch_core::mccatch(points, &Euclidean, &KdTreeBuilder::default(), params)
+    let detector = McCatch::new(params.clone()).unwrap_or_else(|e| panic!("{e}"));
+    let kd = KdTreeBuilder::default();
+    detector
+        .fit(points, &Euclidean, &kd)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .detect()
 }
 
 /// Runs MCCATCH on arbitrary metric data with a Slim-tree index — the
 /// general path that handles nondimensional datasets (strings, trees,
 /// custom types).
+///
+/// # Panics
+/// Panics if `params` is invalid; the staged [`McCatch`] API reports the
+/// same conditions as [`McCatchError`] values instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `McCatch::builder().build()?.fit(points, metric, &SlimTreeBuilder::default())?.detect()`"
+)]
 pub fn detect_metric<P, M>(points: &[P], metric: &M, params: &Params) -> McCatchOutput
 where
     P: Sync,
     M: Metric<P>,
 {
-    mccatch_core::mccatch(points, metric, &SlimTreeBuilder::default(), params)
+    let detector = McCatch::new(params.clone()).unwrap_or_else(|e| panic!("{e}"));
+    let slim = SlimTreeBuilder::default();
+    detector
+        .fit(points, metric, &slim)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .detect()
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
 
-    #[test]
-    fn detect_vectors_smoke() {
+    fn grid_plus_isolate() -> Vec<Vec<f64>> {
         let mut pts: Vec<Vec<f64>> = (0..100)
             .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
             .collect();
         pts.push(vec![500.0, 500.0]);
-        let out = detect_vectors(&pts, &Params::default());
+        pts
+    }
+
+    #[test]
+    fn detect_vectors_smoke() {
+        let out = detect_vectors(&grid_plus_isolate(), &Params::default());
         assert!(out.is_outlier(100));
     }
 
     #[test]
     fn detect_metric_smoke() {
-        let mut pts: Vec<Vec<f64>> = (0..100)
-            .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
-            .collect();
-        pts.push(vec![500.0, 500.0]);
-        let out = detect_metric(&pts, &Euclidean, &Params::default());
+        let out = detect_metric(&grid_plus_isolate(), &Euclidean, &Params::default());
         assert!(out.is_outlier(100));
+    }
+
+    #[test]
+    fn legacy_mccatch_reexport_is_still_callable() {
+        // Seed-era callers wrote `mccatch::mccatch(...)`; the root
+        // re-export must survive the redesign.
+        let out = crate::mccatch(
+            &grid_plus_isolate(),
+            &Euclidean,
+            &KdTreeBuilder::default(),
+            &Params::default(),
+        );
+        assert!(out.is_outlier(100));
+    }
+
+    #[test]
+    fn shims_match_the_staged_api() {
+        let pts = grid_plus_isolate();
+        let legacy = detect_vectors(&pts, &Params::default());
+        let kd = KdTreeBuilder::default();
+        let staged = McCatch::builder()
+            .build()
+            .unwrap()
+            .fit(&pts, &Euclidean, &kd)
+            .unwrap()
+            .detect();
+        assert_eq!(legacy.outliers, staged.outliers);
+        assert_eq!(legacy.point_scores, staged.point_scores);
     }
 }

@@ -117,7 +117,11 @@ impl<P: AsRef<[f64]> + Sync> Metric<P> for Angular {
         if na == 0.0 || nb == 0.0 {
             // A zero vector has no direction; treat it as identical to
             // another zero vector and maximally distant otherwise.
-            return if na == nb { 0.0 } else { std::f64::consts::FRAC_PI_2 };
+            return if na == nb {
+                0.0
+            } else {
+                std::f64::consts::FRAC_PI_2
+            };
         }
         (dot / (na * nb)).clamp(-1.0, 1.0).acos()
     }

@@ -224,14 +224,20 @@ mod tests {
         let t1 = TreeNode::with_children(
             0, // f
             vec![
-                TreeNode::with_children(1, vec![leaf(2), TreeNode::with_children(3, vec![leaf(4)])]), // d(a, c(b))
+                TreeNode::with_children(
+                    1,
+                    vec![leaf(2), TreeNode::with_children(3, vec![leaf(4)])],
+                ), // d(a, c(b))
                 leaf(5), // e
             ],
         );
         let t2 = TreeNode::with_children(
             0, // f
             vec![
-                TreeNode::with_children(3, vec![TreeNode::with_children(1, vec![leaf(2), leaf(4)])]), // c(d(a, b))
+                TreeNode::with_children(
+                    3,
+                    vec![TreeNode::with_children(1, vec![leaf(2), leaf(4)])],
+                ), // c(d(a, b))
                 leaf(5), // e
             ],
         );
@@ -270,8 +276,7 @@ mod tests {
     fn insert_chain_costs_length() {
         // a vs a->b->c (chain): two insertions.
         let a = OrderedTree::from_node(&leaf(1));
-        let chain =
-            TreeNode::with_children(1, vec![TreeNode::with_children(2, vec![leaf(3)])]);
+        let chain = TreeNode::with_children(1, vec![TreeNode::with_children(2, vec![leaf(3)])]);
         let b = OrderedTree::from_node(&chain);
         assert_eq!(a.edit_distance(&b), 2);
     }
@@ -286,8 +291,7 @@ mod tests {
 
     #[test]
     fn keyroots_of_chain_is_root_only() {
-        let chain =
-            TreeNode::with_children(1, vec![TreeNode::with_children(2, vec![leaf(3)])]);
+        let chain = TreeNode::with_children(1, vec![TreeNode::with_children(2, vec![leaf(3)])]);
         let t = OrderedTree::from_node(&chain);
         assert_eq!(t.keyroots, vec![2]); // only the root (postorder last)
     }

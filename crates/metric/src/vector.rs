@@ -93,7 +93,10 @@ impl Minkowski {
     /// # Panics
     /// Panics if `p < 1` or `p` is not finite (not a metric).
     pub fn new(p: f64) -> Self {
-        assert!(p.is_finite() && p >= 1.0, "Minkowski requires finite p >= 1");
+        assert!(
+            p.is_finite() && p >= 1.0,
+            "Minkowski requires finite p >= 1"
+        );
         Self { p }
     }
 

@@ -5,7 +5,9 @@
 //! `cargo run --release -p mccatch --example axioms_demo [n_inliers]`
 
 use mccatch::data::{axiom_scenario, Axiom, InlierShape};
-use mccatch::{detect_vectors, Params};
+use mccatch::index::KdTreeBuilder;
+use mccatch::metrics::Euclidean;
+use mccatch::McCatch;
 
 fn main() {
     let n_inliers: usize = std::env::args()
@@ -15,20 +17,29 @@ fn main() {
     println!("MCCATCH axioms demo ({n_inliers} inliers per scenario)");
     println!();
     println!(
-        "{:>12} {:>10} | {:>14} | {:>14} | {}",
-        "axiom", "shape", "red score", "green score", "verdict"
+        "{:>12} {:>10} | {:>14} | {:>14} | verdict",
+        "axiom", "shape", "red score", "green score"
     );
+    let detector = McCatch::builder().build().expect("defaults are valid");
+    let kd = KdTreeBuilder::default();
     for axiom in Axiom::ALL {
         for shape in InlierShape::ALL {
             let s = axiom_scenario(shape, axiom, n_inliers, 7);
-            let out = detect_vectors(&s.data.points, &Params::default());
+            let out = detector
+                .fit(&s.data.points, &Euclidean, &kd)
+                .expect("fit")
+                .detect();
             let score_of = |ids: &[u32]| -> Option<(usize, f64)> {
                 let mc = out.cluster_of(ids[0])?;
                 Some((mc.cardinality(), mc.score))
             };
             match (score_of(&s.red), score_of(&s.green)) {
                 (Some((rn, rs)), Some((gn, gs))) => {
-                    let verdict = if gs > rs { "green wins ✓" } else { "VIOLATED ✗" };
+                    let verdict = if gs > rs {
+                        "green wins ✓"
+                    } else {
+                        "VIOLATED ✗"
+                    };
                     println!(
                         "{:>12} {:>10} | {:>6.2} (m={rn:>3}) | {:>6.2} (m={gn:>3}) | {verdict}",
                         axiom.name(),

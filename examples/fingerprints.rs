@@ -6,8 +6,9 @@
 
 use mccatch::data::fingerprints;
 use mccatch::eval::auroc;
+use mccatch::index::SlimTreeBuilder;
 use mccatch::metrics::Levenshtein;
-use mccatch::{detect_metric, Params};
+use mccatch::McCatch;
 
 fn main() {
     let data = fingerprints(398, 10, 11);
@@ -15,7 +16,13 @@ fn main() {
         "detecting partial prints among {} ridge sequences…",
         data.len()
     );
-    let out = detect_metric(&data.points, &Levenshtein, &Params::default());
+    let slim = SlimTreeBuilder::default();
+    let out = McCatch::builder()
+        .build()
+        .expect("defaults are valid")
+        .fit(&data.points, &Levenshtein, &slim)
+        .expect("fit")
+        .detect();
     println!(
         "AUROC vs ground truth: {:.3}",
         auroc(&out.point_scores, &data.labels)

@@ -10,7 +10,9 @@
 
 use mccatch::data::{http, http_dos_ids};
 use mccatch::eval::auroc;
-use mccatch::{detect_vectors, Params};
+use mccatch::index::KdTreeBuilder;
+use mccatch::metrics::Euclidean;
+use mccatch::McCatch;
 use std::time::Instant;
 
 fn main() {
@@ -22,8 +24,13 @@ fn main() {
     let data = http(n, 42);
     let dos = http_dos_ids(n);
 
+    let detector = McCatch::builder().build().expect("defaults are valid");
+    let kd = KdTreeBuilder::default();
     let t0 = Instant::now();
-    let out = detect_vectors(&data.points, &Params::default());
+    let out = detector
+        .fit(&data.points, &Euclidean, &kd)
+        .expect("fit")
+        .detect();
     let elapsed = t0.elapsed();
 
     println!("\nMCCATCH on HTTP ({} connections)", data.len());

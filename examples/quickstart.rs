@@ -7,7 +7,9 @@
 //!
 //! Run with: `cargo run --release -p mccatch --example quickstart`
 
-use mccatch::{detect_vectors, Params};
+use mccatch::index::KdTreeBuilder;
+use mccatch::metrics::Euclidean;
+use mccatch::McCatch;
 
 fn main() {
     // Inliers: a 20x20 grid blob around the origin.
@@ -18,7 +20,10 @@ fn main() {
 
     // A 6-point microcluster far away: coordinated anomalies.
     for k in 0..6 {
-        points.push(vec![40.0 + 0.2 * (k % 3) as f64, 35.0 + 0.2 * (k / 3) as f64]);
+        points.push(vec![
+            40.0 + 0.2 * (k % 3) as f64,
+            35.0 + 0.2 * (k / 3) as f64,
+        ]);
     }
     // A 2-point microcluster: a suspicious pair.
     points.push(vec![-20.0, 10.0]);
@@ -27,7 +32,14 @@ fn main() {
     points.push(vec![25.0, -30.0]);
     points.push(vec![90.0, 90.0]);
 
-    let out = detect_vectors(&points, &Params::default());
+    // Configure (validated — invalid knobs come back as McCatchError
+    // values), fit once (tree + diameter + radius grid), then detect.
+    let detector = McCatch::builder().build().expect("defaults are valid");
+    let kd = KdTreeBuilder::default();
+    let fitted = detector
+        .fit(&points, &Euclidean, &kd)
+        .expect("fit is infallible for valid params");
+    let out = fitted.detect();
 
     println!("MCCATCH quickstart");
     println!("==================");
@@ -37,7 +49,10 @@ fn main() {
     println!("outliers found:  {}", out.num_outliers());
     println!();
     println!("microclusters, most strange first:");
-    println!("{:>4}  {:>6}  {:>9}  {:>9}  members", "rank", "size", "score", "bridge");
+    println!(
+        "{:>4}  {:>6}  {:>9}  {:>9}  members",
+        "rank", "size", "score", "bridge"
+    );
     for (rank, mc) in out.microclusters.iter().enumerate() {
         let preview: Vec<String> = mc.members.iter().take(6).map(|m| m.to_string()).collect();
         let ellipsis = if mc.members.len() > 6 { ", …" } else { "" };
@@ -53,11 +68,29 @@ fn main() {
     }
 
     // Sanity: all planted anomalies flagged, no inlier flagged.
-    let flagged_inliers = out.outliers.iter().filter(|&&i| (i as usize) < n_inliers).count();
+    let flagged_inliers = out
+        .outliers
+        .iter()
+        .filter(|&&i| (i as usize) < n_inliers)
+        .count();
     println!();
     println!(
         "planted anomalies flagged: {}/10; inliers flagged: {}",
         out.num_outliers().min(10),
         flagged_inliers
     );
+
+    // Serving path: the same fitted handle scores held-out points without
+    // re-indexing — distance to the nearest reference inlier, in bits.
+    let queries = vec![
+        vec![2.6, 2.6],     // inside the blob
+        vec![40.1, 35.1],   // lands on the known microcluster
+        vec![-70.0, -70.0], // nowhere near anything
+    ];
+    let scores = fitted.score_points(&queries);
+    println!();
+    println!("held-out query scores (higher = stranger):");
+    for (q, s) in queries.iter().zip(&scores) {
+        println!("  {q:?} -> {s:.3}");
+    }
 }

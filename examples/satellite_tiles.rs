@@ -8,10 +8,17 @@
 //! `cargo run --release -p mccatch --example satellite_tiles`
 
 use mccatch::data::{shanghai, volcanoes, TileImage};
-use mccatch::{detect_vectors, McCatchOutput, Params};
+use mccatch::index::KdTreeBuilder;
+use mccatch::metrics::Euclidean;
+use mccatch::{McCatch, McCatchOutput};
 
 fn report(img: &TileImage, out: &McCatchOutput) {
-    println!("\n{} ({} tiles, grid width {})", img.data.name, img.data.len(), img.width);
+    println!(
+        "\n{} ({} tiles, grid width {})",
+        img.data.name,
+        img.data.len(),
+        img.width
+    );
     println!("-------------------------------------------");
     println!("outliers flagged: {}", out.num_outliers());
     println!("microclusters:    {}", out.microclusters.len());
@@ -57,12 +64,20 @@ fn report(img: &TileImage, out: &McCatchOutput) {
 }
 
 fn main() {
-    let params = Params::default();
+    let detector = McCatch::builder().build().expect("defaults are valid");
+    let kd = KdTreeBuilder::default();
+
     let sh = shanghai(1);
-    let out = detect_vectors(&sh.data.points, &params);
+    let out = detector
+        .fit(&sh.data.points, &Euclidean, &kd)
+        .expect("fit")
+        .detect();
     report(&sh, &out);
 
     let vo = volcanoes(1);
-    let out = detect_vectors(&vo.data.points, &params);
+    let out = detector
+        .fit(&vo.data.points, &Euclidean, &kd)
+        .expect("fit")
+        .detect();
     report(&vo, &out);
 }

@@ -10,8 +10,9 @@
 
 use mccatch::data::skeletons;
 use mccatch::eval::auroc;
+use mccatch::index::SlimTreeBuilder;
 use mccatch::metrics::TreeEditDistance;
-use mccatch::{detect_metric, Params};
+use mccatch::McCatch;
 use std::time::Instant;
 
 fn main() {
@@ -22,7 +23,13 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let out = detect_metric(&data.points, &TreeEditDistance, &Params::default());
+    let slim = SlimTreeBuilder::default();
+    let out = McCatch::builder()
+        .build()
+        .expect("defaults are valid")
+        .fit(&data.points, &TreeEditDistance, &slim)
+        .expect("fit")
+        .detect();
     println!("runtime: {:.2?}", t0.elapsed());
 
     let score = auroc(&out.point_scores, &data.labels);

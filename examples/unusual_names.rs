@@ -11,8 +11,9 @@
 
 use mccatch::data::last_names;
 use mccatch::eval::auroc;
+use mccatch::index::SlimTreeBuilder;
 use mccatch::metrics::Levenshtein;
-use mccatch::{detect_metric, Params};
+use mccatch::McCatch;
 use std::time::Instant;
 
 fn main() {
@@ -27,7 +28,13 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let out = detect_metric(&data.points, &Levenshtein, &Params::default());
+    let slim = SlimTreeBuilder::default();
+    let out = McCatch::builder()
+        .build()
+        .expect("defaults are valid")
+        .fit(&data.points, &Levenshtein, &slim)
+        .expect("fit")
+        .detect();
     println!("runtime: {:.2?}", t0.elapsed());
 
     println!(

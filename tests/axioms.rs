@@ -4,7 +4,10 @@
 
 use mccatch::data::{axiom_scenario, Axiom, InlierShape};
 use mccatch::eval::welch_t_test;
-use mccatch::{detect_vectors, McCatchOutput, Params};
+use mccatch::{McCatchOutput, Params};
+
+mod common;
+use common::detect_vectors;
 
 /// Score of the microcluster containing the given planted members; panics
 /// if they were not all gelled into one cluster.

@@ -1,0 +1,36 @@
+//! Shared one-shot helpers for the root integration suites: the staged
+//! builder API driven exactly the way the deprecated `detect_vectors` /
+//! `detect_metric` shims drive it, so every suite exercises the
+//! configure-fit-detect lifecycle the production callers use.
+//!
+//! Each `[[test]]` target compiles this file independently, and not every
+//! suite uses both helpers — hence the `dead_code` allowance.
+#![allow(dead_code)]
+
+use mccatch::index::{KdTreeBuilder, SlimTreeBuilder};
+use mccatch::metrics::{Euclidean, Metric};
+use mccatch::{McCatch, McCatchOutput, Params};
+
+/// One-shot MCCATCH on the kd-tree fast path for vector data.
+pub fn detect_vectors(points: &[Vec<f64>], params: &Params) -> McCatchOutput {
+    let kd = KdTreeBuilder::default();
+    McCatch::new(params.clone())
+        .expect("valid params")
+        .fit(points, &Euclidean, &kd)
+        .expect("fit")
+        .detect()
+}
+
+/// One-shot MCCATCH on the Slim-tree general path for metric data.
+pub fn detect_metric<P: Sync, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    params: &Params,
+) -> McCatchOutput {
+    let slim = SlimTreeBuilder::default();
+    McCatch::new(params.clone())
+        .expect("valid params")
+        .fit(points, metric, &slim)
+        .expect("fit")
+        .detect()
+}

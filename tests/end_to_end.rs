@@ -3,7 +3,10 @@
 
 use mccatch::data::{benchmark_by_name, http, http_dos_ids, shanghai, volcanoes};
 use mccatch::eval::auroc;
-use mccatch::{detect_vectors, Params};
+use mccatch::Params;
+
+mod common;
+use common::detect_vectors;
 
 #[test]
 fn finds_dos_microcluster_in_http_analogue() {

@@ -5,7 +5,10 @@
 use mccatch::data::{fingerprints, last_names, skeletons};
 use mccatch::eval::auroc;
 use mccatch::metrics::{Levenshtein, SoundexDistance, TreeEditDistance};
-use mccatch::{detect_metric, Params};
+use mccatch::Params;
+
+mod common;
+use common::detect_metric;
 
 #[test]
 fn names_auroc_beats_chance_clearly() {

@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` benchmarking crate (see
+//! `vendor/README.md`): the subset of its API the workspace's benches use.
+//!
+//! Each benchmark runs a fixed number of timed samples and prints
+//! `name  min/mean/max` per benchmark — no statistics, plots, or saved
+//! baselines. Passing `--list` lists benchmark names (used by tooling);
+//! all other CLI arguments (`--bench`, filters) are accepted and ignored.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    default_sample_size: usize,
+    list_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let list_only = std::env::args().any(|a| a == "--list");
+        Self {
+            default_sample_size: 10,
+            list_only,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.default_sample_size;
+        let list_only = self.list_only;
+        run_one(id, samples, list_only, f);
+        self
+    }
+}
+
+/// A named identifier with a parameter, e.g. `kd/1000`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted by `bench_function` / `bench_with_input` id positions.
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A group of benchmarks sharing a prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        run_one(&full, samples, self.criterion.list_only, f);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`, passing `input` through.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (formatting only in the real crate; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Times the closure handed to `Bencher::iter`.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` once for warm-up, then `samples` timed times.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        std::hint::black_box(f());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.timings.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(name: &str, samples: usize, list_only: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if list_only {
+        // Mirrors the real crate's `--list` output shape.
+        println!("{name}: benchmark");
+        return;
+    }
+    let mut bencher = Bencher {
+        samples,
+        timings: Vec::with_capacity(samples),
+    };
+    f(&mut bencher);
+    if bencher.timings.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let min = bencher.timings.iter().min().expect("nonempty");
+    let max = bencher.timings.iter().max().expect("nonempty");
+    let mean = bencher.timings.iter().sum::<Duration>() / bencher.timings.len() as u32;
+    println!(
+        "{name:<48} time: [{} {} {}]",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group function running each target benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_and_ids_run() {
+        let mut c = Criterion {
+            default_sample_size: 2,
+            list_only: false,
+        };
+        quick(&mut c);
+        c.bench_function("top-level", |b| b.iter(|| 2 * 2));
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("kd", 1000).into_id(), "kd/1000");
+        assert_eq!(BenchmarkId::from_parameter(7).into_id(), "7");
+    }
+}

@@ -1,0 +1,596 @@
+//! Offline stand-in for the `proptest` crate — generation-only property
+//! testing covering the API subset the MCCATCH workspace uses (see
+//! `vendor/README.md`).
+//!
+//! Supported surface: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]` header and doc comments on cases), the
+//! [`strategy::Strategy`] trait with `prop_map`, numeric range and tuple
+//! strategies, [`collection::vec`], character-class regex strategies for
+//! strings (`"[a-z]{0,12}"`), and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assert_ne!` / `prop_assume!` macros.
+//!
+//! **No shrinking**: a failing case panics with its message and the
+//! deterministic case number, which together with the fixed seed make the
+//! failure reproducible by rerunning the test.
+
+pub mod test_runner {
+    //! Test execution: configuration, the case RNG, and the runner.
+
+    /// Per-test configuration. Only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Cap on `prop_assume!` rejections across the whole test.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the test fails.
+        Fail(String),
+        /// A `prop_assume!` precondition failed; the case is retried.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// Builds the failure variant.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+    }
+
+    /// Deterministic per-case RNG (xoshiro256++, SplitMix64 seeding).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeds the RNG.
+        pub fn from_seed(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be positive.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Drives a property: runs cases until `config.cases` succeed.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Builds a runner with the given configuration.
+        pub fn new(config: ProptestConfig) -> Self {
+            Self { config }
+        }
+
+        /// Runs `case` until `config.cases` successes; panics on the first
+        /// failure, reporting the case's deterministic seed index.
+        pub fn run<F>(&mut self, name: &str, mut case: F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            // FNV-1a over the test path: distinct, deterministic streams
+            // per test without any global state.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut successes = 0u32;
+            let mut rejects = 0u32;
+            let mut iteration = 0u64;
+            while successes < self.config.cases {
+                let mut rng = TestRng::from_seed(h ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                match case(&mut rng) {
+                    Ok(()) => successes += 1,
+                    Err(TestCaseError::Reject) => {
+                        rejects += 1;
+                        if rejects > self.config.max_global_rejects {
+                            panic!(
+                                "proptest {name}: too many prop_assume! rejections \
+                                 ({rejects}) before reaching {} cases",
+                                self.config.cases
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!("proptest {name}: case #{iteration} failed: {msg}")
+                    }
+                }
+                iteration += 1;
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128).wrapping_sub(self.start as i128);
+                    assert!(span > 0, "empty range strategy");
+                    let v = (rng.next_u64() as u128 % span as u128) as i128;
+                    (self.start as i128 + v) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// `&str` strategies: a character-class regex subset. Supported
+    /// syntax: literal chars, `[...]` classes with `a-z` ranges, and
+    /// `{m}` / `{m,n}` quantifiers — enough for patterns like
+    /// `"[a-zéøü]{0,12}"`.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for atom in &atoms {
+                let reps = atom.min as u64 + rng.below((atom.max - atom.min + 1) as u64);
+                for _ in 0..reps {
+                    let k = rng.below(atom.chars.len() as u64) as usize;
+                    out.push(atom.chars[k]);
+                }
+            }
+            out
+        }
+    }
+
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        let mut it = pattern.chars().peekable();
+        while let Some(c) = it.next() {
+            let chars = if c == '[' {
+                let mut class = Vec::new();
+                while let Some(&d) = it.peek() {
+                    it.next();
+                    if d == ']' {
+                        break;
+                    }
+                    if it.peek() == Some(&'-') {
+                        let mut look = it.clone();
+                        look.next(); // the '-'
+                        match look.peek() {
+                            Some(&hi) if hi != ']' => {
+                                it.next(); // '-'
+                                it.next(); // hi
+                                for u in (d as u32)..=(hi as u32) {
+                                    if let Some(ch) = char::from_u32(u) {
+                                        class.push(ch);
+                                    }
+                                }
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    class.push(d);
+                }
+                assert!(!class.is_empty(), "empty character class in {pattern:?}");
+                class
+            } else {
+                vec![c]
+            };
+            let (min, max) = if it.peek() == Some(&'{') {
+                it.next();
+                let mut spec = String::new();
+                for d in it.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier"),
+                        hi.trim().parse().expect("quantifier"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("quantifier");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "bad quantifier in {pattern:?}");
+            atoms.push(Atom { chars, min, max });
+        }
+        atoms
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max_excl: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Generates `Vec`s with elements from `element` and a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max_excl - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs property tests: `proptest! { #[test] fn f(x in strat) { ... } }`.
+///
+/// Accepts an optional `#![proptest_config(expr)]` header, doc comments and
+/// attributes per case, and irrefutable patterns on the left of `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run(
+                concat!(module_path!(), "::", stringify!($name)),
+                |__proptest_rng| {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), __proptest_rng);
+                    )+
+                    let mut __proptest_case = move || -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __proptest_case()
+                },
+            );
+        }
+    )*};
+}
+
+/// Like `assert!`, but fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Like `assert_ne!`, but fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __l
+        );
+    }};
+}
+
+/// Rejects the current case (it is retried with fresh inputs) when the
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` path alias (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_respects_class_and_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_seed(5);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-d]{0,6}", &mut rng);
+            assert!(s.chars().count() <= 6);
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn unicode_classes_work() {
+        let mut rng = crate::test_runner::TestRng::from_seed(5);
+        let allowed: Vec<char> = ('a'..='z').chain(['é', 'ø', 'ü']).collect();
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-zéøü]{0,12}", &mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| allowed.contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Doc comments and tuple patterns must parse.
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..10, -5..5i32), f in 0.5..2.0f64) {
+            prop_assert!(a < 10);
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_map(v in prop::collection::vec(0u32..100, 2..8).prop_map(|v| v.len())) {
+            prop_assert!((2..8).contains(&v));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0, "x = {}", x);
+        }
+    }
+}
