@@ -12,15 +12,15 @@ use mccatch_metric::Metric;
 /// `r ∈ {0.05, 0.1, 0.25, 0.5} × diameter`, Tab. II).
 pub fn db_out_scores<P, M, B>(points: &[P], metric: &M, builder: &B, radius: f64) -> Vec<f64>
 where
-    P: Sync,
-    M: Metric<P>,
+    P: Sync + Clone,
+    M: Metric<P> + Clone,
     B: IndexBuilder<P, M>,
 {
     let n = points.len();
     if n == 0 {
         return Vec::new();
     }
-    let index = builder.build_all(points, metric);
+    let index = builder.build_all_ref(points, metric);
     let queries: Vec<u32> = (0..n as u32).collect();
     let counts = batch_range_count(&index, points, &queries, radius, 1);
     counts
@@ -44,11 +44,11 @@ pub fn radius_grid(diameter: f64) -> [f64; 4] {
 /// harness can derive Tab. II radius grids without duplicating tree builds.
 pub fn estimate_diameter<P, M, B>(points: &[P], metric: &M, builder: &B) -> f64
 where
-    P: Sync,
-    M: Metric<P>,
+    P: Sync + Clone,
+    M: Metric<P> + Clone,
     B: IndexBuilder<P, M>,
 {
-    builder.build_all(points, metric).diameter_estimate()
+    builder.build_all_ref(points, metric).diameter_estimate()
 }
 
 #[cfg(test)]

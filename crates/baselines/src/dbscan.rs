@@ -26,12 +26,12 @@ pub fn dbscan<P, M, B>(
     min_pts: usize,
 ) -> Vec<DbscanLabel>
 where
-    P: Sync,
-    M: Metric<P>,
+    P: Sync + Clone,
+    M: Metric<P> + Clone,
     B: IndexBuilder<P, M>,
 {
     let n = points.len();
-    let index = builder.build_all(points, metric);
+    let index = builder.build_all_ref(points, metric);
     let mut labels: Vec<Option<DbscanLabel>> = vec![None; n];
     let mut cluster = 0u32;
     let mut neigh = Vec::new();
@@ -85,12 +85,12 @@ pub fn dbscan_scores<P, M, B>(
     min_pts: usize,
 ) -> Vec<f64>
 where
-    P: Sync,
-    M: Metric<P>,
+    P: Sync + Clone,
+    M: Metric<P> + Clone,
     B: IndexBuilder<P, M>,
 {
     let labels = dbscan(points, metric, builder, eps, min_pts);
-    let index = builder.build_all(points, metric);
+    let index = builder.build_all_ref(points, metric);
     points
         .iter()
         .zip(&labels)

@@ -83,7 +83,7 @@ where
     let flagged_len = ((n as f64 * flag_fraction).ceil() as usize).clamp(1, n);
     let mut flagged: Vec<u32> = order[..flagged_len].to_vec();
     flagged.sort_unstable();
-    let index = builder.build(points, flagged.clone(), &Euclidean);
+    let index = builder.build_ref(points, flagged.clone(), &Euclidean);
     let mut nn1: Vec<f64> = flagged
         .iter()
         .map(|&i| {

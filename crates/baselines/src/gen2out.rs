@@ -70,7 +70,7 @@ where
     fringe.sort_unstable();
     // Group fringe points within the characteristic fringe scale: the
     // median 1NN distance within the fringe, times a slack factor.
-    let index = builder.build(points, fringe.clone(), &Euclidean);
+    let index = builder.build_ref(points, fringe.clone(), &Euclidean);
     let mut nn1: Vec<f64> = fringe
         .iter()
         .map(|&i| {

@@ -11,11 +11,11 @@ use mccatch_metric::Metric;
 /// The shared primitive for kNN-Out, ODIN, LOF and FastABOD.
 pub fn knn_all<P, M, B>(points: &[P], metric: &M, builder: &B, k: usize) -> Vec<Vec<Neighbor>>
 where
-    P: Sync,
-    M: Metric<P>,
+    P: Sync + Clone,
+    M: Metric<P> + Clone,
     B: IndexBuilder<P, M>,
 {
-    let index = builder.build_all(points, metric);
+    let index = builder.build_all_ref(points, metric);
     (0..points.len())
         .map(|i| {
             let mut nn = index.knn(&points[i], k + 1);
@@ -36,8 +36,8 @@ where
 /// nearest neighbor.
 pub fn knn_out_scores<P, M, B>(points: &[P], metric: &M, builder: &B, k: usize) -> Vec<f64>
 where
-    P: Sync,
-    M: Metric<P>,
+    P: Sync + Clone,
+    M: Metric<P> + Clone,
     B: IndexBuilder<P, M>,
 {
     knn_all(points, metric, builder, k)
@@ -51,8 +51,8 @@ where
 /// scores mean more anomalous.
 pub fn odin_scores<P, M, B>(points: &[P], metric: &M, builder: &B, k: usize) -> Vec<f64>
 where
-    P: Sync,
-    M: Metric<P>,
+    P: Sync + Clone,
+    M: Metric<P> + Clone,
     B: IndexBuilder<P, M>,
 {
     let knn = knn_all(points, metric, builder, k);

@@ -10,8 +10,8 @@
 //! | ODIN | [`odin_scores`] | inverse kNN-graph in-degree |
 //! | LOF | [`lof_scores`] | local outlier factor |
 //! | iForest | [`iforest_scores`] | isolation forest |
-//! | Gen2Out | [`gen2out`] | simplified; the only group-scoring competitor |
-//! | D.MCA | [`dmca`] | simplified; explicit microcluster assignment |
+//! | Gen2Out | [`gen2out()`] | simplified; the only group-scoring competitor |
+//! | D.MCA | [`dmca()`] | simplified; explicit microcluster assignment |
 //! | RDA | [`rpca_scores`] | robust-PCA substitution (see DESIGN.md §4) |
 //! | DBSCAN / KMeans-- | [`dbscan_scores`] / [`kmeans_minus_minus`] | clustering-based |
 //! | OPTICS | [`optics_scores`] | reachability-plot detector (Tab. I) |

@@ -22,15 +22,15 @@ pub fn loci_scores<P, M, B>(
     n_min: usize,
 ) -> Vec<f64>
 where
-    P: Sync,
-    M: Metric<P>,
+    P: Sync + Clone,
+    M: Metric<P> + Clone,
     B: IndexBuilder<P, M>,
 {
     let n = points.len();
     if n == 0 {
         return Vec::new();
     }
-    let index = builder.build_all(points, metric);
+    let index = builder.build_all_ref(points, metric);
     let mut scores = vec![0.0f64; n];
     let mut sampling = Vec::new();
     for &r in radii {

@@ -12,8 +12,8 @@ use mccatch_metric::Metric;
 /// Tab. II).
 pub fn lof_scores<P, M, B>(points: &[P], metric: &M, builder: &B, k: usize) -> Vec<f64>
 where
-    P: Sync,
-    M: Metric<P>,
+    P: Sync + Clone,
+    M: Metric<P> + Clone,
     B: IndexBuilder<P, M>,
 {
     let n = points.len();

@@ -32,12 +32,12 @@ pub fn optics<P, M, B>(
     min_pts: usize,
 ) -> OpticsResult
 where
-    P: Sync,
-    M: Metric<P>,
+    P: Sync + Clone,
+    M: Metric<P> + Clone,
     B: IndexBuilder<P, M>,
 {
     let n = points.len();
-    let index = builder.build_all(points, metric);
+    let index = builder.build_all_ref(points, metric);
     let mut reachability = vec![f64::INFINITY; n];
     let mut core_distance = vec![f64::INFINITY; n];
     let mut processed = vec![false; n];
@@ -172,8 +172,8 @@ pub fn optics_scores<P, M, B>(
     min_pts: usize,
 ) -> Vec<f64>
 where
-    P: Sync,
-    M: Metric<P>,
+    P: Sync + Clone,
+    M: Metric<P> + Clone,
     B: IndexBuilder<P, M>,
 {
     let res = optics(points, metric, builder, eps, min_pts);

@@ -1,5 +1,5 @@
 //! SCiForest (Liu, Ting & Zhou, ECML-PKDD 2010): "On Detecting Clustered
-//! Anomalies Using SCiForest" — reference [6] of the MCCATCH paper and the
+//! Anomalies Using SCiForest" — reference \[6\] of the MCCATCH paper and the
 //! source of its "HTTP and Annthyroid are known to have nonsingleton
 //! microclusters" remark.
 //!

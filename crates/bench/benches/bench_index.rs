@@ -12,19 +12,21 @@ use std::hint::black_box;
 fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("index_build");
     for &n in &[1_000usize, 10_000] {
-        let pts = uniform(n, 2, 1);
+        // Owned indexes share the dataset via Arc: cloning the handle per
+        // iteration is a refcount bump, so the build cost dominates.
+        let pts: std::sync::Arc<[Vec<f64>]> = uniform(n, 2, 1).into();
         group.bench_with_input(BenchmarkId::new("slim", n), &pts, |b, pts| {
             b.iter(|| {
                 SlimTree::build(
-                    black_box(pts),
+                    black_box(pts.clone()),
                     (0..pts.len() as u32).collect(),
-                    &Euclidean,
+                    Euclidean,
                     32,
                 )
             })
         });
         group.bench_with_input(BenchmarkId::new("kd", n), &pts, |b, pts| {
-            b.iter(|| KdTree::build(black_box(pts), (0..pts.len() as u32).collect(), 16))
+            b.iter(|| KdTree::build(black_box(pts.clone()), (0..pts.len() as u32).collect(), 16))
         });
     }
     group.finish();
@@ -35,9 +37,9 @@ fn bench_range_count(c: &mut Criterion) {
     for &n in &[1_000usize, 10_000] {
         let pts = uniform(n, 2, 1);
         let ids: Vec<u32> = (0..n as u32).collect();
-        let slim = SlimTree::build(&pts, ids.clone(), &Euclidean, 32);
-        let kd = KdTree::build(&pts, ids.clone(), 16);
-        let brute = BruteForce::new(&pts, ids, &Euclidean);
+        let slim = SlimTree::build(pts.clone(), ids.clone(), Euclidean, 32);
+        let kd = KdTree::build(pts.clone(), ids.clone(), 16);
+        let brute = BruteForce::new(pts.clone(), ids, Euclidean);
         let r = 1.0; // 1% of the 100-wide domain
         group.bench_with_input(BenchmarkId::new("slim", n), &slim, |b, t| {
             b.iter(|| {
@@ -75,8 +77,8 @@ fn bench_knn(c: &mut Criterion) {
     let n = 10_000usize;
     let pts = uniform(n, 2, 1);
     let ids: Vec<u32> = (0..n as u32).collect();
-    let slim = SlimTree::build(&pts, ids.clone(), &Euclidean, 32);
-    let kd = KdTree::build(&pts, ids, 16);
+    let slim = SlimTree::build(pts.clone(), ids.clone(), Euclidean, 32);
+    let kd = KdTree::build(pts.clone(), ids, 16);
     group.bench_function("slim", |b| b.iter(|| slim.knn(black_box(&pts[123]), 10)));
     group.bench_function("kd", |b| b.iter(|| kd.knn(black_box(&pts[123]), 10)));
     group.finish();

@@ -68,15 +68,18 @@ fn bench_serving_path(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("mccatch_serving_8k");
     group.sample_size(10);
+    // One shared Arc allocation: per-iteration fits clone the handle,
+    // not the points, mirroring a service's refit path.
+    let pts: std::sync::Arc<[Vec<f64>]> = pts.into();
     group.bench_function("fit_detect", |b| {
         b.iter(|| {
             detector
-                .fit(black_box(&pts), &Euclidean, &kd)
+                .fit(black_box(pts.clone()), Euclidean, kd)
                 .expect("fit")
                 .detect()
         })
     });
-    let fitted = detector.fit(&pts, &Euclidean, &kd).expect("fit");
+    let fitted = detector.fit(pts.clone(), Euclidean, kd).expect("fit");
     fitted.detect(); // warm the lazy caches like a long-lived service
     group.bench_function("detect_refit_free", |b| b.iter(|| fitted.detect()));
     group.bench_function("score_64_queries", |b| {

@@ -17,7 +17,7 @@ fn bench_stages(c: &mut Criterion) {
     let data = http(10_000, 1);
     let pts = &data.points;
     let builder = KdTreeBuilder::default();
-    let tree = builder.build_all(pts, &Euclidean);
+    let tree = builder.build_all_ref(pts, &Euclidean);
     let grid = RadiusGrid::new(tree.diameter_estimate(), 15);
     let card = pts.len() / 10;
 

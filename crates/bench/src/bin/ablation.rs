@@ -107,8 +107,10 @@ fn main() {
     {
         let scale = (cap as f64 / spec.n as f64).min(1.0);
         let data = spec.generate_scaled(scale, seed);
+        // CountingMetric is not Clone (shared atomic): the Arc is the
+        // metric, so the fit's internal clone shares our counter.
         let count_with = {
-            let m = CountingMetric::new(Euclidean);
+            let m = std::sync::Arc::new(CountingMetric::new(Euclidean));
             let _ = detect(
                 &data.points,
                 &m,
@@ -118,7 +120,7 @@ fn main() {
             m.calls()
         };
         let count_without = {
-            let m = CountingMetric::new(Euclidean);
+            let m = std::sync::Arc::new(CountingMetric::new(Euclidean));
             let p = Params {
                 max_mc_cardinality: Some(data.len()), // never drop anyone
                 ..Params::default()

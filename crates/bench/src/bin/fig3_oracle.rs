@@ -48,7 +48,7 @@ fn main() {
 
     println!("# Fig. 3(iii): neighborhood count curves for the points of interest");
     println!("# columns: radius_index radius count_A count_B count_C count_D count_E");
-    let index = BruteForceBuilder.build_all(&points, &Euclidean);
+    let index = BruteForceBuilder.build_all_ref(&points, &Euclidean);
     for (k, &radius) in out.radii.iter().enumerate() {
         let c = |i: u32| index.range_count(&points[i as usize], radius);
         println!(

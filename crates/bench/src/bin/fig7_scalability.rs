@@ -11,12 +11,13 @@
 //! Options: `--max-n 160000` largest sample (paper: 1M; pass 1000000 to
 //! match), `--steps 5` sweep points, `--dims 2,20,50`.
 
-use mccatch_bench::{detect, print_table, Args};
-use mccatch_core::Params;
+use mccatch_bench::{print_table, Args};
+use mccatch_core::McCatch;
 use mccatch_data::{diagonal, uniform};
 use mccatch_eval::{correlation_dimension, linear_regression};
 use mccatch_index::SlimTreeBuilder;
 use mccatch_metric::{CountingMetric, Euclidean};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -66,14 +67,17 @@ fn main() {
             let mut rows = Vec::new();
             for &n in &sizes {
                 let pts = gen(n);
-                let metric = CountingMetric::new(Euclidean);
+                // The fit takes the metric by value; wrapping the counter
+                // in an Arc keeps a handle to read it back afterwards.
+                let metric = Arc::new(CountingMetric::new(Euclidean));
                 let t0 = Instant::now();
-                let out = detect(
-                    &pts,
-                    &metric,
-                    &SlimTreeBuilder::default(),
-                    &Params::default(),
-                );
+                let model = McCatch::builder()
+                    .build()
+                    .expect("valid params")
+                    .fit(pts, Arc::clone(&metric), SlimTreeBuilder::default())
+                    .expect("fit")
+                    .into_model();
+                let out = model.detect_output();
                 let wall = t0.elapsed();
                 let dists = metric.calls();
                 log_n.push((n as f64).log2());

@@ -7,8 +7,8 @@
 //! runs; pass `--axiom-n 1000000 --full` to match the paper's sizes.
 
 use mccatch_baselines::{dmca, gen2out};
-use mccatch_bench::{detect, print_table, Args};
-use mccatch_core::Params;
+use mccatch_bench::{print_table, Args};
+use mccatch_core::McCatch;
 use mccatch_data::{axiom_scenario, benchmark_by_name, Axiom, InlierShape};
 use mccatch_index::KdTreeBuilder;
 use mccatch_metric::Euclidean;
@@ -16,12 +16,15 @@ use std::time::{Duration, Instant};
 
 fn time_all(name: &str, points: &[Vec<f64>], dmca_cap: usize) -> Vec<String> {
     let t0 = Instant::now();
-    let out = detect(
-        points,
-        &Euclidean,
-        &KdTreeBuilder::default(),
-        &Params::default(),
-    );
+    // MCCATCH runs through the erased serving handle, the same code path
+    // a long-lived service would hold on to.
+    let model = McCatch::builder()
+        .build()
+        .expect("valid params")
+        .fit(points.to_vec(), Euclidean, KdTreeBuilder::default())
+        .expect("fit")
+        .into_model();
+    let out = model.detect_output();
     let t_mccatch = t0.elapsed();
     let t0 = Instant::now();
     let _ = gen2out(points, &KdTreeBuilder::default(), 100, 256, 0.05, 42);

@@ -22,13 +22,13 @@ use std::time::{Duration, Instant};
 /// on to the `Fitted` handle instead.
 pub fn detect<P, M, B>(points: &[P], metric: &M, builder: &B, params: &Params) -> McCatchOutput
 where
-    P: Sync,
-    M: Metric<P>,
-    B: IndexBuilder<P, M>,
+    P: Sync + Clone,
+    M: Metric<P> + Clone,
+    B: IndexBuilder<P, M> + Clone,
 {
     McCatch::new(params.clone())
         .expect("valid MCCATCH params")
-        .fit(points, metric, builder)
+        .fit_ref(points, metric, builder)
         .expect("fit is infallible for valid params")
         .detect()
 }

@@ -10,33 +10,50 @@
 //!
 //! ```text
 //! USAGE:
-//!   mccatch [--input FILE] [--mode csv|lines] [--radii 15] [--slope 0.1]
-//!           [--max-card N] [--threads N] [--points] [--top K]
+//!   mccatch [--input FILE] [--mode csv|lines] [--format text|json]
+//!           [--radii 15] [--slope 0.1] [--max-card N] [--threads N]
+//!           [--points] [--top K]
 //! ```
+//!
+//! `--format json` emits a single machine-readable JSON object
+//! (hand-rolled serializer, no dependencies) for downstream pipelines.
 //!
 //! Invalid hyperparameters are reported as proper CLI errors (exit code
 //! 1), never panics: parsing builds a `McCatch` via the validating
 //! builder and forwards its `McCatchError` as the error message.
+//!
+//! Internally the CLI drives the type-erased serving handle
+//! (`Arc<dyn Model<_>>`), so both input modes share one report path
+//! regardless of metric and index type.
 
 use mccatch::index::{KdTreeBuilder, SlimTreeBuilder};
 use mccatch::metrics::{Euclidean, Levenshtein};
-use mccatch::{McCatch, McCatchOutput, Params};
+use mccatch::{McCatch, McCatchOutput, Model, Params};
 use std::io::{Read, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Cli {
     input: Option<String>,
     mode: String,
+    format: Format,
     params: Params,
     show_points: bool,
     /// Number of microclusters to print; 0 means all.
     top: usize,
 }
 
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
 fn parse_cli() -> Result<Cli, String> {
     let mut cli = Cli {
         input: None,
         mode: "csv".to_owned(),
+        format: Format::Text,
         params: Params::default(),
         show_points: false,
         top: 20,
@@ -50,6 +67,13 @@ fn parse_cli() -> Result<Cli, String> {
         match a.as_str() {
             "--input" | "-i" => cli.input = Some(need("--input")?),
             "--mode" | "-m" => cli.mode = need("--mode")?,
+            "--format" | "-f" => {
+                cli.format = match need("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format: {other} (use text|json)")),
+                }
+            }
             "--radii" | "-a" => {
                 cli.params.num_radii = need("--radii")?
                     .parse()
@@ -79,10 +103,12 @@ fn parse_cli() -> Result<Cli, String> {
             "--help" | "-h" => {
                 println!(
                     "mccatch: microcluster detection (MCCATCH, ICDE 2024)\n\n\
-                     usage: mccatch [--input FILE] [--mode csv|lines] [--radii 15]\n\
-                            [--slope 0.1] [--max-card N] [--threads N] [--points] [--top K]\n\n\
+                     usage: mccatch [--input FILE] [--mode csv|lines] [--format text|json]\n\
+                            [--radii 15] [--slope 0.1] [--max-card N] [--threads N]\n\
+                            [--points] [--top K]\n\n\
                      csv mode:   one point per line, comma/whitespace separated floats\n\
                      lines mode: one string per line, Levenshtein distance\n\n\
+                     --format json emits one machine-readable JSON object\n\
                      --threads 0 (default) uses all cores; results never depend on it\n\
                      --top 0 prints all microclusters"
                 );
@@ -144,11 +170,11 @@ fn effective_top(top: usize, available: usize) -> usize {
     }
 }
 
-/// Streams the report to stdout. Returns `Err` on I/O failure so a
+/// Streams the text report to stdout. Returns `Err` on I/O failure so a
 /// closed pipe (`mccatch … | head`) ends the program cleanly instead of
 /// panicking (Rust ignores SIGPIPE; `println!` would abort with a
 /// broken-pipe backtrace).
-fn report(out: &McCatchOutput, labels: &[String], cli: &Cli) -> std::io::Result<()> {
+fn report_text(out: &McCatchOutput, labels: &[String], cli: &Cli) -> std::io::Result<()> {
     let stdout = std::io::stdout();
     let mut w = stdout.lock();
     writeln!(w, "# points: {}", out.point_scores.len())?;
@@ -188,10 +214,105 @@ fn report(out: &McCatchOutput, labels: &[String], cli: &Cli) -> std::io::Result<
     Ok(())
 }
 
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON value: a number when finite, `null`
+/// otherwise (JSON has no Infinity/NaN literals).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Streams the whole report as one JSON object. Hand-rolled on purpose:
+/// the workspace is dependency-free and the schema is small and stable.
+fn report_json(out: &McCatchOutput, labels: &[String], cli: &Cli) -> std::io::Result<()> {
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    writeln!(w, "{{")?;
+    writeln!(w, "  \"num_points\": {},", out.point_scores.len())?;
+    writeln!(w, "  \"diameter\": {},", json_f64(out.diameter))?;
+    writeln!(w, "  \"cutoff\": {},", json_f64(out.cutoff.d))?;
+    writeln!(w, "  \"num_outliers\": {},", out.num_outliers())?;
+    let top = effective_top(cli.top, out.microclusters.len());
+    write!(w, "  \"microclusters\": [")?;
+    for (rank, mc) in out.microclusters.iter().take(top).enumerate() {
+        if rank > 0 {
+            write!(w, ",")?;
+        }
+        let members: Vec<String> = mc
+            .members
+            .iter()
+            .map(|&m| format!("\"{}\"", json_escape(&labels[m as usize])))
+            .collect();
+        write!(
+            w,
+            "\n    {{\"rank\": {}, \"size\": {}, \"score\": {}, \"bridge\": {}, \"members\": [{}]}}",
+            rank + 1,
+            mc.cardinality(),
+            json_f64(mc.score),
+            json_f64(mc.bridge_length),
+            members.join(", ")
+        )?;
+    }
+    if top > 0 && !out.microclusters.is_empty() {
+        writeln!(w)?;
+        write!(w, "  ]")?;
+    } else {
+        write!(w, "]")?;
+    }
+    if cli.show_points {
+        writeln!(w, ",")?;
+        write!(w, "  \"points\": [")?;
+        for (i, s) in out.point_scores.iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            write!(
+                w,
+                "\n    {{\"label\": \"{}\", \"score\": {}, \"outlier\": {}}}",
+                json_escape(&labels[i]),
+                json_f64(*s),
+                out.is_outlier(i as u32)
+            )?;
+        }
+        if !out.point_scores.is_empty() {
+            writeln!(w)?;
+            write!(w, "  ]")?;
+        } else {
+            write!(w, "]")?;
+        }
+    }
+    writeln!(w)?;
+    writeln!(w, "}}")?;
+    Ok(())
+}
+
 /// A closed downstream pipe is a normal way for readers to stop
 /// consuming; everything else is a real reporting failure.
 fn print_report(out: &McCatchOutput, labels: &[String], cli: &Cli) -> Result<(), String> {
-    match report(out, labels, cli) {
+    let result = match cli.format {
+        Format::Text => report_text(out, labels, cli),
+        Format::Json => report_json(out, labels, cli),
+    };
+    match result {
         Ok(()) => Ok(()),
         Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
         Err(e) => Err(format!("stdout: {e}")),
@@ -204,6 +325,8 @@ fn run() -> Result<(), String> {
     // the builder, rendered as ordinary CLI failures.
     let detector = McCatch::new(cli.params.clone()).map_err(|e| e.to_string())?;
     let text = read_input(&cli.input)?;
+    // Each mode fits its own point type; both erase into `Arc<dyn Model>`
+    // and feed the same format-aware report functions.
     match cli.mode.as_str() {
         "csv" => {
             let points = parse_csv(&text)?;
@@ -211,11 +334,11 @@ fn run() -> Result<(), String> {
                 return Err("no data points found".to_owned());
             }
             let labels: Vec<String> = (0..points.len()).map(|i| i.to_string()).collect();
-            let kd = KdTreeBuilder::default();
-            let fitted = detector
-                .fit(&points, &Euclidean, &kd)
-                .map_err(|e| e.to_string())?;
-            print_report(&fitted.detect(), &labels, &cli)?;
+            let model: Arc<dyn Model<Vec<f64>>> = detector
+                .fit(points, Euclidean, KdTreeBuilder::default())
+                .map_err(|e| e.to_string())?
+                .into_model();
+            print_report(&model.detect_output(), &labels, &cli)
         }
         "lines" => {
             let lines: Vec<String> = text
@@ -227,15 +350,15 @@ fn run() -> Result<(), String> {
             if lines.is_empty() {
                 return Err("no lines found".to_owned());
             }
-            let slim = SlimTreeBuilder::default();
-            let fitted = detector
-                .fit(&lines, &Levenshtein, &slim)
-                .map_err(|e| e.to_string())?;
-            print_report(&fitted.detect(), &lines, &cli)?;
+            let labels = lines.clone();
+            let model: Arc<dyn Model<String>> = detector
+                .fit(lines, Levenshtein, SlimTreeBuilder::default())
+                .map_err(|e| e.to_string())?
+                .into_model();
+            print_report(&model.detect_output(), &labels, &cli)
         }
-        other => return Err(format!("unknown mode: {other} (use csv|lines)")),
+        other => Err(format!("unknown mode: {other} (use csv|lines)")),
     }
-    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -289,5 +412,22 @@ mod tests {
         };
         let err = McCatch::new(bad).unwrap_err().to_string();
         assert!(err.contains("num_radii"), "{err}");
+    }
+
+    #[test]
+    fn json_escape_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tab\\there");
+        assert_eq!(json_escape("nl\nhere"), "nl\\nhere");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("héllo"), "héllo");
+    }
+
+    #[test]
+    fn json_f64_maps_nonfinite_to_null() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(0.0), "0");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NAN), "null");
     }
 }

@@ -117,7 +117,7 @@ mod tests {
 
     fn table(c: usize) -> CountTable {
         let p = pts();
-        let idx = BruteForce::new(&p, (0..4).collect(), &Euclidean);
+        let idx = BruteForce::new(p.clone(), (0..4).collect(), Euclidean);
         // Radii: 12.5, 25, 50, 100 won't see the structure; use a denser grid.
         let radii = vec![0.01, 0.1, 1.0, 10.0, 100.0];
         count_neighbors(&idx, &p, &radii, c, 1)
@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let p: Vec<Vec<f64>> = (0..500).map(|i| vec![(i % 71) as f64]).collect();
-        let idx = BruteForce::new(&p, (0..500).collect(), &Euclidean);
+        let idx = BruteForce::new(p.clone(), (0..500).collect(), Euclidean);
         let radii = vec![0.5, 2.0, 8.0, 32.0, 128.0];
         let a = count_neighbors(&idx, &p, &radii, 50, 1);
         let b = count_neighbors(&idx, &p, &radii, 50, 8);

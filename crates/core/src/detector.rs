@@ -18,6 +18,15 @@
 //!    observability, and [`Fitted::score_points`] to rank *new* points
 //!    against the fitted reference set — the serving path.
 //!
+//! [`Fitted`] is **owned**: it takes the dataset as (or into) an
+//! `Arc<[P]>` and owns its metric and index builder, so it has no borrowed
+//! lifetime. A fitted model can outlive the stack frame that loaded the
+//! data, sit in a long-lived server, move across threads
+//! (`Send + Sync + 'static` whenever its components are), and be erased
+//! into an `Arc<dyn Model<P>>` serving handle via [`Fitted::into_model`].
+//! One-shot callers with borrowed slices can use [`McCatch::fit_ref`],
+//! which clones the data into a fresh `Arc`.
+//!
 //! Everything downstream of `fit` is deterministic and cached, so calling
 //! [`Fitted::detect`] twice is both cheap (the joins run once) and
 //! bit-identical to two independent legacy `mccatch()` runs.
@@ -33,8 +42,7 @@
 //! points.push(vec![30.0, 30.0]);
 //!
 //! let detector = McCatch::builder().build()?;
-//! let kd = KdTreeBuilder::default();
-//! let fitted = detector.fit(&points, &Euclidean, &kd)?;
+//! let fitted = detector.fit(points, Euclidean, KdTreeBuilder::default())?;
 //!
 //! let out = fitted.detect();
 //! assert!(out.is_outlier(100));
@@ -42,6 +50,10 @@
 //! // Serving path: rank held-out points against the fitted reference.
 //! let scores = fitted.score_points(&[vec![0.35, 0.35], vec![-20.0, 40.0]]);
 //! assert!(scores[1] > scores[0]);
+//!
+//! // The handle owns its data: return it, store it, move it to a thread.
+//! let handle = std::thread::spawn(move || fitted.detect());
+//! assert!(handle.join().unwrap().is_outlier(100));
 //! # Ok::<(), mccatch_core::McCatchError>(())
 //! ```
 
@@ -49,13 +61,14 @@ use crate::counts::count_neighbors;
 use crate::cutoff::{compute_cutoff, Cutoff};
 use crate::error::McCatchError;
 use crate::gel::{spot_microclusters, SpottedMcs};
+use crate::model::{Model, ModelStats};
 use crate::oracle::OraclePlot;
 use crate::params::{Params, RadiusGrid, Resolved};
 use crate::result::{McCatchOutput, Microcluster, RunStats};
 use crate::score::{complement_of_sorted, score_microclusters, McScores};
 use mccatch_index::{IndexBuilder, RangeIndex};
 use mccatch_metric::{universal_code_length_f64, Metric};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Step-by-step construction of a validated [`McCatch`] detector.
@@ -134,23 +147,32 @@ impl McCatch {
 
     /// Runs Alg. 1 step I once: builds the index over `points`, estimates
     /// the diameter, and derives the radius grid. The returned [`Fitted`]
-    /// handle borrows `points`, `metric`, and `index_builder` and serves
-    /// any number of [`detect`](Fitted::detect) /
-    /// [`score_points`](Fitted::score_points) calls.
-    pub fn fit<'a, P, M, B>(
+    /// handle **owns** its data (`Arc<[P]>`), metric, and index builder —
+    /// it has no borrowed lifetime — and serves any number of
+    /// [`detect`](Fitted::detect) / [`score_points`](Fitted::score_points)
+    /// calls, from any thread.
+    ///
+    /// `points` accepts anything convertible into an `Arc<[P]>`: a
+    /// `Vec<P>` (moved, no copy), an existing `Arc<[P]>` (shared, no
+    /// copy — refits over the same data reuse one allocation), or a
+    /// `&[P]` of cloneable points (copied once). For borrowed inputs see
+    /// also [`McCatch::fit_ref`].
+    pub fn fit<P, M, B>(
         &self,
-        points: &'a [P],
-        metric: &'a M,
-        index_builder: &'a B,
-    ) -> Result<Fitted<'a, P, M, B>, McCatchError>
+        points: impl Into<Arc<[P]>>,
+        metric: M,
+        index_builder: B,
+    ) -> Result<Fitted<P, M, B>, McCatchError>
     where
         P: Sync,
         M: Metric<P>,
         B: IndexBuilder<P, M>,
     {
+        let points: Arc<[P]> = points.into();
+        let metric = Arc::new(metric);
         let resolved = self.params.try_resolve(points.len())?;
         let t0 = Instant::now();
-        let tree = index_builder.build_all(points, metric);
+        let tree = index_builder.build_all(Arc::clone(&points), Arc::clone(&metric));
         let diameter = tree.diameter_estimate();
         let grid = RadiusGrid::new(diameter, resolved.a);
         let t_build = t0.elapsed();
@@ -169,6 +191,28 @@ impl McCatch {
             inlier_tree: OnceLock::new(),
         })
     }
+
+    /// Borrowed-slice shim over [`McCatch::fit`] for one-shot callers:
+    /// clones `points`, `metric`, and `index_builder` into the owned
+    /// handle (an `O(n)` copy, dwarfed by the tree build itself). The
+    /// returned [`Fitted`] is just as lifetime-free as one from `fit`.
+    pub fn fit_ref<P, M, B>(
+        &self,
+        points: &[P],
+        metric: &M,
+        index_builder: &B,
+    ) -> Result<Fitted<P, M, B>, McCatchError>
+    where
+        P: Sync + Clone,
+        M: Metric<P> + Clone,
+        B: IndexBuilder<P, M> + Clone,
+    {
+        self.fit(
+            Arc::<[P]>::from(points),
+            metric.clone(),
+            index_builder.clone(),
+        )
+    }
 }
 
 /// Timings of the lazily computed Oracle plot.
@@ -182,20 +226,25 @@ struct OracleTimings {
 /// and radius grid are built once; the Oracle plot, cutoff, and spotted
 /// microclusters are computed lazily on first use and cached.
 ///
-/// Obtained from [`McCatch::fit`]. All accessors are `&self`; the handle
-/// is `Sync` whenever the point type is, so one fitted detector can serve
-/// concurrent readers.
-pub struct Fitted<'a, P, M, B>
+/// Obtained from [`McCatch::fit`]. The handle **owns** its dataset
+/// (`Arc<[P]>`), metric, and index builder, so it carries no borrowed
+/// lifetime: it can be returned from the function that loaded the data,
+/// stored in a long-lived service, and moved or shared across threads —
+/// `Fitted` is `Send + Sync + 'static` whenever its components are. All
+/// accessors are `&self`, so one fitted detector can serve concurrent
+/// readers; [`Fitted::into_model`] erases the metric and index types for
+/// callers that don't want the generics.
+pub struct Fitted<P, M, B>
 where
     P: Sync,
     M: Metric<P>,
     B: IndexBuilder<P, M>,
 {
-    points: &'a [P],
-    metric: &'a M,
-    index_builder: &'a B,
+    points: Arc<[P]>,
+    metric: Arc<M>,
+    index_builder: B,
     resolved: Resolved,
-    tree: B::Index<'a>,
+    tree: B::Index,
     grid: RadiusGrid,
     t_build: Duration,
     #[allow(clippy::type_complexity)]
@@ -203,18 +252,25 @@ where
     cutoff: OnceLock<Cutoff>,
     spotted: OnceLock<(SpottedMcs, Duration)>,
     scored: OnceLock<(Vec<Microcluster>, McScores, Duration)>,
-    inlier_tree: OnceLock<Option<B::Index<'a>>>,
+    inlier_tree: OnceLock<Option<B::Index>>,
 }
 
-impl<'a, P, M, B> Fitted<'a, P, M, B>
+impl<P, M, B> Fitted<P, M, B>
 where
     P: Sync,
     M: Metric<P>,
     B: IndexBuilder<P, M>,
 {
     /// The reference dataset this detector was fitted to.
-    pub fn points(&self) -> &'a [P] {
-        self.points
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+
+    /// A shared handle to the reference dataset. Refitting over the same
+    /// data (e.g. with different hyperparameters) through this handle
+    /// reuses the allocation instead of copying the points.
+    pub fn points_arc(&self) -> Arc<[P]> {
+        Arc::clone(&self.points)
     }
 
     /// Number of reference points `n`.
@@ -333,6 +389,10 @@ where
     /// with a reference inlier scores 0; queries far from every inlier —
     /// including ones sitting on a known microcluster — score high.
     ///
+    /// Large batches are split into chunks scored in parallel using the
+    /// fit's resolved thread count; queries are independent, so the output
+    /// is bit-identical regardless of threading.
+    ///
     /// Does not modify the fit: queries are not added to the reference
     /// set. Degenerate fits score everything 0.
     pub fn score_points(&self, queries: &[P]) -> Vec<f64> {
@@ -347,15 +407,76 @@ where
             None => &self.tree,
             Some(t) => t,
         };
-        queries
-            .iter()
-            .map(|q| {
-                let nn = reference.knn(q, 1);
-                let exact = nn.first().map_or(f64::INFINITY, |p| p.dist);
-                let g = quantize_down(exact, radii);
-                universal_code_length_f64(1.0 + g / r1)
-            })
-            .collect()
+        let mut out = vec![0.0; queries.len()];
+        let threads = self.resolved.threads.clamp(1, queries.len().max(1));
+        if threads == 1 || queries.len() < 32 {
+            for (slot, q) in out.iter_mut().zip(queries) {
+                *slot = score_query(reference, radii, r1, q);
+            }
+            return out;
+        }
+        // Each worker fills a disjoint slice of the output, so the result
+        // does not depend on the thread count.
+        let chunk = queries.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (qchunk, ochunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (slot, q) in ochunk.iter_mut().zip(qchunk) {
+                        *slot = score_query(reference, radii, r1, q);
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// The `k` highest-ranked (most strange) microclusters; `k = 0` means
+    /// all of them. Runs the spot/gel/score stages on first use (cached).
+    pub fn top_k(&self, k: usize) -> Vec<Microcluster> {
+        if self.is_degenerate() {
+            return Vec::new();
+        }
+        let ranked = &self.scored().0;
+        let take = if k == 0 {
+            ranked.len()
+        } else {
+            k.min(ranked.len())
+        };
+        ranked[..take].to_vec()
+    }
+
+    /// Summary of the fit and its detection results, for health endpoints
+    /// and logs. Runs the detection stages on first use (cached).
+    pub fn stats(&self) -> ModelStats {
+        let degenerate = self.is_degenerate();
+        let (num_outliers, num_microclusters) = if degenerate {
+            (0, 0)
+        } else {
+            (self.spotted().0.outliers.len(), self.scored().0.len())
+        };
+        ModelStats {
+            num_points: self.points.len(),
+            diameter: self.grid.diameter(),
+            num_radii: self.grid.radii().len(),
+            cutoff_d: self.cutoff().d,
+            num_outliers,
+            num_microclusters,
+            degenerate,
+        }
+    }
+
+    /// Erases the metric and index types behind the object-safe
+    /// [`Model`] trait, yielding a shareable serving handle. The `Arc`
+    /// can be cloned into any number of threads; every clone answers
+    /// from this one fit.
+    pub fn into_model(self) -> Arc<dyn Model<P>>
+    where
+        P: Send + Sync + 'static,
+        M: 'static,
+        B: Send + Sync + 'static,
+        B::Index: Send + Sync + 'static,
+    {
+        Arc::new(self)
     }
 
     fn oracle_entry(&self) -> &(OraclePlot, Vec<usize>, OracleTimings) {
@@ -363,7 +484,7 @@ where
             if self.is_degenerate() {
                 // Mirror the legacy degenerate branch: an empty counting
                 // pass so the plot is well-formed with all-zero entries.
-                let table = count_neighbors(&self.tree, self.points, self.grid.radii(), 0, 1);
+                let table = count_neighbors(&self.tree, &self.points, self.grid.radii(), 0, 1);
                 let plot = OraclePlot::from_counts(
                     &table,
                     self.grid.radii(),
@@ -379,7 +500,7 @@ where
             let t0 = Instant::now();
             let table = count_neighbors(
                 &self.tree,
-                self.points,
+                &self.points,
                 self.grid.radii(),
                 self.resolved.c,
                 self.resolved.threads,
@@ -408,9 +529,9 @@ where
         self.spotted.get_or_init(|| {
             let t0 = Instant::now();
             let spotted = spot_microclusters(
-                self.points,
-                self.metric,
-                self.index_builder,
+                &self.points,
+                &self.metric,
+                &self.index_builder,
                 self.oracle(),
                 self.cutoff(),
                 self.grid.radii(),
@@ -426,9 +547,9 @@ where
             let (spotted, _) = self.spotted();
             let t0 = Instant::now();
             let scores = score_microclusters(
-                self.points,
-                self.metric,
-                self.index_builder,
+                &self.points,
+                &self.metric,
+                &self.index_builder,
                 &spotted.clusters,
                 &spotted.outliers,
                 self.oracle(),
@@ -466,7 +587,7 @@ where
 
     /// The index over the reference inliers, built lazily for the serving
     /// path; `None` when every reference point is an outlier.
-    fn inlier_tree(&self) -> Option<&B::Index<'a>> {
+    fn inlier_tree(&self) -> Option<&B::Index> {
         self.inlier_tree
             .get_or_init(|| {
                 let outliers = &self.spotted().0.outliers;
@@ -474,11 +595,49 @@ where
                 if inliers.is_empty() {
                     None
                 } else {
-                    Some(self.index_builder.build(self.points, inliers, self.metric))
+                    Some(self.index_builder.build(
+                        Arc::clone(&self.points),
+                        inliers,
+                        Arc::clone(&self.metric),
+                    ))
                 }
             })
             .as_ref()
     }
+}
+
+impl<P, M, B> Model<P> for Fitted<P, M, B>
+where
+    P: Send + Sync,
+    M: Metric<P>,
+    B: IndexBuilder<P, M> + Send + Sync,
+    B::Index: Send + Sync,
+{
+    fn detect_output(&self) -> McCatchOutput {
+        self.detect()
+    }
+
+    fn score_batch(&self, queries: &[P]) -> Vec<f64> {
+        self.score_points(queries)
+    }
+
+    fn top_k(&self, k: usize) -> Vec<Microcluster> {
+        Fitted::top_k(self, k)
+    }
+
+    fn stats(&self) -> ModelStats {
+        Fitted::stats(self)
+    }
+}
+
+/// Scores one serving-path query: nearest reference neighbor, quantized
+/// down to the grid, coded as `⟨1 + g/r₁⟩`. Free function so the parallel
+/// chunks of [`Fitted::score_points`] can share it without capturing.
+fn score_query<P>(reference: &dyn RangeIndex<P>, radii: &[f64], r1: f64, q: &P) -> f64 {
+    let nn = reference.knn(q, 1);
+    let exact = nn.first().map_or(f64::INFINITY, |p| p.dist);
+    let g = quantize_down(exact, radii);
+    universal_code_length_f64(1.0 + g / r1)
 }
 
 /// Quantizes an exact nearest-inlier distance down to the radius grid the
@@ -551,8 +710,7 @@ mod tests {
     fn detect_twice_is_identical() {
         let pts = blob_with_strays();
         let det = McCatch::builder().build().unwrap();
-        let slim = SlimTreeBuilder::default();
-        let fitted = det.fit(&pts, &Euclidean, &slim).unwrap();
+        let fitted = det.fit(pts, Euclidean, SlimTreeBuilder::default()).unwrap();
         let a = fitted.detect();
         let b = fitted.detect();
         assert_eq!(a.outliers, b.outliers);
@@ -564,8 +722,7 @@ mod tests {
     fn lazy_artifacts_match_detect_output() {
         let pts = blob_with_strays();
         let det = McCatch::builder().build().unwrap();
-        let brute = BruteForceBuilder;
-        let fitted = det.fit(&pts, &Euclidean, &brute).unwrap();
+        let fitted = det.fit(pts.clone(), Euclidean, BruteForceBuilder).unwrap();
         // Observability accessors before any detect() call.
         assert!(fitted.cutoff().d.is_finite());
         assert_eq!(fitted.oracle().points().len(), pts.len());
@@ -579,8 +736,7 @@ mod tests {
     fn score_points_ranks_outlier_queries_high() {
         let pts = blob_with_strays();
         let det = McCatch::builder().build().unwrap();
-        let slim = SlimTreeBuilder::default();
-        let fitted = det.fit(&pts, &Euclidean, &slim).unwrap();
+        let fitted = det.fit(pts, Euclidean, SlimTreeBuilder::default()).unwrap();
         let scores = fitted.score_points(&[
             vec![0.55, 0.55],   // inside the blob
             vec![-40.0, -40.0], // far from everything
@@ -594,8 +750,9 @@ mod tests {
     fn score_points_matches_in_run_scores_for_reference_points() {
         let pts = blob_with_strays();
         let det = McCatch::builder().build().unwrap();
-        let slim = SlimTreeBuilder::default();
-        let fitted = det.fit(&pts, &Euclidean, &slim).unwrap();
+        let fitted = det
+            .fit(pts.clone(), Euclidean, SlimTreeBuilder::default())
+            .unwrap();
         let out = fitted.detect();
         // Outlier queries that *are* reference outliers reproduce their
         // in-run per-point scores (same g quantization, same formula).
@@ -608,17 +765,22 @@ mod tests {
     #[test]
     fn degenerate_fits_are_well_formed() {
         let det = McCatch::builder().build().unwrap();
-        let slim = SlimTreeBuilder::default();
 
         let empty: Vec<Vec<f64>> = Vec::new();
-        let fitted = det.fit(&empty, &Euclidean, &slim).unwrap();
+        let fitted = det
+            .fit(empty, Euclidean, SlimTreeBuilder::default())
+            .unwrap();
         assert!(fitted.is_degenerate());
         let out = fitted.detect();
         assert!(out.microclusters.is_empty());
         assert_eq!(fitted.score_points(&[vec![1.0, 1.0]]), vec![0.0]);
+        assert!(fitted.top_k(0).is_empty());
+        assert!(fitted.stats().degenerate);
 
         let same = vec![vec![5.0, 5.0]; 40];
-        let fitted = det.fit(&same, &Euclidean, &slim).unwrap();
+        let fitted = det
+            .fit(same, Euclidean, SlimTreeBuilder::default())
+            .unwrap();
         assert!(fitted.is_degenerate());
         assert_eq!(fitted.detect().point_scores, vec![0.0; 40]);
     }
@@ -631,8 +793,9 @@ mod tests {
             .collect();
         words.push("xylophonist".into());
         let det = McCatch::builder().build().unwrap();
-        let slim = SlimTreeBuilder::default();
-        let fitted = det.fit(&words, &Levenshtein, &slim).unwrap();
+        let fitted = det
+            .fit(words, Levenshtein, SlimTreeBuilder::default())
+            .unwrap();
         let out = fitted.detect();
         assert!(out.is_outlier(6));
         let scores = fitted.score_points(&["smyths".to_string(), "zzzzzzzzzzzz".to_string()]);
@@ -648,5 +811,87 @@ mod tests {
         assert_eq!(quantize_down(4.0, &radii), 2.0); // inclusive counts
         assert_eq!(quantize_down(5.0, &radii), 4.0);
         assert_eq!(quantize_down(100.0, &radii), 8.0); // beyond the grid
+    }
+
+    #[test]
+    fn top_k_and_stats_match_detect() {
+        let pts = blob_with_strays();
+        let det = McCatch::builder().build().unwrap();
+        let fitted = det.fit(pts, Euclidean, SlimTreeBuilder::default()).unwrap();
+        let out = fitted.detect();
+        let stats = fitted.stats();
+        assert_eq!(stats.num_outliers, out.outliers.len());
+        assert_eq!(stats.num_microclusters, out.microclusters.len());
+        assert_eq!(stats.cutoff_d, out.cutoff.d);
+        assert!(!stats.degenerate);
+        assert_eq!(fitted.top_k(0), out.microclusters);
+        assert_eq!(fitted.top_k(1).as_slice(), &out.microclusters[..1]);
+        assert_eq!(fitted.top_k(usize::MAX), out.microclusters);
+    }
+
+    #[test]
+    fn fit_ref_matches_owned_fit() {
+        let pts = blob_with_strays();
+        let det = McCatch::builder().build().unwrap();
+        let owned = det
+            .fit(pts.clone(), Euclidean, SlimTreeBuilder::default())
+            .unwrap()
+            .detect();
+        let borrowed = det
+            .fit_ref(&pts, &Euclidean, &SlimTreeBuilder::default())
+            .unwrap()
+            .detect();
+        assert_eq!(owned.outliers, borrowed.outliers);
+        assert_eq!(owned.point_scores, borrowed.point_scores);
+        assert_eq!(owned.microclusters, borrowed.microclusters);
+    }
+
+    #[test]
+    fn erased_model_answers_like_the_fitted_handle() {
+        let pts = blob_with_strays();
+        let queries = vec![vec![0.55, 0.55], vec![-40.0, -40.0], vec![30.05, 30.0]];
+        let det = McCatch::builder().build().unwrap();
+        let fitted = det
+            .fit(pts.clone(), Euclidean, SlimTreeBuilder::default())
+            .unwrap();
+        let direct = fitted.detect();
+        let direct_scores = fitted.score_points(&queries);
+        let direct_stats = fitted.stats();
+
+        let model = det
+            .fit(pts, Euclidean, SlimTreeBuilder::default())
+            .unwrap()
+            .into_model();
+        let erased = model.detect_output();
+        assert_eq!(direct.outliers, erased.outliers);
+        assert_eq!(direct.point_scores, erased.point_scores);
+        assert_eq!(direct_scores, model.score_batch(&queries));
+        assert_eq!(direct.microclusters, model.top_k(0));
+        assert_eq!(direct_stats, model.stats());
+    }
+
+    #[test]
+    fn score_points_parallel_matches_serial() {
+        // Same data, different thread counts: bit-identical batch scores
+        // even for batches large enough to trigger the parallel path.
+        let pts = blob_with_strays();
+        let queries: Vec<Vec<f64>> = (0..257)
+            .map(|i| vec![(i % 40) as f64 * 0.7 - 5.0, (i / 40) as f64 * 0.9 - 3.0])
+            .collect();
+        let serial = McCatch::builder()
+            .threads(1)
+            .build()
+            .unwrap()
+            .fit(pts.clone(), Euclidean, SlimTreeBuilder::default())
+            .unwrap()
+            .score_points(&queries);
+        let parallel = McCatch::builder()
+            .threads(8)
+            .build()
+            .unwrap()
+            .fit(pts, Euclidean, SlimTreeBuilder::default())
+            .unwrap()
+            .score_points(&queries);
+        assert_eq!(serial, parallel);
     }
 }

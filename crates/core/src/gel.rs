@@ -15,6 +15,7 @@ use crate::oracle::OraclePlot;
 use crate::unionfind::UnionFind;
 use mccatch_index::{pair_join, IndexBuilder, RangeIndex};
 use mccatch_metric::Metric;
+use std::sync::Arc;
 
 /// The result of Alg. 3: outlier sets and gelled microclusters.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,10 +33,12 @@ pub struct SpottedMcs {
     pub gel_radius_index: Option<usize>,
 }
 
-/// Runs Alg. 3 given the Oracle plot and the Cutoff.
+/// Runs Alg. 3 given the Oracle plot and the Cutoff. Takes the dataset
+/// and metric as shared `Arc` handles so the gelling join's subset tree
+/// reuses the fit's allocations.
 pub fn spot_microclusters<P, M, B>(
-    points: &[P],
-    metric: &M,
+    points: &Arc<[P]>,
+    metric: &Arc<M>,
     builder: &B,
     oracle: &OraclePlot,
     cutoff: &Cutoff,
@@ -73,7 +76,7 @@ where
             None => 0,
         };
         gel_radius_index = Some(join_idx);
-        let tree = builder.build(points, grouped.clone(), metric);
+        let tree = builder.build(Arc::clone(points), grouped.clone(), Arc::clone(metric));
         let pairs = pair_join(&tree, points, &grouped, radii[join_idx]);
         debug_assert_eq!(tree.len(), grouped.len());
         // Union-find over positions within `grouped` (ids are sorted, so
@@ -125,13 +128,15 @@ mod tests {
     }
 
     fn run(pts: &[Vec<f64>]) -> (SpottedMcs, Cutoff) {
+        let pts: Arc<[Vec<f64>]> = pts.to_vec().into();
+        let metric = Arc::new(Euclidean);
         let builder = SlimTreeBuilder::default();
-        let tree = builder.build_all(pts, &Euclidean);
+        let tree = builder.build_all(Arc::clone(&pts), Arc::clone(&metric));
         let grid = RadiusGrid::new(tree.diameter_estimate(), 15);
-        let table = count_neighbors(&tree, pts, grid.radii(), 7, 1);
+        let table = count_neighbors(&tree, &pts, grid.radii(), 7, 1);
         let oracle = OraclePlot::from_counts(&table, grid.radii(), 0.1, 7);
         let cut = compute_cutoff(oracle.histogram(), grid.radii());
-        let spotted = spot_microclusters(pts, &Euclidean, &builder, &oracle, &cut, grid.radii());
+        let spotted = spot_microclusters(&pts, &metric, &builder, &oracle, &cut, grid.radii());
         (spotted, cut)
     }
 
@@ -159,14 +164,14 @@ mod tests {
             d: f64::INFINITY,
             mode_index: None,
         };
-        let pts = scenario();
+        let pts: Arc<[Vec<f64>]> = scenario().into();
+        let metric = Arc::new(Euclidean);
         let builder = SlimTreeBuilder::default();
-        let tree = builder.build_all(&pts, &Euclidean);
+        let tree = builder.build_all(Arc::clone(&pts), Arc::clone(&metric));
         let grid = RadiusGrid::new(tree.diameter_estimate(), 15);
         let table = count_neighbors(&tree, &pts, grid.radii(), 7, 1);
         let oracle = OraclePlot::from_counts(&table, grid.radii(), 0.1, 7);
-        let spotted =
-            spot_microclusters(&pts, &Euclidean, &builder, &oracle, &cutoff, grid.radii());
+        let spotted = spot_microclusters(&pts, &metric, &builder, &oracle, &cutoff, grid.radii());
         assert!(spotted.outliers.is_empty());
         assert!(spotted.clusters.is_empty());
         assert_eq!(spotted.gel_radius_index, None);

@@ -44,8 +44,9 @@
 //! points.push(vec![30.1, 30.0]);
 //! points.push(vec![-40.0, 15.0]);
 //!
-//! let slim = SlimTreeBuilder::default();
-//! let fitted = McCatch::builder().build()?.fit(&points, &Euclidean, &slim)?;
+//! let fitted = McCatch::builder()
+//!     .build()?
+//!     .fit(points, Euclidean, SlimTreeBuilder::default())?;
 //! let out = fitted.detect();
 //! assert!(out.is_outlier(100) && out.is_outlier(101) && out.is_outlier(102));
 //! // The two strays gel into one 2-point microcluster.
@@ -56,14 +57,25 @@
 //! # Ok::<(), mccatch_core::McCatchError>(())
 //! ```
 //!
+//! The [`Fitted`] handle owns its data (`Arc<[P]>`), metric, and index
+//! builder, so it is `Send + Sync + 'static` whenever its components are:
+//! fit once, then move the handle into a server or share it across
+//! threads. [`Fitted::into_model`] erases the metric and index types into
+//! an `Arc<dyn Model<P>>` (see [`model`]) so services need no generics
+//! plumbing; the `mccatch` facade crate builds a swappable `ModelStore`
+//! on top of it.
+//!
 //! The one-shot [`mccatch`] free function from earlier releases is kept
-//! as a deprecated shim over the staged API.
+//! as a deprecated shim over the staged API (slated for removal in
+//! 0.4.0). The borrowed-slice [`McCatch::fit_ref`] convenience is not
+//! deprecated and stays.
 
 pub mod counts;
 pub mod cutoff;
 pub mod detector;
 pub mod error;
 pub mod gel;
+pub mod model;
 pub mod oracle;
 pub mod params;
 pub mod pipeline;
@@ -75,6 +87,7 @@ pub mod unionfind;
 pub use cutoff::{compression_cost, compute_cutoff, Cutoff};
 pub use detector::{Fitted, McCatch, McCatchBuilder};
 pub use error::McCatchError;
+pub use model::{Model, ModelStats};
 pub use oracle::{OraclePlot, OraclePoint};
 pub use params::{Params, RadiusGrid, Resolved};
 #[allow(deprecated)]

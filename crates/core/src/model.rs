@@ -1,0 +1,86 @@
+//! The type-erased serving interface: [`Model`].
+//!
+//! [`crate::Fitted`] is generic over the point type, the metric, and the
+//! index builder — three type parameters that every service struct holding
+//! a fitted detector would otherwise have to thread through its own
+//! signature. [`Model`] erases the metric and index choice behind an
+//! object-safe trait: a server stores `Arc<dyn Model<P>>` and can swap in
+//! a model fitted with a different metric or index without recompiling.
+//!
+//! The trait is `Send + Sync`, and [`crate::Fitted::into_model`] requires
+//! `'static` components, so an `Arc<dyn Model<P>>` can be cloned into any
+//! number of threads (`std::thread::spawn`, an async runtime, a request
+//! pool) and every clone answers from the same one-time fit.
+//!
+//! ```
+//! use mccatch_core::{McCatch, Model};
+//! use mccatch_index::SlimTreeBuilder;
+//! use mccatch_metric::Euclidean;
+//! use std::sync::Arc;
+//!
+//! let mut points: Vec<Vec<f64>> = (0..100)
+//!     .map(|i| vec![(i % 10) as f64 * 0.1, (i / 10) as f64 * 0.1])
+//!     .collect();
+//! points.push(vec![30.0, 30.0]);
+//!
+//! let fitted = McCatch::builder()
+//!     .build()?
+//!     .fit(points, Euclidean, SlimTreeBuilder::default())?;
+//! let model: Arc<dyn Model<Vec<f64>>> = fitted.into_model();
+//!
+//! // The erased handle moves freely across threads.
+//! let worker = {
+//!     let model = Arc::clone(&model);
+//!     std::thread::spawn(move || model.score_batch(&[vec![50.0, -50.0]]))
+//! };
+//! assert!(worker.join().unwrap()[0] > 0.0);
+//! assert_eq!(model.stats().num_points, 101);
+//! # Ok::<(), mccatch_core::McCatchError>(())
+//! ```
+
+use crate::result::{McCatchOutput, Microcluster};
+
+/// An object-safe, thread-safe view of a fitted MCCATCH detector.
+///
+/// Obtained from [`crate::Fitted::into_model`]. All methods are `&self`
+/// and answer from the one-time fit; expensive stages run on first use
+/// and are cached, exactly like on the concrete [`crate::Fitted`] handle.
+pub trait Model<P>: Send + Sync {
+    /// Runs the full pipeline and assembles the complete output — see
+    /// [`crate::Fitted::detect`].
+    fn detect_output(&self) -> McCatchOutput;
+
+    /// Scores new points against the fitted reference set (the serving
+    /// path) — see [`crate::Fitted::score_points`]. Large batches are
+    /// scored in parallel chunks using the fit's resolved thread count;
+    /// results are bit-identical regardless of threading.
+    fn score_batch(&self, queries: &[P]) -> Vec<f64>;
+
+    /// The `k` highest-ranked (most strange) microclusters; `k = 0` means
+    /// all of them.
+    fn top_k(&self, k: usize) -> Vec<Microcluster>;
+
+    /// Summary of the fit and its detection results, for health endpoints
+    /// and logs.
+    fn stats(&self) -> ModelStats;
+}
+
+/// Summary statistics of a fitted model, as reported by [`Model::stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelStats {
+    /// Number of reference points `n`.
+    pub num_points: usize,
+    /// The diameter estimate `l` (Alg. 1 line 2).
+    pub diameter: f64,
+    /// Number of radii `a` in the grid.
+    pub num_radii: usize,
+    /// The MDL cutoff `d` (infinite when no cut exists).
+    pub cutoff_d: f64,
+    /// Number of flagged outliers.
+    pub num_outliers: usize,
+    /// Number of gelled microclusters.
+    pub num_microclusters: usize,
+    /// Whether the fit was degenerate (empty, singleton, or zero-diameter
+    /// data); degenerate models report no outliers and all-zero scores.
+    pub degenerate: bool,
+}

@@ -96,7 +96,7 @@ mod tests {
     /// 1-d toy: pair at {0, 0.4}, singleton at 10, far singleton at 127.
     fn plot() -> (Vec<f64>, OraclePlot) {
         let pts = vec![vec![0.0], vec![0.4], vec![10.0], vec![127.0]];
-        let idx = BruteForce::new(&pts, (0..4).collect(), &Euclidean);
+        let idx = BruteForce::new(pts.clone(), (0..4).collect(), Euclidean);
         let radii: Vec<f64> = (0..9).map(|k| 127.0 / (1 << (8 - k)) as f64).collect();
         let table = count_neighbors(&idx, &pts, &radii, 4, 1);
         let plot = OraclePlot::from_counts(&table, &radii, 0.1, 4);

@@ -35,7 +35,7 @@ use mccatch_metric::Metric;
 /// # let points = vec![vec![0.0], vec![1.0], vec![50.0]];
 /// let fitted = McCatch::builder()
 ///     .build()?
-///     .fit(&points, &Euclidean, &BruteForceBuilder)?;
+///     .fit(points, Euclidean, BruteForceBuilder)?;
 /// let out = fitted.detect();
 /// # Ok::<(), mccatch_core::McCatchError>(())
 /// ```
@@ -45,13 +45,13 @@ use mccatch_metric::Metric;
 )]
 pub fn mccatch<P, M, B>(points: &[P], metric: &M, builder: &B, params: &Params) -> McCatchOutput
 where
-    P: Sync,
-    M: Metric<P>,
-    B: IndexBuilder<P, M>,
+    P: Sync + Clone,
+    M: Metric<P> + Clone,
+    B: IndexBuilder<P, M> + Clone,
 {
     let detector = McCatch::new(params.clone()).unwrap_or_else(|e| panic!("{e}"));
     let fitted = detector
-        .fit(points, metric, builder)
+        .fit_ref(points, metric, builder)
         .unwrap_or_else(|e| panic!("{e}"));
     fitted.detect()
 }

@@ -9,6 +9,7 @@
 use crate::oracle::OraclePlot;
 use mccatch_index::{batch_range_count, IndexBuilder, RangeIndex};
 use mccatch_metric::{universal_code_length, universal_code_length_f64, Metric};
+use std::sync::Arc;
 
 /// Scores for the microclusters and every point.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,8 +66,8 @@ pub fn def7_score(cardinality: usize, n: usize, bridge: f64, mean_x: f64, r1: f6
 /// per-point scores.
 #[allow(clippy::too_many_arguments)]
 pub fn score_microclusters<P, M, B>(
-    points: &[P],
-    metric: &M,
+    points: &Arc<[P]>,
+    metric: &Arc<M>,
     builder: &B,
     clusters: &[Vec<u32>],
     outliers: &[u32],
@@ -93,7 +94,7 @@ where
     // smallest first (Alg. 4 lines 1-12). r_0 is defined as 0.
     let inliers = complement_of_sorted(n, outliers);
     if !outliers.is_empty() && !inliers.is_empty() {
-        let inlier_tree = builder.build(points, inliers, metric);
+        let inlier_tree = builder.build(Arc::clone(points), inliers, Arc::clone(metric));
         let mut unresolved: Vec<u32> = outliers.to_vec();
         for (k, &r) in radii.iter().enumerate().take(a) {
             if unresolved.is_empty() {

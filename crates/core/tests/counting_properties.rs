@@ -18,7 +18,7 @@ proptest! {
 
     #[test]
     fn exact_cells_match_naive_counts(pts in dataset(), c_frac in 0.05..0.9f64) {
-        let brute = BruteForce::new(&pts, (0..pts.len() as u32).collect(), &Euclidean);
+        let brute = BruteForce::new(pts.clone(), (0..pts.len() as u32).collect(), Euclidean);
         let grid = RadiusGrid::new(brute.diameter_estimate(), 8);
         prop_assume!(!grid.is_degenerate());
         let c = ((pts.len() as f64 * c_frac).ceil() as usize).max(1);
@@ -43,7 +43,7 @@ proptest! {
 
     #[test]
     fn rows_are_exact_prefix_then_over(pts in dataset()) {
-        let brute = BruteForce::new(&pts, (0..pts.len() as u32).collect(), &Euclidean);
+        let brute = BruteForce::new(pts.clone(), (0..pts.len() as u32).collect(), Euclidean);
         let grid = RadiusGrid::new(brute.diameter_estimate(), 8);
         prop_assume!(!grid.is_degenerate());
         let c = (pts.len() / 5).max(1);
@@ -73,11 +73,11 @@ proptest! {
     fn index_implementation_is_irrelevant(pts in dataset()) {
         let n = pts.len() as u32;
         let c = (pts.len() / 4).max(1);
-        let brute = BruteForce::new(&pts, (0..n).collect(), &Euclidean);
+        let brute = BruteForce::new(pts.clone(), (0..n).collect(), Euclidean);
         let grid = RadiusGrid::new(brute.diameter_estimate(), 8);
         prop_assume!(!grid.is_degenerate());
-        let slim = SlimTreeBuilder::default().build_all(&pts, &Euclidean);
-        let vp = VpTreeBuilder::default().build_all(&pts, &Euclidean);
+        let slim = SlimTreeBuilder::default().build_all_ref(&pts, &Euclidean);
+        let vp = VpTreeBuilder::default().build_all_ref(&pts, &Euclidean);
         let a = count_neighbors(&brute, &pts, grid.radii(), c, 1);
         let b = count_neighbors(&slim, &pts, grid.radii(), c, 1);
         let d = count_neighbors(&vp, &pts, grid.radii(), c, 1);

@@ -12,14 +12,14 @@ use proptest::prelude::*;
 
 /// The staged API, one-shot: the property suite runs through the same
 /// builder/fit/detect path the production callers use.
-fn run<B: IndexBuilder<Vec<f64>, Euclidean>>(
+fn run<B: IndexBuilder<Vec<f64>, Euclidean> + Clone>(
     pts: &[Vec<f64>],
     builder: &B,
     params: &Params,
 ) -> McCatchOutput {
     McCatch::new(params.clone())
         .expect("valid params")
-        .fit(pts, &Euclidean, builder)
+        .fit_ref(pts, &Euclidean, builder)
         .expect("fit")
         .detect()
 }

@@ -35,7 +35,7 @@ pub struct BenchmarkSpec {
 
 /// The 18 benchmark presets of Tab. III, in the paper's order. `HTTP` and
 /// `Annthyroid` carry nonsingleton microclusters ("known to have
-/// nonsingleton microclusters [6]"); HTTP's largest is the 30-point
+/// nonsingleton microclusters \[6\]"); HTTP's largest is the 30-point
 /// DoS-like cluster showcased in Fig. 8(ii). The heavy-outlier-share sets
 /// (Satellite 31.6%, Ionosphere 35.7%) model their "outliers" the way the
 /// real benchmarks do — as minority *classes*, i.e. mostly small clusters

@@ -9,7 +9,7 @@
 //! * [`axioms`] — the Fig. 2 isolation/cardinality scenarios (Tab. V).
 //! * [`benchmarks`] — the 18 vector benchmark analogues (Fig. 6, Tab. IV).
 //! * [`synthetic`] — Uniform / Diagonal scalability workloads (Fig. 7).
-//! * [`names`], [`fingerprints`], [`skeletons`] — nondimensional data
+//! * [`names`], [`fingerprints`](mod@fingerprints), [`skeletons`](mod@skeletons) — nondimensional data
 //!   (strings and trees; Fig. 1, Tab. III).
 //! * [`satellite`] — Shanghai / Volcanoes tile grids (Fig. 1(i), 8(i)).
 //! * [`network`] — the HTTP connection log with its 30-point DoS

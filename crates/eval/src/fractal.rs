@@ -39,8 +39,8 @@ pub fn correlation_dimension<P, M, B>(
     max_queries: usize,
 ) -> FractalDim
 where
-    P: Sync,
-    M: Metric<P>,
+    P: Sync + Clone,
+    M: Metric<P> + Clone,
     B: IndexBuilder<P, M>,
 {
     let n = points.len();
@@ -52,7 +52,7 @@ where
             fit_points: Vec::new(),
         };
     }
-    let index = builder.build_all(points, metric);
+    let index = builder.build_all_ref(points, metric);
     let diameter = index.diameter_estimate();
     if diameter <= 0.0 {
         return FractalDim {

@@ -6,46 +6,45 @@
 
 use crate::{IndexBuilder, Neighbor, OrdF64, RangeIndex};
 use mccatch_metric::Metric;
+use std::sync::Arc;
 
 /// Builder for [`BruteForce`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BruteForceBuilder;
 
-impl<P: Sync, M: Metric<P>> IndexBuilder<P, M> for BruteForceBuilder {
-    type Index<'a>
-        = BruteForce<'a, P, M>
-    where
-        P: 'a,
-        M: 'a;
+impl<P: Send + Sync, M: Metric<P>> IndexBuilder<P, M> for BruteForceBuilder {
+    type Index = BruteForce<P, M>;
 
-    fn build<'a>(&self, points: &'a [P], ids: Vec<u32>, metric: &'a M) -> Self::Index<'a> {
+    fn build(&self, points: Arc<[P]>, ids: Vec<u32>, metric: Arc<M>) -> Self::Index {
         BruteForce::new(points, ids, metric)
     }
 }
 
 /// Exhaustive-scan index: every query touches every indexed element.
+/// Owns `Arc` handles to the dataset and metric, so it has no lifetime.
 #[derive(Debug)]
-pub struct BruteForce<'a, P, M: Metric<P>> {
-    points: &'a [P],
+pub struct BruteForce<P, M: Metric<P>> {
+    points: Arc<[P]>,
     ids: Vec<u32>,
-    metric: &'a M,
+    metric: Arc<M>,
 }
 
-impl<'a, P, M: Metric<P>> BruteForce<'a, P, M> {
+impl<P, M: Metric<P>> BruteForce<P, M> {
     /// Creates an index over `points[ids]`. Ids are kept sorted so query
     /// output order is deterministic.
-    pub fn new(points: &'a [P], mut ids: Vec<u32>, metric: &'a M) -> Self {
+    pub fn new(points: impl Into<Arc<[P]>>, mut ids: Vec<u32>, metric: impl Into<Arc<M>>) -> Self {
+        let points = points.into();
         debug_assert!(ids.iter().all(|&i| (i as usize) < points.len()));
         ids.sort_unstable();
         Self {
             points,
             ids,
-            metric,
+            metric: metric.into(),
         }
     }
 }
 
-impl<P: Sync, M: Metric<P>> RangeIndex<P> for BruteForce<'_, P, M> {
+impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for BruteForce<P, M> {
     fn len(&self) -> usize {
         self.ids.len()
     }
@@ -133,7 +132,7 @@ mod tests {
     #[test]
     fn range_count_includes_self_and_boundary() {
         let pts = grid();
-        let idx = BruteForce::new(&pts, (0..9).collect(), &Euclidean);
+        let idx = BruteForce::new(pts.clone(), (0..9).collect(), Euclidean);
         // Center point (1,1): distance 1 reaches itself + 4 axis neighbors.
         assert_eq!(idx.range_count(&vec![1.0, 1.0], 1.0), 5);
         // Radius 0 counts only exact matches.
@@ -143,7 +142,7 @@ mod tests {
     #[test]
     fn range_ids_sorted_and_exact() {
         let pts = grid();
-        let idx = BruteForce::new(&pts, (0..9).collect(), &Euclidean);
+        let idx = BruteForce::new(pts.clone(), (0..9).collect(), Euclidean);
         let mut out = Vec::new();
         idx.range_ids(&vec![0.0, 0.0], 1.0, &mut out);
         assert_eq!(out, vec![0, 1, 3]); // (0,0), (0,1), (1,0)
@@ -152,7 +151,7 @@ mod tests {
     #[test]
     fn knn_orders_by_distance_then_id() {
         let pts = grid();
-        let idx = BruteForce::new(&pts, (0..9).collect(), &Euclidean);
+        let idx = BruteForce::new(pts.clone(), (0..9).collect(), Euclidean);
         let nn = idx.knn(&vec![0.0, 0.0], 3);
         assert_eq!(nn[0].id, 0);
         assert_eq!(nn[0].dist, 0.0);
@@ -163,14 +162,14 @@ mod tests {
     #[test]
     fn knn_truncates_to_index_size() {
         let pts = grid();
-        let idx = BruteForce::new(&pts, vec![0, 1], &Euclidean);
+        let idx = BruteForce::new(pts.clone(), vec![0, 1], Euclidean);
         assert_eq!(idx.knn(&vec![0.0, 0.0], 10).len(), 2);
     }
 
     #[test]
     fn subset_index_reports_dataset_ids() {
         let pts = grid();
-        let idx = BruteForce::new(&pts, vec![8, 4], &Euclidean);
+        let idx = BruteForce::new(pts.clone(), vec![8, 4], Euclidean);
         let mut out = Vec::new();
         idx.range_ids(&vec![2.0, 2.0], 0.5, &mut out);
         assert_eq!(out, vec![8]);
@@ -180,7 +179,7 @@ mod tests {
     #[test]
     fn diameter_exact_small() {
         let pts = grid();
-        let idx = BruteForce::new(&pts, (0..9).collect(), &Euclidean);
+        let idx = BruteForce::new(pts.clone(), (0..9).collect(), Euclidean);
         let want = (8.0f64).sqrt(); // corner to corner
         assert!((idx.diameter_estimate() - want).abs() < 1e-12);
     }
@@ -188,14 +187,14 @@ mod tests {
     #[test]
     fn empty_and_singleton_edge_cases() {
         let pts = grid();
-        let empty = BruteForce::new(&pts, vec![], &Euclidean);
+        let empty = BruteForce::new(pts.clone(), vec![], Euclidean);
         assert_eq!(empty.len(), 0);
         assert!(empty.is_empty());
         assert_eq!(empty.range_count(&vec![0.0, 0.0], 10.0), 0);
         assert_eq!(empty.diameter_estimate(), 0.0);
         assert!(empty.knn(&vec![0.0, 0.0], 3).is_empty());
 
-        let single = BruteForce::new(&pts, vec![4], &Euclidean);
+        let single = BruteForce::new(pts.clone(), vec![4], Euclidean);
         assert_eq!(single.diameter_estimate(), 0.0);
         assert_eq!(single.range_count(&vec![1.0, 1.0], 0.0), 1);
     }

@@ -89,7 +89,7 @@ mod tests {
     #[test]
     fn batch_count_serial_matches_manual() {
         let pts = line(20);
-        let idx = BruteForce::new(&pts, (0..20).collect(), &Euclidean);
+        let idx = BruteForce::new(pts.clone(), (0..20).collect(), Euclidean);
         let queries: Vec<u32> = (0..20).collect();
         let counts = batch_range_count(&idx, &pts, &queries, 1.0, 1);
         // Interior points see 3 neighbors (self + 2), endpoints see 2.
@@ -101,7 +101,7 @@ mod tests {
     #[test]
     fn batch_count_parallel_equals_serial() {
         let pts = line(1000);
-        let idx = BruteForce::new(&pts, (0..1000).collect(), &Euclidean);
+        let idx = BruteForce::new(pts.clone(), (0..1000).collect(), Euclidean);
         let queries: Vec<u32> = (0..1000).collect();
         let serial = batch_range_count(&idx, &pts, &queries, 3.0, 1);
         let parallel = batch_range_count(&idx, &pts, &queries, 3.0, 8);
@@ -111,7 +111,7 @@ mod tests {
     #[test]
     fn batch_count_subset_queries() {
         let pts = line(10);
-        let idx = BruteForce::new(&pts, (0..10).collect(), &Euclidean);
+        let idx = BruteForce::new(pts.clone(), (0..10).collect(), Euclidean);
         let queries = vec![0u32, 9u32];
         let counts = batch_range_count(&idx, &pts, &queries, 100.0, 1);
         assert_eq!(counts, vec![10, 10]);
@@ -122,7 +122,7 @@ mod tests {
         let pts = line(6);
         // Index over {0, 1, 4, 5}; radius 1 links 0-1 and 4-5.
         let members = vec![0u32, 1, 4, 5];
-        let idx = BruteForce::new(&pts, members.clone(), &Euclidean);
+        let idx = BruteForce::new(pts.clone(), members.clone(), Euclidean);
         let pairs = pair_join(&idx, &pts, &members, 1.0);
         assert_eq!(pairs, vec![(0, 1), (4, 5)]);
     }
@@ -130,7 +130,7 @@ mod tests {
     #[test]
     fn pair_join_empty_members() {
         let pts = line(6);
-        let idx = BruteForce::new(&pts, vec![], &Euclidean);
+        let idx = BruteForce::new(pts.clone(), vec![], Euclidean);
         assert!(pair_join(&idx, &pts, &[], 1.0).is_empty());
     }
 }

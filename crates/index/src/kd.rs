@@ -9,6 +9,7 @@ use crate::{IndexBuilder, Neighbor, OrdF64, RangeIndex};
 use mccatch_metric::Euclidean;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Builder for [`KdTree`]. Only valid with the [`Euclidean`] metric: the
 /// bounding-box pruning arithmetic assumes `L_2`.
@@ -24,13 +25,10 @@ impl Default for KdTreeBuilder {
     }
 }
 
-impl<P: AsRef<[f64]> + Sync> IndexBuilder<P, Euclidean> for KdTreeBuilder {
-    type Index<'a>
-        = KdTree<'a, P>
-    where
-        P: 'a;
+impl<P: AsRef<[f64]> + Send + Sync> IndexBuilder<P, Euclidean> for KdTreeBuilder {
+    type Index = KdTree<P>;
 
-    fn build<'a>(&self, points: &'a [P], ids: Vec<u32>, _metric: &'a Euclidean) -> Self::Index<'a> {
+    fn build(&self, points: Arc<[P]>, ids: Vec<u32>, _metric: Arc<Euclidean>) -> Self::Index {
         KdTree::build(points, ids, self.leaf_capacity)
     }
 }
@@ -57,19 +55,21 @@ enum KdKind {
     },
 }
 
-/// Median-split kd-tree over `points[ids]`.
+/// Median-split kd-tree over `points[ids]`; owns an `Arc` handle to the
+/// dataset, so it has no lifetime.
 #[derive(Debug)]
-pub struct KdTree<'a, P> {
-    points: &'a [P],
+pub struct KdTree<P> {
+    points: Arc<[P]>,
     ids: Vec<u32>,
     nodes: Vec<KdNode>,
     dim: usize,
 }
 
-impl<'a, P: AsRef<[f64]>> KdTree<'a, P> {
+impl<P: AsRef<[f64]>> KdTree<P> {
     /// Builds the tree. Splits the widest bounding-box dimension at the
     /// median; wholly deterministic.
-    pub fn build(points: &'a [P], mut ids: Vec<u32>, leaf_capacity: usize) -> Self {
+    pub fn build(points: impl Into<Arc<[P]>>, mut ids: Vec<u32>, leaf_capacity: usize) -> Self {
+        let points = points.into();
         let leaf_capacity = leaf_capacity.max(1);
         let dim = points.first().map_or(0, |p| p.as_ref().len());
         let mut tree = Self {
@@ -121,7 +121,7 @@ impl<'a, P: AsRef<[f64]>> KdTree<'a, P> {
             })
             .unwrap_or(0);
         let mid = (end - start) / 2;
-        let points = self.points;
+        let points = Arc::clone(&self.points);
         ids[start..end].select_nth_unstable_by(mid, |&a, &b| {
             OrdF64(points[a as usize].as_ref()[split_dim])
                 .cmp(&OrdF64(points[b as usize].as_ref()[split_dim]))
@@ -238,7 +238,7 @@ impl<'a, P: AsRef<[f64]>> KdTree<'a, P> {
     }
 }
 
-impl<P: AsRef<[f64]> + Sync> RangeIndex<P> for KdTree<'_, P> {
+impl<P: AsRef<[f64]> + Send + Sync> RangeIndex<P> for KdTree<P> {
     fn len(&self) -> usize {
         self.ids.len()
     }
@@ -343,8 +343,8 @@ mod tests {
             .collect()
     }
 
-    fn kd<'a>(pts: &'a [Vec<f64>]) -> KdTree<'a, Vec<f64>> {
-        KdTree::build(pts, (0..pts.len() as u32).collect(), 4)
+    fn kd(pts: &[Vec<f64>]) -> KdTree<Vec<f64>> {
+        KdTree::build(pts.to_vec(), (0..pts.len() as u32).collect(), 4)
     }
 
     #[test]
@@ -399,7 +399,7 @@ mod tests {
     #[test]
     fn empty_tree() {
         let pts: Vec<Vec<f64>> = vec![];
-        let t = KdTree::build(&pts, vec![], 4);
+        let t = KdTree::build(pts.clone(), vec![], 4);
         assert_eq!(t.range_count(&vec![0.0, 0.0], 1.0), 0);
         assert_eq!(t.diameter_estimate(), 0.0);
         assert!(t.knn(&vec![0.0, 0.0], 1).is_empty());
@@ -408,7 +408,7 @@ mod tests {
     #[test]
     fn subset_ids_preserved() {
         let pts = grid(4);
-        let t = KdTree::build(&pts, vec![5, 10, 15], 2);
+        let t = KdTree::build(pts.clone(), vec![5, 10, 15], 2);
         let mut out = Vec::new();
         t.range_ids(&pts[10], 0.0, &mut out);
         assert_eq!(out, vec![10]);
@@ -426,7 +426,7 @@ mod tests {
     fn high_dimensional_counts() {
         // 20-dim points on a diagonal.
         let pts: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64; 20]).collect();
-        let t = KdTree::build(&pts, (0..64).collect(), 4);
+        let t = KdTree::build(pts.clone(), (0..64).collect(), 4);
         // Neighbor at diagonal step 1 is at distance sqrt(20).
         let r = (20.0f64).sqrt() + 1e-9;
         assert_eq!(t.range_count(&pts[10], r), 3);

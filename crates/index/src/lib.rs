@@ -35,6 +35,7 @@ pub use slim::{SlimTree, SlimTreeBuilder};
 pub use vp::{VpTree, VpTreeBuilder};
 
 use mccatch_metric::Metric;
+use std::sync::Arc;
 
 /// A neighbor returned by k-NN queries: dataset id plus distance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,20 +100,46 @@ pub trait RangeIndex<P>: Sync {
 /// MCCATCH builds three trees per run (dataset, outliers, inliers), so
 /// construction is abstracted behind a builder; the pipeline in
 /// `mccatch-core` is generic over it.
+///
+/// Indexes are **owned**: they hold id-based node storage plus `Arc`
+/// handles to the dataset and metric, so an index (and anything built on
+/// top of it, like a fitted detector) has no borrowed lifetime — it can be
+/// returned from the stack frame that loaded the data, stored in a
+/// long-lived service, and moved across threads. Sharing is cheap: every
+/// tree built from the same `Arc<[P]>` reuses the one allocation.
 pub trait IndexBuilder<P, M: Metric<P>>: Sync {
-    /// The index type produced, borrowing the dataset and metric.
-    type Index<'a>: RangeIndex<P> + 'a
-    where
-        P: 'a,
-        M: 'a,
-        Self: 'a;
+    /// The owned index type produced.
+    type Index: RangeIndex<P>;
 
     /// Builds an index over the elements of `points` selected by `ids`.
-    fn build<'a>(&self, points: &'a [P], ids: Vec<u32>, metric: &'a M) -> Self::Index<'a>;
+    fn build(&self, points: Arc<[P]>, ids: Vec<u32>, metric: Arc<M>) -> Self::Index;
 
     /// Convenience: index the whole dataset.
-    fn build_all<'a>(&self, points: &'a [P], metric: &'a M) -> Self::Index<'a> {
-        self.build(points, (0..points.len() as u32).collect(), metric)
+    fn build_all(&self, points: Arc<[P]>, metric: Arc<M>) -> Self::Index {
+        let ids = (0..points.len() as u32).collect();
+        self.build(points, ids, metric)
+    }
+
+    /// Borrowed-slice convenience for one-shot callers: clones `points`
+    /// and `metric` into fresh `Arc`s (an `O(n)` copy, dwarfed by the tree
+    /// build itself). Long-lived callers should hold an `Arc<[P]>` and use
+    /// [`build`](Self::build) so every tree shares one allocation.
+    fn build_ref(&self, points: &[P], ids: Vec<u32>, metric: &M) -> Self::Index
+    where
+        P: Clone,
+        M: Clone,
+    {
+        self.build(Arc::from(points), ids, Arc::new(metric.clone()))
+    }
+
+    /// Borrowed-slice convenience: index the whole dataset (see
+    /// [`build_ref`](Self::build_ref) for the copy caveat).
+    fn build_all_ref(&self, points: &[P], metric: &M) -> Self::Index
+    where
+        P: Clone,
+        M: Clone,
+    {
+        self.build_all(Arc::from(points), Arc::new(metric.clone()))
     }
 }
 

@@ -26,6 +26,7 @@ use crate::{IndexBuilder, Neighbor, OrdF64, RangeIndex};
 use mccatch_metric::Metric;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Builder for [`SlimTree`]. `node_capacity` is the maximum number of
 /// entries per node (minimum 4); 32 is a good default for main memory.
@@ -50,14 +51,10 @@ impl SlimTreeBuilder {
     }
 }
 
-impl<P: Sync, M: Metric<P>> IndexBuilder<P, M> for SlimTreeBuilder {
-    type Index<'a>
-        = SlimTree<'a, P, M>
-    where
-        P: 'a,
-        M: 'a;
+impl<P: Send + Sync, M: Metric<P>> IndexBuilder<P, M> for SlimTreeBuilder {
+    type Index = SlimTree<P, M>;
 
-    fn build<'a>(&self, points: &'a [P], ids: Vec<u32>, metric: &'a M) -> Self::Index<'a> {
+    fn build(&self, points: Arc<[P]>, ids: Vec<u32>, metric: Arc<M>) -> Self::Index {
         SlimTree::build(points, ids, metric, self.node_capacity)
     }
 }
@@ -91,24 +88,30 @@ enum Node {
     Internal(Vec<RoutingEntry>),
 }
 
-/// A Slim-tree over `points[ids]` using `metric`. See the module docs.
+/// A Slim-tree over `points[ids]` using `metric`; owns `Arc` handles to
+/// the dataset and metric, so it has no lifetime. See the module docs.
 #[derive(Debug)]
-pub struct SlimTree<'a, P, M: Metric<P>> {
-    points: &'a [P],
-    metric: &'a M,
+pub struct SlimTree<P, M: Metric<P>> {
+    points: Arc<[P]>,
+    metric: Arc<M>,
     nodes: Vec<Node>,
     root: u32,
     len: usize,
     capacity: usize,
 }
 
-impl<'a, P, M: Metric<P>> SlimTree<'a, P, M> {
+impl<P, M: Metric<P>> SlimTree<P, M> {
     /// Builds a tree by successive insertion of `ids` in the given order.
-    pub fn build(points: &'a [P], ids: Vec<u32>, metric: &'a M, node_capacity: usize) -> Self {
+    pub fn build(
+        points: impl Into<Arc<[P]>>,
+        ids: Vec<u32>,
+        metric: impl Into<Arc<M>>,
+        node_capacity: usize,
+    ) -> Self {
         let capacity = node_capacity.max(4);
         let mut tree = Self {
-            points,
-            metric,
+            points: points.into(),
+            metric: metric.into(),
             nodes: vec![Node::Leaf(Vec::new())],
             root: 0,
             len: 0,
@@ -349,7 +352,7 @@ impl<'a, P, M: Metric<P>> SlimTree<'a, P, M> {
     #[doc(hidden)]
     pub fn check_invariants(&self) -> usize {
         fn walk<P, M: Metric<P>>(
-            t: &SlimTree<'_, P, M>,
+            t: &SlimTree<P, M>,
             node: u32,
             parent_rep: Option<u32>,
             ancestors: &mut Vec<(u32, f64)>,
@@ -485,7 +488,7 @@ impl<'a, P, M: Metric<P>> SlimTree<'a, P, M> {
     }
 }
 
-impl<P: Sync, M: Metric<P>> RangeIndex<P> for SlimTree<'_, P, M> {
+impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for SlimTree<P, M> {
     fn len(&self) -> usize {
         self.len
     }
@@ -668,8 +671,13 @@ mod tests {
         (0..n).map(|i| vec![i as f64, 0.0]).collect()
     }
 
-    fn tree<'a>(pts: &'a [Vec<f64>], cap: usize) -> SlimTree<'a, Vec<f64>, Euclidean> {
-        SlimTree::build(pts, (0..pts.len() as u32).collect(), &Euclidean, cap)
+    fn tree(pts: &[Vec<f64>], cap: usize) -> SlimTree<Vec<f64>, Euclidean> {
+        SlimTree::build(
+            pts.to_vec(),
+            (0..pts.len() as u32).collect(),
+            Euclidean,
+            cap,
+        )
     }
 
     #[test]
@@ -737,7 +745,7 @@ mod tests {
     #[test]
     fn empty_tree_queries() {
         let pts: Vec<Vec<f64>> = vec![];
-        let t = SlimTree::build(&pts, vec![], &Euclidean, 8);
+        let t = SlimTree::build(pts.clone(), vec![], Euclidean, 8);
         assert_eq!(t.range_count(&vec![0.0, 0.0], 1.0), 0);
         assert!(t.knn(&vec![0.0, 0.0], 3).is_empty());
         assert_eq!(t.diameter_estimate(), 0.0);
@@ -761,7 +769,7 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let t = SlimTree::build(&words, (0..6).collect(), &Levenshtein, 4);
+        let t = SlimTree::build(words.clone(), (0..6).collect(), Levenshtein, 4);
         // Within distance 1 of "cat": cat, car, cart.
         assert_eq!(t.range_count(&"cat".to_string(), 1.0), 3);
         let nn = t.knn(&"dig".to_string(), 2);
@@ -771,7 +779,7 @@ mod tests {
     #[test]
     fn subset_build_reports_original_ids() {
         let pts = line_points(10);
-        let t = SlimTree::build(&pts, vec![2, 4, 6, 8], &Euclidean, 4);
+        let t = SlimTree::build(pts.clone(), vec![2, 4, 6, 8], Euclidean, 4);
         let mut out = Vec::new();
         t.range_ids(&pts[4], 2.0, &mut out);
         assert_eq!(out, vec![2, 4, 6]);

@@ -18,6 +18,7 @@ use crate::{IndexBuilder, Neighbor, OrdF64, RangeIndex};
 use mccatch_metric::Metric;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Builder for [`VpTree`].
 #[derive(Debug, Clone, Copy)]
@@ -32,14 +33,10 @@ impl Default for VpTreeBuilder {
     }
 }
 
-impl<P: Sync, M: Metric<P>> IndexBuilder<P, M> for VpTreeBuilder {
-    type Index<'a>
-        = VpTree<'a, P, M>
-    where
-        P: 'a,
-        M: 'a;
+impl<P: Send + Sync, M: Metric<P>> IndexBuilder<P, M> for VpTreeBuilder {
+    type Index = VpTree<P, M>;
 
-    fn build<'a>(&self, points: &'a [P], ids: Vec<u32>, metric: &'a M) -> Self::Index<'a> {
+    fn build(&self, points: Arc<[P]>, ids: Vec<u32>, metric: Arc<M>) -> Self::Index {
         VpTree::build(points, ids, metric, self.leaf_capacity)
     }
 }
@@ -64,23 +61,29 @@ enum VpNode {
     },
 }
 
-/// A vantage-point tree over `points[ids]` using `metric`.
+/// A vantage-point tree over `points[ids]` using `metric`; owns `Arc`
+/// handles to the dataset and metric, so it has no lifetime.
 #[derive(Debug)]
-pub struct VpTree<'a, P, M: Metric<P>> {
-    points: &'a [P],
-    metric: &'a M,
+pub struct VpTree<P, M: Metric<P>> {
+    points: Arc<[P]>,
+    metric: Arc<M>,
     ids: Vec<u32>,
     nodes: Vec<VpNode>,
 }
 
-impl<'a, P, M: Metric<P>> VpTree<'a, P, M> {
+impl<P, M: Metric<P>> VpTree<P, M> {
     /// Builds the tree; deterministic (vantage = first element of the
     /// range, median split with stable tie-breaks).
-    pub fn build(points: &'a [P], mut ids: Vec<u32>, metric: &'a M, leaf_capacity: usize) -> Self {
+    pub fn build(
+        points: impl Into<Arc<[P]>>,
+        mut ids: Vec<u32>,
+        metric: impl Into<Arc<M>>,
+        leaf_capacity: usize,
+    ) -> Self {
         let cap = leaf_capacity.max(2);
         let mut tree = Self {
-            points,
-            metric,
+            points: points.into(),
+            metric: metric.into(),
             ids: Vec::new(),
             nodes: Vec::new(),
         };
@@ -104,8 +107,8 @@ impl<'a, P, M: Metric<P>> VpTree<'a, P, M> {
         // Vantage: the first element (deterministic); distances to the rest.
         let vantage = ids[start];
         let rest = &mut ids[start + 1..end];
-        let metric = self.metric;
-        let points = self.points;
+        let metric = Arc::clone(&self.metric);
+        let points = Arc::clone(&self.points);
         let key = |a: u32| OrdF64(metric.distance(&points[vantage as usize], &points[a as usize]));
         let mid = rest.len() / 2;
         rest.select_nth_unstable_by(mid, |&a, &b| key(a).cmp(&key(b)).then(a.cmp(&b)));
@@ -215,7 +218,7 @@ impl<'a, P, M: Metric<P>> VpTree<'a, P, M> {
     }
 }
 
-impl<P: Sync, M: Metric<P>> RangeIndex<P> for VpTree<'_, P, M> {
+impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for VpTree<P, M> {
     fn len(&self) -> usize {
         self.ids.len()
     }
@@ -328,7 +331,7 @@ mod tests {
     #[test]
     fn range_count_matches_brute_force() {
         let pts = line(200);
-        let t = VpTree::build(&pts, (0..200).collect(), &Euclidean, 8);
+        let t = VpTree::build(pts.clone(), (0..200).collect(), Euclidean, 8);
         for q in [0usize, 50, 111, 199] {
             for r in [0.0, 1.0, 2.5, 10.0, 300.0] {
                 let want = pts.iter().filter(|p| (p[0] - pts[q][0]).abs() <= r).count();
@@ -340,7 +343,7 @@ mod tests {
     #[test]
     fn range_ids_sorted_and_exact() {
         let pts = line(64);
-        let t = VpTree::build(&pts, (0..64).collect(), &Euclidean, 4);
+        let t = VpTree::build(pts.clone(), (0..64).collect(), Euclidean, 4);
         let mut out = Vec::new();
         t.range_ids(&pts[10], 2.0, &mut out);
         assert_eq!(out, vec![8, 9, 10, 11, 12]);
@@ -349,7 +352,7 @@ mod tests {
     #[test]
     fn knn_matches_brute_force() {
         let pts = line(100);
-        let t = VpTree::build(&pts, (0..100).collect(), &Euclidean, 4);
+        let t = VpTree::build(pts.clone(), (0..100).collect(), Euclidean, 4);
         let nn = t.knn(&pts[42], 5);
         let ids: Vec<u32> = nn.iter().map(|n| n.id).collect();
         assert_eq!(ids, vec![42, 41, 43, 40, 44]);
@@ -361,18 +364,18 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let t = VpTree::build(&words, (0..6).collect(), &Levenshtein, 2);
+        let t = VpTree::build(words.clone(), (0..6).collect(), Levenshtein, 2);
         assert_eq!(t.range_count(&"cat".to_string(), 1.0), 3);
     }
 
     #[test]
     fn empty_and_singleton() {
         let pts: Vec<Vec<f64>> = vec![];
-        let t = VpTree::build(&pts, vec![], &Euclidean, 4);
+        let t = VpTree::build(pts.clone(), vec![], Euclidean, 4);
         assert_eq!(t.range_count(&vec![0.0], 5.0), 0);
         assert_eq!(t.diameter_estimate(), 0.0);
         let pts = line(1);
-        let t = VpTree::build(&pts, vec![0], &Euclidean, 4);
+        let t = VpTree::build(pts.clone(), vec![0], Euclidean, 4);
         assert_eq!(t.len(), 1);
         assert_eq!(t.range_count(&pts[0], 0.0), 1);
     }
@@ -380,7 +383,7 @@ mod tests {
     #[test]
     fn diameter_estimate_reasonable() {
         let pts = line(1000);
-        let t = VpTree::build(&pts, (0..1000).collect(), &Euclidean, 16);
+        let t = VpTree::build(pts.clone(), (0..1000).collect(), Euclidean, 16);
         let est = t.diameter_estimate();
         assert!((999.0 * 0.5..=999.0 * 2.5).contains(&est), "est={est}");
     }
@@ -388,7 +391,7 @@ mod tests {
     #[test]
     fn duplicates_counted() {
         let pts = vec![vec![2.0]; 33];
-        let t = VpTree::build(&pts, (0..33).collect(), &Euclidean, 4);
+        let t = VpTree::build(pts.clone(), (0..33).collect(), Euclidean, 4);
         assert_eq!(t.range_count(&vec![2.0], 0.0), 33);
     }
 }

@@ -25,8 +25,8 @@ proptest! {
     fn slim_range_count_matches_brute(pts in points_2d(), q in 0usize..120, r in 0.0..150.0f64, cap in 4usize..12) {
         let q = q % pts.len();
         let ids: Vec<u32> = (0..pts.len() as u32).collect();
-        let slim = SlimTree::build(&pts, ids.clone(), &Euclidean, cap);
-        let brute = BruteForce::new(&pts, ids, &Euclidean);
+        let slim = SlimTree::build(pts.clone(), ids.clone(), Euclidean, cap);
+        let brute = BruteForce::new(pts.clone(), ids, Euclidean);
         prop_assert_eq!(slim.range_count(&pts[q], r), brute.range_count(&pts[q], r));
     }
 
@@ -34,8 +34,8 @@ proptest! {
     fn slim_range_ids_match_brute(pts in points_5d(), q in 0usize..60, r in 0.0..20.0f64) {
         let q = q % pts.len();
         let ids: Vec<u32> = (0..pts.len() as u32).collect();
-        let slim = SlimTree::build(&pts, ids.clone(), &Euclidean, 6);
-        let brute = BruteForce::new(&pts, ids, &Euclidean);
+        let slim = SlimTree::build(pts.clone(), ids.clone(), Euclidean, 6);
+        let brute = BruteForce::new(pts.clone(), ids, Euclidean);
         let (mut a, mut b) = (Vec::new(), Vec::new());
         slim.range_ids(&pts[q], r, &mut a);
         brute.range_ids(&pts[q], r, &mut b);
@@ -46,8 +46,8 @@ proptest! {
     fn slim_knn_matches_brute(pts in points_2d(), q in 0usize..120, k in 1usize..10) {
         let q = q % pts.len();
         let ids: Vec<u32> = (0..pts.len() as u32).collect();
-        let slim = SlimTree::build(&pts, ids.clone(), &Euclidean, 5);
-        let brute = BruteForce::new(&pts, ids, &Euclidean);
+        let slim = SlimTree::build(pts.clone(), ids.clone(), Euclidean, 5);
+        let brute = BruteForce::new(pts.clone(), ids, Euclidean);
         let a = slim.knn(&pts[q], k);
         let b = brute.knn(&pts[q], k);
         prop_assert_eq!(a.len(), b.len());
@@ -63,8 +63,8 @@ proptest! {
     fn kd_range_count_matches_brute(pts in points_5d(), q in 0usize..60, r in 0.0..40.0f64, cap in 1usize..8) {
         let q = q % pts.len();
         let ids: Vec<u32> = (0..pts.len() as u32).collect();
-        let kd = KdTree::build(&pts, ids.clone(), cap);
-        let brute = BruteForce::new(&pts, ids, &Euclidean);
+        let kd = KdTree::build(pts.clone(), ids.clone(), cap);
+        let brute = BruteForce::new(pts.clone(), ids, Euclidean);
         prop_assert_eq!(kd.range_count(&pts[q], r), brute.range_count(&pts[q], r));
     }
 
@@ -72,8 +72,8 @@ proptest! {
     fn kd_range_ids_match_brute(pts in points_2d(), q in 0usize..120, r in 0.0..80.0f64) {
         let q = q % pts.len();
         let ids: Vec<u32> = (0..pts.len() as u32).collect();
-        let kd = KdTree::build(&pts, ids.clone(), 4);
-        let brute = BruteForce::new(&pts, ids, &Euclidean);
+        let kd = KdTree::build(pts.clone(), ids.clone(), 4);
+        let brute = BruteForce::new(pts.clone(), ids, Euclidean);
         let (mut a, mut b) = (Vec::new(), Vec::new());
         kd.range_ids(&pts[q], r, &mut a);
         brute.range_ids(&pts[q], r, &mut b);
@@ -84,8 +84,8 @@ proptest! {
     fn kd_knn_matches_brute(pts in points_5d(), q in 0usize..60, k in 1usize..8) {
         let q = q % pts.len();
         let ids: Vec<u32> = (0..pts.len() as u32).collect();
-        let kd = KdTree::build(&pts, ids.clone(), 3);
-        let brute = BruteForce::new(&pts, ids, &Euclidean);
+        let kd = KdTree::build(pts.clone(), ids.clone(), 3);
+        let brute = BruteForce::new(pts.clone(), ids, Euclidean);
         let a = kd.knn(&pts[q], k);
         let b = brute.knn(&pts[q], k);
         prop_assert_eq!(a.len(), b.len());
@@ -100,8 +100,8 @@ proptest! {
         // Every third point only.
         let ids: Vec<u32> = (0..pts.len() as u32).step_by(3).collect();
         prop_assume!(!ids.is_empty());
-        let slim = SlimTree::build(&pts, ids.clone(), &Euclidean, 4);
-        let brute = BruteForce::new(&pts, ids, &Euclidean);
+        let slim = SlimTree::build(pts.clone(), ids.clone(), Euclidean, 4);
+        let brute = BruteForce::new(pts.clone(), ids, Euclidean);
         let q = &pts[0];
         prop_assert_eq!(slim.range_count(q, r), brute.range_count(q, r));
     }
@@ -110,8 +110,8 @@ proptest! {
     fn slim_strings_match_brute(ws in words(), q in 0usize..50, r in 0.0..5.0f64) {
         let q = q % ws.len();
         let ids: Vec<u32> = (0..ws.len() as u32).collect();
-        let slim = SlimTree::build(&ws, ids.clone(), &Levenshtein, 4);
-        let brute = BruteForce::new(&ws, ids, &Levenshtein);
+        let slim = SlimTree::build(ws.clone(), ids.clone(), Levenshtein, 4);
+        let brute = BruteForce::new(ws.clone(), ids, Levenshtein);
         prop_assert_eq!(slim.range_count(&ws[q], r), brute.range_count(&ws[q], r));
         let (mut a, mut b) = (Vec::new(), Vec::new());
         slim.range_ids(&ws[q], r, &mut a);
@@ -122,14 +122,14 @@ proptest! {
     #[test]
     fn slim_invariants_hold_for_random_data(pts in points_2d(), cap in 4usize..10) {
         let ids: Vec<u32> = (0..pts.len() as u32).collect();
-        let slim = SlimTree::build(&pts, ids, &Euclidean, cap);
+        let slim = SlimTree::build(pts.clone(), ids, Euclidean, cap);
         prop_assert_eq!(slim.check_invariants(), pts.len());
     }
 
     #[test]
     fn pair_join_symmetric_closure(pts in points_2d(), r in 0.0..50.0f64) {
         let ids: Vec<u32> = (0..pts.len() as u32).collect();
-        let slim = SlimTree::build(&pts, ids.clone(), &Euclidean, 4);
+        let slim = SlimTree::build(pts.clone(), ids.clone(), Euclidean, 4);
         let pairs = pair_join(&slim, &pts, &ids, r);
         for &(a, b) in &pairs {
             prop_assert!(a < b);
@@ -140,7 +140,7 @@ proptest! {
             prop_assert!(d <= r + 1e-9);
         }
         // Count check: number of pairs == sum of per-point in-range others / 2.
-        let brute = BruteForce::new(&pts, ids.clone(), &Euclidean);
+        let brute = BruteForce::new(pts.clone(), ids.clone(), Euclidean);
         let total: usize = ids
             .iter()
             .map(|&i| brute.range_count(&pts[i as usize], r) - 1)
@@ -160,8 +160,8 @@ mod vp_tree {
         fn vp_range_count_matches_brute(pts in points_2d(), q in 0usize..120, r in 0.0..150.0f64, cap in 2usize..12) {
             let q = q % pts.len();
             let ids: Vec<u32> = (0..pts.len() as u32).collect();
-            let vp = VpTree::build(&pts, ids.clone(), &Euclidean, cap);
-            let brute = BruteForce::new(&pts, ids, &Euclidean);
+            let vp = VpTree::build(pts.clone(), ids.clone(), Euclidean, cap);
+            let brute = BruteForce::new(pts.clone(), ids, Euclidean);
             prop_assert_eq!(vp.range_count(&pts[q], r), brute.range_count(&pts[q], r));
         }
 
@@ -169,8 +169,8 @@ mod vp_tree {
         fn vp_range_ids_match_brute(pts in points_5d(), q in 0usize..60, r in 0.0..20.0f64) {
             let q = q % pts.len();
             let ids: Vec<u32> = (0..pts.len() as u32).collect();
-            let vp = VpTree::build(&pts, ids.clone(), &Euclidean, 4);
-            let brute = BruteForce::new(&pts, ids, &Euclidean);
+            let vp = VpTree::build(pts.clone(), ids.clone(), Euclidean, 4);
+            let brute = BruteForce::new(pts.clone(), ids, Euclidean);
             let (mut a, mut b) = (Vec::new(), Vec::new());
             vp.range_ids(&pts[q], r, &mut a);
             brute.range_ids(&pts[q], r, &mut b);
@@ -181,8 +181,8 @@ mod vp_tree {
         fn vp_knn_matches_brute(pts in points_2d(), q in 0usize..120, k in 1usize..10) {
             let q = q % pts.len();
             let ids: Vec<u32> = (0..pts.len() as u32).collect();
-            let vp = VpTree::build(&pts, ids.clone(), &Euclidean, 4);
-            let brute = BruteForce::new(&pts, ids, &Euclidean);
+            let vp = VpTree::build(pts.clone(), ids.clone(), Euclidean, 4);
+            let brute = BruteForce::new(pts.clone(), ids, Euclidean);
             let a = vp.knn(&pts[q], k);
             let b = brute.knn(&pts[q], k);
             prop_assert_eq!(a.len(), b.len());
@@ -196,8 +196,8 @@ mod vp_tree {
         fn vp_strings_match_brute(ws in words(), q in 0usize..50, r in 0.0..5.0f64) {
             let q = q % ws.len();
             let ids: Vec<u32> = (0..ws.len() as u32).collect();
-            let vp = VpTree::build(&ws, ids.clone(), &Levenshtein, 3);
-            let brute = BruteForce::new(&ws, ids, &Levenshtein);
+            let vp = VpTree::build(ws.clone(), ids.clone(), Levenshtein, 3);
+            let brute = BruteForce::new(ws.clone(), ids, Levenshtein);
             prop_assert_eq!(vp.range_count(&ws[q], r), brute.range_count(&ws[q], r));
         }
     }

@@ -22,6 +22,11 @@
 //! path), and [`Fitted::oracle`] / [`Fitted::cutoff`] expose the
 //! intermediate artifacts for observability.
 //!
+//! The handle **owns** its data (`Arc<[P]>`), metric, and index builder:
+//! it has no borrowed lifetime, so it can be returned from the function
+//! that loaded the data, stored in a service struct, and shared across
+//! threads (`Send + Sync + 'static`).
+//!
 //! ```
 //! use mccatch::index::KdTreeBuilder;
 //! use mccatch::metrics::Euclidean;
@@ -35,8 +40,7 @@
 //! points.push(vec![-25.0, 10.0]); // … and a one-off outlier
 //!
 //! let detector = McCatch::builder().build()?;
-//! let kd = KdTreeBuilder::default();
-//! let fitted = detector.fit(&points, &Euclidean, &kd)?;
+//! let fitted = detector.fit(points, Euclidean, KdTreeBuilder::default())?;
 //!
 //! let out = fitted.detect();
 //! assert_eq!(out.num_outliers(), 3);
@@ -45,6 +49,50 @@
 //! // Serve: score held-out points against the same fit — no re-indexing.
 //! let scores = fitted.score_points(&[vec![0.55, 0.45], vec![40.0, -40.0]]);
 //! assert!(scores[1] > scores[0]);
+//! # Ok::<(), mccatch::McCatchError>(())
+//! ```
+//!
+//! ## Serving: type-erased models and swap-on-refit
+//!
+//! [`Fitted::into_model`] erases the metric and index types behind the
+//! object-safe [`Model`] trait, and [`serve::ModelStore`] holds the
+//! erased handle behind an atomic snapshot/swap cell — the pattern for a
+//! long-running service that refits periodically while readers keep
+//! scoring:
+//!
+//! ```
+//! use mccatch::index::KdTreeBuilder;
+//! use mccatch::metrics::Euclidean;
+//! use mccatch::serve::ModelStore;
+//! use mccatch::{McCatch, Model};
+//! use std::sync::Arc;
+//!
+//! let detector = McCatch::builder().build()?;
+//! let points: Vec<Vec<f64>> = (0..100)
+//!     .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
+//!     .collect();
+//! let model: Arc<dyn Model<Vec<f64>>> = detector
+//!     .fit(points, Euclidean, KdTreeBuilder::default())?
+//!     .into_model();
+//! let store = Arc::new(ModelStore::new(model));
+//!
+//! // Any number of worker threads share the store…
+//! let worker = {
+//!     let store = Arc::clone(&store);
+//!     std::thread::spawn(move || store.score_batch(&[vec![900.0, 900.0]]))
+//! };
+//! assert!(worker.join().unwrap()[0] > 0.0);
+//!
+//! // …and a refit job swaps in fresh fits without blocking them.
+//! let fresh: Vec<Vec<f64>> = (0..100)
+//!     .map(|i| vec![(i % 10) as f64, (i / 10) as f64 + 1.0])
+//!     .collect();
+//! store.swap(
+//!     detector
+//!         .fit(fresh, Euclidean, KdTreeBuilder::default())?
+//!         .into_model(),
+//! );
+//! assert_eq!(store.generation(), 1);
 //! # Ok::<(), mccatch::McCatchError>(())
 //! ```
 //!
@@ -60,8 +108,9 @@
 //!     .iter().map(|s| s.to_string()).collect();
 //! words.push("xylophonist".into());
 //!
-//! let slim = SlimTreeBuilder::default();
-//! let fitted = McCatch::builder().build()?.fit(&words, &Levenshtein, &slim)?;
+//! let fitted = McCatch::builder()
+//!     .build()?
+//!     .fit(words, Levenshtein, SlimTreeBuilder::default())?;
 //! assert!(fitted.detect().is_outlier(10));
 //! # Ok::<(), mccatch::McCatchError>(())
 //! ```
@@ -79,8 +128,12 @@
 //!
 //! The original free functions — [`detect_vectors`], [`detect_metric`],
 //! and [`mccatch()`](mccatch) — are kept as deprecated shims over the
-//! staged API. They rebuild the index on every call and panic on invalid
-//! parameters; prefer the builder.
+//! staged API. They rebuild the index (and now also copy the borrowed
+//! slice into the owned handle) on every call and panic on invalid
+//! parameters; prefer the builder. The deprecated free functions are
+//! slated for removal in 0.4.0 (see the README's deprecation timeline).
+//! The borrowed-slice [`McCatch::fit_ref`] convenience is **not**
+//! deprecated and stays.
 //!
 //! The re-exported sub-crates offer full control: [`core`] (the algorithm
 //! and its intermediate artifacts), [`index`] (Slim-tree / kd-tree /
@@ -88,9 +141,11 @@
 //! generators), [`eval`] (AUROC & friends), and [`baselines`] (the 11
 //! competitors from the paper's evaluation).
 
+pub mod serve;
+
 pub use mccatch_core::{
-    Cutoff, Fitted, McCatch, McCatchBuilder, McCatchError, McCatchOutput, Microcluster, OraclePlot,
-    OraclePoint, Params, RunStats,
+    Cutoff, Fitted, McCatch, McCatchBuilder, McCatchError, McCatchOutput, Microcluster, Model,
+    ModelStats, OraclePlot, OraclePoint, Params, RunStats,
 };
 
 /// The legacy one-shot entry point, re-exported (deprecated) so existing
@@ -133,9 +188,8 @@ use mccatch_metric::{Euclidean, Metric};
 )]
 pub fn detect_vectors(points: &[Vec<f64>], params: &Params) -> McCatchOutput {
     let detector = McCatch::new(params.clone()).unwrap_or_else(|e| panic!("{e}"));
-    let kd = KdTreeBuilder::default();
     detector
-        .fit(points, &Euclidean, &kd)
+        .fit_ref(points, &Euclidean, &KdTreeBuilder::default())
         .unwrap_or_else(|e| panic!("{e}"))
         .detect()
 }
@@ -153,13 +207,12 @@ pub fn detect_vectors(points: &[Vec<f64>], params: &Params) -> McCatchOutput {
 )]
 pub fn detect_metric<P, M>(points: &[P], metric: &M, params: &Params) -> McCatchOutput
 where
-    P: Sync,
-    M: Metric<P>,
+    P: Send + Sync + Clone,
+    M: Metric<P> + Clone,
 {
     let detector = McCatch::new(params.clone()).unwrap_or_else(|e| panic!("{e}"));
-    let slim = SlimTreeBuilder::default();
     detector
-        .fit(points, metric, &slim)
+        .fit_ref(points, metric, &SlimTreeBuilder::default())
         .unwrap_or_else(|e| panic!("{e}"))
         .detect()
 }
@@ -207,11 +260,10 @@ mod tests {
     fn shims_match_the_staged_api() {
         let pts = grid_plus_isolate();
         let legacy = detect_vectors(&pts, &Params::default());
-        let kd = KdTreeBuilder::default();
         let staged = McCatch::builder()
             .build()
             .unwrap()
-            .fit(&pts, &Euclidean, &kd)
+            .fit(pts, Euclidean, KdTreeBuilder::default())
             .unwrap()
             .detect();
         assert_eq!(legacy.outliers, staged.outliers);

@@ -44,8 +44,9 @@ pub use vector::{Chebyshev, Euclidean, Manhattan, Minkowski};
 /// prunes subtrees with it, and a non-metric distance silently produces
 /// wrong neighbor counts.
 ///
-/// `Sync` is required so neighbor counting can be parallelized.
-pub trait Metric<P>: Sync {
+/// `Send + Sync` is required so neighbor counting can be parallelized and
+/// so fitted models that own their metric can move across threads.
+pub trait Metric<P>: Send + Sync {
     /// The distance between `a` and `b`.
     fn distance(&self, a: &P, b: &P) -> f64;
 
@@ -66,6 +67,20 @@ pub trait Metric<P>: Sync {
 
 /// Blanket impl so `&M` can be used wherever a metric is expected.
 impl<P, M: Metric<P> + ?Sized> Metric<P> for &M {
+    #[inline]
+    fn distance(&self, a: &P, b: &P) -> f64 {
+        (**self).distance(a, b)
+    }
+
+    fn transformation_cost(&self, data: &[P]) -> f64 {
+        (**self).transformation_cost(data)
+    }
+}
+
+/// Blanket impl so a shared `Arc<M>` is itself a metric. This is how
+/// stateful wrappers such as [`CountingMetric`] move into an owned fitted
+/// model while the caller keeps a handle to read the state afterwards.
+impl<P, M: Metric<P> + ?Sized> Metric<P> for std::sync::Arc<M> {
     #[inline]
     fn distance(&self, a: &P, b: &P) -> f64 {
         (**self).distance(a, b)

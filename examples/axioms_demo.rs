@@ -26,7 +26,7 @@ fn main() {
         for shape in InlierShape::ALL {
             let s = axiom_scenario(shape, axiom, n_inliers, 7);
             let out = detector
-                .fit(&s.data.points, &Euclidean, &kd)
+                .fit(s.data.points.clone(), Euclidean, kd)
                 .expect("fit")
                 .detect();
             let score_of = |ids: &[u32]| -> Option<(usize, f64)> {

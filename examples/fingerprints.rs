@@ -16,11 +16,10 @@ fn main() {
         "detecting partial prints among {} ridge sequences…",
         data.len()
     );
-    let slim = SlimTreeBuilder::default();
     let out = McCatch::builder()
         .build()
         .expect("defaults are valid")
-        .fit(&data.points, &Levenshtein, &slim)
+        .fit(data.points.clone(), Levenshtein, SlimTreeBuilder::default())
         .expect("fit")
         .detect();
     println!(

@@ -25,12 +25,13 @@ fn main() {
     let dos = http_dos_ids(n);
 
     let detector = McCatch::builder().build().expect("defaults are valid");
-    let kd = KdTreeBuilder::default();
     let t0 = Instant::now();
-    let out = detector
-        .fit(&data.points, &Euclidean, &kd)
+    // The erased serving handle: fit once, share `Arc<dyn Model<_>>`.
+    let model = detector
+        .fit(data.points.clone(), Euclidean, KdTreeBuilder::default())
         .expect("fit")
-        .detect();
+        .into_model();
+    let out = model.detect_output();
     let elapsed = t0.elapsed();
 
     println!("\nMCCATCH on HTTP ({} connections)", data.len());

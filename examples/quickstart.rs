@@ -2,14 +2,18 @@
 //!
 //! Builds the kind of scene the paper's Fig. 3 uses for intuition — a dense
 //! inlier blob, a 6-point microcluster, a 2-point microcluster and two
-//! 'one-off' outliers — and prints the ranked microclusters with their
-//! compression-based scores.
+//! 'one-off' outliers — prints the ranked microclusters with their
+//! compression-based scores, and then serves the fitted model through the
+//! type-erased `ModelStore` handle, swapping in a refit without ever
+//! re-scoring readers against a half-updated model.
 //!
 //! Run with: `cargo run --release -p mccatch --example quickstart`
 
 use mccatch::index::KdTreeBuilder;
 use mccatch::metrics::Euclidean;
+use mccatch::serve::ModelStore;
 use mccatch::McCatch;
+use std::sync::Arc;
 
 fn main() {
     // Inliers: a 20x20 grid blob around the origin.
@@ -34,10 +38,12 @@ fn main() {
 
     // Configure (validated — invalid knobs come back as McCatchError
     // values), fit once (tree + diameter + radius grid), then detect.
+    // `fit` takes ownership: the returned handle has no borrowed
+    // lifetime, so it could just as well be returned from this function
+    // or moved into a server thread.
     let detector = McCatch::builder().build().expect("defaults are valid");
-    let kd = KdTreeBuilder::default();
     let fitted = detector
-        .fit(&points, &Euclidean, &kd)
+        .fit(points.clone(), Euclidean, KdTreeBuilder::default())
         .expect("fit is infallible for valid params");
     let out = fitted.detect();
 
@@ -80,17 +86,36 @@ fn main() {
         flagged_inliers
     );
 
-    // Serving path: the same fitted handle scores held-out points without
-    // re-indexing — distance to the nearest reference inlier, in bits.
+    // Serving path: erase the metric/index generics into `Arc<dyn Model>`
+    // and put it behind a swappable store — the shape of a real service.
+    let store = Arc::new(ModelStore::new(fitted.into_model()));
     let queries = vec![
         vec![2.6, 2.6],     // inside the blob
         vec![40.1, 35.1],   // lands on the known microcluster
         vec![-70.0, -70.0], // nowhere near anything
     ];
-    let scores = fitted.score_points(&queries);
+    let scores = store.score_batch(&queries);
     println!();
     println!("held-out query scores (higher = stranger):");
     for (q, s) in queries.iter().zip(&scores) {
         println!("  {q:?} -> {s:.3}");
     }
+
+    // Concurrent readers share the store; a refit swaps in atomically.
+    let reader = {
+        let store = Arc::clone(&store);
+        let queries = queries.clone();
+        std::thread::spawn(move || store.score_batch(&queries))
+    };
+    let refit = detector
+        .fit(points, Euclidean, KdTreeBuilder::default())
+        .expect("refit");
+    let old = store.swap(refit.into_model());
+    println!();
+    println!(
+        "swapped to generation {} (old model served {} points); reader saw {:?}",
+        store.generation(),
+        old.stats().num_points,
+        reader.join().expect("reader thread")
+    );
 }

@@ -69,14 +69,14 @@ fn main() {
 
     let sh = shanghai(1);
     let out = detector
-        .fit(&sh.data.points, &Euclidean, &kd)
+        .fit(sh.data.points.clone(), Euclidean, kd)
         .expect("fit")
         .detect();
     report(&sh, &out);
 
     let vo = volcanoes(1);
     let out = detector
-        .fit(&vo.data.points, &Euclidean, &kd)
+        .fit(vo.data.points.clone(), Euclidean, kd)
         .expect("fit")
         .detect();
     report(&vo, &out);

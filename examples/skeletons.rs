@@ -23,11 +23,14 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let slim = SlimTreeBuilder::default();
     let out = McCatch::builder()
         .build()
         .expect("defaults are valid")
-        .fit(&data.points, &TreeEditDistance, &slim)
+        .fit(
+            data.points.clone(),
+            TreeEditDistance,
+            SlimTreeBuilder::default(),
+        )
         .expect("fit")
         .detect();
     println!("runtime: {:.2?}", t0.elapsed());

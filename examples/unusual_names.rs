@@ -28,11 +28,10 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let slim = SlimTreeBuilder::default();
     let out = McCatch::builder()
         .build()
         .expect("defaults are valid")
-        .fit(&data.points, &Levenshtein, &slim)
+        .fit(data.points.clone(), Levenshtein, SlimTreeBuilder::default())
         .expect("fit")
         .detect();
     println!("runtime: {:.2?}", t0.elapsed());

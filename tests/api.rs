@@ -38,9 +38,10 @@ fn fit_once_detect_twice_equals_two_legacy_runs() {
     let legacy_b = mccatch::detect_vectors(&pts, &Params::default());
 
     // …vs one fit and two detect() calls on the same handle.
-    let kd = KdTreeBuilder::default();
     let detector = McCatch::builder().build().expect("valid");
-    let fitted = detector.fit(&pts, &Euclidean, &kd).expect("fit");
+    let fitted = detector
+        .fit(pts.clone(), Euclidean, KdTreeBuilder::default())
+        .expect("fit");
     let staged_a = fitted.detect();
     let staged_b = fitted.detect();
 
@@ -79,11 +80,10 @@ fn fit_once_detect_twice_matches_legacy_on_string_data() {
     #[allow(deprecated)]
     let legacy = mccatch::detect_metric(&words, &Levenshtein, &Params::default());
 
-    let slim = SlimTreeBuilder::default();
     let fitted = McCatch::builder()
         .build()
         .expect("valid")
-        .fit(&words, &Levenshtein, &slim)
+        .fit(words, Levenshtein, SlimTreeBuilder::default())
         .expect("fit");
     let a = fitted.detect();
     let b = fitted.detect();
@@ -128,11 +128,10 @@ fn negative_slope_is_an_error_value_not_a_panic() {
 #[test]
 fn score_points_ranks_held_out_outlier_above_all_inliers() {
     let pts = scene();
-    let kd = KdTreeBuilder::default();
     let fitted = McCatch::builder()
         .build()
         .expect("valid")
-        .fit(&pts, &Euclidean, &kd)
+        .fit(pts, Euclidean, KdTreeBuilder::default())
         .expect("fit");
 
     // Held-out queries: every blob vicinity point is inlier-like; the far
@@ -158,11 +157,10 @@ fn score_points_ranks_held_out_outlier_above_all_inliers() {
 #[test]
 fn score_points_does_not_mutate_the_fit() {
     let pts = scene();
-    let kd = KdTreeBuilder::default();
     let fitted = McCatch::builder()
         .build()
         .expect("valid")
-        .fit(&pts, &Euclidean, &kd)
+        .fit(pts, Euclidean, KdTreeBuilder::default())
         .expect("fit");
     let before = fitted.detect();
     let _ = fitted.score_points(&[vec![1000.0, 1000.0], vec![0.5, 0.5]]);
@@ -180,14 +178,14 @@ fn builder_knobs_flow_through_to_detection() {
         .threads(1)
         .build()
         .expect("valid")
-        .fit(&pts, &Euclidean, &kd)
+        .fit(pts.clone(), Euclidean, kd)
         .expect("fit")
         .detect();
     let many = McCatch::builder()
         .threads(8)
         .build()
         .expect("valid")
-        .fit(&pts, &Euclidean, &kd)
+        .fit(pts.clone(), Euclidean, kd)
         .expect("fit")
         .detect();
     assert_eq!(one.outliers, many.outliers);
@@ -198,7 +196,38 @@ fn builder_knobs_flow_through_to_detection() {
         .num_radii(9)
         .build()
         .expect("valid")
-        .fit(&pts, &Euclidean, &kd)
+        .fit(pts, Euclidean, kd)
         .expect("fit");
     assert_eq!(fitted.radii().len(), 9);
+}
+
+#[test]
+fn erased_model_and_borrowed_shim_match_the_owned_path() {
+    let pts = scene();
+
+    // The PR-1-era borrowed path lives on as the deprecated shim…
+    #[allow(deprecated)]
+    let legacy = mccatch::detect_vectors(&pts, &Params::default());
+
+    // …and both the borrowed fit_ref shim and the erased model must be
+    // bit-identical to it.
+    let detector = McCatch::builder().build().expect("valid");
+    let via_ref = detector
+        .fit_ref(&pts, &Euclidean, &KdTreeBuilder::default())
+        .expect("fit")
+        .detect();
+    let model = detector
+        .fit(pts, Euclidean, KdTreeBuilder::default())
+        .expect("fit")
+        .into_model();
+    let via_model = model.detect_output();
+
+    for out in [&via_ref, &via_model] {
+        assert_eq!(legacy.outliers, out.outliers);
+        assert_eq!(legacy.point_scores, out.point_scores);
+        assert_eq!(legacy.microclusters, out.microclusters);
+        assert_eq!(legacy.cutoff, out.cutoff);
+        assert_eq!(legacy.radii, out.radii);
+    }
+    assert_eq!(model.stats().num_outliers, legacy.outliers.len());
 }

@@ -13,24 +13,22 @@ use mccatch::{McCatch, McCatchOutput, Params};
 
 /// One-shot MCCATCH on the kd-tree fast path for vector data.
 pub fn detect_vectors(points: &[Vec<f64>], params: &Params) -> McCatchOutput {
-    let kd = KdTreeBuilder::default();
     McCatch::new(params.clone())
         .expect("valid params")
-        .fit(points, &Euclidean, &kd)
+        .fit_ref(points, &Euclidean, &KdTreeBuilder::default())
         .expect("fit")
         .detect()
 }
 
 /// One-shot MCCATCH on the Slim-tree general path for metric data.
-pub fn detect_metric<P: Sync, M: Metric<P>>(
+pub fn detect_metric<P: Send + Sync + Clone, M: Metric<P> + Clone>(
     points: &[P],
     metric: &M,
     params: &Params,
 ) -> McCatchOutput {
-    let slim = SlimTreeBuilder::default();
     McCatch::new(params.clone())
         .expect("valid params")
-        .fit(points, metric, &slim)
+        .fit_ref(points, metric, &SlimTreeBuilder::default())
         .expect("fit")
         .detect()
 }

@@ -1,0 +1,142 @@
+//! The ownership story of the redesigned API, verified end to end:
+//!
+//! * `Fitted` and `Arc<dyn Model<P>>` are `Send + Sync + 'static` —
+//!   checked at compile time, so a regression reintroducing a borrowed
+//!   lifetime fails this suite before any test runs;
+//! * a fitted model can be **returned** from the stack frame that loaded
+//!   the data (impossible with the PR-1 borrowed handle);
+//! * N threads sharing one model all see outputs bit-identical to a
+//!   single-threaded run;
+//! * the `serve::ModelStore` swap-on-refit path keeps old snapshots
+//!   alive and consistent.
+
+use mccatch::index::{KdTreeBuilder, SlimTreeBuilder};
+use mccatch::metrics::{Euclidean, Levenshtein};
+use mccatch::serve::ModelStore;
+use mccatch::{Fitted, McCatch, Model};
+use std::sync::Arc;
+
+/// Compile-time proof of the `Send + Sync + 'static` contract.
+fn assert_send_sync_static<T: Send + Sync + 'static>() {}
+
+#[test]
+fn fitted_and_model_are_send_sync_static() {
+    assert_send_sync_static::<Fitted<Vec<f64>, Euclidean, KdTreeBuilder>>();
+    assert_send_sync_static::<Fitted<Vec<f64>, Euclidean, SlimTreeBuilder>>();
+    assert_send_sync_static::<Fitted<String, Levenshtein, SlimTreeBuilder>>();
+    assert_send_sync_static::<Arc<dyn Model<Vec<f64>>>>();
+    assert_send_sync_static::<Arc<dyn Model<String>>>();
+    assert_send_sync_static::<ModelStore<Vec<f64>>>();
+    assert_send_sync_static::<Arc<ModelStore<String>>>();
+}
+
+fn scene() -> Vec<Vec<f64>> {
+    let mut pts = Vec::new();
+    for i in 0..20 {
+        for j in 0..10 {
+            pts.push(vec![i as f64 * 0.1, j as f64 * 0.1]);
+        }
+    }
+    pts.push(vec![4.0, 2.0]);
+    for k in 0..8 {
+        pts.push(vec![
+            30.0 + 0.08 * (k % 4) as f64,
+            30.0 + 0.08 * (k / 4) as f64,
+        ]);
+    }
+    pts.push(vec![31.3, 30.0]);
+    pts.push(vec![70.0, -40.0]);
+    pts
+}
+
+/// The load-then-return pattern the borrowed PR-1 handle could not
+/// express: the points are created *inside* this function and the fitted
+/// model outlives the frame.
+fn load_and_fit() -> Fitted<Vec<f64>, Euclidean, KdTreeBuilder> {
+    let pts = scene();
+    McCatch::builder()
+        .build()
+        .expect("valid")
+        .fit(pts, Euclidean, KdTreeBuilder::default())
+        .expect("fit")
+}
+
+#[test]
+fn fitted_model_outlives_the_loading_frame() {
+    let fitted = load_and_fit();
+    let out = fitted.detect();
+    assert!(out.num_outliers() > 0);
+    // And it moves into a spawned thread (requires 'static + Send).
+    let handle = std::thread::spawn(move || fitted.detect());
+    assert_eq!(handle.join().expect("thread").outliers, out.outliers);
+}
+
+#[test]
+fn n_threads_share_one_model_bit_identically() {
+    let pts = scene();
+    let queries: Vec<Vec<f64>> = (0..64)
+        .map(|i| vec![(i % 8) as f64 * 1.3 - 2.0, (i / 8) as f64 * 1.1 - 1.5])
+        .collect();
+
+    // Single-threaded reference run.
+    let reference = McCatch::builder()
+        .threads(1)
+        .build()
+        .expect("valid")
+        .fit(pts.clone(), Euclidean, SlimTreeBuilder::default())
+        .expect("fit");
+    let ref_out = reference.detect();
+    let ref_scores = reference.score_points(&queries);
+
+    // One shared model, hit concurrently from N threads — including the
+    // very first (cache-populating) detect call.
+    let model: Arc<dyn Model<Vec<f64>>> = McCatch::builder()
+        .build()
+        .expect("valid")
+        .fit(pts, Euclidean, SlimTreeBuilder::default())
+        .expect("fit")
+        .into_model();
+    let workers: Vec<_> = (0..8)
+        .map(|_| {
+            let model = Arc::clone(&model);
+            let queries = queries.clone();
+            std::thread::spawn(move || (model.detect_output(), model.score_batch(&queries)))
+        })
+        .collect();
+    for w in workers {
+        let (out, scores) = w.join().expect("worker");
+        assert_eq!(out.outliers, ref_out.outliers);
+        assert_eq!(out.point_scores, ref_out.point_scores);
+        assert_eq!(out.microclusters, ref_out.microclusters);
+        assert_eq!(scores, ref_scores);
+    }
+}
+
+#[test]
+fn store_swap_on_refit_is_atomic_for_readers() {
+    let detector = McCatch::builder().build().expect("valid");
+    let fit_model = |pts: Vec<Vec<f64>>| -> Arc<dyn Model<Vec<f64>>> {
+        detector
+            .fit(pts, Euclidean, KdTreeBuilder::default())
+            .expect("fit")
+            .into_model()
+    };
+    let store = Arc::new(ModelStore::new(fit_model(scene())));
+
+    let snapshot = store.snapshot();
+    let q = vec![vec![70.0, -40.0]]; // the scene's isolate
+    let before = snapshot.score_batch(&q);
+
+    // Refit on data where the isolate is now a dense inlier blob member.
+    let refit: Vec<Vec<f64>> = (0..200)
+        .map(|i| vec![70.0 + (i % 20) as f64 * 0.1, -40.0 + (i / 20) as f64 * 0.1])
+        .collect();
+    let old = store.swap(fit_model(refit));
+    assert_eq!(store.generation(), 1);
+
+    // The pre-swap snapshot still answers from the old fit, bit-identically.
+    assert_eq!(snapshot.score_batch(&q), before);
+    assert_eq!(old.stats().num_points, scene().len());
+    // New snapshots answer from the new fit: the point is an inlier now.
+    assert_eq!(store.score_batch(&q), vec![0.0]);
+}
