@@ -87,12 +87,22 @@ fn main() {
                     format!("{workload}-{dim}d"),
                     n.to_string(),
                     format!("{:.3}s", wall.as_secs_f64()),
+                    format!("{:.3}s", out.stats.t_count.as_secs_f64()),
                     dists.to_string(),
+                    out.stats.dist_count.to_string(),
                     out.num_outliers().to_string(),
                 ]);
             }
             print_table(
-                &["workload", "n", "wall", "distance calls", "outliers"],
+                &[
+                    "workload",
+                    "n",
+                    "wall",
+                    "count stage",
+                    "distance calls",
+                    "count dists",
+                    "outliers",
+                ],
                 &rows,
             );
             let slope_t = linear_regression(&log_n, &log_t);

@@ -182,6 +182,11 @@ fn report_text(out: &McCatchOutput, labels: &[String], cli: &Cli) -> std::io::Re
     writeln!(w, "# cutoff d: {:.6}", out.cutoff.d)?;
     writeln!(w, "# outliers: {}", out.num_outliers())?;
     writeln!(w, "# microclusters: {}", out.microclusters.len())?;
+    writeln!(
+        w,
+        "# distance evals (build + count): {}",
+        out.stats.dist_build + out.stats.dist_count
+    )?;
     writeln!(w)?;
     writeln!(w, "rank\tsize\tscore\tbridge\tmembers")?;
     let top = effective_top(cli.top, out.microclusters.len());
@@ -251,6 +256,14 @@ fn report_json(out: &McCatchOutput, labels: &[String], cli: &Cli) -> std::io::Re
     writeln!(w, "  \"diameter\": {},", json_f64(out.diameter))?;
     writeln!(w, "  \"cutoff\": {},", json_f64(out.cutoff.d))?;
     writeln!(w, "  \"num_outliers\": {},", out.num_outliers())?;
+    // Deterministic fit cost (Step I build + counting stage), the
+    // machine-independent number Lemma 1 bounds; identical across thread
+    // counts, so downstream pipelines can alert on regressions.
+    writeln!(
+        w,
+        "  \"distance_evals\": {},",
+        out.stats.dist_build + out.stats.dist_count
+    )?;
     let top = effective_top(cli.top, out.microclusters.len());
     write!(w, "  \"microclusters\": [")?;
     for (rank, mc) in out.microclusters.iter().take(top).enumerate() {

@@ -15,12 +15,20 @@
 //!   point is a neighbor of every other at the diameter, so the last column
 //!   is filled with `n` directly.
 //! * **Count-only principle** — the underlying joins return counts, never
-//!   pairs (see `mccatch_index::batch_range_count`).
+//!   pairs (see `mccatch_index::batch_multi_range_count`).
+//!
+//! Since the radius grid is known up front, [`count_neighbors`] runs **one
+//! single-traversal join** over all `a - 1` joined radii: every point
+//! descends the tree once and fills all of its columns simultaneously
+//! (`RangeIndex::multi_range_count`), instead of re-descending once per
+//! radius. The historical per-radius formulation is kept as
+//! [`count_neighbors_per_radius`] — it is the executable specification the
+//! single-traversal path is tested (and benchmarked) against, and the two
+//! produce bit-identical [`CountTable`]s.
 
-use mccatch_index::{batch_range_count, RangeIndex};
+use mccatch_index::{batch_multi_range_count_into, batch_range_count, RangeIndex};
 
-/// Sentinel for "count not computed; known to exceed `c`".
-pub const OVER: u32 = u32::MAX;
+pub use mccatch_index::OVER;
 
 /// Dense `n × a` table of neighbor counts, row per point, column per radius.
 #[derive(Debug, Clone)]
@@ -51,10 +59,85 @@ impl CountTable {
     }
 }
 
-/// Runs the counting joins for every radius except the last, applying the
+/// Runs the counting stage for every radius except the last, applying the
 /// sparse-focused cutoff `c`. `index` must contain all `n` points of
 /// `points`; counts include the query point itself.
+///
+/// This is the **single-traversal** path (the hot loop of the whole
+/// system): the active set is partitioned across threads once, and each
+/// point fills all of its `a - 1` joined columns in one tree descent via
+/// `RangeIndex::multi_range_count` — subtrees wholly inside a suffix of
+/// the grid are bulk-added through their stored cardinality, subtrees out
+/// of reach of every radius are skipped, and columns that can only end
+/// [`OVER`] stop being refined as soon as a running count crosses `c`.
+/// The output is bit-identical to [`count_neighbors_per_radius`].
 pub fn count_neighbors<P, I>(
+    index: &I,
+    points: &[P],
+    radii: &[f64],
+    c: usize,
+    threads: usize,
+) -> CountTable
+where
+    P: Sync,
+    I: RangeIndex<P>,
+{
+    let n = points.len();
+    let a = radii.len();
+    debug_assert!(a >= 2);
+    let m = a - 1; // joined radii; r_a is filled directly
+    let cap = c as u32;
+    let queries: Vec<u32> = (0..n as u32).collect();
+    // The join writes each point's m joined columns straight into its
+    // a-wide row of the final table — no intermediate n × m buffer.
+    let mut counts = vec![OVER; n * a];
+    batch_multi_range_count_into(
+        index,
+        points,
+        &queries,
+        &radii[..m],
+        cap,
+        threads,
+        &mut counts,
+        a,
+    );
+
+    let mut active_per_radius = vec![0usize; m];
+    for row in counts.chunks_mut(a) {
+        // A point is active at radius k iff every earlier count stayed
+        // <= c, i.e. its column k was computed at all (row semantics of
+        // multi_range_count). Radius 0 is counted for everyone.
+        active_per_radius[0] += 1;
+        for (k, &q) in row[..m - 1].iter().enumerate() {
+            if q == OVER || q > cap {
+                break;
+            }
+            active_per_radius[k + 1] += 1;
+        }
+        // Small-radii-only principle: q_a = n without a join, for points
+        // whose counts were still being tracked (the rest stay OVER, which
+        // is equally informative: their count exceeded c earlier).
+        let last = row[m - 1];
+        if last != OVER && last <= cap {
+            row[m] = n as u32;
+        }
+    }
+    CountTable {
+        counts,
+        n,
+        a,
+        active_per_radius,
+    }
+}
+
+/// The historical per-radius formulation of the counting stage: one
+/// count-only join per radius, each re-descending the tree for every
+/// still-active point. Kept as the executable specification of
+/// [`count_neighbors`] (property tests assert bit-identical
+/// [`CountTable`]s) and as the baseline the `bench_stages` benchmark
+/// measures the single-traversal path against. Prefer
+/// [`count_neighbors`] everywhere else.
+pub fn count_neighbors_per_radius<P, I>(
     index: &I,
     points: &[P],
     radii: &[f64],
@@ -87,9 +170,6 @@ where
         }
         active = next_active;
     }
-    // Small-radii-only principle: q_a = n without a join, for points whose
-    // counts were still being tracked (the rest stay OVER, which is equally
-    // informative: their count exceeded c before the last radius).
     for &i in &active {
         counts[i as usize * a + (a - 1)] = n as u32;
     }
@@ -184,5 +264,37 @@ mod tests {
         let a = count_neighbors(&idx, &p, &radii, 50, 1);
         let b = count_neighbors(&idx, &p, &radii, 50, 8);
         assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn single_traversal_matches_per_radius_reference() {
+        let p: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![((i * 37) % 101) as f64, ((i * 53) % 89) as f64])
+            .collect();
+        let idx = BruteForce::new(p.clone(), (0..300).collect(), Euclidean);
+        let radii = vec![0.5, 2.0, 8.0, 32.0, 128.0, 512.0];
+        for c in [1usize, 5, 30, 300] {
+            for threads in [1usize, 4] {
+                let new = count_neighbors(&idx, &p, &radii, c, threads);
+                let old = count_neighbors_per_radius(&idx, &p, &radii, c, 1);
+                assert_eq!(new.counts, old.counts, "c={c} threads={threads}");
+                assert_eq!(
+                    new.active_per_radius, old.active_per_radius,
+                    "c={c} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_paths_handle_empty_input() {
+        let p: Vec<Vec<f64>> = vec![];
+        let idx = BruteForce::new(p.clone(), vec![], Euclidean);
+        let radii = vec![1.0, 2.0];
+        let new = count_neighbors(&idx, &p, &radii, 3, 1);
+        let old = count_neighbors_per_radius(&idx, &p, &radii, 3, 1);
+        assert_eq!(new.counts, old.counts);
+        assert_eq!(new.active_per_radius, old.active_per_radius);
+        assert_eq!(new.num_points(), 0);
     }
 }

@@ -66,7 +66,7 @@ use crate::oracle::OraclePlot;
 use crate::params::{Params, RadiusGrid, Resolved};
 use crate::result::{McCatchOutput, Microcluster, RunStats};
 use crate::score::{complement_of_sorted, score_microclusters, McScores};
-use mccatch_index::{IndexBuilder, RangeIndex};
+use mccatch_index::{DistanceStats, IndexBuilder, RangeIndex};
 use mccatch_metric::{universal_code_length_f64, Metric};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -176,6 +176,7 @@ impl McCatch {
         let diameter = tree.diameter_estimate();
         let grid = RadiusGrid::new(diameter, resolved.a);
         let t_build = t0.elapsed();
+        let d_build = tree.distance_stats().evals;
         Ok(Fitted {
             points,
             metric,
@@ -184,6 +185,7 @@ impl McCatch {
             tree,
             grid,
             t_build,
+            d_build,
             oracle: OnceLock::new(),
             cutoff: OnceLock::new(),
             spotted: OnceLock::new(),
@@ -215,11 +217,14 @@ impl McCatch {
     }
 }
 
-/// Timings of the lazily computed Oracle plot.
+/// Timings and distance-evaluation counts of the lazily computed Oracle
+/// plot.
 #[derive(Debug, Clone, Copy)]
 struct OracleTimings {
     t_count: Duration,
     t_plateaus: Duration,
+    /// Distance evaluations the counting stage performed on the tree.
+    d_count: u64,
 }
 
 /// A detector fitted to a reference dataset: the tree, diameter estimate,
@@ -247,6 +252,8 @@ where
     tree: B::Index,
     grid: RadiusGrid,
     t_build: Duration,
+    /// Distance evaluations Step I spent (build + diameter estimate).
+    d_build: u64,
     #[allow(clippy::type_complexity)]
     oracle: OnceLock<(OraclePlot, Vec<usize>, OracleTimings)>,
     cutoff: OnceLock<Cutoff>,
@@ -341,6 +348,7 @@ where
         if self.is_degenerate() {
             let mut stats = RunStats {
                 t_build: self.t_build,
+                dist_build: self.d_build,
                 ..RunStats::default()
             };
             stats.t_total = self.t_build;
@@ -368,6 +376,8 @@ where
             t_score: *t_score,
             t_total: self.t_build + timings.t_count + timings.t_plateaus + *t_spot + *t_score,
             active_per_radius: self.active_per_radius().to_vec(),
+            dist_build: self.d_build,
+            dist_count: timings.d_count,
         };
         McCatchOutput {
             microclusters: microclusters.clone(),
@@ -461,8 +471,18 @@ where
             cutoff_d: self.cutoff().d,
             num_outliers,
             num_microclusters,
+            distance_evals: self.d_build + self.oracle_entry().2.d_count,
             degenerate,
         }
+    }
+
+    /// Live distance-evaluation totals of the fitted reference tree:
+    /// everything Step I and the counting stage spent, plus any serving
+    /// queries answered from the main tree since. For a number that is
+    /// stable per fit (and comparable across replicas), use
+    /// [`ModelStats::distance_evals`] from [`Fitted::stats`] instead.
+    pub fn distance_stats(&self) -> DistanceStats {
+        self.tree.distance_stats()
     }
 
     /// Erases the metric and index types behind the object-safe
@@ -494,9 +514,11 @@ where
                 let timings = OracleTimings {
                     t_count: Duration::default(),
                     t_plateaus: Duration::default(),
+                    d_count: 0,
                 };
                 return (plot, table.active_per_radius, timings);
             }
+            let evals_before = self.tree.distance_stats().evals;
             let t0 = Instant::now();
             let table = count_neighbors(
                 &self.tree,
@@ -506,6 +528,7 @@ where
                 self.resolved.threads,
             );
             let t_count = t0.elapsed();
+            let d_count = self.tree.distance_stats().evals - evals_before;
             let t0 = Instant::now();
             let plot = OraclePlot::from_counts(
                 &table,
@@ -520,6 +543,7 @@ where
                 OracleTimings {
                     t_count,
                     t_plateaus,
+                    d_count,
                 },
             )
         })
@@ -868,6 +892,34 @@ mod tests {
         assert_eq!(direct_scores, model.score_batch(&queries));
         assert_eq!(direct.microclusters, model.top_k(0));
         assert_eq!(direct_stats, model.stats());
+    }
+
+    #[test]
+    fn distance_stats_are_deterministic_and_populated() {
+        let pts = blob_with_strays();
+        let det = McCatch::builder().build().unwrap();
+        let run = |threads: usize| {
+            let det = McCatch::builder().threads(threads).build().unwrap();
+            let fitted = det
+                .fit(pts.clone(), Euclidean, SlimTreeBuilder::default())
+                .unwrap();
+            let out = fitted.detect();
+            (out.stats.dist_build, out.stats.dist_count, fitted.stats())
+        };
+        let (build1, count1, stats1) = run(1);
+        let (build8, count8, stats8) = run(8);
+        assert!(build1 > 0, "tree construction computes distances");
+        assert!(count1 > 0, "the counting stage computes distances");
+        // Thread count never changes what is computed, only where.
+        assert_eq!((build1, count1), (build8, count8));
+        assert_eq!(stats1, stats8);
+        assert_eq!(stats1.distance_evals, build1 + count1);
+        // The live tree counter covers at least the fit-time work.
+        let fitted = det
+            .fit(pts.clone(), Euclidean, SlimTreeBuilder::default())
+            .unwrap();
+        let _ = fitted.detect();
+        assert!(fitted.distance_stats().evals >= build1 + count1);
     }
 
     #[test]

@@ -70,6 +70,8 @@
 //! 0.4.0). The borrowed-slice [`McCatch::fit_ref`] convenience is not
 //! deprecated and stays.
 
+#![deny(missing_docs)]
+
 pub mod counts;
 pub mod cutoff;
 pub mod detector;

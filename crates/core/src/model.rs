@@ -45,6 +45,30 @@ use crate::result::{McCatchOutput, Microcluster};
 /// Obtained from [`crate::Fitted::into_model`]. All methods are `&self`
 /// and answer from the one-time fit; expensive stages run on first use
 /// and are cached, exactly like on the concrete [`crate::Fitted`] handle.
+///
+/// ```
+/// use mccatch_core::{McCatch, Model};
+/// use mccatch_index::KdTreeBuilder;
+/// use mccatch_metric::Euclidean;
+/// use std::sync::Arc;
+///
+/// let mut points: Vec<Vec<f64>> = (0..100)
+///     .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
+///     .collect();
+/// points.push(vec![900.0, 900.0]);
+///
+/// // A service stores `Arc<dyn Model<P>>`: no metric or index generics.
+/// let model: Arc<dyn Model<Vec<f64>>> = McCatch::builder()
+///     .build()?
+///     .fit(points, Euclidean, KdTreeBuilder::default())?
+///     .into_model();
+/// assert_eq!(model.detect_output().outliers, vec![100]);
+/// assert_eq!(model.top_k(1).len(), 1);
+/// let stats = model.stats();
+/// assert_eq!((stats.num_points, stats.num_outliers), (101, 1));
+/// assert!(stats.distance_evals > 0);
+/// # Ok::<(), mccatch_core::McCatchError>(())
+/// ```
 pub trait Model<P>: Send + Sync {
     /// Runs the full pipeline and assembles the complete output — see
     /// [`crate::Fitted::detect`].
@@ -80,6 +104,12 @@ pub struct ModelStats {
     pub num_outliers: usize,
     /// Number of gelled microclusters.
     pub num_microclusters: usize,
+    /// Distance evaluations spent fitting this model: tree construction,
+    /// the diameter estimate, and the one-time counting stage. Stable for
+    /// the lifetime of the fit (serving queries are not included) and
+    /// identical across thread counts, so it is safe to compare between
+    /// replicas or log from health endpoints.
+    pub distance_evals: u64,
     /// Whether the fit was degenerate (empty, singleton, or zero-diameter
     /// data); degenerate models report no outliers and all-zero scores.
     pub degenerate: bool,

@@ -1,17 +1,20 @@
-//! The end-to-end MCCATCH pipeline (Alg. 1) as a one-shot free function —
-//! a deprecated compatibility shim over the staged detector API.
+//! **Deprecated compatibility shim**: the original one-shot [`mccatch`]
+//! free function, kept alive (slated for removal in 0.4.0) so seed-era
+//! callers keep compiling. One call = configure + fit + detect, with the
+//! tree rebuilt every time and invalid parameters reported by panicking.
+//!
+//! The real pipeline lives in [`crate::detector`]: [`crate::McCatch`]
+//! validates configuration up front, runs Alg. 1 step I exactly once per
+//! fit, and the [`crate::Fitted`] handle serves detections, scores, and
+//! diagnostics from that one fit. For reference, Alg. 1's steps:
 //!
 //! ```text
 //! I.   Build tree T; estimate diameter l; derive radii R.
-//! II.  Count neighbors per radius (sparse-focused); find plateaus;
-//!      mount the Oracle plot.
+//! II.  Count neighbors per radius (one single-traversal multi-radius
+//!      join, sparse-focused); find plateaus; mount the Oracle plot.
 //! III. Compute the MDL cutoff d; spot and gel microclusters.
 //! IV.  Compute compression-based scores per microcluster and per point.
 //! ```
-//!
-//! Step I is the part worth reusing across runs; [`crate::McCatch`]
-//! splits it out. This module keeps the original entry point alive for
-//! existing callers: one call = configure + fit + detect.
 
 use crate::detector::McCatch;
 use crate::params::Params;

@@ -48,6 +48,15 @@ pub struct RunStats {
     /// Active-set size before each counting join (sparse-focused
     /// diagnostics; length `a - 1`).
     pub active_per_radius: Vec<usize>,
+    /// Distance evaluations spent in Step I (tree construction plus the
+    /// diameter estimate). Deterministic: identical for identical inputs,
+    /// regardless of thread count.
+    pub dist_build: u64,
+    /// Distance evaluations spent in the counting stage (the
+    /// single-traversal multi-radius join of Step II) — the term Lemma 1
+    /// bounds, and the machine-independent way to observe the counting
+    /// speedup. Deterministic across thread counts.
+    pub dist_count: u64,
 }
 
 /// Everything MCCATCH returns: ranked microclusters, their scores, scores

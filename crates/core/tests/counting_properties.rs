@@ -3,9 +3,11 @@
 //! paper's structural invariants (prefix-exactness, monotonicity, the
 //! forced last column), and be insensitive to the index implementation.
 
-use mccatch_core::counts::{count_neighbors, OVER};
+use mccatch_core::counts::{count_neighbors, count_neighbors_per_radius, OVER};
 use mccatch_core::params::RadiusGrid;
-use mccatch_index::{BruteForce, IndexBuilder, RangeIndex, SlimTreeBuilder, VpTreeBuilder};
+use mccatch_index::{
+    BruteForce, IndexBuilder, KdTreeBuilder, RangeIndex, SlimTreeBuilder, VpTreeBuilder,
+};
 use mccatch_metric::{Euclidean, Metric};
 use proptest::prelude::*;
 
@@ -65,6 +67,35 @@ proptest! {
                 prop_assert!(q >= 1);
                 prop_assert!(q >= prev);
                 prev = q;
+            }
+        }
+    }
+
+    #[test]
+    fn single_traversal_table_is_bit_identical_to_per_radius(pts in dataset(), c_frac in 0.02..0.9f64, threads in 1usize..6) {
+        // The correctness contract of the multi-radius rewrite: the new
+        // single-traversal `count_neighbors` must reproduce the historical
+        // per-radius CountTable bit for bit — counts, OVER cells, forced
+        // last column, and the active-set diagnostics — on every backend
+        // and regardless of thread count.
+        let n = pts.len() as u32;
+        let c = ((pts.len() as f64 * c_frac).ceil() as usize).max(1);
+        let brute = BruteForce::new(pts.clone(), (0..n).collect(), Euclidean);
+        let grid = RadiusGrid::new(brute.diameter_estimate(), 8);
+        prop_assume!(!grid.is_degenerate());
+        let slim = SlimTreeBuilder::default().build_all_ref(&pts, &Euclidean);
+        let vp = VpTreeBuilder::default().build_all_ref(&pts, &Euclidean);
+        let kd = KdTreeBuilder::default().build_all_ref(&pts, &Euclidean);
+        let reference = count_neighbors_per_radius(&brute, &pts, grid.radii(), c, 1);
+        for (name, new) in [
+            ("brute", count_neighbors(&brute, &pts, grid.radii(), c, threads)),
+            ("slim", count_neighbors(&slim, &pts, grid.radii(), c, threads)),
+            ("vp", count_neighbors(&vp, &pts, grid.radii(), c, threads)),
+            ("kd", count_neighbors(&kd, &pts, grid.radii(), c, threads)),
+        ] {
+            prop_assert_eq!(new.active_per_radius.as_slice(), reference.active_per_radius.as_slice(), "{} active sets", name);
+            for i in 0..pts.len() {
+                prop_assert_eq!(new.row(i), reference.row(i), "{} row {}", name, i);
             }
         }
     }

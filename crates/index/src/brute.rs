@@ -4,8 +4,10 @@
 //! Slim-tree and kd-tree are property-tested against, and the "no index"
 //! baseline in the benchmark harness.
 
-use crate::{IndexBuilder, Neighbor, OrdF64, RangeIndex};
+use crate::multi::MultiCounter;
+use crate::{DistanceStats, IndexBuilder, Neighbor, OrdF64, RangeIndex, SmallCounts};
 use mccatch_metric::Metric;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Builder for [`BruteForce`].
@@ -27,6 +29,9 @@ pub struct BruteForce<P, M: Metric<P>> {
     points: Arc<[P]>,
     ids: Vec<u32>,
     metric: Arc<M>,
+    /// Distance evaluations performed so far (queries; construction does
+    /// none). Relaxed ordering: read only after joins complete.
+    evals: AtomicU64,
 }
 
 impl<P, M: Metric<P>> BruteForce<P, M> {
@@ -40,7 +45,15 @@ impl<P, M: Metric<P>> BruteForce<P, M> {
             points,
             ids,
             metric: metric.into(),
+            evals: AtomicU64::new(0),
         }
+    }
+
+    /// Batches a query's distance evaluations into one counter update so
+    /// parallel joins do not contend per evaluation.
+    #[inline]
+    fn record_evals(&self, n: u64) {
+        self.evals.fetch_add(n, Ordering::Relaxed);
     }
 }
 
@@ -50,13 +63,35 @@ impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for BruteForce<P, M> {
     }
 
     fn range_count(&self, q: &P, radius: f64) -> usize {
+        self.record_evals(self.ids.len() as u64);
         self.ids
             .iter()
             .filter(|&&i| self.metric.distance(q, &self.points[i as usize]) <= radius)
             .count()
     }
 
+    /// One scan over the indexed elements fills every column: each element
+    /// lands in the bucket of the smallest radius reaching it, and prefix
+    /// sums produce the per-radius counts. The `cap` cannot shorten the
+    /// scan here (there is no structure to skip), but the OVER masking
+    /// still matches the tree backends bit for bit.
+    fn multi_range_count(&self, q: &P, radii: &[f64], cap: u32) -> SmallCounts {
+        debug_assert!(radii.windows(2).all(|w| w[0] <= w[1]));
+        let m = radii.len();
+        let mut counter = MultiCounter::new(m, cap);
+        for &i in &self.ids {
+            let d = self.metric.distance(q, &self.points[i as usize]);
+            let k = radii.partition_point(|&r| r < d);
+            if k < m {
+                counter.add_point(k, m);
+            }
+        }
+        self.record_evals(self.ids.len() as u64);
+        counter.finish()
+    }
+
     fn range_ids(&self, q: &P, radius: f64, out: &mut Vec<u32>) {
+        self.record_evals(self.ids.len() as u64);
         out.extend(
             self.ids
                 .iter()
@@ -65,7 +100,14 @@ impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for BruteForce<P, M> {
         );
     }
 
+    fn distance_stats(&self) -> DistanceStats {
+        DistanceStats {
+            evals: self.evals.load(Ordering::Relaxed),
+        }
+    }
+
     fn knn(&self, q: &P, k: usize) -> Vec<Neighbor> {
+        self.record_evals(self.ids.len() as u64);
         let mut all: Vec<Neighbor> = self
             .ids
             .iter()
@@ -93,6 +135,7 @@ impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for BruteForce<P, M> {
                 .distance(&self.points[a as usize], &self.points[b as usize])
         };
         if n <= 2048 {
+            self.record_evals((n * (n - 1) / 2) as u64);
             let mut best = 0.0f64;
             for i in 0..n {
                 for j in (i + 1)..n {
@@ -101,6 +144,8 @@ impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for BruteForce<P, M> {
             }
             return best;
         }
+        // Each sweep's max_by evaluates two distances per comparison.
+        self.record_evals(4 * (2 * (n as u64 - 1) + 1));
         let mut best = 0.0f64;
         let mut cur = self.ids[0];
         for _ in 0..4 {

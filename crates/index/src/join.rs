@@ -7,7 +7,7 @@
 //! worker thread fills a disjoint slice of the output and the result is
 //! bit-identical regardless of thread count.
 
-use crate::RangeIndex;
+use crate::{RangeIndex, OVER};
 
 /// Upper bound on worker threads for batch joins. Chosen once per process.
 pub fn default_threads() -> usize {
@@ -49,6 +49,85 @@ where
         }
     });
     out
+}
+
+/// Counts, for every query id in `queries` and every radius of `radii`
+/// (ascending), the number of indexed elements within that radius — the
+/// single-traversal replacement for one [`batch_range_count`] call per
+/// radius: the query set is partitioned across threads **once**, and each
+/// query descends the index once via
+/// [`RangeIndex::multi_range_count`], filling all its radius columns
+/// simultaneously.
+///
+/// Returns a row-major `queries.len() × radii.len()` matrix aligned with
+/// `queries`. `cap` is the sparse-focused cutoff: in each row, the first
+/// count exceeding `cap` is exact and every later column holds
+/// [`OVER`] (see `multi_range_count`). Workers fill disjoint
+/// row chunks, so the result is bit-identical regardless of `threads`.
+pub fn batch_multi_range_count<P, I>(
+    index: &I,
+    points: &[P],
+    queries: &[u32],
+    radii: &[f64],
+    cap: u32,
+    threads: usize,
+) -> Vec<u32>
+where
+    P: Sync,
+    I: RangeIndex<P>,
+{
+    let m = radii.len();
+    let mut out = vec![OVER; queries.len() * m];
+    batch_multi_range_count_into(index, points, queries, radii, cap, threads, &mut out, m);
+    out
+}
+
+/// [`batch_multi_range_count`] writing into a caller-provided buffer:
+/// query `i`'s counts land in `out[i * stride .. i * stride + radii.len()]`
+/// (cells between `radii.len()` and `stride` are left untouched). This
+/// lets callers with wider rows — like `count_neighbors`' `n × a` table,
+/// whose last column is filled without a join — receive the counts in
+/// place instead of copying an `n × (a-1)` intermediate.
+///
+/// # Panics
+/// Panics if `stride < radii.len()` or `out.len() != queries.len() * stride`.
+#[allow(clippy::too_many_arguments)] // the destination pair is the point
+pub fn batch_multi_range_count_into<P, I>(
+    index: &I,
+    points: &[P],
+    queries: &[u32],
+    radii: &[f64],
+    cap: u32,
+    threads: usize,
+    out: &mut [u32],
+    stride: usize,
+) where
+    P: Sync,
+    I: RangeIndex<P>,
+{
+    let m = radii.len();
+    assert!(stride >= m, "stride {stride} narrower than {m} radii");
+    assert_eq!(out.len(), queries.len() * stride, "output size mismatch");
+    if m == 0 || queries.is_empty() {
+        return;
+    }
+    let threads = threads.clamp(1, queries.len().max(1));
+    let fill = |rows: &mut [u32], qchunk: &[u32]| {
+        for (row, &q) in rows.chunks_mut(stride).zip(qchunk) {
+            let counts = index.multi_range_count(&points[q as usize], radii, cap);
+            row[..m].copy_from_slice(&counts);
+        }
+    };
+    if threads == 1 || queries.len() < 256 {
+        fill(out, queries);
+        return;
+    }
+    let chunk = queries.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (qchunk, ochunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk * stride)) {
+            scope.spawn(|| fill(ochunk, qchunk));
+        }
+    });
 }
 
 /// Pair-returning self-join used only for microcluster gelling (Alg. 3
@@ -115,6 +194,41 @@ mod tests {
         let queries = vec![0u32, 9u32];
         let counts = batch_range_count(&idx, &pts, &queries, 100.0, 1);
         assert_eq!(counts, vec![10, 10]);
+    }
+
+    #[test]
+    fn batch_multi_parallel_equals_serial_and_masks_over() {
+        let pts = line(1000);
+        let idx = BruteForce::new(pts.clone(), (0..1000).collect(), Euclidean);
+        let queries: Vec<u32> = (0..1000).collect();
+        let radii = [0.5, 1.5, 4.5, 20.5];
+        let serial = batch_multi_range_count(&idx, &pts, &queries, &radii, 5, 1);
+        let parallel = batch_multi_range_count(&idx, &pts, &queries, &radii, 5, 8);
+        assert_eq!(serial, parallel);
+        // Interior point: counts 1, 3, 9 — 9 > 5 is the exact crossing,
+        // the last column is OVER.
+        assert_eq!(&serial[500 * 4..501 * 4], &[1, 3, 9, crate::OVER]);
+    }
+
+    #[test]
+    fn batch_multi_into_respects_stride_and_untouched_cells() {
+        let pts = line(10);
+        let idx = BruteForce::new(pts.clone(), (0..10).collect(), Euclidean);
+        let queries = [0u32, 5];
+        let radii = [1.0, 2.0];
+        let mut out = vec![77u32; queries.len() * 5];
+        batch_multi_range_count_into(&idx, &pts, &queries, &radii, 100, 1, &mut out, 5);
+        // Endpoint 0: 2 and 3 in range; interior 5: 3 and 5. Cells past
+        // the radii stay as the caller initialized them.
+        assert_eq!(out, vec![2, 3, 77, 77, 77, 3, 5, 77, 77, 77]);
+    }
+
+    #[test]
+    fn batch_multi_empty_inputs() {
+        let pts = line(4);
+        let idx = BruteForce::new(pts.clone(), (0..4).collect(), Euclidean);
+        assert!(batch_multi_range_count(&idx, &pts, &[], &[1.0], 3, 4).is_empty());
+        assert_eq!(batch_multi_range_count(&idx, &pts, &[0], &[], 3, 4), vec![]);
     }
 
     #[test]

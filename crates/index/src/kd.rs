@@ -5,10 +5,12 @@
 //! vectors because it partitions coordinates instead of computing metric
 //! distances during construction.
 
-use crate::{IndexBuilder, Neighbor, OrdF64, RangeIndex};
+use crate::multi::MultiCounter;
+use crate::{DistanceStats, IndexBuilder, Neighbor, OrdF64, RangeIndex, SmallCounts};
 use mccatch_metric::Euclidean;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Builder for [`KdTree`]. Only valid with the [`Euclidean`] metric: the
@@ -63,6 +65,10 @@ pub struct KdTree<P> {
     ids: Vec<u32>,
     nodes: Vec<KdNode>,
     dim: usize,
+    /// Point-distance evaluations performed by queries (construction
+    /// partitions coordinates and computes none). Relaxed ordering: read
+    /// only after joins complete; queries batch their updates.
+    evals: AtomicU64,
 }
 
 impl<P: AsRef<[f64]>> KdTree<P> {
@@ -77,6 +83,7 @@ impl<P: AsRef<[f64]>> KdTree<P> {
             ids: Vec::new(),
             nodes: Vec::new(),
             dim,
+            evals: AtomicU64::new(0),
         };
         if !ids.is_empty() {
             let n = ids.len();
@@ -181,7 +188,7 @@ impl<P: AsRef<[f64]>> KdTree<P> {
             .sum()
     }
 
-    fn count_rec(&self, node: u32, q: &[f64], r2: f64) -> usize {
+    fn count_rec(&self, node: u32, q: &[f64], r2: f64, evals: &mut u64) -> usize {
         let n = &self.nodes[node as usize];
         let min2 = self.min_dist2(q, &n.bbox);
         if min2 > r2 {
@@ -192,17 +199,103 @@ impl<P: AsRef<[f64]>> KdTree<P> {
             return n.count as usize;
         }
         match n.kind {
-            KdKind::Leaf { start, end } => self.ids[start as usize..end as usize]
-                .iter()
-                .filter(|&&id| self.dist2(q, id) <= r2)
-                .count(),
+            KdKind::Leaf { start, end } => {
+                *evals += (end - start) as u64;
+                self.ids[start as usize..end as usize]
+                    .iter()
+                    .filter(|&&id| self.dist2(q, id) <= r2)
+                    .count()
+            }
             KdKind::Split { left, right } => {
-                self.count_rec(left, q, r2) + self.count_rec(right, q, r2)
+                self.count_rec(left, q, r2, evals) + self.count_rec(right, q, r2, evals)
             }
         }
     }
 
-    fn ids_rec(&self, node: u32, q: &[f64], r2: f64, out: &mut Vec<u32>) {
+    /// Single-traversal multi-radius count over the window `[lo, hi)` of
+    /// squared radii `r2` (ascending). The window narrows as the descent
+    /// proves columns resolved: columns whose radius cannot reach this
+    /// bounding box contribute nothing (advance `lo`), columns whose
+    /// radius covers the whole box take the subtree cardinality in one
+    /// bulk-add (shrink `hi`), and columns at or past the counter's
+    /// watermark can only end OVER (clamp `hi`). The pruning predicates
+    /// are textually the same as [`Self::count_rec`]'s, so the counts
+    /// match the per-radius path bit for bit.
+    /// `min2` is this node's squared bounding-box distance, computed by
+    /// the parent (for child ordering) and passed down so each box is
+    /// evaluated exactly once.
+    #[allow(clippy::too_many_arguments)] // recursion state, not an API
+    fn multi_rec(
+        &self,
+        node: u32,
+        q: &[f64],
+        r2: &[f64],
+        mut lo: usize,
+        mut hi: usize,
+        min2: f64,
+        counter: &mut MultiCounter,
+    ) {
+        hi = hi.min(counter.hi_cap());
+        while lo < hi && min2 > r2[lo] {
+            lo += 1;
+        }
+        if lo >= hi {
+            return;
+        }
+        let n = &self.nodes[node as usize];
+        let max2 = self.max_dist2(q, &n.bbox);
+        let mut nh = hi;
+        while nh > lo && max2 <= r2[nh - 1] {
+            nh -= 1;
+        }
+        if nh < hi {
+            counter.add_subtree(nh, hi, n.count);
+            counter.bump();
+            hi = nh.min(counter.hi_cap());
+            if lo >= hi {
+                return;
+            }
+        }
+        match n.kind {
+            KdKind::Leaf { start, end } => {
+                // One fused scan per window column — the same tight,
+                // store-free loop shape as the per-radius leaf scan (point
+                // distances here are cheap coordinate arithmetic, so
+                // recomputing beats buffering). Counts are cumulative in
+                // the column radius, so only the increment is new.
+                let ids = &self.ids[start as usize..end as usize];
+                let mut prev = 0i64;
+                for (k, &rk) in r2.iter().enumerate().take(hi).skip(lo) {
+                    counter.evals += ids.len() as u64;
+                    let c = ids.iter().filter(|&&id| self.dist2(q, id) <= rk).count() as i64;
+                    counter.add_column_delta(k, hi, c - prev);
+                    prev = c;
+                    if c == ids.len() as i64 {
+                        // Every point counted: later columns add nothing.
+                        break;
+                    }
+                }
+                counter.bump();
+            }
+            KdKind::Split { left, right } => {
+                // Nearest child first: the query's dense neighborhood is
+                // what pushes the running counts past the cap, so visiting
+                // it early collapses the window to the small radii before
+                // the expensive far subtrees are reached.
+                let dl = self.min_dist2(q, &self.nodes[left as usize].bbox);
+                let dr = self.min_dist2(q, &self.nodes[right as usize].bbox);
+                let ((near, near2), (far, far2)) = if dl <= dr {
+                    ((left, dl), (right, dr))
+                } else {
+                    ((right, dr), (left, dl))
+                };
+                self.multi_rec(near, q, r2, lo, hi, near2, counter);
+                self.multi_rec(far, q, r2, lo, hi, far2, counter);
+            }
+        }
+    }
+
+    fn ids_rec(&self, node: u32, q: &[f64], r2: f64, out: &mut Vec<u32>, evals: &mut u64) {
         let n = &self.nodes[node as usize];
         if self.min_dist2(q, &n.bbox) > r2 {
             return;
@@ -212,15 +305,18 @@ impl<P: AsRef<[f64]>> KdTree<P> {
             return;
         }
         match n.kind {
-            KdKind::Leaf { start, end } => out.extend(
-                self.ids[start as usize..end as usize]
-                    .iter()
-                    .copied()
-                    .filter(|&id| self.dist2(q, id) <= r2),
-            ),
+            KdKind::Leaf { start, end } => {
+                *evals += (end - start) as u64;
+                out.extend(
+                    self.ids[start as usize..end as usize]
+                        .iter()
+                        .copied()
+                        .filter(|&id| self.dist2(q, id) <= r2),
+                )
+            }
             KdKind::Split { left, right } => {
-                self.ids_rec(left, q, r2, out);
-                self.ids_rec(right, q, r2, out);
+                self.ids_rec(left, q, r2, out, evals);
+                self.ids_rec(right, q, r2, out, evals);
             }
         }
     }
@@ -247,7 +343,24 @@ impl<P: AsRef<[f64]> + Send + Sync> RangeIndex<P> for KdTree<P> {
         if self.ids.is_empty() {
             return 0;
         }
-        self.count_rec(0, q.as_ref(), radius * radius)
+        let mut evals = 0;
+        let count = self.count_rec(0, q.as_ref(), radius * radius, &mut evals);
+        self.evals.fetch_add(evals, Ordering::Relaxed);
+        count
+    }
+
+    /// One descent fills every radius column (see the private `multi_rec`).
+    fn multi_range_count(&self, q: &P, radii: &[f64], cap: u32) -> SmallCounts {
+        debug_assert!(radii.windows(2).all(|w| w[0] <= w[1]));
+        let mut counter = MultiCounter::new(radii.len(), cap);
+        if !self.ids.is_empty() && !radii.is_empty() {
+            let q = q.as_ref();
+            let r2: Vec<f64> = radii.iter().map(|&r| r * r).collect();
+            let min2 = self.min_dist2(q, &self.nodes[0].bbox);
+            self.multi_rec(0, q, &r2, 0, radii.len(), min2, &mut counter);
+            self.evals.fetch_add(counter.evals, Ordering::Relaxed);
+        }
+        counter.finish()
     }
 
     fn range_ids(&self, q: &P, radius: f64, out: &mut Vec<u32>) {
@@ -255,8 +368,16 @@ impl<P: AsRef<[f64]> + Send + Sync> RangeIndex<P> for KdTree<P> {
             return;
         }
         let start = out.len();
-        self.ids_rec(0, q.as_ref(), radius * radius, out);
+        let mut evals = 0;
+        self.ids_rec(0, q.as_ref(), radius * radius, out, &mut evals);
+        self.evals.fetch_add(evals, Ordering::Relaxed);
         out[start..].sort_unstable();
+    }
+
+    fn distance_stats(&self) -> DistanceStats {
+        DistanceStats {
+            evals: self.evals.load(Ordering::Relaxed),
+        }
     }
 
     fn knn(&self, q: &P, k: usize) -> Vec<Neighbor> {
@@ -264,6 +385,7 @@ impl<P: AsRef<[f64]> + Send + Sync> RangeIndex<P> for KdTree<P> {
             return Vec::new();
         }
         let q = q.as_ref();
+        let mut evals = 0u64;
         let mut frontier: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
         let mut best: BinaryHeap<(OrdF64, u32)> = BinaryHeap::new();
         frontier.push(Reverse((OrdF64(0.0), 0)));
@@ -279,6 +401,7 @@ impl<P: AsRef<[f64]> + Send + Sync> RangeIndex<P> for KdTree<P> {
             let n = &self.nodes[node as usize];
             match n.kind {
                 KdKind::Leaf { start, end } => {
+                    evals += (end - start) as u64;
                     for &id in &self.ids[start as usize..end as usize] {
                         let d2 = self.dist2(q, id);
                         let tau2 = if best.len() < k {
@@ -304,6 +427,7 @@ impl<P: AsRef<[f64]> + Send + Sync> RangeIndex<P> for KdTree<P> {
                 }
             }
         }
+        self.evals.fetch_add(evals, Ordering::Relaxed);
         let mut out: Vec<Neighbor> = best
             .into_iter()
             .map(|(OrdF64(d2), id)| Neighbor {

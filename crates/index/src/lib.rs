@@ -13,29 +13,141 @@
 //!   index demonstrating the pipeline's index-agnosticism;
 //! * [`BruteForce`] — a linear-scan reference implementation used as ground
 //!   truth in tests and as a baseline in benches;
-//! * count-only join helpers ([`batch_range_count`], [`pair_join`])
-//!   implementing the paper's *count-only* and *using-index* principles
-//!   (Sec. IV-G): neighbor joins never materialize point pairs unless the
-//!   caller explicitly asks for pairs (the microcluster gelling step).
+//! * count-only join helpers ([`batch_range_count`],
+//!   [`batch_multi_range_count`], [`pair_join`]) implementing the paper's
+//!   *count-only* and *using-index* principles (Sec. IV-G): neighbor
+//!   joins never materialize point pairs unless the caller explicitly
+//!   asks for pairs (the microcluster gelling step). The multi-radius
+//!   variant drives MCCATCH's counting stage: one tree descent per query
+//!   fills the counts for every grid radius at once
+//!   ([`RangeIndex::multi_range_count`], native in all four backends).
 //!
 //! All indexes implement [`RangeIndex`]; algorithms are generic over
 //! [`IndexBuilder`] so the same pipeline runs on metric or vector data.
+//! Every backend also counts the distance evaluations it performs
+//! ([`RangeIndex::distance_stats`]), the deterministic cost measure the
+//! paper's Lemma 1 bounds.
+
+#![deny(missing_docs)]
 
 mod brute;
 mod kd;
+mod multi;
 mod slim;
 mod vp;
 
 pub mod join;
 
 pub use brute::{BruteForce, BruteForceBuilder};
-pub use join::{batch_range_count, pair_join};
+pub use join::{
+    batch_multi_range_count, batch_multi_range_count_into, batch_range_count, pair_join,
+};
 pub use kd::{KdTree, KdTreeBuilder};
 pub use slim::{SlimTree, SlimTreeBuilder};
 pub use vp::{VpTree, VpTreeBuilder};
 
 use mccatch_metric::Metric;
 use std::sync::Arc;
+
+/// Sentinel for "count not computed; known to exceed the cap".
+///
+/// [`RangeIndex::multi_range_count`] stores this in every column after the
+/// first count that crosses the sparse-focused cutoff `c` (Sec. IV-G of the
+/// paper); `mccatch-core` re-exports it as `counts::OVER`.
+pub const OVER: u32 = u32::MAX;
+
+/// Inline capacity of [`SmallCounts`]. The paper's default grid (`a = 15`)
+/// joins `a - 1 = 14` radii, so the common case never touches the heap.
+const SMALL_COUNTS_INLINE: usize = 16;
+
+/// Per-radius neighbor counts returned by
+/// [`RangeIndex::multi_range_count`]: one `u32` count per query radius,
+/// stored inline for grids up to 16 radii (heap-spilled beyond that).
+///
+/// Entries after the first count exceeding the query's `cap` hold [`OVER`]
+/// — they were not computed, matching the sparse-focused counting
+/// principle. Dereferences to `&[u32]` for slice-style access.
+#[derive(Debug, Clone)]
+pub struct SmallCounts {
+    len: usize,
+    inline: [u32; SMALL_COUNTS_INLINE],
+    /// Used instead of `inline` when `len > SMALL_COUNTS_INLINE`.
+    spill: Vec<u32>,
+}
+
+impl SmallCounts {
+    /// A counts vector of `len` entries, all set to `value`.
+    pub fn filled(len: usize, value: u32) -> Self {
+        if len <= SMALL_COUNTS_INLINE {
+            Self {
+                len,
+                inline: [value; SMALL_COUNTS_INLINE],
+                spill: Vec::new(),
+            }
+        } else {
+            Self {
+                len,
+                inline: [value; SMALL_COUNTS_INLINE],
+                spill: vec![value; len],
+            }
+        }
+    }
+
+    /// The counts, one per radius of the query (ascending radius order).
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        if self.len <= SMALL_COUNTS_INLINE {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Mutable view of the counts, for index implementors filling them in.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u32] {
+        if self.len <= SMALL_COUNTS_INLINE {
+            &mut self.inline[..self.len]
+        } else {
+            &mut self.spill
+        }
+    }
+}
+
+impl std::ops::Deref for SmallCounts {
+    type Target = [u32];
+
+    #[inline]
+    fn deref(&self) -> &[u32] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for SmallCounts {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SmallCounts {}
+
+/// Snapshot of an index's distance-computation counters, as reported by
+/// [`RangeIndex::distance_stats`].
+///
+/// Wall-clock benchmarks are noisy; distance evaluations are the
+/// deterministic, machine-independent cost measure that Lemma 1 actually
+/// bounds. Every provided backend counts its point-to-point distance
+/// evaluations (construction and queries alike) and reports them here, so
+/// speedups such as the single-traversal multi-radius counting are
+/// observable, not asserted. Counts are identical across thread counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistanceStats {
+    /// Total point-to-point distance evaluations since the index was built
+    /// (including the ones construction itself performed). For the kd-tree
+    /// this counts point-distance evaluations only; bounding-box arithmetic
+    /// is coordinate work, not a metric evaluation.
+    pub evals: u64,
+}
 
 /// A neighbor returned by k-NN queries: dataset id plus distance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,6 +193,48 @@ pub trait RangeIndex<P>: Sync {
     /// If `q` itself is indexed it is counted too — matching the paper's
     /// "count of neighbors (+ self)".
     fn range_count(&self, q: &P, radius: f64) -> usize;
+
+    /// Counts neighbors of `q` for *every* radius of `radii` (ascending,
+    /// inclusive, self counted) in a single pass over the index — the
+    /// single-traversal replacement for `radii.len()` separate
+    /// [`range_count`](Self::range_count) descents in MCCATCH's counting
+    /// stage (Alg. 2 / Sec. IV-G).
+    ///
+    /// `cap` is the sparse-focused cutoff `c`: entry `k` of the result is
+    /// the exact count at `radii[k]` as long as every smaller radius
+    /// counted at most `cap`; the first count exceeding `cap` is still
+    /// exact (plateau extraction needs the crossing value), and every
+    /// entry after it holds [`OVER`]. Pass `cap = u32::MAX` for fully
+    /// exact counts at all radii.
+    ///
+    /// The provided default falls back to one [`range_count`] call per
+    /// radius (stopping at the first crossing); the four in-crate backends
+    /// override it with native one-descent traversals that bulk-add
+    /// subtrees wholly covered by a suffix of the radius grid, skip
+    /// subtrees out of reach of every still-active radius, and stop
+    /// refining radii that can only end [`OVER`]. Results are identical to
+    /// the fallback bit for bit.
+    ///
+    /// [`range_count`]: Self::range_count
+    fn multi_range_count(&self, q: &P, radii: &[f64], cap: u32) -> SmallCounts {
+        debug_assert!(radii.windows(2).all(|w| w[0] <= w[1]));
+        let mut out = SmallCounts::filled(radii.len(), OVER);
+        for (k, &r) in radii.iter().enumerate() {
+            let c = self.range_count(q, r) as u32;
+            out.as_mut_slice()[k] = c;
+            if c > cap {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Running totals of the distance evaluations this index has performed
+    /// (construction plus all queries so far). The default reports zeros,
+    /// meaning "not instrumented"; all in-crate backends override it.
+    fn distance_stats(&self) -> DistanceStats {
+        DistanceStats::default()
+    }
 
     /// Appends the ids of all indexed elements within `radius` of `q`
     /// (inclusive) to `out`, in ascending id order.

@@ -1,0 +1,225 @@
+//! Shared machinery for the single-traversal multi-radius count
+//! ([`RangeIndex::multi_range_count`](crate::RangeIndex::multi_range_count)).
+//!
+//! All four backends share the same accounting scheme. The radius grid is
+//! ascending, so a point at distance `d` contributes to every column `k`
+//! with `d <= radii[k]` — a *suffix* of the grid. Contributions are
+//! therefore recorded in a difference array: adding `c` to columns
+//! `[k, hi)` is `diff[k] += c; diff[hi] -= c`, and the per-column counts
+//! fall out as prefix sums at the end. The upper bound `hi` is the
+//! caller's *window*: columns at or beyond it were already bulk-added by
+//! an ancestor whose subtree was wholly covered there (or are no longer
+//! needed), so a node only ever accounts for the window it was handed —
+//! no column is ever double-counted.
+//!
+//! The sparse-focused cutoff `cap` turns into a shrinking watermark
+//! [`MultiCounter::hi_cap`]: once the running count at some column exceeds
+//! `cap`, every later column is guaranteed to end [`OVER`](crate::OVER),
+//! so traversals stop refining them (the early exit of Sec. IV-G, applied
+//! per query instead of per join).
+
+use crate::{SmallCounts, OVER};
+
+/// Per-query accumulator for a single-traversal multi-radius count.
+///
+/// Backends narrow their traversal window with their own geometric
+/// predicates (kept textually identical to their `range_count` pruning so
+/// results match bit for bit) and report contributions here.
+pub(crate) struct MultiCounter {
+    /// Difference array over columns: `diff[k] += c, diff[hi] -= c` adds
+    /// `c` to every column in `[k, hi)`. Length `m + 1`.
+    diff: Vec<i64>,
+    /// The sparse-focused cutoff `c` of the query.
+    cap: u32,
+    /// Columns `>= hi_cap` are guaranteed to end [`OVER`]; traversals clamp
+    /// their window to it and stop refining those columns.
+    hi_cap: usize,
+    /// Total contribution mass added so far (points + bulk subtrees,
+    /// summed over all columns' first entries). An upper bound on every
+    /// running column count, used to amortize [`Self::bump`].
+    total: i64,
+    /// Skip watermark scans until `total` reaches this: no column can
+    /// cross the cap before then.
+    next_bump_at: i64,
+    /// Point-to-point distance evaluations performed for this query.
+    pub evals: u64,
+    /// Scratch buffer of the current leaf's point distances, so bucketing
+    /// runs as one tight counting pass per window column instead of a
+    /// branchy per-point search (leaves never recurse, so one buffer per
+    /// query suffices).
+    scratch: Vec<f64>,
+}
+
+impl MultiCounter {
+    /// An accumulator for `m` radii with sparse-focused cutoff `cap`.
+    pub fn new(m: usize, cap: u32) -> Self {
+        Self {
+            diff: vec![0; m + 1],
+            cap,
+            hi_cap: m,
+            total: 0,
+            next_bump_at: cap as i64 + 1,
+            evals: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The (cleared) leaf-scan scratch buffer: fill it with the distances
+    /// of one leaf's points, then call [`Self::add_leaf`].
+    #[inline]
+    pub fn scratch_mut(&mut self) -> &mut Vec<f64> {
+        self.scratch.clear();
+        &mut self.scratch
+    }
+
+    /// Buckets the scratch distances into columns `[lo, hi)`, where
+    /// `radii_win` is the window's slice of the (ascending) radius grid:
+    /// column `lo + j` receives the number of scratch entries
+    /// `<= radii_win[j]` — one branch-free counting pass per column, the
+    /// same inner loop shape as a per-radius `range_count` leaf scan.
+    /// Distances beyond the window's largest radius contribute nothing
+    /// (their columns were bulk-added by an ancestor or are past the
+    /// watermark). Ends with a watermark [`Self::bump`].
+    pub fn add_leaf(&mut self, radii_win: &[f64], lo: usize, hi: usize) {
+        debug_assert_eq!(radii_win.len(), hi - lo);
+        let mut prev = 0i64;
+        for (j, &r) in radii_win.iter().enumerate() {
+            let c = self.scratch.iter().filter(|&&d| d <= r).count() as i64;
+            // Cumulative counts: column j gets everything within its
+            // radius, so only the increment over column j-1 is new.
+            let delta = c - prev;
+            if delta != 0 {
+                self.diff[lo + j] += delta;
+                self.diff[hi] -= delta;
+            }
+            prev = c;
+        }
+        self.bump();
+    }
+
+    /// Current watermark: the window upper bound traversals should clamp to.
+    #[inline]
+    pub fn hi_cap(&self) -> usize {
+        self.hi_cap
+    }
+
+    /// Records one point contributing to columns `[k, hi)`.
+    #[inline]
+    pub fn add_point(&mut self, k: usize, hi: usize) {
+        self.diff[k] += 1;
+        self.diff[hi] -= 1;
+        self.total += 1;
+    }
+
+    /// Records a wholly covered subtree of `count` points contributing to
+    /// columns `[k, hi)`.
+    #[inline]
+    pub fn add_subtree(&mut self, k: usize, hi: usize, count: u32) {
+        self.diff[k] += count as i64;
+        self.diff[hi] -= count as i64;
+        self.total += count as i64;
+    }
+
+    /// Records a cumulative-count increment for columns `[k, hi)`: used by
+    /// leaf scans that count per column, where column `k`'s total includes
+    /// everything already counted at column `k - 1`. No-op for zero.
+    #[inline]
+    pub fn add_column_delta(&mut self, k: usize, hi: usize, delta: i64) {
+        debug_assert!(delta >= 0);
+        if delta != 0 {
+            self.diff[k] += delta;
+            self.diff[hi] -= delta;
+            self.total += delta;
+        }
+    }
+
+    /// Re-derives the watermark from the running counts. Called once per
+    /// leaf scan or bulk-add, and amortized to `O(1)`: `total` bounds
+    /// every running column count from above, so the scan is skipped
+    /// entirely until enough new mass has arrived that some column *could*
+    /// have crossed the cap.
+    #[inline]
+    pub fn bump(&mut self) {
+        if self.total < self.next_bump_at {
+            return;
+        }
+        let mut running = 0i64;
+        let mut max_running = 0i64;
+        for k in 0..self.hi_cap {
+            running += self.diff[k];
+            if running > self.cap as i64 {
+                // Running counts only grow, so the final count at column k
+                // also exceeds cap: the first crossing is at or before k
+                // and every column after it ends OVER.
+                self.hi_cap = k + 1;
+                return;
+            }
+            max_running = max_running.max(running);
+        }
+        // No crossing yet: the best-placed column still needs this much
+        // more mass before it can cross, so skip the scans until then.
+        self.next_bump_at = self.total + (self.cap as i64 + 1 - max_running);
+    }
+
+    /// Prefix-sums the difference array into per-column counts and applies
+    /// the sparse-focused mask: entries after the first count exceeding
+    /// `cap` become [`OVER`]. Columns at or beyond the final watermark are
+    /// never read — the crossing provably happens before them.
+    pub fn finish(&self) -> SmallCounts {
+        let m = self.diff.len() - 1;
+        let mut out = SmallCounts::filled(m, OVER);
+        let slots = out.as_mut_slice();
+        let mut running = 0i64;
+        for (k, d) in self.diff[..m].iter().enumerate() {
+            running += d;
+            debug_assert!((0..=u32::MAX as i64).contains(&running));
+            slots[k] = running as u32;
+            if running > self.cap as i64 {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_masks_after_first_crossing() {
+        let mut c = MultiCounter::new(4, 2);
+        // Counts 1, 3, 5, 7: crossing at column 1.
+        c.add_point(0, 4);
+        c.add_subtree(1, 4, 2);
+        c.add_subtree(2, 4, 2);
+        c.add_subtree(3, 4, 2);
+        let got = c.finish();
+        assert_eq!(got.as_slice(), &[1, 3, OVER, OVER]);
+    }
+
+    #[test]
+    fn bump_shrinks_watermark_monotonically() {
+        let mut c = MultiCounter::new(5, 3);
+        assert_eq!(c.hi_cap(), 5);
+        c.add_subtree(2, 5, 4); // columns 2.. run at 4 > 3
+        c.bump();
+        assert_eq!(c.hi_cap(), 3);
+        c.add_subtree(0, 3, 10); // columns 0.. now over too
+        c.bump();
+        assert_eq!(c.hi_cap(), 1);
+        // Column 0's exact value is still tracked (it is the crossing);
+        // the earlier bulk-add only covered columns [2, 5).
+        assert_eq!(c.finish().as_slice(), &[10, OVER, OVER, OVER, OVER]);
+    }
+
+    #[test]
+    fn uncapped_counts_are_fully_exact() {
+        let mut c = MultiCounter::new(3, u32::MAX);
+        c.add_point(0, 3);
+        c.add_point(2, 3);
+        c.bump();
+        assert_eq!(c.hi_cap(), 3);
+        assert_eq!(c.finish().as_slice(), &[1, 1, 2]);
+    }
+}

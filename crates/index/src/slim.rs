@@ -22,10 +22,12 @@
 //!   ("compact similarity joins", Sec. IV-G).
 //! * **Determinism.** No randomness anywhere; ties break on index order.
 
-use crate::{IndexBuilder, Neighbor, OrdF64, RangeIndex};
+use crate::multi::MultiCounter;
+use crate::{DistanceStats, IndexBuilder, Neighbor, OrdF64, RangeIndex, SmallCounts};
 use mccatch_metric::Metric;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Builder for [`SlimTree`]. `node_capacity` is the maximum number of
@@ -98,6 +100,9 @@ pub struct SlimTree<P, M: Metric<P>> {
     root: u32,
     len: usize,
     capacity: usize,
+    /// Distance evaluations (construction + queries). Relaxed ordering:
+    /// read only after joins complete; queries batch their updates.
+    evals: AtomicU64,
 }
 
 impl<P, M: Metric<P>> SlimTree<P, M> {
@@ -116,6 +121,7 @@ impl<P, M: Metric<P>> SlimTree<P, M> {
             root: 0,
             len: 0,
             capacity,
+            evals: AtomicU64::new(0),
         };
         for id in ids {
             tree.insert(id);
@@ -140,6 +146,7 @@ impl<P, M: Metric<P>> SlimTree<P, M> {
         let mut path: Vec<(u32, usize)> = Vec::new();
         let mut node = self.root;
         let mut dist_to_rep = 0.0; // distance to current parent rep (root: none)
+        let mut build_evals = 0u64;
         loop {
             match &mut self.nodes[node as usize] {
                 Node::Leaf(entries) => {
@@ -150,6 +157,7 @@ impl<P, M: Metric<P>> SlimTree<P, M> {
                     break;
                 }
                 Node::Internal(entries) => {
+                    build_evals += entries.len() as u64;
                     // Choose the entry needing the least radius growth;
                     // among already-covering entries, the closest one.
                     let mut best = 0usize;
@@ -177,6 +185,7 @@ impl<P, M: Metric<P>> SlimTree<P, M> {
                 }
             }
         }
+        *self.evals.get_mut() += build_evals;
         // Split up the path while nodes overflow.
         let mut overflowing = node;
         while self.node_len(overflowing) > self.capacity {
@@ -218,6 +227,7 @@ impl<P, M: Metric<P>> SlimTree<P, M> {
                 dm[j * m + i] = d;
             }
         }
+        *self.evals.get_mut() += (m * (m - 1) / 2) as u64;
         let side = mst_split(&dm, m);
         // New representative per side: the member minimizing its covering
         // radius over that side (accounting for child radii when internal).
@@ -305,6 +315,9 @@ impl<P, M: Metric<P>> SlimTree<P, M> {
                 });
                 let dtp0 = parent_rep.map_or(0.0, |g| self.dist(g, rep0_id));
                 let dtp1 = parent_rep.map_or(0.0, |g| self.dist(g, rep1_id));
+                if parent_rep.is_some() {
+                    *self.evals.get_mut() += 2;
+                }
                 let Node::Internal(pentries) = &mut self.nodes[pnode as usize] else {
                     unreachable!("parent of a split node is internal");
                 };
@@ -406,7 +419,14 @@ impl<P, M: Metric<P>> SlimTree<P, M> {
         total
     }
 
-    fn count_rec(&self, node: u32, q: &P, r: f64, d_q_parent: Option<f64>) -> usize {
+    fn count_rec(
+        &self,
+        node: u32,
+        q: &P,
+        r: f64,
+        d_q_parent: Option<f64>,
+        evals: &mut u64,
+    ) -> usize {
         match &self.nodes[node as usize] {
             Node::Leaf(entries) => {
                 let mut c = 0;
@@ -417,6 +437,7 @@ impl<P, M: Metric<P>> SlimTree<P, M> {
                             continue;
                         }
                     }
+                    *evals += 1;
                     if self.metric.distance(q, self.point(e.id)) <= r {
                         c += 1;
                     }
@@ -431,12 +452,13 @@ impl<P, M: Metric<P>> SlimTree<P, M> {
                             continue;
                         }
                     }
+                    *evals += 1;
                     let d = self.metric.distance(q, self.point(e.rep));
                     if d + e.radius <= r {
                         // Covered-subtree shortcut: whole ball inside query.
                         c += e.subtree as usize;
                     } else if d <= r + e.radius {
-                        c += self.count_rec(e.child, q, r, Some(d));
+                        c += self.count_rec(e.child, q, r, Some(d), evals);
                     }
                 }
                 c
@@ -444,7 +466,136 @@ impl<P, M: Metric<P>> SlimTree<P, M> {
         }
     }
 
-    fn ids_rec(&self, node: u32, q: &P, r: f64, d_q_parent: Option<f64>, out: &mut Vec<u32>) {
+    /// Single-traversal multi-radius count over the window `[lo, hi)` of
+    /// `radii` (ascending): one routing distance per entry serves every
+    /// column at once. Entries wholly inside a suffix of the grid are
+    /// bulk-added via their stored subtree size (the covered-subtree
+    /// shortcut applied per column), entries out of reach of every active
+    /// radius are skipped without a distance evaluation (the stored
+    /// parent-distance triangle bound), and columns at or past the counter
+    /// watermark can only end OVER and are no longer refined. All
+    /// predicates are textually those of [`Self::count_rec`] — including
+    /// the triangle-bound skip, folded in via `max(d, bound)` — so counts
+    /// match the per-radius path bit for bit.
+    #[allow(clippy::too_many_arguments)] // recursion state, not an API
+    fn multi_rec(
+        &self,
+        node: u32,
+        q: &P,
+        radii: &[f64],
+        lo: usize,
+        hi: usize,
+        d_q_parent: Option<f64>,
+        counter: &mut MultiCounter,
+    ) {
+        match &self.nodes[node as usize] {
+            Node::Leaf(entries) => {
+                let hi = hi.min(counter.hi_cap());
+                if lo >= hi {
+                    return;
+                }
+                let mut evals = 0;
+                let scratch = counter.scratch_mut();
+                for e in entries {
+                    let bound = d_q_parent.map(|dqp| (dqp - e.dist_to_parent).abs());
+                    if bound.is_some_and(|b| b > radii[hi - 1]) {
+                        // Beyond every active radius: the per-radius path
+                        // skips this point at each of them.
+                        continue;
+                    }
+                    evals += 1;
+                    let d = self.metric.distance(q, self.point(e.id));
+                    // The per-radius path also skips columns the triangle
+                    // bound excludes, so bucket on the larger of the two.
+                    scratch.push(bound.map_or(d, |b| d.max(b)));
+                }
+                counter.evals += evals;
+                counter.add_leaf(&radii[lo..hi], lo, hi);
+            }
+            Node::Internal(entries) => {
+                let ehi0 = hi.min(counter.hi_cap());
+                if lo >= ehi0 {
+                    return;
+                }
+                // One routing distance per entry, then process entries
+                // nearest-ball-first: the query's dense neighborhood is
+                // what pushes the running counts past the cap, so visiting
+                // it early collapses the window to the small radii before
+                // the expensive far subtrees are descended. The order
+                // buffer lives on the stack for ordinary node capacities —
+                // this runs once per internal node per query.
+                const ORDER_INLINE: usize = 64;
+                let mut inline = [(0f64, 0f64, 0u32); ORDER_INLINE];
+                let mut spill: Vec<(f64, f64, u32)>;
+                let slots: &mut [(f64, f64, u32)] = if entries.len() <= ORDER_INLINE {
+                    &mut inline
+                } else {
+                    spill = vec![(0.0, 0.0, 0); entries.len()];
+                    &mut spill
+                };
+                let mut filled = 0;
+                for (idx, e) in entries.iter().enumerate() {
+                    let bound = d_q_parent.map(|dqp| (dqp - e.dist_to_parent).abs());
+                    if bound.is_some_and(|b| b > radii[ehi0 - 1] + e.radius) {
+                        continue;
+                    }
+                    counter.evals += 1;
+                    let d = self.metric.distance(q, self.point(e.rep));
+                    slots[filled] = ((d - e.radius).max(0.0), d, idx as u32);
+                    filled += 1;
+                }
+                let order = &mut slots[..filled];
+                order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+                for &(_, d, idx) in order.iter() {
+                    let e = &entries[idx as usize];
+                    let ehi = hi.min(counter.hi_cap());
+                    if lo >= ehi {
+                        return;
+                    }
+                    let bound = d_q_parent.map(|dqp| (dqp - e.dist_to_parent).abs());
+                    // Covered columns: the whole ball is inside the query.
+                    // The per-radius path checks the triangle-bound skip
+                    // *before* the covered shortcut, so a column the bound
+                    // excludes must contribute 0 even if it looks covered
+                    // (only reachable through floating-point rounding when
+                    // `e.radius` is ~0, but bit-equality is the contract).
+                    let mut nh = ehi;
+                    while nh > lo
+                        && d + e.radius <= radii[nh - 1]
+                        && bound.is_none_or(|b| b <= radii[nh - 1] + e.radius)
+                    {
+                        nh -= 1;
+                    }
+                    let mut chi = ehi;
+                    if nh < ehi {
+                        counter.add_subtree(nh, ehi, e.subtree);
+                        counter.bump();
+                        chi = nh.min(counter.hi_cap());
+                    }
+                    // Descend columns: those whose radius can reach the
+                    // ball (and that the triangle bound does not exclude).
+                    let key = bound.map_or(d, |b| d.max(b));
+                    let mut clo = lo;
+                    while clo < chi && key > radii[clo] + e.radius {
+                        clo += 1;
+                    }
+                    if clo < chi {
+                        self.multi_rec(e.child, q, radii, clo, chi, Some(d), counter);
+                    }
+                }
+            }
+        }
+    }
+
+    fn ids_rec(
+        &self,
+        node: u32,
+        q: &P,
+        r: f64,
+        d_q_parent: Option<f64>,
+        out: &mut Vec<u32>,
+        evals: &mut u64,
+    ) {
         match &self.nodes[node as usize] {
             Node::Leaf(entries) => {
                 for e in entries {
@@ -453,6 +604,7 @@ impl<P, M: Metric<P>> SlimTree<P, M> {
                             continue;
                         }
                     }
+                    *evals += 1;
                     if self.metric.distance(q, self.point(e.id)) <= r {
                         out.push(e.id);
                     }
@@ -465,11 +617,12 @@ impl<P, M: Metric<P>> SlimTree<P, M> {
                             continue;
                         }
                     }
+                    *evals += 1;
                     let d = self.metric.distance(q, self.point(e.rep));
                     if d + e.radius <= r {
                         self.collect_subtree(e.child, out);
                     } else if d <= r + e.radius {
-                        self.ids_rec(e.child, q, r, Some(d), out);
+                        self.ids_rec(e.child, q, r, Some(d), out, evals);
                     }
                 }
             }
@@ -497,7 +650,21 @@ impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for SlimTree<P, M> {
         if self.len == 0 {
             return 0;
         }
-        self.count_rec(self.root, q, radius, None)
+        let mut evals = 0;
+        let count = self.count_rec(self.root, q, radius, None, &mut evals);
+        self.evals.fetch_add(evals, Ordering::Relaxed);
+        count
+    }
+
+    /// One descent fills every radius column (see the private `multi_rec`).
+    fn multi_range_count(&self, q: &P, radii: &[f64], cap: u32) -> SmallCounts {
+        debug_assert!(radii.windows(2).all(|w| w[0] <= w[1]));
+        let mut counter = MultiCounter::new(radii.len(), cap);
+        if self.len > 0 && !radii.is_empty() {
+            self.multi_rec(self.root, q, radii, 0, radii.len(), None, &mut counter);
+            self.evals.fetch_add(counter.evals, Ordering::Relaxed);
+        }
+        counter.finish()
     }
 
     fn range_ids(&self, q: &P, radius: f64, out: &mut Vec<u32>) {
@@ -505,8 +672,16 @@ impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for SlimTree<P, M> {
             return;
         }
         let start = out.len();
-        self.ids_rec(self.root, q, radius, None, out);
+        let mut evals = 0;
+        self.ids_rec(self.root, q, radius, None, out, &mut evals);
+        self.evals.fetch_add(evals, Ordering::Relaxed);
         out[start..].sort_unstable();
+    }
+
+    fn distance_stats(&self) -> DistanceStats {
+        DistanceStats {
+            evals: self.evals.load(Ordering::Relaxed),
+        }
     }
 
     fn knn(&self, q: &P, k: usize) -> Vec<Neighbor> {
@@ -515,6 +690,7 @@ impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for SlimTree<P, M> {
         }
         // Best-first search. `frontier` orders nodes by optimistic distance;
         // `best` keeps the current k nearest as a max-heap.
+        let mut evals = 0u64;
         let mut frontier: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
         let mut best: BinaryHeap<(OrdF64, u32)> = BinaryHeap::new();
         frontier.push(Reverse((OrdF64(0.0), self.root)));
@@ -531,6 +707,7 @@ impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for SlimTree<P, M> {
             }
             match &self.nodes[node as usize] {
                 Node::Leaf(entries) => {
+                    evals += entries.len() as u64;
                     for e in entries {
                         let d = self.metric.distance(q, self.point(e.id));
                         if d < tau(&best) || (d == tau(&best) && best.len() < k) {
@@ -542,6 +719,7 @@ impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for SlimTree<P, M> {
                     }
                 }
                 Node::Internal(entries) => {
+                    evals += entries.len() as u64;
                     for e in entries {
                         let d = self.metric.distance(q, self.point(e.rep));
                         let lb_child = (d - e.radius).max(0.0);
@@ -552,6 +730,7 @@ impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for SlimTree<P, M> {
                 }
             }
         }
+        self.evals.fetch_add(evals, Ordering::Relaxed);
         let mut out: Vec<Neighbor> = best
             .into_iter()
             .map(|(OrdF64(dist), id)| Neighbor { id, dist })
@@ -567,6 +746,9 @@ impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for SlimTree<P, M> {
     fn diameter_estimate(&self) -> f64 {
         match &self.nodes[self.root as usize] {
             Node::Leaf(entries) => {
+                let n = entries.len() as u64;
+                self.evals
+                    .fetch_add(n * n.saturating_sub(1) / 2, Ordering::Relaxed);
                 let mut best = 0.0f64;
                 for i in 0..entries.len() {
                     for j in (i + 1)..entries.len() {
@@ -576,6 +758,9 @@ impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for SlimTree<P, M> {
                 best
             }
             Node::Internal(entries) => {
+                let n = entries.len() as u64;
+                self.evals
+                    .fetch_add(n * n.saturating_sub(1) / 2, Ordering::Relaxed);
                 let mut best = 0.0f64;
                 for i in 0..entries.len() {
                     for j in (i + 1)..entries.len() {

@@ -14,10 +14,12 @@
 //! demonstrate MCCATCH's index-agnosticism, and property tests pit all
 //! three indexes against each other.
 
-use crate::{IndexBuilder, Neighbor, OrdF64, RangeIndex};
+use crate::multi::MultiCounter;
+use crate::{DistanceStats, IndexBuilder, Neighbor, OrdF64, RangeIndex, SmallCounts};
 use mccatch_metric::Metric;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Builder for [`VpTree`].
@@ -69,6 +71,9 @@ pub struct VpTree<P, M: Metric<P>> {
     metric: Arc<M>,
     ids: Vec<u32>,
     nodes: Vec<VpNode>,
+    /// Distance evaluations (construction + queries). Relaxed ordering:
+    /// read only after joins complete; queries batch their updates.
+    evals: AtomicU64,
 }
 
 impl<P, M: Metric<P>> VpTree<P, M> {
@@ -86,6 +91,7 @@ impl<P, M: Metric<P>> VpTree<P, M> {
             metric: metric.into(),
             ids: Vec::new(),
             nodes: Vec::new(),
+            evals: AtomicU64::new(0),
         };
         if !ids.is_empty() {
             let n = ids.len();
@@ -109,7 +115,11 @@ impl<P, M: Metric<P>> VpTree<P, M> {
         let rest = &mut ids[start + 1..end];
         let metric = Arc::clone(&self.metric);
         let points = Arc::clone(&self.points);
-        let key = |a: u32| OrdF64(metric.distance(&points[vantage as usize], &points[a as usize]));
+        let build_evals = std::cell::Cell::new(0u64);
+        let key = |a: u32| {
+            build_evals.set(build_evals.get() + 1);
+            OrdF64(metric.distance(&points[vantage as usize], &points[a as usize]))
+        };
         let mid = rest.len() / 2;
         rest.select_nth_unstable_by(mid, |&a, &b| key(a).cmp(&key(b)).then(a.cmp(&b)));
         let mu = metric.distance(&points[vantage as usize], &points[rest[mid] as usize]);
@@ -117,6 +127,7 @@ impl<P, M: Metric<P>> VpTree<P, M> {
             .iter()
             .map(|&a| metric.distance(&points[vantage as usize], &points[a as usize]))
             .fold(0.0f64, f64::max);
+        *self.evals.get_mut() += build_evals.get() + 1 + rest.len() as u64;
         let count = (end - start) as u32;
         let idx = self.nodes.len() as u32;
         self.nodes.push(VpNode::Leaf { start: 0, end: 0 }); // patched below
@@ -140,12 +151,15 @@ impl<P, M: Metric<P>> VpTree<P, M> {
         idx
     }
 
-    fn count_rec(&self, node: u32, q: &P, r: f64) -> usize {
+    fn count_rec(&self, node: u32, q: &P, r: f64, evals: &mut u64) -> usize {
         match &self.nodes[node as usize] {
-            VpNode::Leaf { start, end } => self.ids[*start as usize..*end as usize]
-                .iter()
-                .filter(|&&i| self.metric.distance(q, &self.points[i as usize]) <= r)
-                .count(),
+            VpNode::Leaf { start, end } => {
+                *evals += (end - start) as u64;
+                self.ids[*start as usize..*end as usize]
+                    .iter()
+                    .filter(|&&i| self.metric.distance(q, &self.points[i as usize]) <= r)
+                    .count()
+            }
             VpNode::Split {
                 vantage,
                 mu,
@@ -155,6 +169,7 @@ impl<P, M: Metric<P>> VpTree<P, M> {
                 count,
             } => {
                 let d = self.metric.distance(q, &self.points[*vantage as usize]);
+                *evals += 1;
                 // Covered shortcut: the whole subtree lives within
                 // max_dist of the vantage.
                 if d + max_dist <= r {
@@ -162,24 +177,118 @@ impl<P, M: Metric<P>> VpTree<P, M> {
                 }
                 let mut c = 0;
                 if d - r <= *mu {
-                    c += self.count_rec(*inside, q, r);
+                    c += self.count_rec(*inside, q, r, evals);
                 }
                 if d + r >= *mu {
-                    c += self.count_rec(*outside, q, r);
+                    c += self.count_rec(*outside, q, r, evals);
                 }
                 c
             }
         }
     }
 
-    fn ids_rec(&self, node: u32, q: &P, r: f64, out: &mut Vec<u32>) {
+    /// Single-traversal multi-radius count over the window `[lo, hi)` of
+    /// `radii` (ascending): one vantage distance per node serves every
+    /// column at once. Columns whose radius covers the whole subtree take
+    /// the cardinality in one bulk-add; each child's window drops the
+    /// columns whose radius cannot reach its shell; columns at or past the
+    /// counter watermark can only end OVER and are no longer refined. All
+    /// predicates are textually those of [`Self::count_rec`], so counts
+    /// match the per-radius path bit for bit.
+    fn multi_rec(
+        &self,
+        node: u32,
+        q: &P,
+        radii: &[f64],
+        lo: usize,
+        mut hi: usize,
+        counter: &mut MultiCounter,
+    ) {
+        hi = hi.min(counter.hi_cap());
+        if lo >= hi {
+            return;
+        }
         match &self.nodes[node as usize] {
-            VpNode::Leaf { start, end } => out.extend(
-                self.ids[*start as usize..*end as usize]
-                    .iter()
-                    .copied()
-                    .filter(|&i| self.metric.distance(q, &self.points[i as usize]) <= r),
-            ),
+            VpNode::Leaf { start, end } => {
+                counter.evals += (end - start) as u64;
+                let scratch = counter.scratch_mut();
+                for &i in &self.ids[*start as usize..*end as usize] {
+                    scratch.push(self.metric.distance(q, &self.points[i as usize]));
+                }
+                counter.add_leaf(&radii[lo..hi], lo, hi);
+            }
+            VpNode::Split {
+                vantage,
+                mu,
+                max_dist,
+                inside,
+                outside,
+                count,
+            } => {
+                let d = self.metric.distance(q, &self.points[*vantage as usize]);
+                counter.evals += 1;
+                // Covered columns: the whole subtree is within radius.
+                let mut nh = hi;
+                while nh > lo && d + max_dist <= radii[nh - 1] {
+                    nh -= 1;
+                }
+                if nh < hi {
+                    counter.add_subtree(nh, hi, *count);
+                    counter.bump();
+                    hi = nh.min(counter.hi_cap());
+                    if lo >= hi {
+                        return;
+                    }
+                }
+                // Visit the shell containing the query first: its points
+                // are the nearest, so the running counts cross the cap
+                // (and the window collapses to the small radii) before the
+                // farther shell is traversed. Each shell's window drops
+                // the columns whose radius cannot reach it.
+                let descend_inside = |this: &Self, counter: &mut MultiCounter, hi: usize| {
+                    // Inside shell: reachable at radius r iff d - r <= mu.
+                    let mut ilo = lo;
+                    while ilo < hi && d - radii[ilo] > *mu {
+                        ilo += 1;
+                    }
+                    if ilo < hi {
+                        this.multi_rec(*inside, q, radii, ilo, hi, counter);
+                    }
+                };
+                let descend_outside = |this: &Self, counter: &mut MultiCounter, hi: usize| {
+                    // Outside shell: reachable at radius r iff d + r >= mu.
+                    let mut olo = lo;
+                    while olo < hi && d + radii[olo] < *mu {
+                        olo += 1;
+                    }
+                    if olo < hi {
+                        this.multi_rec(*outside, q, radii, olo, hi, counter);
+                    }
+                };
+                // (multi_rec re-clamps to the watermark at entry, so the
+                // second call sees any window shrink the first caused.)
+                if d <= *mu {
+                    descend_inside(self, counter, hi);
+                    descend_outside(self, counter, hi);
+                } else {
+                    descend_outside(self, counter, hi);
+                    descend_inside(self, counter, hi);
+                }
+            }
+        }
+    }
+
+    fn ids_rec(&self, node: u32, q: &P, r: f64, out: &mut Vec<u32>, evals: &mut u64) {
+        match &self.nodes[node as usize] {
+            VpNode::Leaf { start, end } => {
+                *evals += (end - start) as u64;
+                out.extend(
+                    self.ids[*start as usize..*end as usize]
+                        .iter()
+                        .copied()
+                        .filter(|&i| self.metric.distance(q, &self.points[i as usize]) <= r),
+                )
+            }
             VpNode::Split {
                 vantage,
                 mu,
@@ -189,15 +298,16 @@ impl<P, M: Metric<P>> VpTree<P, M> {
                 ..
             } => {
                 let d = self.metric.distance(q, &self.points[*vantage as usize]);
+                *evals += 1;
                 if d + max_dist <= r {
                     self.collect(node, out);
                     return;
                 }
                 if d - r <= *mu {
-                    self.ids_rec(*inside, q, r, out);
+                    self.ids_rec(*inside, q, r, out, evals);
                 }
                 if d + r >= *mu {
-                    self.ids_rec(*outside, q, r, out);
+                    self.ids_rec(*outside, q, r, out, evals);
                 }
             }
         }
@@ -227,7 +337,21 @@ impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for VpTree<P, M> {
         if self.ids.is_empty() {
             return 0;
         }
-        self.count_rec(0, q, radius)
+        let mut evals = 0;
+        let count = self.count_rec(0, q, radius, &mut evals);
+        self.evals.fetch_add(evals, Ordering::Relaxed);
+        count
+    }
+
+    /// One descent fills every radius column (see the private `multi_rec`).
+    fn multi_range_count(&self, q: &P, radii: &[f64], cap: u32) -> SmallCounts {
+        debug_assert!(radii.windows(2).all(|w| w[0] <= w[1]));
+        let mut counter = MultiCounter::new(radii.len(), cap);
+        if !self.ids.is_empty() && !radii.is_empty() {
+            self.multi_rec(0, q, radii, 0, radii.len(), &mut counter);
+            self.evals.fetch_add(counter.evals, Ordering::Relaxed);
+        }
+        counter.finish()
     }
 
     fn range_ids(&self, q: &P, radius: f64, out: &mut Vec<u32>) {
@@ -235,14 +359,23 @@ impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for VpTree<P, M> {
             return;
         }
         let start = out.len();
-        self.ids_rec(0, q, radius, out);
+        let mut evals = 0;
+        self.ids_rec(0, q, radius, out, &mut evals);
+        self.evals.fetch_add(evals, Ordering::Relaxed);
         out[start..].sort_unstable();
+    }
+
+    fn distance_stats(&self) -> DistanceStats {
+        DistanceStats {
+            evals: self.evals.load(Ordering::Relaxed),
+        }
     }
 
     fn knn(&self, q: &P, k: usize) -> Vec<Neighbor> {
         if self.ids.is_empty() || k == 0 {
             return Vec::new();
         }
+        let mut evals = 0u64;
         let mut frontier: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
         let mut best: BinaryHeap<(OrdF64, u32)> = BinaryHeap::new();
         frontier.push(Reverse((OrdF64(0.0), 0)));
@@ -257,6 +390,7 @@ impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for VpTree<P, M> {
             }
             match &self.nodes[node as usize] {
                 VpNode::Leaf { start, end } => {
+                    evals += (end - start) as u64;
                     for &i in &self.ids[*start as usize..*end as usize] {
                         let d = self.metric.distance(q, &self.points[i as usize]);
                         let tau = if best.len() < k {
@@ -280,6 +414,7 @@ impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for VpTree<P, M> {
                     ..
                 } => {
                     let d = self.metric.distance(q, &self.points[*vantage as usize]);
+                    evals += 1;
                     // Lower bounds for the two shells.
                     let lb_in = (d - mu).max(0.0);
                     let lb_out = (mu - d).max(0.0);
@@ -288,6 +423,7 @@ impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for VpTree<P, M> {
                 }
             }
         }
+        self.evals.fetch_add(evals, Ordering::Relaxed);
         let mut out: Vec<Neighbor> = best
             .into_iter()
             .map(|(OrdF64(dist), id)| Neighbor { id, dist })
@@ -303,6 +439,9 @@ impl<P: Send + Sync, M: Metric<P>> RangeIndex<P> for VpTree<P, M> {
             Some(VpNode::Split { max_dist, .. }) => 2.0 * max_dist,
             Some(VpNode::Leaf { start, end }) => {
                 let ids = &self.ids[*start as usize..*end as usize];
+                let n = ids.len() as u64;
+                self.evals
+                    .fetch_add(n * n.saturating_sub(1) / 2, Ordering::Relaxed);
                 let mut best = 0.0f64;
                 for (i, &a) in ids.iter().enumerate() {
                     for &b in &ids[i + 1..] {

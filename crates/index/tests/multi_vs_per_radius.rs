@@ -1,0 +1,169 @@
+//! Property tests for the single-traversal multi-radius count: for every
+//! backend, [`RangeIndex::multi_range_count`] must equal an `a`-fold
+//! sequence of [`RangeIndex::range_count`] calls — exact counts up to and
+//! including the first one that crosses the sparse-focused cap, `OVER`
+//! afterwards — on random point sets, random (ascending) radius grids,
+//! random caps, and both vector and string data.
+
+use mccatch_index::{BruteForce, KdTree, RangeIndex, SlimTree, VpTree, OVER};
+use mccatch_metric::{Euclidean, Levenshtein};
+use proptest::prelude::*;
+
+/// The contract `multi_range_count` must honor, spelled out with
+/// per-radius `range_count` calls (the default-method fallback).
+fn per_radius_reference<P, I: RangeIndex<P>>(
+    index: &I,
+    q: &P,
+    radii: &[f64],
+    cap: u32,
+) -> Vec<u32> {
+    let mut out = vec![OVER; radii.len()];
+    for (k, &r) in radii.iter().enumerate() {
+        let c = index.range_count(q, r) as u32;
+        out[k] = c;
+        if c > cap {
+            break;
+        }
+    }
+    out
+}
+
+fn points_2d() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-100.0..100.0f64, 2), 1..120)
+}
+
+fn points_5d() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-10.0..10.0f64, 5), 1..60)
+}
+
+/// Ascending radius grids of 1..=12 radii, geometric-ish with a random
+/// base so boundaries land both on and off point distances.
+fn grid() -> impl Strategy<Value = Vec<f64>> {
+    (0.01..40.0f64, 1.2..2.5f64, 1usize..12).prop_map(|(base, ratio, m)| {
+        (0..m)
+            .map(|k| base * ratio.powi(k as i32))
+            .collect::<Vec<f64>>()
+    })
+}
+
+fn words() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-d]{0,6}", 1..50)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn brute_multi_matches_per_radius(pts in points_2d(), q in 0usize..120, radii in grid(), cap in 0u32..20) {
+        let q = q % pts.len();
+        let idx = BruteForce::new(pts.clone(), (0..pts.len() as u32).collect(), Euclidean);
+        let got = idx.multi_range_count(&pts[q], &radii, cap);
+        let want = per_radius_reference(&idx, &pts[q], &radii, cap);
+        prop_assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn kd_multi_matches_per_radius(pts in points_5d(), q in 0usize..60, radii in grid(), cap in 0u32..20, leaf in 1usize..8) {
+        let q = q % pts.len();
+        let idx = KdTree::build(pts.clone(), (0..pts.len() as u32).collect(), leaf);
+        let got = idx.multi_range_count(&pts[q], &radii, cap);
+        let want = per_radius_reference(&idx, &pts[q], &radii, cap);
+        prop_assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn vp_multi_matches_per_radius(pts in points_2d(), q in 0usize..120, radii in grid(), cap in 0u32..20, leaf in 2usize..10) {
+        let q = q % pts.len();
+        let idx = VpTree::build(pts.clone(), (0..pts.len() as u32).collect(), Euclidean, leaf);
+        let got = idx.multi_range_count(&pts[q], &radii, cap);
+        let want = per_radius_reference(&idx, &pts[q], &radii, cap);
+        prop_assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn slim_multi_matches_per_radius(pts in points_2d(), q in 0usize..120, radii in grid(), cap in 0u32..20, node_cap in 4usize..10) {
+        let q = q % pts.len();
+        let idx = SlimTree::build(pts.clone(), (0..pts.len() as u32).collect(), Euclidean, node_cap);
+        let got = idx.multi_range_count(&pts[q], &radii, cap);
+        let want = per_radius_reference(&idx, &pts[q], &radii, cap);
+        prop_assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn all_backends_agree_uncapped(pts in points_2d(), q in 0usize..120, radii in grid()) {
+        // cap = MAX: fully exact counts at every radius, across backends.
+        let q = q % pts.len();
+        let ids: Vec<u32> = (0..pts.len() as u32).collect();
+        let brute = BruteForce::new(pts.clone(), ids.clone(), Euclidean);
+        let kd = KdTree::build(pts.clone(), ids.clone(), 4);
+        let vp = VpTree::build(pts.clone(), ids.clone(), Euclidean, 4);
+        let slim = SlimTree::build(pts.clone(), ids, Euclidean, 6);
+        let want = brute.multi_range_count(&pts[q], &radii, u32::MAX);
+        prop_assert_eq!(&kd.multi_range_count(&pts[q], &radii, u32::MAX), &want);
+        prop_assert_eq!(&vp.multi_range_count(&pts[q], &radii, u32::MAX), &want);
+        prop_assert_eq!(&slim.multi_range_count(&pts[q], &radii, u32::MAX), &want);
+        // And every column equals a plain range_count.
+        for (k, &r) in radii.iter().enumerate() {
+            prop_assert_eq!(want[k] as usize, brute.range_count(&pts[q], r));
+        }
+    }
+
+    #[test]
+    fn slim_multi_on_strings(ws in words(), q in 0usize..50, cap in 0u32..10) {
+        let q = q % ws.len();
+        let ids: Vec<u32> = (0..ws.len() as u32).collect();
+        let slim = SlimTree::build(ws.clone(), ids.clone(), Levenshtein, 4);
+        let vp = VpTree::build(ws.clone(), ids, Levenshtein, 3);
+        let radii = [0.0, 1.0, 2.0, 3.0, 5.0, 8.0];
+        let got = slim.multi_range_count(&ws[q], &radii, cap);
+        let want = per_radius_reference(&slim, &ws[q], &radii, cap);
+        prop_assert_eq!(got.as_slice(), want.as_slice());
+        let got = vp.multi_range_count(&ws[q], &radii, cap);
+        let want = per_radius_reference(&vp, &ws[q], &radii, cap);
+        prop_assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn subset_indexes_count_subset_only(pts in points_2d(), radii in grid(), cap in 0u32..20) {
+        // Every third point only: multi counts must see just the subset.
+        let ids: Vec<u32> = (0..pts.len() as u32).step_by(3).collect();
+        prop_assume!(!ids.is_empty());
+        let slim = SlimTree::build(pts.clone(), ids.clone(), Euclidean, 4);
+        let brute = BruteForce::new(pts.clone(), ids, Euclidean);
+        let q = &pts[0];
+        let a = slim.multi_range_count(q, &radii, cap);
+        let b = brute.multi_range_count(q, &radii, cap);
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+    }
+}
+
+#[test]
+fn multi_on_empty_index_is_all_zero_then_over() {
+    let pts: Vec<Vec<f64>> = vec![];
+    let kd = KdTree::build(pts.clone(), vec![], 4);
+    let radii = [1.0, 2.0, 4.0];
+    // Counts are 0 everywhere; 0 never exceeds any cap, so no OVER.
+    assert_eq!(
+        kd.multi_range_count(&vec![0.0], &radii, 5).as_slice(),
+        &[0, 0, 0]
+    );
+}
+
+#[test]
+fn multi_with_empty_grid_is_empty() {
+    let pts = vec![vec![0.0], vec![1.0]];
+    let slim = SlimTree::build(pts.clone(), vec![0, 1], Euclidean, 4);
+    assert!(slim
+        .multi_range_count(&pts[0], &[], 5)
+        .as_slice()
+        .is_empty());
+}
+
+#[test]
+fn cap_zero_records_the_crossing_exactly() {
+    // Every count is >= 1 > 0, so only the first column is exact.
+    let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+    let vp = VpTree::build(pts.clone(), (0..10).collect(), Euclidean, 2);
+    let got = vp.multi_range_count(&pts[5], &[1.0, 2.0, 3.0], 0);
+    assert_eq!(got.as_slice(), &[3, OVER, OVER]);
+}

@@ -143,6 +143,13 @@
 
 pub mod serve;
 
+/// Compiles and runs the code snippets in the repo-level
+/// `ARCHITECTURE.md` as doctests, so the architecture documentation
+/// cannot silently rot. Not part of the public API.
+#[doc = include_str!("../../../ARCHITECTURE.md")]
+#[cfg(doctest)]
+pub struct ArchitectureDoctests;
+
 pub use mccatch_core::{
     Cutoff, Fitted, McCatch, McCatchBuilder, McCatchError, McCatchOutput, Microcluster, Model,
     ModelStats, OraclePlot, OraclePoint, Params, RunStats,

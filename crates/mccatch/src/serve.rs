@@ -66,6 +66,43 @@ use std::sync::{Arc, RwLock};
 /// or a `static`); every method takes `&self`. The inner lock is held
 /// only for the instant of cloning or replacing the `Arc` — scoring and
 /// detection always run lock-free on a snapshot.
+///
+/// The snapshot/swap-on-refit cycle, end to end:
+///
+/// ```
+/// use mccatch::index::KdTreeBuilder;
+/// use mccatch::metrics::Euclidean;
+/// use mccatch::serve::ModelStore;
+/// use mccatch::McCatch;
+///
+/// let detector = McCatch::builder().build()?;
+/// let fit = |shift: f64| {
+///     let pts: Vec<Vec<f64>> = (0..100)
+///         .map(|i| vec![(i % 10) as f64 + shift, (i / 10) as f64])
+///         .collect();
+///     detector
+///         .fit(pts, Euclidean, KdTreeBuilder::default())
+///         .map(|fitted| fitted.into_model())
+/// };
+/// let store = ModelStore::new(fit(0.0)?);
+///
+/// // A reader takes a snapshot: a consistent model that stays valid
+/// // (and alive) across any number of later swaps.
+/// let snapshot = store.snapshot();
+/// let before = snapshot.score_batch(&[vec![4.5, 4.5]])[0];
+///
+/// // The refit job swaps in a model fitted on fresh data; the old
+/// // model is returned for logging or diffing.
+/// let old = store.swap(fit(1000.0)?);
+/// assert_eq!(old.stats().num_points, 100);
+/// assert_eq!(store.generation(), 1);
+///
+/// // The reader's snapshot still answers identically; new snapshots
+/// // see the new reference set.
+/// assert_eq!(snapshot.score_batch(&[vec![4.5, 4.5]])[0], before);
+/// assert!(store.score_batch(&[vec![4.5, 4.5]])[0] > before);
+/// # Ok::<(), mccatch::McCatchError>(())
+/// ```
 pub struct ModelStore<P> {
     current: RwLock<Arc<dyn Model<P>>>,
     generation: AtomicU64,

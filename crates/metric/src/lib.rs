@@ -24,6 +24,8 @@
 //! evaluations, which the benchmark harness uses to verify the subquadratic
 //! behaviour promised by Lemma 1 independently of wall-clock noise.
 
+#![deny(missing_docs)]
+
 mod counting;
 mod discrete;
 mod string;
