@@ -1,0 +1,125 @@
+//! Throughput of the streaming subsystem on the http-10k workload:
+//! events/sec for per-event scoring alone vs. scoring while the
+//! background worker concurrently refits on the sliding window.
+//!
+//! The interesting number is the *cost of staying fresh*: ingest scoring
+//! is lock-free on a model snapshot, so a concurrent refit should tax
+//! throughput only by the swap itself and by competing for cores —
+//! never by blocking the scorer. Both modes run the same event
+//! sequence (the second 8k connections of the HTTP analogue, cycled)
+//! over a 2k-event sliding window seeded with the first 2k connections.
+//!
+//! Besides the criterion timings (one iteration = 1 000 ingested
+//! events), the bench prints explicit `events/sec` summary lines for a
+//! fixed one-pass run of each mode, so the headline number lands in the
+//! log without arithmetic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mccatch_core::McCatch;
+use mccatch_data::http;
+use mccatch_index::KdTreeBuilder;
+use mccatch_metric::Euclidean;
+use mccatch_stream::{RefitPolicy, StreamConfig, StreamDetector};
+use std::hint::black_box;
+use std::time::Instant;
+
+const WINDOW: usize = 2_000;
+const EVENTS_PER_ITER: usize = 1_000;
+
+fn stream_over(
+    policy: RefitPolicy,
+) -> (
+    StreamDetector<Vec<f64>, Euclidean, KdTreeBuilder>,
+    Vec<Vec<f64>>,
+) {
+    let data = http(10_000, 1);
+    let seed: Vec<Vec<f64>> = data.points[..WINDOW].to_vec();
+    let events: Vec<Vec<f64>> = data.points[WINDOW..].to_vec();
+    let stream = StreamDetector::new(
+        StreamConfig {
+            capacity: WINDOW,
+            policy,
+            ..StreamConfig::default()
+        },
+        McCatch::builder().build().expect("defaults are valid"),
+        Euclidean,
+        KdTreeBuilder::default(),
+        seed,
+    )
+    .expect("valid streaming config");
+    (stream, events)
+}
+
+fn bench_stream_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_http10k");
+    group.sample_size(10);
+
+    // Scoring only: the model never changes (Manual policy, no refits).
+    let (stream, events) = stream_over(RefitPolicy::Manual);
+    let mut cursor = 0usize;
+    group.bench_function("score_only_1k_events", |b| {
+        b.iter(|| {
+            for _ in 0..EVENTS_PER_ITER {
+                let e = stream.ingest(black_box(events[cursor % events.len()].clone()));
+                black_box(e.score);
+                cursor += 1;
+            }
+        })
+    });
+    drop(stream);
+
+    // Scoring with the background worker refitting the 2k-point window
+    // concurrently (triggered every 500 events; excess triggers
+    // coalesce).
+    let (stream, events) = stream_over(RefitPolicy::EveryN(500));
+    let mut cursor = 0usize;
+    group.bench_function("score_with_concurrent_refit_1k_events", |b| {
+        b.iter(|| {
+            for _ in 0..EVENTS_PER_ITER {
+                let e = stream.ingest(black_box(events[cursor % events.len()].clone()));
+                black_box(e.score);
+                cursor += 1;
+            }
+        })
+    });
+    let refit_stats = stream.stats();
+    drop(stream);
+    group.finish();
+
+    // Headline numbers: a fixed multi-pass run over the 8k held-out
+    // events per mode (cycled, so the run is long enough for several
+    // 2k-point refits to complete and swap in mid-measurement),
+    // reported as events/sec.
+    const PASSES: usize = 8;
+    for (name, policy) in [
+        ("score_only", RefitPolicy::Manual),
+        ("score_with_concurrent_refit", RefitPolicy::EveryN(500)),
+    ] {
+        let (stream, events) = stream_over(policy);
+        let total = events.len() * PASSES;
+        let t0 = Instant::now();
+        for _ in 0..PASSES {
+            for e in &events {
+                black_box(stream.ingest(black_box(e.clone())).score);
+            }
+        }
+        let elapsed = t0.elapsed();
+        let stats = stream.stats();
+        println!(
+            "stream_http10k/{name}: {total} events in {elapsed:.2?} = {:.0} events/sec \
+             (refits completed {}, coalesced {}, generation {})",
+            total as f64 / elapsed.as_secs_f64().max(1e-9),
+            stats.refits_completed,
+            stats.refits_coalesced,
+            stats.generation,
+        );
+        drop(stream);
+    }
+    println!(
+        "stream_http10k: criterion mode saw {} completed refits over its timed iterations",
+        refit_stats.refits_completed
+    );
+}
+
+criterion_group!(benches, bench_stream_throughput);
+criterion_main!(benches);

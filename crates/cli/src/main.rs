@@ -4,19 +4,35 @@
 //! microclusters plus, optionally, per-point scores. Two input modes:
 //!
 //! * `--mode csv` (default): one point per line, comma/whitespace-
-//!   separated floats; Euclidean distance over a kd-tree.
-//! * `--mode lines`: one string per line; Levenshtein distance over a
-//!   Slim-tree (the paper's "L-Edit" setup for names).
+//!   separated floats; Euclidean distance.
+//! * `--mode lines`: one string per line; Levenshtein distance (the
+//!   paper's "L-Edit" setup for names).
+//!
+//! The index backend is selectable with `--index brute|kd|vp|slim`
+//! (default: kd for csv — the paper's footnote-4 fast path — and slim
+//! for lines; the kd-tree is Euclidean-only, so it is rejected in lines
+//! mode). The chosen backend is echoed in both report formats.
+//!
+//! `--stream` switches both modes from one-shot batch detection to the
+//! streaming subsystem (`mccatch::stream`): events are read line by
+//! line, each is scored immediately against the current model and
+//! emitted as one output line (`--format json` makes that one JSON
+//! object per line), a sliding window of `--window` events is
+//! maintained, and the model is refit in the background every
+//! `--refit-every` events (0 = never) or when `--drift` is given and
+//! the flagged fraction of recent events reaches it. `--warmup N` seeds
+//! the initial model with the first N events (they are not scored). A
+//! run summary goes to stderr, keeping stdout machine-clean.
 //!
 //! ```text
 //! USAGE:
 //!   mccatch [--input FILE] [--mode csv|lines] [--format text|json]
+//!           [--index brute|kd|vp|slim]
 //!           [--radii 15] [--slope 0.1] [--max-card N] [--threads N]
 //!           [--points] [--top K]
+//!           [--stream] [--window N] [--refit-every N] [--warmup N]
+//!           [--drift FRAC] [--drift-recent N]
 //! ```
-//!
-//! `--format json` emits a single machine-readable JSON object
-//! (hand-rolled serializer, no dependencies) for downstream pipelines.
 //!
 //! Invalid hyperparameters are reported as proper CLI errors (exit code
 //! 1), never panics: parsing builds a `McCatch` via the validating
@@ -26,10 +42,11 @@
 //! (`Arc<dyn Model<_>>`), so both input modes share one report path
 //! regardless of metric and index type.
 
-use mccatch::index::{KdTreeBuilder, SlimTreeBuilder};
-use mccatch::metrics::{Euclidean, Levenshtein};
+use mccatch::index::{BruteForceBuilder, KdTreeBuilder, SlimTreeBuilder, VpTreeBuilder};
+use mccatch::metrics::{Euclidean, Levenshtein, Metric};
+use mccatch::stream::{RefitPolicy, ScoredEvent, StreamConfig, StreamDetector};
 use mccatch::{McCatch, McCatchOutput, Model, Params};
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -37,10 +54,20 @@ struct Cli {
     input: Option<String>,
     mode: String,
     format: Format,
+    index: Option<IndexChoice>,
     params: Params,
     show_points: bool,
     /// Number of microclusters to print; 0 means all.
     top: usize,
+    stream: bool,
+    window: usize,
+    /// Events between background refits; 0 disables scheduled refits.
+    refit_every: u64,
+    /// Seed the initial model with this many leading events (unscored).
+    warmup: usize,
+    /// Flagged fraction of recent events that triggers a drift refit.
+    drift: Option<f64>,
+    drift_recent: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,14 +76,61 @@ enum Format {
     Json,
 }
 
+/// The selectable index backends (`--index`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum IndexChoice {
+    Brute,
+    Kd,
+    Vp,
+    Slim,
+}
+
+impl IndexChoice {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "brute" => Ok(Self::Brute),
+            "kd" => Ok(Self::Kd),
+            "vp" => Ok(Self::Vp),
+            "slim" => Ok(Self::Slim),
+            other => Err(format!("unknown index: {other} (use brute|kd|vp|slim)")),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Self::Brute => "brute",
+            Self::Kd => "kd",
+            Self::Vp => "vp",
+            Self::Slim => "slim",
+        }
+    }
+
+    /// The historical defaults: the kd fast path for vector data, the
+    /// Slim-tree general path for metric data.
+    fn default_for_mode(mode: &str) -> Self {
+        if mode == "lines" {
+            Self::Slim
+        } else {
+            Self::Kd
+        }
+    }
+}
+
 fn parse_cli() -> Result<Cli, String> {
     let mut cli = Cli {
         input: None,
         mode: "csv".to_owned(),
         format: Format::Text,
+        index: None,
         params: Params::default(),
         show_points: false,
         top: 20,
+        stream: false,
+        window: 1024,
+        refit_every: 256,
+        warmup: 0,
+        drift: None,
+        drift_recent: 128,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -74,6 +148,7 @@ fn parse_cli() -> Result<Cli, String> {
                     other => return Err(format!("unknown format: {other} (use text|json)")),
                 }
             }
+            "--index" | "-x" => cli.index = Some(IndexChoice::parse(&need("--index")?)?),
             "--radii" | "-a" => {
                 cli.params.num_radii = need("--radii")?
                     .parse()
@@ -100,17 +175,57 @@ fn parse_cli() -> Result<Cli, String> {
             "--top" | "-t" => {
                 cli.top = need("--top")?.parse().map_err(|e| format!("--top: {e}"))?
             }
+            "--stream" | "-s" => cli.stream = true,
+            "--window" | "-w" => {
+                cli.window = need("--window")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?
+            }
+            "--refit-every" | "-r" => {
+                cli.refit_every = need("--refit-every")?
+                    .parse()
+                    .map_err(|e| format!("--refit-every: {e}"))?
+            }
+            "--warmup" | "-u" => {
+                cli.warmup = need("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?
+            }
+            "--drift" | "-d" => {
+                cli.drift = Some(
+                    need("--drift")?
+                        .parse()
+                        .map_err(|e| format!("--drift: {e}"))?,
+                )
+            }
+            "--drift-recent" => {
+                cli.drift_recent = need("--drift-recent")?
+                    .parse()
+                    .map_err(|e| format!("--drift-recent: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "mccatch: microcluster detection (MCCATCH, ICDE 2024)\n\n\
                      usage: mccatch [--input FILE] [--mode csv|lines] [--format text|json]\n\
+                            [--index brute|kd|vp|slim]\n\
                             [--radii 15] [--slope 0.1] [--max-card N] [--threads N]\n\
-                            [--points] [--top K]\n\n\
+                            [--points] [--top K]\n\
+                            [--stream] [--window N] [--refit-every N] [--warmup N]\n\
+                            [--drift FRAC] [--drift-recent N]\n\n\
                      csv mode:   one point per line, comma/whitespace separated floats\n\
                      lines mode: one string per line, Levenshtein distance\n\n\
+                     --index picks the backend (default: kd for csv, slim for lines;\n\
+                             kd is Euclidean-only so it requires csv mode)\n\
                      --format json emits one machine-readable JSON object\n\
                      --threads 0 (default) uses all cores; results never depend on it\n\
-                     --top 0 prints all microclusters"
+                     --top 0 prints all microclusters\n\n\
+                     --stream scores events line by line against a sliding window of\n\
+                     --window events (default 1024), refitting in the background every\n\
+                     --refit-every events (default 256; 0 = never) or, with --drift F,\n\
+                     when the flagged fraction of the last --drift-recent events\n\
+                     reaches F. --warmup N seeds the initial model with the first N\n\
+                     events (unscored). One scored line per event on stdout (text or\n\
+                     NDJSON); the run summary goes to stderr."
                 );
                 std::process::exit(0);
             }
@@ -133,32 +248,81 @@ fn read_input(input: &Option<String>) -> Result<String, String> {
     }
 }
 
+/// Opens the event source for streaming: the input file, or stdin read
+/// incrementally (events are scored as they arrive, not after EOF).
+fn open_events(input: &Option<String>) -> Result<Box<dyn BufRead>, String> {
+    match input {
+        Some(path) => {
+            let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            Ok(Box::new(BufReader::new(file)))
+        }
+        None => Ok(Box::new(BufReader::new(std::io::stdin()))),
+    }
+}
+
+/// Parses one csv-mode line into a point.
+fn parse_point(line: &str) -> Result<Vec<f64>, String> {
+    line.split(|c: char| c == ',' || c.is_whitespace() || c == ';')
+        .filter(|t| !t.is_empty())
+        .map(|t| t.parse().map_err(|e| format!("{e}")))
+        .collect()
+}
+
+/// Batch csv parsing is a collect over the streaming event iterator, so
+/// both paths share one set of rules and error messages by construction.
 fn parse_csv(text: &str) -> Result<Vec<Vec<f64>>, String> {
-    let mut points: Vec<Vec<f64>> = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
+    csv_events(std::io::Cursor::new(text.as_bytes())).collect()
+}
+
+/// csv-mode event iterator: skips blanks/comments, parses floats, and
+/// enforces a consistent dimensionality (fixed by the first event).
+fn csv_events<R: BufRead>(reader: R) -> impl Iterator<Item = Result<Vec<f64>, String>> {
+    let mut dim: Option<usize> = None;
+    reader
+        .lines()
+        .enumerate()
+        .filter_map(move |(lineno, line)| {
+            let line = match line {
+                Err(e) => return Some(Err(format!("line {}: {e}", lineno + 1))),
+                Ok(l) => l,
+            };
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return None;
+            }
+            let coords = match parse_point(line) {
+                Err(e) => return Some(Err(format!("line {}: {e}", lineno + 1))),
+                Ok(c) => c,
+            };
+            match dim {
+                None => dim = Some(coords.len()),
+                Some(d) if d != coords.len() => {
+                    return Some(Err(format!(
+                        "line {}: expected {} coordinates, found {}",
+                        lineno + 1,
+                        d,
+                        coords.len()
+                    )))
+                }
+                Some(_) => {}
+            }
+            Some(Ok(coords))
+        })
+}
+
+/// lines-mode event iterator: one trimmed, non-comment string per event.
+fn line_events<R: BufRead>(reader: R) -> impl Iterator<Item = Result<String, String>> {
+    reader.lines().enumerate().filter_map(|(lineno, line)| {
+        let line = match line {
+            Err(e) => return Some(Err(format!("line {}: {e}", lineno + 1))),
+            Ok(l) => l,
+        };
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
-            continue;
+            return None;
         }
-        let coords: Result<Vec<f64>, _> = line
-            .split(|c: char| c == ',' || c.is_whitespace() || c == ';')
-            .filter(|t| !t.is_empty())
-            .map(str::parse)
-            .collect();
-        let coords = coords.map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        if let Some(first) = points.first() {
-            if first.len() != coords.len() {
-                return Err(format!(
-                    "line {}: expected {} coordinates, found {}",
-                    lineno + 1,
-                    first.len(),
-                    coords.len()
-                ));
-            }
-        }
-        points.push(coords);
-    }
-    Ok(points)
+        Some(Ok(line.to_owned()))
+    })
 }
 
 /// `--top 0` means "all microclusters".
@@ -174,10 +338,16 @@ fn effective_top(top: usize, available: usize) -> usize {
 /// closed pipe (`mccatch … | head`) ends the program cleanly instead of
 /// panicking (Rust ignores SIGPIPE; `println!` would abort with a
 /// broken-pipe backtrace).
-fn report_text(out: &McCatchOutput, labels: &[String], cli: &Cli) -> std::io::Result<()> {
+fn report_text(
+    out: &McCatchOutput,
+    labels: &[String],
+    cli: &Cli,
+    index: IndexChoice,
+) -> std::io::Result<()> {
     let stdout = std::io::stdout();
     let mut w = stdout.lock();
     writeln!(w, "# points: {}", out.point_scores.len())?;
+    writeln!(w, "# index: {}", index.name())?;
     writeln!(w, "# diameter estimate: {:.6}", out.diameter)?;
     writeln!(w, "# cutoff d: {:.6}", out.cutoff.d)?;
     writeln!(w, "# outliers: {}", out.num_outliers())?;
@@ -248,11 +418,17 @@ fn json_f64(v: f64) -> String {
 
 /// Streams the whole report as one JSON object. Hand-rolled on purpose:
 /// the workspace is dependency-free and the schema is small and stable.
-fn report_json(out: &McCatchOutput, labels: &[String], cli: &Cli) -> std::io::Result<()> {
+fn report_json(
+    out: &McCatchOutput,
+    labels: &[String],
+    cli: &Cli,
+    index: IndexChoice,
+) -> std::io::Result<()> {
     let stdout = std::io::stdout();
     let mut w = stdout.lock();
     writeln!(w, "{{")?;
     writeln!(w, "  \"num_points\": {},", out.point_scores.len())?;
+    writeln!(w, "  \"index\": \"{}\",", index.name())?;
     writeln!(w, "  \"diameter\": {},", json_f64(out.diameter))?;
     writeln!(w, "  \"cutoff\": {},", json_f64(out.cutoff.d))?;
     writeln!(w, "  \"num_outliers\": {},", out.num_outliers())?;
@@ -320,10 +496,15 @@ fn report_json(out: &McCatchOutput, labels: &[String], cli: &Cli) -> std::io::Re
 
 /// A closed downstream pipe is a normal way for readers to stop
 /// consuming; everything else is a real reporting failure.
-fn print_report(out: &McCatchOutput, labels: &[String], cli: &Cli) -> Result<(), String> {
+fn print_report(
+    out: &McCatchOutput,
+    labels: &[String],
+    cli: &Cli,
+    index: IndexChoice,
+) -> Result<(), String> {
     let result = match cli.format {
-        Format::Text => report_text(out, labels, cli),
-        Format::Json => report_json(out, labels, cli),
+        Format::Text => report_text(out, labels, cli, index),
+        Format::Json => report_json(out, labels, cli, index),
     };
     match result {
         Ok(()) => Ok(()),
@@ -332,11 +513,233 @@ fn print_report(out: &McCatchOutput, labels: &[String], cli: &Cli) -> Result<(),
     }
 }
 
+/// One emitted line per streamed event.
+fn format_event(e: &ScoredEvent, format: Format) -> String {
+    match format {
+        Format::Text => format!(
+            "{}\t{}\t{:.4}\t{}\t{}",
+            e.seq, e.tick, e.score, e.generation, e.flagged
+        ),
+        Format::Json => format!(
+            "{{\"seq\": {}, \"tick\": {}, \"score\": {}, \"generation\": {}, \"flagged\": {}}}",
+            e.seq,
+            e.tick,
+            json_f64(e.score),
+            e.generation,
+            e.flagged
+        ),
+    }
+}
+
+/// Drives the streaming subsystem over an event iterator: seed the
+/// first `--warmup` events, then score-and-emit each remaining event.
+/// Generic over the point type and backend, so csv and lines mode share
+/// one implementation across all four `--index` choices.
+fn run_stream<P, M, B>(
+    cli: &Cli,
+    detector: McCatch,
+    metric: M,
+    builder: B,
+    index: IndexChoice,
+    mut events: impl Iterator<Item = Result<P, String>>,
+) -> Result<(), String>
+where
+    P: Clone + Send + Sync + 'static,
+    M: Metric<P> + Clone + 'static,
+    B: mccatch::index::IndexBuilder<P, M> + Clone + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+{
+    let policy = match cli.drift {
+        Some(threshold) => RefitPolicy::Drift {
+            recent: cli.drift_recent,
+            threshold,
+        },
+        None if cli.refit_every == 0 => RefitPolicy::Manual,
+        None => RefitPolicy::EveryN(cli.refit_every),
+    };
+    let config = StreamConfig {
+        capacity: cli.window,
+        policy,
+        ..StreamConfig::default()
+    };
+    let mut seed = Vec::with_capacity(cli.warmup);
+    for ev in events.by_ref().take(cli.warmup) {
+        seed.push(ev?);
+    }
+    let stream =
+        StreamDetector::new(config, detector, metric, builder, seed).map_err(|e| e.to_string())?;
+
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    let mut emit = |line: String| -> Result<bool, String> {
+        match writeln!(w, "{line}") {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(false),
+            Err(e) => Err(format!("stdout: {e}")),
+        }
+    };
+    // A closed pipe anywhere (header included) stops emitting but still
+    // falls through to the stderr run summary below.
+    let mut open = true;
+    if cli.format == Format::Text {
+        open = emit("seq\ttick\tscore\tgeneration\tflagged".to_owned())?;
+    }
+    if open {
+        for ev in events {
+            let event = stream.ingest(ev?);
+            if !emit(format_event(&event, cli.format))? {
+                break;
+            }
+        }
+    }
+    let stats = stream.stats();
+    eprintln!(
+        "# stream summary: index={} events={} scored={} evicted={} window={}/{} \
+         generation={} refits(completed/requested/coalesced/skipped/failed)={}/{}/{}/{}/{} \
+         fit_distance_evals={}",
+        index.name(),
+        stats.events_ingested,
+        stats.events_scored,
+        stats.events_evicted,
+        stats.window_len,
+        stats.window_capacity,
+        stats.generation,
+        stats.refits_completed,
+        stats.refits_requested,
+        stats.refits_coalesced,
+        stats.refits_skipped,
+        stats.refits_failed,
+        stats.fit_distance_evals,
+    );
+    Ok(())
+}
+
+/// Fits a batch model over vector points with the chosen backend.
+fn fit_csv_model(
+    detector: &McCatch,
+    points: Vec<Vec<f64>>,
+    index: IndexChoice,
+) -> Result<Arc<dyn Model<Vec<f64>>>, String> {
+    let fitted = match index {
+        IndexChoice::Brute => detector
+            .fit(points, Euclidean, BruteForceBuilder)
+            .map(|f| f.into_model()),
+        IndexChoice::Kd => detector
+            .fit(points, Euclidean, KdTreeBuilder::default())
+            .map(|f| f.into_model()),
+        IndexChoice::Vp => detector
+            .fit(points, Euclidean, VpTreeBuilder::default())
+            .map(|f| f.into_model()),
+        IndexChoice::Slim => detector
+            .fit(points, Euclidean, SlimTreeBuilder::default())
+            .map(|f| f.into_model()),
+    };
+    fitted.map_err(|e| e.to_string())
+}
+
+/// Fits a batch model over string points with the chosen backend.
+fn fit_lines_model(
+    detector: &McCatch,
+    lines: Vec<String>,
+    index: IndexChoice,
+) -> Result<Arc<dyn Model<String>>, String> {
+    let fitted = match index {
+        IndexChoice::Kd => return Err(kd_needs_csv()),
+        IndexChoice::Brute => detector
+            .fit(lines, Levenshtein, BruteForceBuilder)
+            .map(|f| f.into_model()),
+        IndexChoice::Vp => detector
+            .fit(lines, Levenshtein, VpTreeBuilder::default())
+            .map(|f| f.into_model()),
+        IndexChoice::Slim => detector
+            .fit(lines, Levenshtein, SlimTreeBuilder::default())
+            .map(|f| f.into_model()),
+    };
+    fitted.map_err(|e| e.to_string())
+}
+
+fn kd_needs_csv() -> String {
+    "--index kd is Euclidean-only and requires --mode csv (use brute|vp|slim for lines)".to_owned()
+}
+
 fn run() -> Result<(), String> {
     let cli = parse_cli()?;
     // Validate hyperparameters before reading any data: typed errors from
     // the builder, rendered as ordinary CLI failures.
     let detector = McCatch::new(cli.params.clone()).map_err(|e| e.to_string())?;
+    let index = cli
+        .index
+        .unwrap_or(IndexChoice::default_for_mode(&cli.mode));
+
+    if cli.stream {
+        let reader = open_events(&cli.input)?;
+        return match cli.mode.as_str() {
+            "csv" => {
+                let events = csv_events(reader);
+                match index {
+                    IndexChoice::Brute => {
+                        run_stream(&cli, detector, Euclidean, BruteForceBuilder, index, events)
+                    }
+                    IndexChoice::Kd => run_stream(
+                        &cli,
+                        detector,
+                        Euclidean,
+                        KdTreeBuilder::default(),
+                        index,
+                        events,
+                    ),
+                    IndexChoice::Vp => run_stream(
+                        &cli,
+                        detector,
+                        Euclidean,
+                        VpTreeBuilder::default(),
+                        index,
+                        events,
+                    ),
+                    IndexChoice::Slim => run_stream(
+                        &cli,
+                        detector,
+                        Euclidean,
+                        SlimTreeBuilder::default(),
+                        index,
+                        events,
+                    ),
+                }
+            }
+            "lines" => {
+                let events = line_events(reader);
+                match index {
+                    IndexChoice::Kd => Err(kd_needs_csv()),
+                    IndexChoice::Brute => run_stream(
+                        &cli,
+                        detector,
+                        Levenshtein,
+                        BruteForceBuilder,
+                        index,
+                        events,
+                    ),
+                    IndexChoice::Vp => run_stream(
+                        &cli,
+                        detector,
+                        Levenshtein,
+                        VpTreeBuilder::default(),
+                        index,
+                        events,
+                    ),
+                    IndexChoice::Slim => run_stream(
+                        &cli,
+                        detector,
+                        Levenshtein,
+                        SlimTreeBuilder::default(),
+                        index,
+                        events,
+                    ),
+                }
+            }
+            other => Err(format!("unknown mode: {other} (use csv|lines)")),
+        };
+    }
+
     let text = read_input(&cli.input)?;
     // Each mode fits its own point type; both erase into `Arc<dyn Model>`
     // and feed the same format-aware report functions.
@@ -347,28 +750,20 @@ fn run() -> Result<(), String> {
                 return Err("no data points found".to_owned());
             }
             let labels: Vec<String> = (0..points.len()).map(|i| i.to_string()).collect();
-            let model: Arc<dyn Model<Vec<f64>>> = detector
-                .fit(points, Euclidean, KdTreeBuilder::default())
-                .map_err(|e| e.to_string())?
-                .into_model();
-            print_report(&model.detect_output(), &labels, &cli)
+            let model = fit_csv_model(&detector, points, index)?;
+            print_report(&model.detect_output(), &labels, &cli, index)
         }
         "lines" => {
-            let lines: Vec<String> = text
-                .lines()
-                .map(str::trim)
-                .filter(|l| !l.is_empty() && !l.starts_with('#'))
-                .map(str::to_owned)
-                .collect();
+            // Same iterator as `--stream` lines mode: one set of skip
+            // rules for both paths, by construction.
+            let lines: Vec<String> =
+                line_events(std::io::Cursor::new(text.as_bytes())).collect::<Result<_, _>>()?;
             if lines.is_empty() {
                 return Err("no lines found".to_owned());
             }
             let labels = lines.clone();
-            let model: Arc<dyn Model<String>> = detector
-                .fit(lines, Levenshtein, SlimTreeBuilder::default())
-                .map_err(|e| e.to_string())?
-                .into_model();
-            print_report(&model.detect_output(), &labels, &cli)
+            let model = fit_lines_model(&detector, lines, index)?;
+            print_report(&model.detect_output(), &labels, &cli, index)
         }
         other => Err(format!("unknown mode: {other} (use csv|lines)")),
     }
@@ -411,6 +806,24 @@ mod tests {
     }
 
     #[test]
+    fn csv_events_match_batch_parsing_and_check_dims() {
+        let reader: Box<dyn BufRead> =
+            Box::new(std::io::Cursor::new("1.0, 2.0\n# c\n\n3 4\n5;6;7\n"));
+        let events: Vec<_> = csv_events(reader).collect();
+        assert_eq!(events[0], Ok(vec![1.0, 2.0]));
+        assert_eq!(events[1], Ok(vec![3.0, 4.0]));
+        let err = events[2].as_ref().unwrap_err();
+        assert!(err.contains("expected 2 coordinates"), "{err}");
+    }
+
+    #[test]
+    fn line_events_skip_blanks_and_comments() {
+        let reader: Box<dyn BufRead> = Box::new(std::io::Cursor::new("alice\n# nope\n\n bob \n"));
+        let events: Vec<_> = line_events(reader).collect();
+        assert_eq!(events, vec![Ok("alice".to_owned()), Ok("bob".to_owned())]);
+    }
+
+    #[test]
     fn top_zero_means_all() {
         assert_eq!(effective_top(0, 37), 37);
         assert_eq!(effective_top(5, 37), 5);
@@ -425,6 +838,59 @@ mod tests {
         };
         let err = McCatch::new(bad).unwrap_err().to_string();
         assert!(err.contains("num_radii"), "{err}");
+    }
+
+    #[test]
+    fn index_choice_parses_and_defaults() {
+        assert_eq!(IndexChoice::parse("kd"), Ok(IndexChoice::Kd));
+        assert_eq!(IndexChoice::parse("brute"), Ok(IndexChoice::Brute));
+        assert_eq!(IndexChoice::parse("vp"), Ok(IndexChoice::Vp));
+        assert_eq!(IndexChoice::parse("slim"), Ok(IndexChoice::Slim));
+        assert!(IndexChoice::parse("rtree").is_err());
+        assert_eq!(IndexChoice::default_for_mode("csv"), IndexChoice::Kd);
+        assert_eq!(IndexChoice::default_for_mode("lines"), IndexChoice::Slim);
+    }
+
+    #[test]
+    fn kd_index_is_rejected_for_lines_mode() {
+        let detector = McCatch::builder().build().unwrap();
+        let err = fit_lines_model(&detector, vec!["a".into(), "b".into()], IndexChoice::Kd)
+            .err()
+            .expect("kd must be rejected in lines mode");
+        assert!(err.contains("csv"), "{err}");
+    }
+
+    #[test]
+    fn every_index_choice_fits_vector_data() {
+        let detector = McCatch::builder().build().unwrap();
+        let pts: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
+            .collect();
+        for index in [
+            IndexChoice::Brute,
+            IndexChoice::Kd,
+            IndexChoice::Vp,
+            IndexChoice::Slim,
+        ] {
+            let model = fit_csv_model(&detector, pts.clone(), index).unwrap();
+            assert_eq!(model.stats().num_points, 50, "{index:?}");
+        }
+    }
+
+    #[test]
+    fn format_event_text_and_ndjson() {
+        let e = ScoredEvent {
+            seq: 7,
+            tick: 9,
+            score: 1.25,
+            generation: 2,
+            flagged: true,
+        };
+        assert_eq!(format_event(&e, Format::Text), "7\t9\t1.2500\t2\ttrue");
+        assert_eq!(
+            format_event(&e, Format::Json),
+            "{\"seq\": 7, \"tick\": 9, \"score\": 1.25, \"generation\": 2, \"flagged\": true}"
+        );
     }
 
     #[test]

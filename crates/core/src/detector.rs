@@ -440,6 +440,41 @@ where
         out
     }
 
+    /// Scores a single query against the fitted reference set without
+    /// allocating a one-element batch — the per-event serving path used
+    /// by streaming callers. Bit-identical to
+    /// `score_points(&[query])[0]`: same inlier tree, same grid
+    /// quantization, same `⟨1 + g/r₁⟩` code length.
+    pub fn score_one(&self, query: &P) -> f64 {
+        if self.is_degenerate() {
+            return 0.0;
+        }
+        let radii = self.grid.radii();
+        let reference: &dyn RangeIndex<P> = match self.inlier_tree() {
+            None => &self.tree,
+            Some(t) => t,
+        };
+        score_query(reference, radii, radii[0], query)
+    }
+
+    /// The serving-path score at the fitted MDL cutoff distance `d`:
+    /// queries scoring **strictly above** this value lie farther than
+    /// `d` from every reference inlier — they would have been flagged
+    /// outliers had they been in the reference set. Infinite for
+    /// degenerate fits or when no cut exists (nothing is flagged then).
+    /// Streaming drift triggers compare per-event scores against it.
+    pub fn score_cutoff(&self) -> f64 {
+        if self.is_degenerate() {
+            return f64::INFINITY;
+        }
+        let d = self.cutoff().d;
+        if !d.is_finite() {
+            return f64::INFINITY;
+        }
+        let radii = self.grid.radii();
+        universal_code_length_f64(1.0 + quantize_down(d, radii) / radii[0])
+    }
+
     /// The `k` highest-ranked (most strange) microclusters; `k = 0` means
     /// all of them. Runs the spot/gel/score stages on first use (cached).
     pub fn top_k(&self, k: usize) -> Vec<Microcluster> {
@@ -645,6 +680,14 @@ where
         self.score_points(queries)
     }
 
+    fn score_one(&self, point: &P) -> f64 {
+        Fitted::score_one(self, point)
+    }
+
+    fn score_cutoff(&self) -> f64 {
+        Fitted::score_cutoff(self)
+    }
+
     fn top_k(&self, k: usize) -> Vec<Microcluster> {
         Fitted::top_k(self, k)
     }
@@ -667,8 +710,9 @@ fn score_query<P>(reference: &dyn RangeIndex<P>, radii: &[f64], r1: f64, q: &P) 
 /// Quantizes an exact nearest-inlier distance down to the radius grid the
 /// way Alg. 4 lines 1–12 do for in-run outliers: the largest grid radius
 /// at which the inlier neighborhood is still empty (`r_0 = 0`; capped at
-/// `r_a` when even the largest radius finds no inlier).
-fn quantize_down(exact: f64, radii: &[f64]) -> f64 {
+/// `r_a` when even the largest radius finds no inlier). Shared with the
+/// default `Model::score_cutoff` impl in [`crate::model`].
+pub(crate) fn quantize_down(exact: f64, radii: &[f64]) -> f64 {
     let a = radii.len();
     for (k, &r) in radii.iter().enumerate() {
         if r >= exact {
@@ -824,6 +868,102 @@ mod tests {
         assert!(out.is_outlier(6));
         let scores = fitted.score_points(&["smyths".to_string(), "zzzzzzzzzzzz".to_string()]);
         assert!(scores[1] > scores[0], "{scores:?}");
+    }
+
+    #[test]
+    fn score_one_matches_score_points() {
+        let pts = blob_with_strays();
+        let det = McCatch::builder().build().unwrap();
+        let fitted = det.fit(pts, Euclidean, SlimTreeBuilder::default()).unwrap();
+        let queries = vec![
+            vec![0.55, 0.55],
+            vec![-40.0, -40.0],
+            vec![30.05, 30.0],
+            vec![0.0, 0.0],
+        ];
+        let batch = fitted.score_points(&queries);
+        for (q, &expected) in queries.iter().zip(&batch) {
+            assert_eq!(fitted.score_one(q), expected, "query {q:?}");
+        }
+        // Degenerate fits score 0 without panicking.
+        let degenerate = det
+            .fit(
+                Vec::<Vec<f64>>::new(),
+                Euclidean,
+                SlimTreeBuilder::default(),
+            )
+            .unwrap();
+        assert_eq!(degenerate.score_one(&vec![1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn score_cutoff_separates_outlier_queries() {
+        let pts = blob_with_strays();
+        let det = McCatch::builder().build().unwrap();
+        let fitted = det
+            .fit(pts.clone(), Euclidean, SlimTreeBuilder::default())
+            .unwrap();
+        let out = fitted.detect();
+        let threshold = fitted.score_cutoff();
+        assert!(threshold.is_finite());
+        // Every in-run outlier sits beyond the cutoff distance from its
+        // nearest inlier, so its serving score exceeds the threshold…
+        for &i in &out.outliers {
+            assert!(
+                fitted.score_one(&pts[i as usize]) > threshold,
+                "outlier {i}"
+            );
+        }
+        // …while reference inliers score 0, well below it.
+        let inlier = (0..pts.len() as u32)
+            .find(|i| !out.outliers.contains(i))
+            .unwrap();
+        assert!(fitted.score_one(&pts[inlier as usize]) <= threshold);
+
+        // Degenerate fits flag nothing.
+        let degenerate = det
+            .fit(vec![vec![1.0]; 10], Euclidean, SlimTreeBuilder::default())
+            .unwrap();
+        assert_eq!(degenerate.score_cutoff(), f64::INFINITY);
+    }
+
+    #[test]
+    fn erased_score_one_and_cutoff_match_fitted() {
+        // The trait's default impls (one-element batch; grid
+        // reconstruction from stats) must agree bit for bit with the
+        // overridden fast paths.
+        let pts = blob_with_strays();
+        let det = McCatch::builder().build().unwrap();
+        let fitted = det
+            .fit(pts.clone(), Euclidean, SlimTreeBuilder::default())
+            .unwrap();
+        let expected_cutoff = fitted.score_cutoff();
+        let q = vec![30.05, 30.0];
+        let expected_score = fitted.score_one(&q);
+        let model = fitted.into_model();
+        assert_eq!(model.score_one(&q), expected_score);
+        assert_eq!(model.score_cutoff(), expected_cutoff);
+        // Default-impl path: a minimal Model that only forwards the four
+        // required methods, so score_one/score_cutoff fall back to the
+        // provided defaults.
+        struct Minimal(Arc<dyn Model<Vec<f64>>>);
+        impl Model<Vec<f64>> for Minimal {
+            fn detect_output(&self) -> McCatchOutput {
+                self.0.detect_output()
+            }
+            fn score_batch(&self, queries: &[Vec<f64>]) -> Vec<f64> {
+                self.0.score_batch(queries)
+            }
+            fn top_k(&self, k: usize) -> Vec<Microcluster> {
+                self.0.top_k(k)
+            }
+            fn stats(&self) -> ModelStats {
+                self.0.stats()
+            }
+        }
+        let minimal = Minimal(model);
+        assert_eq!(minimal.score_one(&q), expected_score);
+        assert_eq!(minimal.score_cutoff(), expected_cutoff);
     }
 
     #[test]

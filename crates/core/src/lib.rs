@@ -84,6 +84,7 @@ pub mod pipeline;
 pub mod plateau;
 pub mod result;
 pub mod score;
+pub mod serve;
 pub mod unionfind;
 
 pub use cutoff::{compression_cost, compute_cutoff, Cutoff};
@@ -96,3 +97,4 @@ pub use params::{Params, RadiusGrid, Resolved};
 pub use pipeline::mccatch;
 pub use result::{McCatchOutput, Microcluster, RunStats};
 pub use score::def7_score;
+pub use serve::ModelStore;

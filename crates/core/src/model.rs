@@ -38,7 +38,9 @@
 //! # Ok::<(), mccatch_core::McCatchError>(())
 //! ```
 
+use crate::params::RadiusGrid;
 use crate::result::{McCatchOutput, Microcluster};
+use mccatch_metric::universal_code_length_f64;
 
 /// An object-safe, thread-safe view of a fitted MCCATCH detector.
 ///
@@ -79,6 +81,42 @@ pub trait Model<P>: Send + Sync {
     /// scored in parallel chunks using the fit's resolved thread count;
     /// results are bit-identical regardless of threading.
     fn score_batch(&self, queries: &[P]) -> Vec<f64>;
+
+    /// Scores a single query against the fitted reference set — the
+    /// per-event serving path. Semantically identical to a one-element
+    /// [`score_batch`](Self::score_batch); implementors should override
+    /// it to skip the batch allocation (the [`crate::Fitted`] impl
+    /// answers straight from the inlier tree), which matters when a
+    /// streaming caller scores millions of individual events.
+    fn score_one(&self, point: &P) -> f64 {
+        self.score_batch(std::slice::from_ref(point))[0]
+    }
+
+    /// The serving-path score corresponding to the fitted MDL cutoff
+    /// distance `d`: queries whose [`score_one`](Self::score_one) is
+    /// **strictly above** this value sit farther than `d` from every
+    /// reference inlier, i.e. they would have been flagged outliers had
+    /// they been part of the reference set. Infinite when the fit is
+    /// degenerate or no cut exists (then nothing is flagged).
+    ///
+    /// The default derives the value from [`stats`](Self::stats) by
+    /// reconstructing the radius grid from the diameter and radius
+    /// count; [`crate::Fitted`] overrides it with the fitted grid (the
+    /// two agree bit for bit, since the grid is a pure function of
+    /// those two numbers).
+    fn score_cutoff(&self) -> f64 {
+        let stats = self.stats();
+        // `num_radii < 2` also guards RadiusGrid::new's `a >= 2`
+        // contract against nonsensical third-party stats: invalid input
+        // stays a value, never a panic.
+        if stats.degenerate || !stats.cutoff_d.is_finite() || stats.num_radii < 2 {
+            return f64::INFINITY;
+        }
+        let grid = RadiusGrid::new(stats.diameter, stats.num_radii);
+        let radii = grid.radii();
+        let g = crate::detector::quantize_down(stats.cutoff_d, radii);
+        universal_code_length_f64(1.0 + g / radii[0])
+    }
 
     /// The `k` highest-ranked (most strange) microclusters; `k = 0` means
     /// all of them.

@@ -13,17 +13,20 @@
 //! * **Readers** call [`ModelStore::snapshot`] (or the scoring
 //!   conveniences) and get an `Arc<dyn Model<P>>` — a consistent model
 //!   that stays alive for as long as they hold it, even if a swap happens
-//!   mid-request.
+//!   mid-request. Readers that tag their answers with the model version
+//!   (e.g. the `mccatch-stream` per-event scorer) use
+//!   [`ModelStore::snapshot_tagged`], which pairs the model with its
+//!   generation atomically.
 //! * **The refit job** fits a new model on fresh data and calls
 //!   [`ModelStore::swap`]; subsequent snapshots see the new model, old
 //!   snapshots drain naturally, and the old model is freed when the last
 //!   reader drops it.
 //!
 //! ```
-//! use mccatch::index::KdTreeBuilder;
-//! use mccatch::metrics::Euclidean;
-//! use mccatch::serve::ModelStore;
-//! use mccatch::McCatch;
+//! use mccatch_core::serve::ModelStore;
+//! use mccatch_core::McCatch;
+//! use mccatch_index::KdTreeBuilder;
+//! use mccatch_metric::Euclidean;
 //!
 //! let detector = McCatch::builder().build()?;
 //! let day1: Vec<Vec<f64>> = (0..100)
@@ -52,10 +55,10 @@
 //! assert_eq!(store.generation(), 1);
 //! let scores = store.score_batch(&[vec![504.0, 4.0]]);
 //! assert_eq!(scores[0], 0.0); // an inlier of the *new* reference set
-//! # Ok::<(), mccatch::McCatchError>(())
+//! # Ok::<(), mccatch_core::McCatchError>(())
 //! ```
 
-use mccatch_core::Model;
+use crate::model::Model;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -70,10 +73,10 @@ use std::sync::{Arc, RwLock};
 /// The snapshot/swap-on-refit cycle, end to end:
 ///
 /// ```
-/// use mccatch::index::KdTreeBuilder;
-/// use mccatch::metrics::Euclidean;
-/// use mccatch::serve::ModelStore;
-/// use mccatch::McCatch;
+/// use mccatch_core::serve::ModelStore;
+/// use mccatch_core::McCatch;
+/// use mccatch_index::KdTreeBuilder;
+/// use mccatch_metric::Euclidean;
 ///
 /// let detector = McCatch::builder().build()?;
 /// let fit = |shift: f64| {
@@ -101,7 +104,7 @@ use std::sync::{Arc, RwLock};
 /// // see the new reference set.
 /// assert_eq!(snapshot.score_batch(&[vec![4.5, 4.5]])[0], before);
 /// assert!(store.score_batch(&[vec![4.5, 4.5]])[0] > before);
-/// # Ok::<(), mccatch::McCatchError>(())
+/// # Ok::<(), mccatch_core::McCatchError>(())
 /// ```
 pub struct ModelStore<P> {
     current: RwLock<Arc<dyn Model<P>>>,
@@ -121,6 +124,20 @@ impl<P> ModelStore<P> {
     /// model alive) across any number of later swaps.
     pub fn snapshot(&self) -> Arc<dyn Model<P>> {
         Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// The current model paired with its generation, read atomically:
+    /// the returned generation is exactly the number of swaps that
+    /// produced the returned model. Use this when answers are tagged
+    /// with the model version (e.g. per-event streaming scores), where
+    /// a separate [`snapshot`](Self::snapshot) +
+    /// [`generation`](Self::generation) pair could straddle a
+    /// concurrent [`swap`](Self::swap) and mislabel the model.
+    pub fn snapshot_tagged(&self) -> (Arc<dyn Model<P>>, u64) {
+        let slot = self.current.read().unwrap_or_else(|e| e.into_inner());
+        // `swap` bumps the generation while holding the write lock, so
+        // reading it under the read lock pairs it with the model.
+        (Arc::clone(&slot), self.generation.load(Ordering::Acquire))
     }
 
     /// Replaces the served model, returning the previous one (so the
@@ -146,6 +163,13 @@ impl<P> ModelStore<P> {
     /// large batches that must be scored against a single model version.
     pub fn score_batch(&self, queries: &[P]) -> Vec<f64> {
         self.snapshot().score_batch(queries)
+    }
+
+    /// Scores a single query against the current model without
+    /// allocating a one-element batch — the per-event serving path (see
+    /// [`Model::score_one`]).
+    pub fn score_one(&self, query: &P) -> f64 {
+        self.snapshot().score_one(query)
     }
 
     /// Scores a long, interruptible batch in chunks of `chunk_size`
@@ -177,9 +201,9 @@ impl<P> std::fmt::Debug for ModelStore<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::index::SlimTreeBuilder;
-    use crate::metrics::Euclidean;
     use crate::McCatch;
+    use mccatch_index::SlimTreeBuilder;
+    use mccatch_metric::Euclidean;
 
     fn model_over(shift: f64) -> Arc<dyn Model<Vec<f64>>> {
         let pts: Vec<Vec<f64>> = (0..100)
@@ -205,6 +229,30 @@ mod tests {
         // The store now answers from the new model.
         assert!(store.score_batch(&q)[0] > score_before);
         assert_eq!(store.generation(), 1);
+    }
+
+    #[test]
+    fn snapshot_tagged_pairs_model_with_generation() {
+        let store = ModelStore::new(model_over(0.0));
+        let (m0, g0) = store.snapshot_tagged();
+        assert_eq!(g0, 0);
+        store.swap(model_over(500.0));
+        let (m1, g1) = store.snapshot_tagged();
+        assert_eq!(g1, 1);
+        // The tagged pairs answer from their own model versions.
+        let q = vec![4.5, 4.5];
+        assert!(m1.score_one(&q) > m0.score_one(&q));
+    }
+
+    #[test]
+    fn score_one_matches_score_batch() {
+        let store = ModelStore::new(model_over(0.0));
+        for q in [vec![4.5, 4.5], vec![2000.0, -3.0], vec![0.0, 0.0]] {
+            assert_eq!(
+                store.score_one(&q),
+                store.score_batch(std::slice::from_ref(&q))[0]
+            );
+        }
     }
 
     #[test]

@@ -141,7 +141,17 @@
 //! generators), [`eval`] (AUROC & friends), and [`baselines`] (the 11
 //! competitors from the paper's evaluation).
 
-pub mod serve;
+/// Serving utilities: the atomic snapshot/swap [`serve::ModelStore`].
+/// Lives in `mccatch-core` (so the streaming crate can build on it);
+/// re-exported here under its long-standing `mccatch::serve` path.
+pub use mccatch_core::serve;
+
+/// The streaming subsystem: [`stream::StreamDetector`] maintains a
+/// sliding window over recent events, scores each arriving event
+/// immediately against the current model snapshot, and refits in the
+/// background (every-N, drift-triggered, or on explicit request),
+/// swapping models atomically via [`serve::ModelStore`].
+pub use mccatch_stream as stream;
 
 /// Compiles and runs the code snippets in the repo-level
 /// `ARCHITECTURE.md` as doctests, so the architecture documentation
@@ -149,6 +159,13 @@ pub mod serve;
 #[doc = include_str!("../../../ARCHITECTURE.md")]
 #[cfg(doctest)]
 pub struct ArchitectureDoctests;
+
+/// Compiles and runs the code snippets in the repo-level `README.md` as
+/// doctests — the README's quickstarts must keep building against the
+/// real API. Not part of the public API.
+#[doc = include_str!("../../../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
 
 pub use mccatch_core::{
     Cutoff, Fitted, McCatch, McCatchBuilder, McCatchError, McCatchOutput, Microcluster, Model,

@@ -1,0 +1,201 @@
+//! Configuration of the streaming detector: window shape and refit
+//! scheduling.
+
+use crate::error::StreamError;
+
+/// When the background worker rebuilds the model on the current window.
+///
+/// Whatever the policy, an explicit
+/// [`request_refit`](crate::StreamDetector::request_refit) (asynchronous)
+/// or [`refit_now`](crate::StreamDetector::refit_now) (synchronous) is
+/// always available — `Manual` simply means *only* those.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RefitPolicy {
+    /// Never refit automatically; only on explicit request.
+    Manual,
+    /// Request a refit after every `n` ingested events (`n >= 1`).
+    EveryN(u64),
+    /// Request a refit when, among the last `recent` scored events, the
+    /// fraction scoring above the serving model's
+    /// [`score_cutoff`](mccatch_core::Model::score_cutoff) reaches
+    /// `threshold` — the signal that the reference set no longer
+    /// describes the traffic (concept drift). The tracker needs `recent`
+    /// events of history before it can fire and is reset after each
+    /// trigger, so refit requests are at least `recent` events apart.
+    ///
+    /// A model whose cutoff is infinite (degenerate cold start, or no
+    /// MDL cut in the reference set) cannot discriminate at all; every
+    /// event counts as drift against it, so a cold-started Drift stream
+    /// earns its first refit after `recent` events instead of scoring
+    /// zero forever.
+    Drift {
+        /// How many of the most recent events vote (`>= 1`).
+        recent: usize,
+        /// Flagged fraction in `(0, 1]` that triggers the refit.
+        threshold: f64,
+    },
+}
+
+impl Default for RefitPolicy {
+    /// Refit every 256 events — a conservative cadence that keeps the
+    /// model fresh without dominating throughput for typical windows.
+    fn default() -> Self {
+        Self::EveryN(256)
+    }
+}
+
+/// Configuration of a [`StreamDetector`](crate::StreamDetector): the
+/// sliding window's shape and the refit schedule.
+///
+/// ```
+/// use mccatch_stream::{RefitPolicy, StreamConfig};
+///
+/// let config = StreamConfig {
+///     capacity: 4096,
+///     max_age_ticks: Some(60_000), // drop events older than a minute
+///     policy: RefitPolicy::Drift { recent: 512, threshold: 0.2 },
+///     ..StreamConfig::default()
+/// };
+/// assert!(config.validate().is_ok());
+/// assert!(StreamConfig { capacity: 0, ..StreamConfig::default() }
+///     .validate()
+///     .is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Maximum number of events the sliding window retains (count-based
+    /// eviction; must be `>= 1`). Ingesting into a full window evicts
+    /// the oldest event.
+    pub capacity: usize,
+    /// Optional age horizon in ticks: after ingesting an event at tick
+    /// `t`, events with tick `< t - max_age_ticks` are evicted even if
+    /// the window has room. Ticks are logical time — [`ingest`] assigns
+    /// the event sequence number, [`ingest_at`] accepts caller-supplied
+    /// (non-decreasing) ticks such as epoch millis.
+    ///
+    /// [`ingest`]: crate::StreamDetector::ingest
+    /// [`ingest_at`]: crate::StreamDetector::ingest_at
+    pub max_age_ticks: Option<u64>,
+    /// When the background worker refits on the current window.
+    pub policy: RefitPolicy,
+    /// Windows smaller than this are not refit by the background worker
+    /// (the request is counted as skipped and the current model stays).
+    /// Explicit [`refit_now`](crate::StreamDetector::refit_now) ignores
+    /// this and fits whatever the window holds, down to an empty
+    /// (degenerate) model.
+    pub min_refit_points: usize,
+    /// Bounded capacity of the refit command queue between ingest and
+    /// the worker (`>= 1`). Requests arriving while the queue is full
+    /// are *coalesced* — the pending refit will already see their
+    /// events — not queued up; the default of 1 therefore means "at
+    /// most one refit pending at any time".
+    pub refit_queue: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 1024,
+            max_age_ticks: None,
+            policy: RefitPolicy::default(),
+            min_refit_points: 2,
+            refit_queue: 1,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Checks every knob, returning the first violation as a typed
+    /// [`StreamError`]. Called by
+    /// [`StreamDetector::new`](crate::StreamDetector::new), so an
+    /// invalid configuration can never start a worker.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        if self.capacity == 0 {
+            return Err(StreamError::InvalidCapacity { got: 0 });
+        }
+        if self.refit_queue == 0 {
+            return Err(StreamError::InvalidRefitQueue { got: 0 });
+        }
+        match self.policy {
+            RefitPolicy::Manual => {}
+            RefitPolicy::EveryN(n) => {
+                if n == 0 {
+                    return Err(StreamError::InvalidRefitEvery);
+                }
+            }
+            RefitPolicy::Drift { recent, threshold } => {
+                if recent == 0 {
+                    return Err(StreamError::InvalidDriftRecent { got: recent });
+                }
+                if !(threshold > 0.0 && threshold <= 1.0) {
+                    return Err(StreamError::InvalidDriftThreshold { got: threshold });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(StreamConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn each_knob_is_checked() {
+        let base = StreamConfig::default();
+        assert_eq!(
+            StreamConfig {
+                capacity: 0,
+                ..base.clone()
+            }
+            .validate(),
+            Err(StreamError::InvalidCapacity { got: 0 })
+        );
+        assert_eq!(
+            StreamConfig {
+                refit_queue: 0,
+                ..base.clone()
+            }
+            .validate(),
+            Err(StreamError::InvalidRefitQueue { got: 0 })
+        );
+        assert_eq!(
+            StreamConfig {
+                policy: RefitPolicy::EveryN(0),
+                ..base.clone()
+            }
+            .validate(),
+            Err(StreamError::InvalidRefitEvery)
+        );
+        assert_eq!(
+            StreamConfig {
+                policy: RefitPolicy::Drift {
+                    recent: 0,
+                    threshold: 0.5
+                },
+                ..base.clone()
+            }
+            .validate(),
+            Err(StreamError::InvalidDriftRecent { got: 0 })
+        );
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            assert!(
+                StreamConfig {
+                    policy: RefitPolicy::Drift {
+                        recent: 8,
+                        threshold: bad
+                    },
+                    ..base.clone()
+                }
+                .validate()
+                .is_err(),
+                "threshold {bad}"
+            );
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Typed errors of the streaming subsystem.
+
+use mccatch_core::McCatchError;
+
+/// Everything that can go wrong configuring or driving a
+/// [`StreamDetector`](crate::StreamDetector). Mirrors the core crate's
+/// convention: invalid input is a value, never a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// The sliding window must hold at least one event.
+    InvalidCapacity {
+        /// The rejected capacity.
+        got: usize,
+    },
+    /// `RefitPolicy::EveryN` needs a positive event count.
+    InvalidRefitEvery,
+    /// `RefitPolicy::Drift` needs a positive recent-event window.
+    InvalidDriftRecent {
+        /// The rejected recent-window length.
+        got: usize,
+    },
+    /// `RefitPolicy::Drift` needs a threshold in `(0, 1]`.
+    InvalidDriftThreshold {
+        /// The rejected flagged-fraction threshold.
+        got: f64,
+    },
+    /// The refit command queue must hold at least one pending request.
+    InvalidRefitQueue {
+        /// The rejected queue capacity.
+        got: usize,
+    },
+    /// `ingest_at` was given a tick smaller than an already-ingested one;
+    /// event time must be non-decreasing for age-based eviction to be
+    /// well defined.
+    NonMonotonicTick {
+        /// The newest tick already in the window.
+        last: u64,
+        /// The rejected, smaller tick.
+        got: u64,
+    },
+    /// A refit failed inside `McCatch::fit` (e.g. unresolvable
+    /// hyperparameters); the previously served model stays in place.
+    Fit(McCatchError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidCapacity { got } => {
+                write!(f, "window capacity must be >= 1, got {got}")
+            }
+            Self::InvalidRefitEvery => {
+                write!(f, "RefitPolicy::EveryN needs a positive event count")
+            }
+            Self::InvalidDriftRecent { got } => {
+                write!(
+                    f,
+                    "RefitPolicy::Drift recent window must be >= 1, got {got}"
+                )
+            }
+            Self::InvalidDriftThreshold { got } => {
+                write!(
+                    f,
+                    "RefitPolicy::Drift threshold must be in (0, 1], got {got}"
+                )
+            }
+            Self::InvalidRefitQueue { got } => {
+                write!(f, "refit queue capacity must be >= 1, got {got}")
+            }
+            Self::NonMonotonicTick { last, got } => {
+                write!(
+                    f,
+                    "event ticks must be non-decreasing: got {got} after {last}"
+                )
+            }
+            Self::Fit(e) => write!(f, "refit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Fit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<McCatchError> for StreamError {
+    fn from(e: McCatchError) -> Self {
+        Self::Fit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msgs = [
+            StreamError::InvalidCapacity { got: 0 }.to_string(),
+            StreamError::NonMonotonicTick { last: 7, got: 3 }.to_string(),
+            StreamError::InvalidDriftThreshold { got: 1.5 }.to_string(),
+        ];
+        assert!(msgs[0].contains("capacity"));
+        assert!(msgs[1].contains('7') && msgs[1].contains('3'));
+        assert!(msgs[2].contains("1.5"));
+    }
+}

@@ -1,0 +1,82 @@
+//! # mccatch-stream — sliding-window streaming microcluster detection
+//!
+//! MCCATCH's staged design (fit the expensive tree/diameter/radius-grid
+//! stages of Alg. 1 once, then score new points cheaply against the
+//! fitted model) is exactly the shape a continuously-operating anomaly
+//! service needs. This crate adds the piece that drives it over an
+//! evolving stream: a [`StreamDetector`] that
+//!
+//! * maintains a **sliding window** of the most recent events —
+//!   count-based eviction (a bounded ring) plus optional logical-time
+//!   eviction ([`StreamConfig::max_age_ticks`]);
+//! * **scores every arriving event immediately** against the current
+//!   model snapshot, without locks on the hot path, tagging each
+//!   [`ScoredEvent`] with the model generation it was scored by
+//!   (prequential, test-then-train);
+//! * runs a **background refit worker** that rebuilds the model on the
+//!   current window with the ordinary batch `McCatch::fit`, warms it,
+//!   and swaps it in atomically via `mccatch_core::serve::ModelStore` —
+//!   readers never block, old snapshots drain naturally;
+//! * schedules refits by a [`RefitPolicy`]: every `N` events, explicit
+//!   request only, or a **drift trigger** that fires when too large a
+//!   fraction of recent events score beyond the fitted MDL cutoff;
+//! * exposes the whole machine through [`StreamStats`] — ingest and
+//!   eviction volume, refit pipeline counters, queue depth, and the
+//!   deterministic distance-evaluation cost of every fit.
+//!
+//! Because refits *are* batch fits on the window contents, a paused
+//! stream is bit-for-bit a batch run: refit, and the served model equals
+//! a fresh `McCatch::fit` on [`StreamDetector::window_points`] —
+//! property-tested across index backends.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mccatch_core::McCatch;
+//! use mccatch_index::KdTreeBuilder;
+//! use mccatch_metric::Euclidean;
+//! use mccatch_stream::{RefitPolicy, StreamConfig, StreamDetector};
+//!
+//! // Seed the window with reference traffic (one known isolate keeps
+//! // the MDL cutoff finite, so flagging is active from generation 0).
+//! let mut seed: Vec<Vec<f64>> = (0..100)
+//!     .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
+//!     .collect();
+//! seed.push(vec![500.0, 500.0]);
+//!
+//! let stream = StreamDetector::new(
+//!     StreamConfig {
+//!         capacity: 512,
+//!         policy: RefitPolicy::EveryN(128),
+//!         ..StreamConfig::default()
+//!     },
+//!     McCatch::builder().build()?,
+//!     Euclidean,
+//!     KdTreeBuilder::default(),
+//!     seed,
+//! )?;
+//!
+//! // Score each event as it arrives; refits happen in the background.
+//! let ok = stream.ingest(vec![4.0, 4.0]);
+//! let bad = stream.ingest(vec![900.0, 900.0]);
+//! assert!(bad.score > ok.score);
+//! assert!(bad.flagged && !ok.flagged);
+//! assert_eq!(stream.stats().events_scored, 2);
+//! # Ok::<(), mccatch_stream::StreamError>(())
+//! ```
+//!
+//! The `mccatch` facade re-exports this crate as `mccatch::stream`, and
+//! the CLI's `--stream` mode wraps it for line-delimited stdin events.
+
+#![deny(missing_docs)]
+
+mod config;
+mod detector;
+mod error;
+mod stats;
+mod window;
+
+pub use config::{RefitPolicy, StreamConfig};
+pub use detector::{ScoredEvent, StreamDetector};
+pub use error::StreamError;
+pub use stats::StreamStats;

@@ -1,0 +1,56 @@
+//! Observability: a consistent snapshot of the streaming subsystem's
+//! counters.
+
+use mccatch_core::ModelStats;
+
+/// A point-in-time summary of a
+/// [`StreamDetector`](crate::StreamDetector), as returned by
+/// [`stats`](crate::StreamDetector::stats) — everything a health
+/// endpoint or log line needs: ingest volume, window occupancy, the
+/// refit pipeline's throughput, and the currently served model.
+///
+/// Counter semantics: `refits_requested` counts every trigger (policy
+/// or explicit); of those, `refits_coalesced` found a refit already
+/// pending and merged into it; the rest were enqueued, and each
+/// enqueued request ends up exactly one of completed, skipped (window
+/// below `min_refit_points`), or failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    /// Events accepted into the window so far (seed points included).
+    pub events_ingested: u64,
+    /// Events scored so far (seed points are not scored).
+    pub events_scored: u64,
+    /// Events evicted from the window (by capacity or age).
+    pub events_evicted: u64,
+    /// Current number of events in the sliding window.
+    pub window_len: usize,
+    /// The window's configured capacity.
+    pub window_capacity: usize,
+    /// Generation of the currently served model: 0 for the initial fit,
+    /// +1 per completed refit (monotone; event scores carry the
+    /// generation they were computed against).
+    pub generation: u64,
+    /// Refits triggered so far — by policy, drift, or explicit request.
+    pub refits_requested: u64,
+    /// Requests that found a refit already pending and merged into it.
+    pub refits_coalesced: u64,
+    /// Refits the worker (or `refit_now`) actually completed.
+    pub refits_completed: u64,
+    /// Worker refits skipped because the window held fewer than
+    /// `min_refit_points` events.
+    pub refits_skipped: u64,
+    /// Refits that failed inside `McCatch::fit`, plus requests dropped
+    /// because the worker was gone (a prior fit panicked); the previous
+    /// model stayed in place either way.
+    pub refits_failed: u64,
+    /// Refit requests currently waiting in the bounded command queue.
+    pub refit_queue_depth: usize,
+    /// Distance evaluations spent across **all** completed fits so far
+    /// (initial fit included) — the cumulative modeling cost, via each
+    /// fit's `ModelStats::distance_evals` (deterministic, see the index
+    /// crate's `DistanceStats`). Serving-path queries are not included.
+    pub fit_distance_evals: u64,
+    /// Summary of the currently served model (its own
+    /// `distance_evals` covers just that fit).
+    pub model: ModelStats,
+}

@@ -1,0 +1,226 @@
+//! The sliding window: a bounded, tick-aware ring of the most recent
+//! events, in arrival order.
+
+use std::collections::VecDeque;
+
+/// A bounded buffer of `(tick, point)` events, oldest first. Eviction is
+/// count-based (capacity) and, optionally, age-based (a tick horizon
+/// relative to the newest event). Not thread-safe on its own — the
+/// [`StreamDetector`](crate::StreamDetector) guards it with a mutex and
+/// keeps lock hold times to pushes and clones.
+#[derive(Debug)]
+pub(crate) struct Window<P> {
+    events: VecDeque<(u64, P)>,
+    capacity: usize,
+    max_age: Option<u64>,
+    evicted: u64,
+    last_tick: Option<u64>,
+    /// Number of retained events still carrying fabricated (sequence-
+    /// number) ticks from seeding, before any caller-supplied tick has
+    /// established the stream's real time base. See
+    /// [`adopt_time_base`](Self::adopt_time_base).
+    fabricated: usize,
+}
+
+impl<P> Window<P> {
+    pub(crate) fn new(capacity: usize, max_age: Option<u64>) -> Self {
+        debug_assert!(capacity >= 1);
+        Self {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            max_age,
+            evicted: 0,
+            last_tick: None,
+            fabricated: 0,
+        }
+    }
+
+    /// Marks every currently retained event as carrying a fabricated
+    /// seed tick. Called once after seeding, before any real ingest.
+    pub(crate) fn mark_seeded(&mut self) {
+        self.fabricated = self.events.len();
+    }
+
+    /// Establishes the stream's time base on the first caller-supplied
+    /// tick: if **every** retained event still carries a fabricated
+    /// seed tick, re-stamp them all to `tick`, so seeds behave as "at
+    /// stream start" in the caller's own units — a seed stamped
+    /// `0..n-1` would otherwise be mass-evicted by an epoch-millis
+    /// tick's age horizon, or make a small-unit tick look
+    /// non-monotone. A no-op (beyond clearing the flag) once any real
+    /// event is in the window.
+    pub(crate) fn adopt_time_base(&mut self, tick: u64) {
+        if self.fabricated > 0 && self.fabricated == self.events.len() {
+            for e in &mut self.events {
+                e.0 = tick;
+            }
+            self.last_tick = Some(tick);
+        }
+        self.fabricated = 0;
+    }
+
+    /// Number of retained events.
+    pub(crate) fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Total events evicted (by capacity or age) since creation.
+    pub(crate) fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The newest tick, if any event was ever pushed.
+    pub(crate) fn last_tick(&self) -> Option<u64> {
+        self.last_tick
+    }
+
+    /// Appends an event and applies both eviction rules. The caller must
+    /// have validated that `tick` is non-decreasing.
+    pub(crate) fn push(&mut self, tick: u64, point: P) {
+        debug_assert!(self.last_tick.is_none_or(|t| tick >= t));
+        self.last_tick = Some(tick);
+        self.events.push_back((tick, point));
+        while self.events.len() > self.capacity {
+            self.pop_oldest();
+        }
+        if let Some(max_age) = self.max_age {
+            // Retain events with `tick >= newest - max_age`; saturating
+            // keeps everything while ticks are still below the horizon.
+            let horizon = tick.saturating_sub(max_age);
+            while self.events.front().is_some_and(|&(t, _)| t < horizon) {
+                self.pop_oldest();
+            }
+        }
+    }
+
+    /// Evicts the oldest event. Seeds are always the window's prefix
+    /// (every post-seed push appends a real event at the back), so a
+    /// front pop consumes a fabricated seed tick first — keeping
+    /// `fabricated == len` a faithful "window is still pure seed" test
+    /// even when capacity eviction holds the length constant.
+    fn pop_oldest(&mut self) {
+        self.events.pop_front();
+        self.evicted += 1;
+        self.fabricated = self.fabricated.saturating_sub(1);
+    }
+
+    /// The retained points in arrival order — the dataset a refit runs
+    /// on. Clones so the fit owns its snapshot and the window mutex can
+    /// be released before the expensive tree build starts.
+    pub(crate) fn points_in_order(&self) -> Vec<P>
+    where
+        P: Clone,
+    {
+        self.events.iter().map(|(_, p)| p.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_eviction_keeps_newest() {
+        let mut w = Window::new(3, None);
+        for i in 0..5u64 {
+            w.push(i, i as i32);
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.evicted(), 2);
+        assert_eq!(w.points_in_order(), vec![2, 3, 4]);
+        assert_eq!(w.last_tick(), Some(4));
+    }
+
+    #[test]
+    fn age_eviction_drops_stale_events() {
+        let mut w = Window::new(100, Some(10));
+        w.push(0, 'a');
+        w.push(5, 'b');
+        w.push(11, 'c'); // horizon 1: drops tick 0
+        assert_eq!(w.points_in_order(), vec!['b', 'c']);
+        w.push(40, 'd'); // horizon 30: drops ticks 5 and 11
+        assert_eq!(w.points_in_order(), vec!['d']);
+        assert_eq!(w.evicted(), 3);
+    }
+
+    #[test]
+    fn age_boundary_is_inclusive() {
+        let mut w = Window::new(100, Some(10));
+        w.push(0, 'a');
+        w.push(10, 'b'); // exactly max_age apart: 'a' survives
+        assert_eq!(w.points_in_order(), vec!['a', 'b']);
+        w.push(11, 'c');
+        assert_eq!(w.points_in_order(), vec!['b', 'c']);
+    }
+
+    #[test]
+    fn adopt_time_base_restamps_pure_seed_windows() {
+        let mut w = Window::new(10, Some(100));
+        w.push(0, 'a');
+        w.push(1, 'b');
+        w.mark_seeded();
+        // First real tick is epoch-scale: seeds move to it instead of
+        // being age-evicted.
+        w.adopt_time_base(1_000_000);
+        assert_eq!(w.last_tick(), Some(1_000_000));
+        w.push(1_000_050, 'c');
+        assert_eq!(w.points_in_order(), vec!['a', 'b', 'c']);
+        // ...and age out max_age after the adopted base, not before.
+        w.push(1_000_101, 'd');
+        assert_eq!(w.points_in_order(), vec!['c', 'd']);
+    }
+
+    #[test]
+    fn adopt_time_base_accepts_ticks_below_seed_count() {
+        let mut w = Window::new(10, None);
+        for i in 0..5u64 {
+            w.push(i, i as u8);
+        }
+        w.mark_seeded();
+        // A small-unit time base (e.g. seconds since start) is fine
+        // even though the seed count exceeds it.
+        w.adopt_time_base(2);
+        assert_eq!(w.last_tick(), Some(2));
+        w.push(3, 9);
+        assert_eq!(w.len(), 6);
+    }
+
+    #[test]
+    fn adopt_time_base_is_inert_after_seeds_rotate_out_at_capacity() {
+        // Seed to capacity, then push real events: eviction keeps the
+        // length equal to the seed count, but the window is no longer
+        // pure seed, so the time base must NOT be re-adopted (that
+        // would re-stamp real events and break tick monotonicity).
+        let mut w = Window::new(4, None);
+        for i in 0..4u64 {
+            w.push(0, i as u8);
+        }
+        w.mark_seeded();
+        for t in 1..=3u64 {
+            w.push(t, 10 + t as u8); // evicts one seed each
+        }
+        assert_eq!(w.len(), 4);
+        w.adopt_time_base(1);
+        assert_eq!(w.last_tick(), Some(3), "real ticks are not re-stamped");
+    }
+
+    #[test]
+    fn adopt_time_base_is_inert_once_real_events_exist() {
+        let mut w = Window::new(10, None);
+        w.push(0, 'a');
+        w.mark_seeded();
+        w.adopt_time_base(100); // establishes the base
+        w.push(100, 'b'); // a real event
+        w.adopt_time_base(7); // later adoptions change nothing
+        assert_eq!(w.last_tick(), Some(100));
+    }
+
+    #[test]
+    fn duplicate_ticks_are_allowed() {
+        let mut w = Window::new(10, Some(5));
+        w.push(7, 1);
+        w.push(7, 2);
+        w.push(7, 3);
+        assert_eq!(w.points_in_order(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Integration tests for the streaming subsystem through the `mccatch`
+//! facade: the `mccatch::stream` re-export, nondimensional (string)
+//! streams, policy behavior over realistic event flows, and the
+//! facade-level serve + stream interplay.
+
+use mccatch::index::SlimTreeBuilder;
+use mccatch::metrics::{Euclidean, Levenshtein};
+use mccatch::serve::ModelStore;
+use mccatch::stream::{RefitPolicy, StreamConfig, StreamDetector, StreamError};
+use mccatch::McCatch;
+use std::sync::Arc;
+
+fn grid_with_isolate() -> Vec<Vec<f64>> {
+    let mut pts: Vec<Vec<f64>> = (0..100)
+        .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
+        .collect();
+    pts.push(vec![500.0, 500.0]);
+    pts
+}
+
+#[test]
+fn facade_paths_cover_the_streaming_quickstart() {
+    let stream = StreamDetector::new(
+        StreamConfig {
+            capacity: 256,
+            policy: RefitPolicy::Manual,
+            ..StreamConfig::default()
+        },
+        McCatch::builder().build().unwrap(),
+        Euclidean,
+        mccatch::index::KdTreeBuilder::default(),
+        grid_with_isolate(),
+    )
+    .unwrap();
+    let ok = stream.ingest(vec![4.0, 4.0]);
+    let bad = stream.ingest(vec![900.0, 900.0]);
+    assert!(bad.score > ok.score);
+    assert!(bad.flagged && !ok.flagged);
+    assert_eq!(stream.generation(), 0);
+}
+
+#[test]
+fn string_events_stream_on_the_general_path() {
+    // Nondimensional streaming: names under Levenshtein, exactly like
+    // the batch "unusual names" workload but event by event.
+    let seed: Vec<String> = [
+        "smith",
+        "smyth",
+        "smithe",
+        "smit",
+        "smiths",
+        "smythe",
+        "psmith",
+        "smitt",
+        "asmith",
+        "smity",
+        "xylophonist",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let stream = StreamDetector::new(
+        StreamConfig {
+            capacity: 64,
+            policy: RefitPolicy::Manual,
+            ..StreamConfig::default()
+        },
+        McCatch::builder().build().unwrap(),
+        Levenshtein,
+        SlimTreeBuilder::default(),
+        seed,
+    )
+    .unwrap();
+    let near = stream.ingest("smythh".to_owned());
+    let far = stream.ingest("qqqqqqqqqqqqqq".to_owned());
+    assert!(far.score > near.score);
+
+    // Freeze + refit: the stream's model equals a batch fit on the
+    // window, for strings too.
+    stream.refit_now().unwrap();
+    let batch = McCatch::builder()
+        .build()
+        .unwrap()
+        .fit(
+            stream.window_points(),
+            Levenshtein,
+            SlimTreeBuilder::default(),
+        )
+        .unwrap();
+    let probes: Vec<String> = vec!["smythe".into(), "zzzzzz".into()];
+    assert_eq!(stream.score_batch(&probes), batch.score_points(&probes));
+}
+
+#[test]
+fn sliding_window_forgets_old_regimes() {
+    // A regime change: after the window slides fully onto the new
+    // traffic and a refit lands, the old regime scores as anomalous.
+    let stream = StreamDetector::new(
+        StreamConfig {
+            capacity: 100,
+            policy: RefitPolicy::Manual,
+            ..StreamConfig::default()
+        },
+        McCatch::builder().build().unwrap(),
+        Euclidean,
+        mccatch::index::KdTreeBuilder::default(),
+        grid_with_isolate(),
+    )
+    .unwrap();
+    assert_eq!(stream.score(&vec![5.0, 5.0]), 0.0);
+    for i in 0..100 {
+        stream.ingest(vec![(i % 10) as f64 + 3000.0, (i / 10) as f64]);
+    }
+    stream.refit_now().unwrap();
+    assert_eq!(stream.window_len(), 100);
+    assert_eq!(stream.stats().events_evicted, 101);
+    assert_eq!(stream.score(&vec![3005.0, 5.0]), 0.0, "new regime is home");
+    assert!(
+        stream.score(&vec![5.0, 5.0]) > 0.0,
+        "the forgotten regime is now anomalous"
+    );
+}
+
+#[test]
+fn generation_tags_expose_model_freshness_to_consumers() {
+    let stream = StreamDetector::new(
+        StreamConfig {
+            capacity: 128,
+            policy: RefitPolicy::Manual,
+            ..StreamConfig::default()
+        },
+        McCatch::builder().build().unwrap(),
+        Euclidean,
+        mccatch::index::KdTreeBuilder::default(),
+        grid_with_isolate(),
+    )
+    .unwrap();
+    let before = stream.ingest(vec![2.0, 2.0]);
+    assert_eq!(before.generation, 0);
+    stream.refit_now().unwrap();
+    let after = stream.ingest(vec![2.0, 2.0]);
+    assert_eq!(after.generation, 1);
+    assert_eq!(stream.stats().generation, 1);
+}
+
+#[test]
+fn stream_errors_are_typed_values() {
+    let bad = StreamDetector::<Vec<f64>, _, _>::new(
+        StreamConfig {
+            capacity: 16,
+            policy: RefitPolicy::Drift {
+                recent: 8,
+                threshold: 2.0,
+            },
+            ..StreamConfig::default()
+        },
+        McCatch::builder().build().unwrap(),
+        Euclidean,
+        mccatch::index::KdTreeBuilder::default(),
+        vec![],
+    );
+    assert_eq!(
+        bad.err().map(|e| e.to_string()),
+        Some(StreamError::InvalidDriftThreshold { got: 2.0 }.to_string())
+    );
+}
+
+#[test]
+fn stream_and_store_compose_for_fan_out_serving() {
+    // A deployment shape: one StreamDetector ingests, while an
+    // independent ModelStore fans the same erased snapshots out to other
+    // services — the stream's model handles are ordinary `Arc<dyn
+    // Model>`s.
+    let stream = StreamDetector::new(
+        StreamConfig {
+            capacity: 128,
+            policy: RefitPolicy::Manual,
+            ..StreamConfig::default()
+        },
+        McCatch::builder().build().unwrap(),
+        Euclidean,
+        mccatch::index::KdTreeBuilder::default(),
+        grid_with_isolate(),
+    )
+    .unwrap();
+    let mirror = Arc::new(ModelStore::new(stream.model()));
+    let q = vec![vec![4.5, 4.5], vec![900.0, -900.0]];
+    assert_eq!(mirror.score_batch(&q), stream.score_batch(&q));
+
+    // After a refit, republishing the snapshot keeps the mirror fresh.
+    for i in 0..64 {
+        stream.ingest(vec![(i % 8) as f64 * 0.5, (i / 8) as f64 * 0.5]);
+    }
+    stream.refit_now().unwrap();
+    mirror.swap(stream.model());
+    assert_eq!(mirror.generation(), 1);
+    assert_eq!(mirror.score_batch(&q), stream.score_batch(&q));
+}
