@@ -16,7 +16,8 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// One-shot MCCATCH through the staged builder API — the harness-wide
-/// replacement for the deprecated `mccatch_core::mccatch` free function.
+/// replacement for the `mccatch_core::mccatch` free function (deprecated
+/// in 0.2.0, removed in 0.4.0).
 /// Experiment binaries run fresh data/parameter combinations each call, so
 /// configure-fit-detect is the whole lifecycle here; services should hold
 /// on to the `Fitted` handle instead.

@@ -24,6 +24,16 @@
 //! the initial model with the first N events (they are not scored). A
 //! run summary goes to stderr, keeping stdout machine-clean.
 //!
+//! `--serve ADDR` starts the HTTP serving tier (`mccatch::server`)
+//! instead: the events of `--input` (if given) seed the sliding window,
+//! and the process answers `POST /score` (NDJSON points in, one score
+//! per line out, batch-tagged with the model generation),
+//! `POST /ingest` (streamed events, per-event scores, drives the same
+//! `--refit-every`/`--drift` schedule), `POST /admin/refit`,
+//! `GET /healthz`, and a Prometheus `GET /metrics` until killed. The
+//! bound address is printed on stdout (`--serve 127.0.0.1:0` picks an
+//! ephemeral port and echoes it).
+//!
 //! ```text
 //! USAGE:
 //!   mccatch [--input FILE] [--mode csv|lines] [--format text|json]
@@ -32,6 +42,7 @@
 //!           [--points] [--top K]
 //!           [--stream] [--window N] [--refit-every N] [--warmup N]
 //!           [--drift FRAC] [--drift-recent N]
+//!           [--serve ADDR]
 //! ```
 //!
 //! Invalid hyperparameters are reported as proper CLI errors (exit code
@@ -44,6 +55,7 @@
 
 use mccatch::index::{BruteForceBuilder, KdTreeBuilder, SlimTreeBuilder, VpTreeBuilder};
 use mccatch::metrics::{Euclidean, Levenshtein, Metric};
+use mccatch::server::{ndjson, LineParser, ServerConfig};
 use mccatch::stream::{RefitPolicy, ScoredEvent, StreamConfig, StreamDetector};
 use mccatch::{McCatch, McCatchOutput, Model, Params};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -60,6 +72,9 @@ struct Cli {
     /// Number of microclusters to print; 0 means all.
     top: usize,
     stream: bool,
+    /// Address to serve HTTP on (`--serve`); port 0 picks an ephemeral
+    /// port (echoed on stdout).
+    serve: Option<String>,
     window: usize,
     /// Events between background refits; 0 disables scheduled refits.
     refit_every: u64,
@@ -126,6 +141,7 @@ fn parse_cli() -> Result<Cli, String> {
         show_points: false,
         top: 20,
         stream: false,
+        serve: None,
         window: 1024,
         refit_every: 256,
         warmup: 0,
@@ -176,6 +192,7 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.top = need("--top")?.parse().map_err(|e| format!("--top: {e}"))?
             }
             "--stream" | "-s" => cli.stream = true,
+            "--serve" => cli.serve = Some(need("--serve")?),
             "--window" | "-w" => {
                 cli.window = need("--window")?
                     .parse()
@@ -211,7 +228,8 @@ fn parse_cli() -> Result<Cli, String> {
                             [--radii 15] [--slope 0.1] [--max-card N] [--threads N]\n\
                             [--points] [--top K]\n\
                             [--stream] [--window N] [--refit-every N] [--warmup N]\n\
-                            [--drift FRAC] [--drift-recent N]\n\n\
+                            [--drift FRAC] [--drift-recent N]\n\
+                            [--serve ADDR]\n\n\
                      csv mode:   one point per line, comma/whitespace separated floats\n\
                      lines mode: one string per line, Levenshtein distance\n\n\
                      --index picks the backend (default: kd for csv, slim for lines;\n\
@@ -225,7 +243,12 @@ fn parse_cli() -> Result<Cli, String> {
                      when the flagged fraction of the last --drift-recent events\n\
                      reaches F. --warmup N seeds the initial model with the first N\n\
                      events (unscored). One scored line per event on stdout (text or\n\
-                     NDJSON); the run summary goes to stderr."
+                     NDJSON); the run summary goes to stderr.\n\n\
+                     --serve ADDR starts the HTTP scoring service instead: --input\n\
+                     seeds the window, then POST /score, POST /ingest,\n\
+                     POST /admin/refit, GET /healthz, and GET /metrics answer until\n\
+                     the process is killed. ADDR with port 0 picks an ephemeral port;\n\
+                     the bound address is echoed on stdout."
                 );
                 std::process::exit(0);
             }
@@ -513,21 +536,35 @@ fn print_report(
     }
 }
 
-/// One emitted line per streamed event.
+/// One emitted line per streamed event. The JSON form is the serving
+/// tier's scored-event wire format (`ndjson::scored_event_json`), so
+/// `--stream --format json` lines and `/ingest` responses cannot drift
+/// apart.
 fn format_event(e: &ScoredEvent, format: Format) -> String {
     match format {
         Format::Text => format!(
             "{}\t{}\t{:.4}\t{}\t{}",
             e.seq, e.tick, e.score, e.generation, e.flagged
         ),
-        Format::Json => format!(
-            "{{\"seq\": {}, \"tick\": {}, \"score\": {}, \"generation\": {}, \"flagged\": {}}}",
-            e.seq,
-            e.tick,
-            json_f64(e.score),
-            e.generation,
-            e.flagged
-        ),
+        Format::Json => ndjson::scored_event_json(e),
+    }
+}
+
+/// The refit schedule the `--refit-every` / `--drift*` flags describe —
+/// shared by `--stream` and `--serve`.
+fn stream_config(cli: &Cli) -> StreamConfig {
+    let policy = match cli.drift {
+        Some(threshold) => RefitPolicy::Drift {
+            recent: cli.drift_recent,
+            threshold,
+        },
+        None if cli.refit_every == 0 => RefitPolicy::Manual,
+        None => RefitPolicy::EveryN(cli.refit_every),
+    };
+    StreamConfig {
+        capacity: cli.window,
+        policy,
+        ..StreamConfig::default()
     }
 }
 
@@ -549,19 +586,7 @@ where
     B: mccatch::index::IndexBuilder<P, M> + Clone + Send + Sync + 'static,
     B::Index: Send + Sync + 'static,
 {
-    let policy = match cli.drift {
-        Some(threshold) => RefitPolicy::Drift {
-            recent: cli.drift_recent,
-            threshold,
-        },
-        None if cli.refit_every == 0 => RefitPolicy::Manual,
-        None => RefitPolicy::EveryN(cli.refit_every),
-    };
-    let config = StreamConfig {
-        capacity: cli.window,
-        policy,
-        ..StreamConfig::default()
-    };
+    let config = stream_config(cli);
     let mut seed = Vec::with_capacity(cli.warmup);
     for ev in events.by_ref().take(cli.warmup) {
         seed.push(ev?);
@@ -611,6 +636,58 @@ where
         stats.refits_failed,
         stats.fit_distance_evals,
     );
+    Ok(())
+}
+
+/// Drives the HTTP serving tier (`--serve ADDR`): seeds a sliding
+/// window with the events of `--input` (when given), starts
+/// `mccatch::server` over the chosen metric/index backend with the
+/// `--window`/`--refit-every`/`--drift*` schedule, prints the bound
+/// address on stdout (machine-readable — ask for port 0 and read it
+/// back), and blocks until the process is stopped.
+///
+/// `parser_for` builds the NDJSON line parser once the seed is known,
+/// so csv mode can pin the expected dimensionality to the seeded data.
+fn run_serve<P, M, B>(
+    cli: &Cli,
+    detector: McCatch,
+    metric: M,
+    builder: B,
+    index: IndexChoice,
+    parser_for: impl FnOnce(&[P]) -> LineParser<P>,
+    events: impl Iterator<Item = Result<P, String>>,
+) -> Result<(), String>
+where
+    P: Clone + Send + Sync + 'static,
+    M: Metric<P> + Clone + 'static,
+    B: mccatch::index::IndexBuilder<P, M> + Clone + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+{
+    let addr = cli.serve.as_deref().expect("run_serve requires --serve");
+    let seed: Vec<P> = events.collect::<Result<_, _>>()?;
+    let parser = parser_for(&seed);
+    let stream = StreamDetector::new(stream_config(cli), detector, metric, builder, seed)
+        .map_err(|e| e.to_string())?;
+    let server = mccatch::server::serve(
+        addr,
+        ServerConfig::default(),
+        Arc::new(stream),
+        parser,
+        index.name(),
+    )
+    .map_err(|e| e.to_string())?;
+    // The stdout line is the contract smoke gates and scripts parse;
+    // human-facing detail goes to stderr.
+    println!("listening on http://{}", server.local_addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("stdout: {e}"))?;
+    eprintln!(
+        "# serving index={} window={} endpoints=/score,/ingest,/admin/refit,/healthz,/metrics",
+        index.name(),
+        cli.window
+    );
+    server.wait();
     Ok(())
 }
 
@@ -670,6 +747,105 @@ fn run() -> Result<(), String> {
     let index = cli
         .index
         .unwrap_or(IndexChoice::default_for_mode(&cli.mode));
+
+    if cli.serve.is_some() {
+        // Seed events come from --input only: a server must not sit
+        // reading stdin (there is no terminal in its lifecycle).
+        return match cli.mode.as_str() {
+            "csv" => {
+                let events: Box<dyn Iterator<Item = Result<Vec<f64>, String>>> = match &cli.input {
+                    Some(_) => Box::new(csv_events(open_events(&cli.input)?)),
+                    None => Box::new(std::iter::empty()),
+                };
+                // Pin the wire protocol to the seeded dimensionality so
+                // wrong-arity lines degrade to per-line errors; an
+                // unseeded server pins to the first accepted event
+                // instead, so mixed-arity traffic can never reach a
+                // refit.
+                let parser_for = |seed: &[Vec<f64>]| match seed.first() {
+                    Some(p) => ndjson::vector_parser(Some(p.len())),
+                    None => ndjson::vector_parser_auto(),
+                };
+                match index {
+                    IndexChoice::Brute => run_serve(
+                        &cli,
+                        detector,
+                        Euclidean,
+                        BruteForceBuilder,
+                        index,
+                        parser_for,
+                        events,
+                    ),
+                    IndexChoice::Kd => run_serve(
+                        &cli,
+                        detector,
+                        Euclidean,
+                        KdTreeBuilder::default(),
+                        index,
+                        parser_for,
+                        events,
+                    ),
+                    IndexChoice::Vp => run_serve(
+                        &cli,
+                        detector,
+                        Euclidean,
+                        VpTreeBuilder::default(),
+                        index,
+                        parser_for,
+                        events,
+                    ),
+                    IndexChoice::Slim => run_serve(
+                        &cli,
+                        detector,
+                        Euclidean,
+                        SlimTreeBuilder::default(),
+                        index,
+                        parser_for,
+                        events,
+                    ),
+                }
+            }
+            "lines" => {
+                let events: Box<dyn Iterator<Item = Result<String, String>>> = match &cli.input {
+                    Some(_) => Box::new(line_events(open_events(&cli.input)?)),
+                    None => Box::new(std::iter::empty()),
+                };
+                let parser_for =
+                    |_: &[String]| -> LineParser<String> { Arc::new(ndjson::parse_string_line) };
+                match index {
+                    IndexChoice::Kd => Err(kd_needs_csv()),
+                    IndexChoice::Brute => run_serve(
+                        &cli,
+                        detector,
+                        Levenshtein,
+                        BruteForceBuilder,
+                        index,
+                        parser_for,
+                        events,
+                    ),
+                    IndexChoice::Vp => run_serve(
+                        &cli,
+                        detector,
+                        Levenshtein,
+                        VpTreeBuilder::default(),
+                        index,
+                        parser_for,
+                        events,
+                    ),
+                    IndexChoice::Slim => run_serve(
+                        &cli,
+                        detector,
+                        Levenshtein,
+                        SlimTreeBuilder::default(),
+                        index,
+                        parser_for,
+                        events,
+                    ),
+                }
+            }
+            other => Err(format!("unknown mode: {other} (use csv|lines)")),
+        };
+    }
 
     if cli.stream {
         let reader = open_events(&cli.input)?;

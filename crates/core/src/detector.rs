@@ -1,11 +1,10 @@
 //! The staged, reusable MCCATCH detector: configure once, fit once,
 //! detect (and score new points) many times.
 //!
-//! The legacy free function [`crate::pipeline::mccatch`] rebuilds the
-//! metric tree on every call — fine for a one-shot analysis, wasteful for
-//! a service answering many detection or scoring requests over the same
-//! reference dataset. This module splits the pipeline at its natural
-//! seams:
+//! A one-shot run rebuilds the metric tree on every call — fine for a
+//! single analysis, wasteful for a service answering many detection or
+//! scoring requests over the same reference dataset. This module splits
+//! the pipeline at its natural seams:
 //!
 //! 1. **Configure** — [`McCatch::builder`] validates hyperparameters and
 //!    returns configuration errors as [`McCatchError`] values instead of
@@ -340,9 +339,9 @@ where
     /// Runs the remaining pipeline (spot, gel, score — Alg. 3 and 4) and
     /// assembles the full [`McCatchOutput`]. Every expensive stage runs
     /// once and is cached: repeat calls only clone the cached artifacts.
-    /// Outputs are bit-identical on every call, and equal to what the
-    /// legacy one-shot [`crate::pipeline::mccatch`] returns for the same
-    /// data and parameters.
+    /// Outputs are bit-identical on every call, and equal to a fresh
+    /// one-shot configure-fit-detect run over the same data and
+    /// parameters.
     pub fn detect(&self) -> McCatchOutput {
         let n = self.points.len();
         if self.is_degenerate() {
@@ -686,6 +685,10 @@ where
 
     fn score_cutoff(&self) -> f64 {
         Fitted::score_cutoff(self)
+    }
+
+    fn distance_stats(&self) -> DistanceStats {
+        Fitted::distance_stats(self)
     }
 
     fn top_k(&self, k: usize) -> Vec<Microcluster> {

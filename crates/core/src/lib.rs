@@ -65,10 +65,10 @@
 //! plumbing; the `mccatch` facade crate builds a swappable `ModelStore`
 //! on top of it.
 //!
-//! The one-shot [`mccatch`] free function from earlier releases is kept
-//! as a deprecated shim over the staged API (slated for removal in
-//! 0.4.0). The borrowed-slice [`McCatch::fit_ref`] convenience is not
-//! deprecated and stays.
+//! The one-shot `mccatch` free function from earlier releases was
+//! removed in 0.4.0, as announced in its deprecation note; one-shot
+//! callers use the borrowed-slice [`McCatch::fit_ref`] convenience,
+//! which is not deprecated and stays.
 
 #![deny(missing_docs)]
 
@@ -80,7 +80,6 @@ pub mod gel;
 pub mod model;
 pub mod oracle;
 pub mod params;
-pub mod pipeline;
 pub mod plateau;
 pub mod result;
 pub mod score;
@@ -93,8 +92,6 @@ pub use error::McCatchError;
 pub use model::{Model, ModelStats};
 pub use oracle::{OraclePlot, OraclePoint};
 pub use params::{Params, RadiusGrid, Resolved};
-#[allow(deprecated)]
-pub use pipeline::mccatch;
 pub use result::{McCatchOutput, Microcluster, RunStats};
 pub use score::def7_score;
 pub use serve::ModelStore;

@@ -40,6 +40,7 @@
 
 use crate::params::RadiusGrid;
 use crate::result::{McCatchOutput, Microcluster};
+use mccatch_index::DistanceStats;
 use mccatch_metric::universal_code_length_f64;
 
 /// An object-safe, thread-safe view of a fitted MCCATCH detector.
@@ -116,6 +117,21 @@ pub trait Model<P>: Send + Sync {
         let radii = grid.radii();
         let g = crate::detector::quantize_down(stats.cutoff_d, radii);
         universal_code_length_f64(1.0 + g / radii[0])
+    }
+
+    /// Live distance-evaluation totals of the model's reference index:
+    /// the fit cost **plus** every serving query answered from the main
+    /// tree since — the number a `/metrics` endpoint exposes so serving
+    /// load is observable per backend. Unlike
+    /// [`ModelStats::distance_evals`] (stable per fit), this value grows
+    /// with traffic.
+    ///
+    /// The default answers from [`stats`](Self::stats) (fit cost only);
+    /// [`crate::Fitted`] overrides it with the live index counter.
+    fn distance_stats(&self) -> DistanceStats {
+        DistanceStats {
+            evals: self.stats().distance_evals,
+        }
     }
 
     /// The `k` highest-ranked (most strange) microclusters; `k = 0` means

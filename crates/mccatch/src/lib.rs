@@ -124,16 +124,27 @@
 //! assert_eq!(err, McCatchError::InvalidNumRadii { got: 1 });
 //! ```
 //!
-//! ## Legacy one-shot shims
+//! ## Legacy one-shot shims: removed in 0.4.0
 //!
-//! The original free functions — [`detect_vectors`], [`detect_metric`],
-//! and [`mccatch()`](mccatch) — are kept as deprecated shims over the
-//! staged API. They rebuild the index (and now also copy the borrowed
-//! slice into the owned handle) on every call and panic on invalid
-//! parameters; prefer the builder. The deprecated free functions are
-//! slated for removal in 0.4.0 (see the README's deprecation timeline).
-//! The borrowed-slice [`McCatch::fit_ref`] convenience is **not**
-//! deprecated and stays.
+//! The original free functions — `detect_vectors`, `detect_metric`, and
+//! the root `mccatch()` — were deprecated in 0.2.0 and **removed in
+//! 0.4.0**, as announced in the README's deprecation timeline. One-shot
+//! callers holding a `&[P]` use the borrowed-slice [`McCatch::fit_ref`]
+//! convenience, which is not deprecated and stays:
+//!
+//! ```
+//! use mccatch::index::KdTreeBuilder;
+//! use mccatch::metrics::Euclidean;
+//! use mccatch::McCatch;
+//!
+//! let points = vec![vec![0.0], vec![1.0], vec![50.0]];
+//! let out = McCatch::builder()
+//!     .build()?
+//!     .fit_ref(&points, &Euclidean, &KdTreeBuilder::default())?
+//!     .detect();
+//! assert_eq!(out.point_scores.len(), 3);
+//! # Ok::<(), mccatch::McCatchError>(())
+//! ```
 //!
 //! The re-exported sub-crates offer full control: [`core`] (the algorithm
 //! and its intermediate artifacts), [`index`] (Slim-tree / kd-tree /
@@ -152,6 +163,16 @@ pub use mccatch_core::serve;
 /// background (every-N, drift-triggered, or on explicit request),
 /// swapping models atomically via [`serve::ModelStore`].
 pub use mccatch_stream as stream;
+
+/// The HTTP serving tier: [`server::serve`] fronts a shared
+/// [`stream::StreamDetector`] with a std-only multithreaded HTTP/1.1
+/// service — `POST /score` (batch scoring against one tagged model
+/// snapshot), `POST /ingest` (streamed events with per-event scores),
+/// `POST /admin/refit`, `GET /healthz`, and a Prometheus
+/// `GET /metrics` — with bounded-queue backpressure (`503` +
+/// `Retry-After`) and graceful shutdown. The CLI wraps it as
+/// `mccatch --serve ADDR`.
+pub use mccatch_server as server;
 
 /// Compiles and runs the code snippets in the repo-level
 /// `ARCHITECTURE.md` as doctests, so the architecture documentation
@@ -172,12 +193,6 @@ pub use mccatch_core::{
     ModelStats, OraclePlot, OraclePoint, Params, RunStats,
 };
 
-/// The legacy one-shot entry point, re-exported (deprecated) so existing
-/// `mccatch::mccatch(...)` callers keep compiling; they see the
-/// deprecation note at the use site.
-#[allow(deprecated)]
-pub use mccatch_core::mccatch;
-
 /// The underlying algorithm crate (plateaus, cutoff, gelling, scoring).
 pub use mccatch_core as core;
 
@@ -196,56 +211,11 @@ pub use mccatch_eval as eval;
 /// The 11 competitor detectors.
 pub use mccatch_baselines as baselines;
 
-use mccatch_index::{KdTreeBuilder, SlimTreeBuilder};
-use mccatch_metric::{Euclidean, Metric};
-
-/// Runs MCCATCH on dense vector data with the Euclidean metric and a
-/// kd-tree index — the fast path for dimensional datasets (paper
-/// footnote 4: "kd-trees for main-memory-based vector data").
-///
-/// # Panics
-/// Panics if `params` is invalid; the staged [`McCatch`] API reports the
-/// same conditions as [`McCatchError`] values instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `McCatch::builder().build()?.fit(points, &Euclidean, &KdTreeBuilder::default())?.detect()`"
-)]
-pub fn detect_vectors(points: &[Vec<f64>], params: &Params) -> McCatchOutput {
-    let detector = McCatch::new(params.clone()).unwrap_or_else(|e| panic!("{e}"));
-    detector
-        .fit_ref(points, &Euclidean, &KdTreeBuilder::default())
-        .unwrap_or_else(|e| panic!("{e}"))
-        .detect()
-}
-
-/// Runs MCCATCH on arbitrary metric data with a Slim-tree index — the
-/// general path that handles nondimensional datasets (strings, trees,
-/// custom types).
-///
-/// # Panics
-/// Panics if `params` is invalid; the staged [`McCatch`] API reports the
-/// same conditions as [`McCatchError`] values instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `McCatch::builder().build()?.fit(points, metric, &SlimTreeBuilder::default())?.detect()`"
-)]
-pub fn detect_metric<P, M>(points: &[P], metric: &M, params: &Params) -> McCatchOutput
-where
-    P: Send + Sync + Clone,
-    M: Metric<P> + Clone,
-{
-    let detector = McCatch::new(params.clone()).unwrap_or_else(|e| panic!("{e}"));
-    detector
-        .fit_ref(points, metric, &SlimTreeBuilder::default())
-        .unwrap_or_else(|e| panic!("{e}"))
-        .detect()
-}
-
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
-
     use super::*;
+    use mccatch_index::KdTreeBuilder;
+    use mccatch_metric::Euclidean;
 
     fn grid_plus_isolate() -> Vec<Vec<f64>> {
         let mut pts: Vec<Vec<f64>> = (0..100)
@@ -256,41 +226,33 @@ mod tests {
     }
 
     #[test]
-    fn detect_vectors_smoke() {
-        let out = detect_vectors(&grid_plus_isolate(), &Params::default());
-        assert!(out.is_outlier(100));
-    }
-
-    #[test]
-    fn detect_metric_smoke() {
-        let out = detect_metric(&grid_plus_isolate(), &Euclidean, &Params::default());
-        assert!(out.is_outlier(100));
-    }
-
-    #[test]
-    fn legacy_mccatch_reexport_is_still_callable() {
-        // Seed-era callers wrote `mccatch::mccatch(...)`; the root
-        // re-export must survive the redesign.
-        let out = crate::mccatch(
-            &grid_plus_isolate(),
-            &Euclidean,
-            &KdTreeBuilder::default(),
-            &Params::default(),
-        );
-        assert!(out.is_outlier(100));
-    }
-
-    #[test]
-    fn shims_match_the_staged_api() {
+    fn fit_ref_covers_the_one_shot_lifecycle() {
+        // The 0.4.0-removed free-function shims pointed their callers
+        // here: borrowed slice in, one-shot detection out.
         let pts = grid_plus_isolate();
-        let legacy = detect_vectors(&pts, &Params::default());
-        let staged = McCatch::builder()
+        let out = McCatch::builder()
             .build()
             .unwrap()
-            .fit(pts, Euclidean, KdTreeBuilder::default())
+            .fit_ref(&pts, &Euclidean, &KdTreeBuilder::default())
             .unwrap()
             .detect();
-        assert_eq!(legacy.outliers, staged.outliers);
-        assert_eq!(legacy.point_scores, staged.point_scores);
+        assert!(out.is_outlier(100));
+    }
+
+    #[test]
+    fn every_subsystem_is_reachable_through_the_facade() {
+        // The facade's whole job: one crate, every path. `serve`,
+        // `stream`, and `server` must stay importable under their
+        // long-standing names.
+        let model = McCatch::builder()
+            .build()
+            .unwrap()
+            .fit(grid_plus_isolate(), Euclidean, KdTreeBuilder::default())
+            .unwrap()
+            .into_model();
+        let store = serve::ModelStore::new(model);
+        assert_eq!(store.generation(), 0);
+        assert!(stream::StreamConfig::default().validate().is_ok());
+        assert!(server::ServerConfig::default().validate().is_ok());
     }
 }

@@ -1,0 +1,146 @@
+//! A minimal blocking HTTP/1.1 client — just enough to probe and
+//! load-test the server from integration tests, benches, and smoke
+//! gates without external tooling.
+//!
+//! Not a general-purpose client: it speaks the same strict subset the
+//! server does (request line + headers + `Content-Length` bodies over
+//! keep-alive connections) and panics on nothing — every failure is an
+//! `Err(String)`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    pub fn text(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|e| format!("non-UTF-8 body: {e}"))
+    }
+}
+
+/// A persistent (keep-alive) connection to the server, issuing any
+/// number of sequential requests.
+#[derive(Debug)]
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    /// Connects with a 5-second I/O timeout.
+    pub fn open(addr: SocketAddr) -> Result<Self, String> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .map_err(|e| e.to_string())?;
+        stream
+            .set_write_timeout(Some(Duration::from_secs(5)))
+            .map_err(|e| e.to_string())?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<ClientResponse, String> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: mccatch\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        let stream = self.reader.get_mut();
+        stream
+            .write_all(head.as_bytes())
+            .map_err(|e| e.to_string())?;
+        stream.write_all(body).map_err(|e| e.to_string())?;
+        stream.flush().map_err(|e| e.to_string())?;
+        self.read_response()
+    }
+
+    /// Sends raw bytes on the wire (for malformed-request tests) and
+    /// reads whatever response comes back.
+    pub fn request_raw(&mut self, raw: &[u8]) -> Result<ClientResponse, String> {
+        let stream = self.reader.get_mut();
+        stream.write_all(raw).map_err(|e| e.to_string())?;
+        stream.flush().map_err(|e| e.to_string())?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<ClientResponse, String> {
+        let mut line = String::new();
+        self.reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read status line: {e}"))?;
+        let status: u16 = line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("malformed status line: {line:?}"))?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader
+                .read_line(&mut line)
+                .map_err(|e| format!("read header: {e}"))?;
+            let line = line.trim_end_matches(['\r', '\n']);
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| format!("malformed header: {line:?}"))?;
+            let name = name.to_ascii_lowercase();
+            if name == "content-length" {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("bad content-length: {e}"))?;
+            }
+            headers.push((name, value.trim().to_owned()));
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader
+            .read_exact(&mut body)
+            .map_err(|e| format!("read body: {e}"))?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// One-shot `GET` on a fresh connection.
+pub fn get(addr: SocketAddr, path: &str) -> Result<ClientResponse, String> {
+    Connection::open(addr)?.request("GET", path, b"")
+}
+
+/// One-shot `POST` on a fresh connection.
+pub fn post(addr: SocketAddr, path: &str, body: &[u8]) -> Result<ClientResponse, String> {
+    Connection::open(addr)?.request("POST", path, body)
+}

@@ -1,0 +1,604 @@
+//! A small, strict HTTP/1.1 request parser and response writer.
+//!
+//! Deliberately minimal — exactly what the scoring service needs and
+//! nothing more: a request line, headers, and an optional
+//! `Content-Length` body, over a persistent (keep-alive) connection.
+//! Everything outside that subset is rejected with the proper status
+//! code rather than guessed at:
+//!
+//! * a malformed request line, header, or body → `400`
+//! * a request head larger than the configured limit → `431`
+//! * a declared body larger than the configured limit → `413`
+//!   (answered **before** reading the body)
+//! * `Transfer-Encoding` (chunked uploads) → `400` — the service
+//!   protocol is NDJSON with a known length
+//!
+//! The parser never allocates proportionally to what a client *claims*,
+//! only to what it actually sends within the limits.
+
+use std::io::{BufRead, Read, Write};
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub(crate) struct Request {
+    /// The request method, as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target (path), as sent; query strings are not split.
+    pub target: String,
+    /// Headers in arrival order, names lowercased. Routing currently
+    /// only needs the ones the parser folds in (`content-length`,
+    /// `connection`), but handlers and tests can inspect the rest.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub headers: Vec<(String, String)>,
+    /// The request body (`Content-Length` bytes; empty when absent).
+    pub body: Vec<u8>,
+    /// Whether the client may reuse the connection after the response
+    /// (HTTP/1.1 default, overridden by `Connection: close`).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header with the given (lowercase) name.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed; each variant maps to one status
+/// code on the wire.
+#[derive(Debug, PartialEq)]
+pub(crate) enum RequestError {
+    /// `400 Bad Request`: malformed request line, header, or body
+    /// (including truncation mid-request).
+    Bad(String),
+    /// `431 Request Header Fields Too Large`.
+    HeadTooLarge {
+        /// The configured head limit that was exceeded.
+        limit: usize,
+    },
+    /// `413 Content Too Large`: the declared `Content-Length` exceeds
+    /// the limit. The body was *not* read.
+    BodyTooLarge {
+        /// The declared body length.
+        declared: usize,
+        /// The configured body limit.
+        limit: usize,
+    },
+}
+
+/// True for the token characters RFC 9110 allows in header names — the
+/// strict subset real clients use.
+fn is_header_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.')
+}
+
+/// Reads one `\n`-terminated line, accounting its bytes against the
+/// remaining head budget. Distinguishes "nothing arrived" (`Ok(None)`,
+/// a clean close or idle timeout between keep-alive requests) from
+/// truncation mid-line (an error).
+fn read_head_line(
+    reader: &mut impl BufRead,
+    budget: &mut usize,
+    limit: usize,
+    at_request_start: bool,
+) -> Result<Option<String>, RequestError> {
+    let mut raw = Vec::new();
+    // Cap the read at the remaining budget + 1 so a header flood stops
+    // allocating as soon as it provably exceeds the limit.
+    let mut bounded = reader.take((*budget + 1) as u64);
+    match bounded.read_until(b'\n', &mut raw) {
+        Ok(0) if at_request_start && raw.is_empty() => return Ok(None),
+        Ok(0) => return Err(RequestError::Bad("truncated request head".into())),
+        Ok(_) => {}
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) && at_request_start
+                && raw.is_empty() =>
+        {
+            return Ok(None)
+        }
+        Err(e) => return Err(RequestError::Bad(format!("read failed: {e}"))),
+    }
+    if raw.len() > *budget {
+        return Err(RequestError::HeadTooLarge { limit });
+    }
+    *budget -= raw.len();
+    if !raw.ends_with(b"\r\n") {
+        return Err(RequestError::Bad(
+            "head lines must end with CRLF".to_owned(),
+        ));
+    }
+    raw.truncate(raw.len() - 2);
+    String::from_utf8(raw)
+        .map(Some)
+        .map_err(|_| RequestError::Bad("request head is not valid UTF-8".to_owned()))
+}
+
+/// A parsed request head, before its body has been read. The split
+/// lets the connection loop honor `Expect: 100-continue` — writing the
+/// interim response between head and body — which clients like `curl`
+/// send on large uploads (and otherwise stall on for a full second
+/// before giving up and sending the body anyway).
+pub(crate) struct RequestHead {
+    method: String,
+    target: String,
+    headers: Vec<(String, String)>,
+    /// Declared (and already limit-checked) body length.
+    pub content_length: usize,
+    keep_alive: bool,
+}
+
+impl RequestHead {
+    /// Whether the client asked for a `100 Continue` before sending its
+    /// body.
+    pub fn expects_continue(&self) -> bool {
+        self.headers
+            .iter()
+            .any(|(n, v)| n == "expect" && v.eq_ignore_ascii_case("100-continue"))
+    }
+
+    /// Completes the request once its body has been read.
+    pub fn into_request(self, body: Vec<u8>) -> Request {
+        Request {
+            method: self.method,
+            target: self.target,
+            headers: self.headers,
+            body,
+            keep_alive: self.keep_alive,
+        }
+    }
+}
+
+/// Reads and parses one request head off the connection (everything up
+/// to the blank line), including the `Content-Length` validation and
+/// the `413` limit check — the body itself is *not* read.
+///
+/// `Ok(None)` means the client closed (or idled past the read timeout)
+/// cleanly *between* requests — the normal end of a keep-alive
+/// connection, not an error.
+pub(crate) fn read_request_head(
+    reader: &mut impl BufRead,
+    max_head_bytes: usize,
+    max_body_bytes: usize,
+) -> Result<Option<RequestHead>, RequestError> {
+    let mut budget = max_head_bytes;
+    let request_line = match read_head_line(reader, &mut budget, max_head_bytes, true)? {
+        None => return Ok(None),
+        Some(line) => line,
+    };
+
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(RequestError::Bad(format!(
+                "malformed request line: {request_line:?}"
+            )))
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(RequestError::Bad(format!("malformed method: {method:?}")));
+    }
+    if !target.starts_with('/') {
+        return Err(RequestError::Bad(format!(
+            "request target must be absolute: {target:?}"
+        )));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => {
+            return Err(RequestError::Bad(format!(
+                "unsupported protocol version: {other:?}"
+            )))
+        }
+    };
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = read_head_line(reader, &mut budget, max_head_bytes, false)?
+            .expect("mid-head EOF is reported as Bad");
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RequestError::Bad(format!("malformed header line: {line:?}")))?;
+        if name.is_empty() || !name.bytes().all(is_header_name_char) {
+            return Err(RequestError::Bad(format!(
+                "malformed header name: {name:?}"
+            )));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(RequestError::Bad(
+            "transfer-encoding is not supported; send a Content-Length body".to_owned(),
+        ));
+    }
+
+    // All Content-Length headers (if several, they must agree — a
+    // classic smuggling vector otherwise).
+    let mut content_length = 0usize;
+    let mut seen_length: Option<&str> = None;
+    for (n, v) in &headers {
+        if n != "content-length" {
+            continue;
+        }
+        if let Some(prev) = seen_length {
+            if prev != v {
+                return Err(RequestError::Bad(
+                    "conflicting Content-Length headers".to_owned(),
+                ));
+            }
+            continue;
+        }
+        seen_length = Some(v);
+        // RFC 9110 says 1*DIGIT, nothing else: `usize::from_str` alone
+        // would also take a leading `+`, and a proxy in front of this
+        // server might frame `+12` differently than we do — exactly the
+        // disagreement request smuggling feeds on.
+        if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(RequestError::Bad(format!("invalid Content-Length: {v:?}")));
+        }
+        content_length = v
+            .parse()
+            .map_err(|_| RequestError::Bad(format!("invalid Content-Length: {v:?}")))?;
+    }
+    if content_length > max_body_bytes {
+        return Err(RequestError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body_bytes,
+        });
+    }
+
+    let keep_alive = match headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase())
+    {
+        Some(v) if v == "close" => false,
+        Some(v) if v == "keep-alive" => true,
+        _ => http11,
+    };
+
+    Ok(Some(RequestHead {
+        method: method.to_owned(),
+        target: target.to_owned(),
+        headers,
+        content_length,
+        keep_alive,
+    }))
+}
+
+/// Reads the `len`-byte body that a [`RequestHead`] declared.
+pub(crate) fn read_request_body(
+    reader: &mut impl BufRead,
+    len: usize,
+) -> Result<Vec<u8>, RequestError> {
+    let mut body = vec![0u8; len];
+    if len > 0 {
+        reader.read_exact(&mut body).map_err(|e| {
+            RequestError::Bad(format!("truncated body: expected {len} bytes ({e})"))
+        })?;
+    }
+    Ok(body)
+}
+
+/// Head + body in one call — the path for callers (and tests) that do
+/// not need to interleave a `100 Continue` between the two.
+#[cfg(test)]
+pub(crate) fn read_request(
+    reader: &mut impl BufRead,
+    max_head_bytes: usize,
+    max_body_bytes: usize,
+) -> Result<Option<Request>, RequestError> {
+    let head = match read_request_head(reader, max_head_bytes, max_body_bytes)? {
+        None => return Ok(None),
+        Some(head) => head,
+    };
+    let body = read_request_body(reader, head.content_length)?;
+    Ok(Some(head.into_request(body)))
+}
+
+/// One response about to go on the wire.
+#[derive(Debug)]
+pub(crate) struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Additional headers (e.g. `X-Mccatch-Generation`, `Retry-After`).
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An NDJSON response (one JSON object per line).
+    pub fn ndjson(status: u16, body: String) -> Self {
+        Self {
+            content_type: "application/x-ndjson",
+            ..Self::text(status, body)
+        }
+    }
+
+    /// A single-object JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            content_type: "application/json",
+            ..Self::text(status, body)
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.extra_headers.push((name, value));
+        self
+    }
+}
+
+/// Canonical reason phrases for the status codes this server emits.
+pub(crate) fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Content Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes `resp` onto the wire. `keep_alive` decides the
+/// `Connection` header — the caller owns that decision because it folds
+/// in the shutdown flag, not just the client's preference.
+pub(crate) fn write_response(
+    w: &mut impl Write,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in &resp.extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(&resp.body)?;
+    w.flush()
+}
+
+impl RequestError {
+    /// The on-wire answer for this parse failure. Always closes the
+    /// connection: after a malformed request the byte stream can no
+    /// longer be trusted to frame another one.
+    pub fn to_response(&self) -> Response {
+        match self {
+            Self::Bad(msg) => Response::text(400, format!("bad request: {msg}\n")),
+            Self::HeadTooLarge { limit } => Response::text(
+                431,
+                format!("request head exceeds the {limit}-byte limit\n"),
+            ),
+            Self::BodyTooLarge { declared, limit } => Response::text(
+                413,
+                format!("declared body of {declared} bytes exceeds the {limit}-byte limit\n"),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, RequestError> {
+        read_request(&mut Cursor::new(raw.to_vec()), 8192, 1 << 20)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(b"POST /score HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n[1.0,2.0]")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/score");
+        assert_eq!(req.body, b"[1.0,2.0]");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+        let req = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_between_requests_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_head_and_body_are_bad_requests() {
+        assert!(matches!(
+            parse(b"POST /score HTTP/1.1\r\nContent-Le"),
+            Err(RequestError::Bad(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /score HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(RequestError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for raw in [
+            b"GARBAGE\r\n\r\n".as_slice(),
+            b"GET /healthz\r\n\r\n",
+            b"GET /healthz HTTP/2\r\n\r\n",
+            b"get /healthz HTTP/1.1\r\n\r\n",
+            b"GET healthz HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(RequestError::Bad(_))),
+                "{raw:?} must be a 400"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        for raw in [
+            b"GET / HTTP/1.1\r\nno colon here\r\n\r\n".as_slice(),
+            b"GET / HTTP/1.1\r\n: empty\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbad name!: x\r\n\r\n",
+            b"GET / HTTP/1.1\r\nonly-lf: yes\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(RequestError::Bad(_))),
+                "{raw:?} must be a 400"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..500 {
+            raw.extend_from_slice(format!("x-filler-{i}: {}\r\n", "v".repeat(64)).as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let err = read_request(&mut Cursor::new(raw), 1024, 1 << 20).unwrap_err();
+        assert_eq!(err, RequestError::HeadTooLarge { limit: 1024 });
+        assert_eq!(err.to_response().status, 431);
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413_without_reading_it() {
+        // The cursor holds *no* body bytes: the parser must answer from
+        // the declared length alone.
+        let raw = b"POST /score HTTP/1.1\r\nContent-Length: 999999\r\n\r\n";
+        let err = read_request(&mut Cursor::new(raw.to_vec()), 8192, 1000).unwrap_err();
+        assert_eq!(
+            err,
+            RequestError::BodyTooLarge {
+                declared: 999999,
+                limit: 1000
+            }
+        );
+        assert_eq!(err.to_response().status, 413);
+    }
+
+    #[test]
+    fn transfer_encoding_and_conflicting_lengths_are_rejected() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(RequestError::Bad(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\nabcd"),
+            Err(RequestError::Bad(_))
+        ));
+        // Agreeing duplicates are fine (RFC 9110 permits collapsing).
+        assert!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc")
+                .unwrap()
+                .is_some()
+        );
+    }
+
+    #[test]
+    fn invalid_content_length_is_rejected() {
+        // "+12" matters: usize::from_str would accept it, but RFC 9110
+        // says 1*DIGIT, and a proxy that frames it differently than we
+        // do is a smuggling seam.
+        for v in ["abc", "-1", "1.5", "", "+12", " 12 x"] {
+            let raw = format!("POST / HTTP/1.1\r\nContent-Length: {v}\r\n\r\n");
+            assert!(
+                matches!(parse(raw.as_bytes()), Err(RequestError::Bad(_))),
+                "Content-Length {v:?} must be a 400"
+            );
+        }
+    }
+
+    #[test]
+    fn two_pipelined_requests_parse_in_sequence() {
+        let raw =
+            b"GET /healthz HTTP/1.1\r\n\r\nPOST /score HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        let mut cursor = Cursor::new(raw.to_vec());
+        let a = read_request(&mut cursor, 8192, 1 << 20).unwrap().unwrap();
+        let b = read_request(&mut cursor, 8192, 1 << 20).unwrap().unwrap();
+        assert_eq!(
+            (a.target.as_str(), b.target.as_str()),
+            ("/healthz", "/score")
+        );
+        assert_eq!(b.body, b"hi");
+        assert!(read_request(&mut cursor, 8192, 1 << 20).unwrap().is_none());
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_connection() {
+        let mut out = Vec::new();
+        let resp = Response::text(200, "ok\n").with_header("x-mccatch-generation", "7".into());
+        write_response(&mut out, &resp, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 3\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("x-mccatch-generation: 7\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::text(503, ""), false).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("connection: close"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # mccatch-server — HTTP scoring over the MCCATCH serving primitives
+//!
+//! A dependency-free (std-only, like the rest of the workspace)
+//! multithreaded HTTP/1.1 service that turns the serving and streaming
+//! primitives — `ModelStore`'s atomic tagged snapshots and
+//! `StreamDetector`'s prequential ingest with background refit — into
+//! something a network client can actually call:
+//!
+//! | Endpoint | Method | Meaning |
+//! |---|---|---|
+//! | `/score` | POST | NDJSON points in, one `{"score": …}` per line out, the whole batch scored against **one** tagged model snapshot (`X-Mccatch-Generation` response header) |
+//! | `/ingest` | POST | NDJSON events in, one scored-event object per line out; feeds the sliding window and drives the refit policy |
+//! | `/admin/refit` | POST | Synchronous refit on the current window; answers the new generation |
+//! | `/healthz` | GET | Liveness |
+//! | `/metrics` | GET | Prometheus text exposition: request/error counters, queue depth, `StreamStats`, `ModelStats`, live per-backend distance evaluations |
+//!
+//! Malformed input degrades **per line**, not per batch: an unparsable
+//! or non-UTF-8 NDJSON line becomes a `{"line": N, "error": …}` object
+//! in its position while the rest of the batch is served normally.
+//! Malformed HTTP is answered with the proper status (`400` bad
+//! framing, `404`/`405` routing, `413` oversized body — rejected before
+//! reading it — `431` oversized head), and a full accept queue is
+//! answered `503` + `Retry-After` instead of buffering without bound.
+//!
+//! Start a server with [`serve`]; stop it with
+//! [`ServerHandle::shutdown`] (graceful: in-flight requests drain). See
+//! the repo-level `ARCHITECTURE.md` ("Serving over HTTP") for the full
+//! listener → pool → store flow.
+
+#![deny(missing_docs)]
+
+pub mod client;
+mod config;
+mod error;
+mod http;
+mod metrics;
+pub mod ndjson;
+mod server;
+mod service;
+
+pub use config::ServerConfig;
+pub use error::ServerError;
+pub use ndjson::LineParser;
+pub use server::{serve, ServerHandle};

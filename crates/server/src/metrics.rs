@@ -1,0 +1,296 @@
+//! Request counters and the Prometheus text exposition for `/metrics`.
+
+use crate::service::Service;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// The endpoints with per-endpoint request counters, in exposition
+/// order.
+pub(crate) const ENDPOINTS: &[&str] = &["score", "ingest", "refit", "healthz", "metrics"];
+
+/// The status codes this server can emit, in exposition order.
+pub(crate) const STATUSES: &[u16] = &[200, 400, 404, 405, 413, 431, 500, 503];
+
+/// Lock-free counters of the HTTP layer, updated by the acceptor and
+/// every worker; scraped (and unit-tested) through
+/// [`render_prometheus`].
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    /// Requests routed to each endpoint (parallel to [`ENDPOINTS`]).
+    pub requests: [AtomicU64; 5],
+    /// Responses written per status code (parallel to [`STATUSES`]).
+    pub responses: [AtomicU64; 8],
+    /// Connections handed to the worker pool.
+    pub connections_accepted: AtomicU64,
+    /// Connections answered `503` because the queue was full.
+    pub connections_rejected: AtomicU64,
+    /// Accepted connections currently waiting for a worker.
+    pub queue_depth: AtomicUsize,
+    /// NDJSON lines scored or ingested successfully.
+    pub lines_ok: AtomicU64,
+    /// NDJSON lines answered with a per-line error object.
+    pub lines_err: AtomicU64,
+}
+
+impl Counters {
+    /// Bumps the request counter of `endpoint` (a [`ENDPOINTS`] member).
+    pub fn count_request(&self, endpoint: &str) {
+        if let Some(i) = ENDPOINTS.iter().position(|e| *e == endpoint) {
+            self.requests[i].fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Bumps the response counter of `status` (a [`STATUSES`] member).
+    pub fn count_response(&self, status: u16) {
+        if let Some(i) = STATUSES.iter().position(|s| *s == status) {
+            self.responses[i].fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Formats an `f64` the Prometheus exposition way (`+Inf`/`-Inf`/`NaN`
+/// instead of JSON's `null`).
+fn prom_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else if v.is_nan() {
+        "NaN".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the full `/metrics` payload: server counters, stream
+/// counters, the served model's summary, and the live per-backend
+/// distance-evaluation total.
+pub(crate) fn render_prometheus(
+    counters: &Counters,
+    service: &dyn Service,
+    index_label: &str,
+) -> String {
+    let stream = service.stream_stats();
+    let model = service.model_stats();
+    let mut out = String::with_capacity(4096);
+    let mut metric = |name: &str, kind: &str, help: &str, series: &[(String, String)]| {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        for (labels, value) in series {
+            out.push_str(name);
+            out.push_str(labels);
+            out.push(' ');
+            out.push_str(value);
+            out.push('\n');
+        }
+    };
+    let plain = |v: String| vec![(String::new(), v)];
+
+    metric(
+        "mccatch_server_requests_total",
+        "counter",
+        "Requests routed to each endpoint.",
+        &ENDPOINTS
+            .iter()
+            .zip(&counters.requests)
+            .map(|(e, c)| {
+                (
+                    format!("{{endpoint=\"{e}\"}}"),
+                    c.load(Ordering::Acquire).to_string(),
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    metric(
+        "mccatch_server_responses_total",
+        "counter",
+        "Responses written, by status code.",
+        &STATUSES
+            .iter()
+            .zip(&counters.responses)
+            .map(|(s, c)| {
+                (
+                    format!("{{status=\"{s}\"}}"),
+                    c.load(Ordering::Acquire).to_string(),
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    metric(
+        "mccatch_server_connections_accepted_total",
+        "counter",
+        "Connections handed to the worker pool.",
+        &plain(
+            counters
+                .connections_accepted
+                .load(Ordering::Acquire)
+                .to_string(),
+        ),
+    );
+    metric(
+        "mccatch_server_connections_rejected_total",
+        "counter",
+        "Connections answered 503 under backpressure.",
+        &plain(
+            counters
+                .connections_rejected
+                .load(Ordering::Acquire)
+                .to_string(),
+        ),
+    );
+    metric(
+        "mccatch_server_queue_depth",
+        "gauge",
+        "Accepted connections currently waiting for a worker.",
+        &plain(counters.queue_depth.load(Ordering::Acquire).to_string()),
+    );
+    metric(
+        "mccatch_server_ndjson_lines_total",
+        "counter",
+        "NDJSON request lines processed, by outcome.",
+        &[
+            (
+                "{outcome=\"ok\"}".to_owned(),
+                counters.lines_ok.load(Ordering::Acquire).to_string(),
+            ),
+            (
+                "{outcome=\"error\"}".to_owned(),
+                counters.lines_err.load(Ordering::Acquire).to_string(),
+            ),
+        ],
+    );
+
+    metric(
+        "mccatch_stream_events_ingested_total",
+        "counter",
+        "Events accepted into the sliding window (seed included).",
+        &plain(stream.events_ingested.to_string()),
+    );
+    metric(
+        "mccatch_stream_events_scored_total",
+        "counter",
+        "Events scored at arrival.",
+        &plain(stream.events_scored.to_string()),
+    );
+    metric(
+        "mccatch_stream_events_evicted_total",
+        "counter",
+        "Events evicted from the window by capacity or age.",
+        &plain(stream.events_evicted.to_string()),
+    );
+    metric(
+        "mccatch_stream_window_len",
+        "gauge",
+        "Events currently retained in the sliding window.",
+        &plain(stream.window_len.to_string()),
+    );
+    metric(
+        "mccatch_stream_window_capacity",
+        "gauge",
+        "Configured window capacity.",
+        &plain(stream.window_capacity.to_string()),
+    );
+    metric(
+        "mccatch_stream_refits_total",
+        "counter",
+        "Refit requests, by outcome.",
+        &[
+            ("requested", stream.refits_requested),
+            ("coalesced", stream.refits_coalesced),
+            ("completed", stream.refits_completed),
+            ("skipped", stream.refits_skipped),
+            ("failed", stream.refits_failed),
+        ]
+        .iter()
+        .map(|(o, v)| (format!("{{outcome=\"{o}\"}}"), v.to_string()))
+        .collect::<Vec<_>>(),
+    );
+    metric(
+        "mccatch_stream_refit_queue_depth",
+        "gauge",
+        "Refit requests waiting in the bounded command queue.",
+        &plain(stream.refit_queue_depth.to_string()),
+    );
+    metric(
+        "mccatch_stream_fit_distance_evals_total",
+        "counter",
+        "Distance evaluations spent across all completed fits.",
+        &plain(stream.fit_distance_evals.to_string()),
+    );
+
+    metric(
+        "mccatch_model_generation",
+        "gauge",
+        "Generation of the currently served model.",
+        &plain(stream.generation.to_string()),
+    );
+    metric(
+        "mccatch_model_points",
+        "gauge",
+        "Reference points in the served model.",
+        &plain(model.num_points.to_string()),
+    );
+    metric(
+        "mccatch_model_outliers",
+        "gauge",
+        "Outliers flagged in the served model's reference set.",
+        &plain(model.num_outliers.to_string()),
+    );
+    metric(
+        "mccatch_model_microclusters",
+        "gauge",
+        "Microclusters gelled in the served model's reference set.",
+        &plain(model.num_microclusters.to_string()),
+    );
+    metric(
+        "mccatch_model_cutoff_d",
+        "gauge",
+        "The served model's MDL cutoff distance d.",
+        &plain(prom_f64(model.cutoff_d)),
+    );
+    metric(
+        "mccatch_model_degenerate",
+        "gauge",
+        "1 when the served model is degenerate (cold start).",
+        &plain((model.degenerate as u8).to_string()),
+    );
+    metric(
+        "mccatch_model_fit_distance_evals",
+        "gauge",
+        "Distance evaluations the served model's fit cost.",
+        &plain(model.distance_evals.to_string()),
+    );
+    metric(
+        "mccatch_index_distance_evals_total",
+        "counter",
+        "Live distance evaluations of the served reference tree (fit plus serving queries), by index backend.",
+        &[(
+            format!("{{index=\"{index_label}\"}}"),
+            service.live_distance_evals().to_string(),
+        )],
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_ignore_unknown_keys_and_count_known_ones() {
+        let c = Counters::default();
+        c.count_request("score");
+        c.count_request("score");
+        c.count_request("nonsense");
+        c.count_response(200);
+        c.count_response(999);
+        assert_eq!(c.requests[0].load(Ordering::Acquire), 2);
+        assert_eq!(c.responses[0].load(Ordering::Acquire), 1);
+    }
+
+    #[test]
+    fn prom_f64_spells_nonfinite_the_prometheus_way() {
+        assert_eq!(prom_f64(f64::INFINITY), "+Inf");
+        assert_eq!(prom_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(prom_f64(f64::NAN), "NaN");
+        assert_eq!(prom_f64(1.5), "1.5");
+    }
+}

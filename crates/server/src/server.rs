@@ -1,0 +1,417 @@
+//! The listener, the bounded worker pool, request routing, and graceful
+//! shutdown.
+//!
+//! ```text
+//!                    accept()        bounded queue         workers (N threads)
+//! client ──TCP──►  acceptor ──try_send──► [conn|conn] ──recv──► parse → route →
+//!                     │ full?                                   respond (keep-alive
+//!                     ▼                                         until close/shutdown)
+//!               503 + Retry-After
+//!               (explicit backpressure — never unbounded buffering)
+//! ```
+//!
+//! Shutdown is cooperative and drains in-flight work: the flag flips,
+//! a self-connection wakes the acceptor, the queue sender drops, each
+//! worker finishes the request it is serving (answering it with
+//! `Connection: close`), drains any already-accepted connections, and
+//! exits; `shutdown()` then joins every thread.
+
+use crate::config::ServerConfig;
+use crate::error::ServerError;
+use crate::http::{self, Request, Response};
+use crate::metrics::{render_prometheus, Counters};
+use crate::ndjson::{json_escape, LineParser};
+use crate::service::{NdjsonOutcome, Service, StreamService};
+use mccatch_index::IndexBuilder;
+use mccatch_metric::Metric;
+use mccatch_stream::StreamDetector;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything the acceptor and workers share.
+struct Shared {
+    config: ServerConfig,
+    service: Arc<dyn Service>,
+    counters: Counters,
+    index_label: String,
+    shutdown: AtomicBool,
+}
+
+/// A running HTTP scoring service, returned by [`serve`].
+///
+/// The handle owns the acceptor and worker threads. [`shutdown`]
+/// (also invoked on drop) stops accepting, drains in-flight requests,
+/// and joins every thread; [`local_addr`] reports the bound address —
+/// ask for port `0` and read it back for ephemeral test servers.
+///
+/// [`shutdown`]: ServerHandle::shutdown
+/// [`local_addr`]: ServerHandle::local_addr
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (with the real port even
+    /// when bound to port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown, drains in-flight requests, and joins every
+    /// thread. Idempotent; called automatically on drop.
+    pub fn shutdown(&self) {
+        if !self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            // Wake the acceptor out of its blocking accept(); the
+            // connection itself is discarded by the shutdown check.
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(acceptor) = self
+            .acceptor
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            let _ = acceptor.join();
+        }
+        let workers: Vec<_> = self
+            .workers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Blocks the calling thread until the server shuts down (from
+    /// another thread's [`shutdown`](Self::shutdown) or process exit) —
+    /// the `--serve` CLI's main-thread parking spot.
+    pub fn wait(&self) {
+        if let Some(acceptor) = self
+            .acceptor
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("shutdown", &self.shared.shutdown.load(Ordering::Acquire))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Starts the HTTP scoring service over a shared [`StreamDetector`].
+///
+/// Validates `config`, binds `addr` (use port `0` for an ephemeral
+/// port), spawns the acceptor and `config.workers` worker threads, and
+/// returns the running [`ServerHandle`]. `parser` decodes one NDJSON
+/// request line into a point (see [`crate::ndjson::parse_vector_line`]
+/// and [`crate::ndjson::parse_string_line`]); `index_label` names the
+/// index backend in the `/metrics` distance-evaluation series.
+///
+/// The detector is shared, not consumed: the process can keep calling
+/// `ingest`/`refit_now`/`stats` on its own clone of the `Arc` while the
+/// server runs — both go through the same `ModelStore` snapshots.
+///
+/// ```no_run
+/// use mccatch_core::McCatch;
+/// use mccatch_index::KdTreeBuilder;
+/// use mccatch_metric::Euclidean;
+/// use mccatch_server::{ndjson, serve, ServerConfig};
+/// use mccatch_stream::{StreamConfig, StreamDetector};
+/// use std::sync::Arc;
+///
+/// let seed: Vec<Vec<f64>> = (0..100)
+///     .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
+///     .collect();
+/// let detector = Arc::new(StreamDetector::new(
+///     StreamConfig::default(),
+///     McCatch::builder().build()?,
+///     Euclidean,
+///     KdTreeBuilder::default(),
+///     seed,
+/// )?);
+/// let server = serve(
+///     "127.0.0.1:0",
+///     ServerConfig::default(),
+///     detector,
+///     Arc::new(ndjson::parse_vector_line),
+///     "kd",
+/// )?;
+/// println!("listening on http://{}", server.local_addr());
+/// server.wait();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn serve<P, M, B>(
+    addr: impl ToSocketAddrs + std::fmt::Debug,
+    config: ServerConfig,
+    detector: Arc<StreamDetector<P, M, B>>,
+    parser: LineParser<P>,
+    index_label: impl Into<String>,
+) -> Result<ServerHandle, ServerError>
+where
+    P: Clone + Send + Sync + 'static,
+    M: Metric<P> + Clone + 'static,
+    B: IndexBuilder<P, M> + Clone + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+{
+    config.validate()?;
+    let bind_err = |e: &std::io::Error| ServerError::Bind {
+        addr: format!("{addr:?}"),
+        kind: e.kind(),
+        message: e.to_string(),
+    };
+    let listener = TcpListener::bind(&addr).map_err(|e| bind_err(&e))?;
+    let local = listener.local_addr().map_err(|e| bind_err(&e))?;
+
+    let shared = Arc::new(Shared {
+        service: Arc::new(StreamService::new(detector, parser)),
+        index_label: index_label.into(),
+        counters: Counters::default(),
+        shutdown: AtomicBool::new(false),
+        config,
+    });
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(shared.config.queue);
+    let rx = Arc::new(Mutex::new(rx));
+
+    let workers = (0..shared.config.workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            std::thread::Builder::new()
+                .name(format!("mccatch-http-{i}"))
+                .spawn(move || worker_loop(shared, rx))
+                .expect("spawn http worker thread")
+        })
+        .collect();
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("mccatch-http-accept".to_owned())
+            .spawn(move || accept_loop(shared, listener, tx))
+            .expect("spawn http acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        addr: local,
+        shared,
+        acceptor: Mutex::new(Some(acceptor)),
+        workers: Mutex::new(workers),
+    })
+}
+
+/// Accepts connections and hands them to the pool, answering `503`
+/// directly when the queue is full. The `tx` sender drops on exit,
+/// which is what lets idle workers notice the shutdown.
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener, tx: SyncSender<TcpStream>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let conn = match conn {
+            Ok(c) => c,
+            // Transient accept errors (EMFILE, aborted handshakes) must
+            // not kill the listener.
+            Err(_) => continue,
+        };
+        let _ = conn.set_nodelay(true);
+        // Increment before sending, exactly like the stream crate's
+        // refit queue: the worker decrements as soon as it pops, so the
+        // other order could race the gauge below zero.
+        shared.counters.queue_depth.fetch_add(1, Ordering::AcqRel);
+        match tx.try_send(conn) {
+            Ok(()) => {
+                shared
+                    .counters
+                    .connections_accepted
+                    .fetch_add(1, Ordering::AcqRel);
+            }
+            Err(TrySendError::Full(conn)) => {
+                shared.counters.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                shared
+                    .counters
+                    .connections_rejected
+                    .fetch_add(1, Ordering::AcqRel);
+                reject_with_503(&shared, conn);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                shared.counters.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                break;
+            }
+        }
+    }
+}
+
+/// Writes the backpressure `503` (with `Retry-After`) and drops the
+/// connection. Runs on the acceptor thread; the write is a handful of
+/// bytes, but a write timeout guards against a client with a zero
+/// receive window wedging the accept loop.
+fn reject_with_503(shared: &Shared, mut conn: TcpStream) {
+    let _ = conn.set_write_timeout(Some(Duration::from_millis(200)));
+    let resp = Response::text(503, "server is at capacity, retry shortly\n")
+        .with_header("retry-after", shared.config.retry_after_secs.to_string());
+    shared.counters.count_response(503);
+    let _ = http::write_response(&mut conn, &resp, false);
+}
+
+/// One worker: pops connections and serves them to completion
+/// (keep-alive included). Exits when the acceptor is gone and the
+/// queue is drained.
+fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        // Hold the receiver lock only for the pop; serving runs
+        // unlocked so workers drain the queue concurrently.
+        let conn = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+        match conn {
+            Ok(conn) => {
+                shared.counters.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                serve_connection(&shared, conn);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serves every request on one connection until the client closes, a
+/// parse error poisons the stream, or shutdown asks for a drain.
+fn serve_connection(shared: &Shared, conn: TcpStream) {
+    let _ = conn.set_read_timeout(shared.config.read_timeout);
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(conn);
+    loop {
+        match http::read_request_head(
+            &mut reader,
+            shared.config.max_header_bytes,
+            shared.config.max_body_bytes,
+        ) {
+            Ok(None) => break,
+            Ok(Some(head)) => {
+                // Clients like curl hold large uploads back until they
+                // see `100 Continue` (or a 1-second timeout expires);
+                // answering the expectation keeps big in-contract
+                // batches at wire speed. The head is already past the
+                // 413 check here, so continuing is always correct.
+                if head.expects_continue()
+                    && head.content_length > 0
+                    && reader
+                        .get_mut()
+                        .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+                        .is_err()
+                {
+                    break;
+                }
+                let req = match http::read_request_body(&mut reader, head.content_length) {
+                    Ok(body) => head.into_request(body),
+                    Err(e) => {
+                        let resp = e.to_response();
+                        shared.counters.count_response(resp.status);
+                        let _ = http::write_response(reader.get_mut(), &resp, false);
+                        break;
+                    }
+                };
+                // A handler panic (e.g. a query the model cannot digest)
+                // must cost one request, not a worker thread: the pool
+                // would otherwise bleed capacity until the server
+                // wedges with no visible failure.
+                let resp =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(shared, &req)))
+                        .unwrap_or_else(|_| Response::text(500, "internal error\n"));
+                // Drain on shutdown: answer the in-flight request, then
+                // ask the client to reconnect elsewhere.
+                let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::Acquire);
+                shared.counters.count_response(resp.status);
+                if http::write_response(reader.get_mut(), &resp, keep_alive).is_err() || !keep_alive
+                {
+                    break;
+                }
+            }
+            Err(e) => {
+                // After a malformed request the byte stream can no
+                // longer be framed; answer and close.
+                let resp = e.to_response();
+                shared.counters.count_response(resp.status);
+                let _ = http::write_response(reader.get_mut(), &resp, false);
+                break;
+            }
+        }
+    }
+}
+
+/// Maps one parsed request to its response.
+fn route(shared: &Shared, req: &Request) -> Response {
+    let endpoint = match req.target.as_str() {
+        "/score" => "score",
+        "/ingest" => "ingest",
+        "/admin/refit" => "refit",
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        _ => {
+            return Response::text(404, format!("no such endpoint: {}\n", req.target));
+        }
+    };
+    let expected = match endpoint {
+        "healthz" | "metrics" => "GET",
+        _ => "POST",
+    };
+    if req.method != expected {
+        return Response::text(405, format!("{} requires {expected}\n", req.target))
+            .with_header("allow", expected.to_owned());
+    }
+    shared.counters.count_request(endpoint);
+    match endpoint {
+        "healthz" => Response::text(200, "ok\n"),
+        "metrics" => Response::text(
+            200,
+            render_prometheus(&shared.counters, &*shared.service, &shared.index_label),
+        ),
+        "score" => ndjson_response(shared, shared.service.score_ndjson(&req.body)),
+        "ingest" => ndjson_response(shared, shared.service.ingest_ndjson(&req.body)),
+        "refit" => match shared.service.refit_now() {
+            Ok(generation) => Response::json(200, format!("{{\"generation\": {generation}}}\n"))
+                .with_header("x-mccatch-generation", generation.to_string()),
+            Err(e) => Response::json(
+                500,
+                format!("{{\"error\": \"refit failed: {}\"}}\n", json_escape(&e)),
+            ),
+        },
+        _ => unreachable!("endpoint matched above"),
+    }
+}
+
+/// Wraps an NDJSON outcome into its `200` response, folding the
+/// per-line accounting into the server counters and tagging the batch
+/// with the model generation it was served by.
+fn ndjson_response(shared: &Shared, outcome: NdjsonOutcome) -> Response {
+    shared
+        .counters
+        .lines_ok
+        .fetch_add(outcome.lines_ok, Ordering::AcqRel);
+    shared
+        .counters
+        .lines_err
+        .fetch_add(outcome.lines_err, Ordering::AcqRel);
+    Response::ndjson(200, outcome.body)
+        .with_header("x-mccatch-generation", outcome.generation.to_string())
+}

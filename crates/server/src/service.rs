@@ -1,0 +1,277 @@
+//! The bridge between the HTTP layer and the serving primitives: a
+//! type-erased [`Service`] over `StreamDetector` + `ModelStore`.
+//!
+//! The HTTP machinery (parser, pool, routing) is deliberately
+//! non-generic — it talks to `dyn Service`, the same erasure move
+//! `Arc<dyn Model<P>>` makes one layer down. [`StreamService`] is the
+//! one implementation: it scores batches against a single tagged model
+//! snapshot, feeds ingests through the stream detector (driving the
+//! drift/every-N refit policies exactly as a library caller would), and
+//! exposes the counters the `/metrics` endpoint renders.
+
+use crate::ndjson::{body_lines, json_escape, json_f64, LineParser};
+use mccatch_core::ModelStats;
+use mccatch_index::IndexBuilder;
+use mccatch_metric::Metric;
+use mccatch_stream::{StreamDetector, StreamStats};
+use std::sync::Arc;
+
+/// Result of processing one NDJSON request body: the response body
+/// (one JSON object per input line) plus the generation tag and the
+/// per-line accounting for the request counters.
+pub(crate) struct NdjsonOutcome {
+    /// The model generation this request is attributed to (the
+    /// `X-Mccatch-Generation` response header).
+    pub generation: u64,
+    /// The NDJSON response body.
+    pub body: String,
+    /// Lines that parsed and were scored/ingested.
+    pub lines_ok: u64,
+    /// Lines answered with a per-line error object.
+    pub lines_err: u64,
+}
+
+/// What the HTTP layer needs from the scoring backend, erased over the
+/// point, metric, and index types.
+pub(crate) trait Service: Send + Sync {
+    /// `POST /score`: scores every line against **one** tagged model
+    /// snapshot; the window is untouched.
+    fn score_ndjson(&self, body: &[u8]) -> NdjsonOutcome;
+    /// `POST /ingest`: feeds every line through the stream detector
+    /// (prequential scoring + window push + refit policy).
+    fn ingest_ndjson(&self, body: &[u8]) -> NdjsonOutcome;
+    /// `POST /admin/refit`: synchronous refit, returning the new
+    /// generation.
+    fn refit_now(&self) -> Result<u64, String>;
+    /// Current served-model generation.
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn generation(&self) -> u64;
+    /// Stream counters for `/metrics`.
+    fn stream_stats(&self) -> StreamStats;
+    /// Summary of the currently served model for `/metrics`.
+    fn model_stats(&self) -> ModelStats;
+    /// Live distance evaluations of the served model's reference tree
+    /// (fit **plus** serving queries so far) for `/metrics`.
+    fn live_distance_evals(&self) -> u64;
+}
+
+/// The [`Service`] over a shared [`StreamDetector`].
+pub(crate) struct StreamService<P, M, B> {
+    detector: Arc<StreamDetector<P, M, B>>,
+    parse: LineParser<P>,
+}
+
+impl<P, M, B> StreamService<P, M, B> {
+    pub fn new(detector: Arc<StreamDetector<P, M, B>>, parse: LineParser<P>) -> Self {
+        Self { detector, parse }
+    }
+}
+
+/// Renders one per-line error object.
+fn error_line(line_no: usize, message: &str) -> String {
+    format!(
+        "{{\"line\": {line_no}, \"error\": \"{}\"}}",
+        json_escape(message)
+    )
+}
+
+impl<P, M, B> Service for StreamService<P, M, B>
+where
+    P: Clone + Send + Sync + 'static,
+    M: Metric<P> + Clone + 'static,
+    B: IndexBuilder<P, M> + Clone + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+{
+    fn score_ndjson(&self, body: &[u8]) -> NdjsonOutcome {
+        // One atomic (model, generation) pair for the whole batch: the
+        // response is attributably scored against a single model even
+        // if a refit swap lands mid-request, and the scores are
+        // bit-identical to `ModelStore::score_batch` on that snapshot
+        // (it is the same `Model::score_batch` call).
+        let (model, generation) = self.detector.store().snapshot_tagged();
+        // Parsed points move straight into the scoring batch; `parsed`
+        // only remembers per-line ok/error so results interleave back
+        // in position without a second copy of every vector.
+        let mut parsed: Vec<Result<(), (usize, String)>> = Vec::new();
+        let mut points: Vec<P> = Vec::new();
+        for (line_no, raw) in body_lines(body) {
+            let entry = match std::str::from_utf8(raw) {
+                Err(_) => Err((line_no, "invalid UTF-8".to_owned())),
+                Ok(text) => match (self.parse)(text) {
+                    Ok(p) => {
+                        points.push(p);
+                        Ok(())
+                    }
+                    Err(e) => Err((line_no, e)),
+                },
+            };
+            parsed.push(entry);
+        }
+        let scores = model.score_batch(&points);
+        let mut body = String::new();
+        let (mut lines_ok, mut lines_err) = (0u64, 0u64);
+        let mut next_score = scores.into_iter();
+        for entry in &parsed {
+            match entry {
+                Ok(_) => {
+                    let s = next_score.next().expect("one score per parsed point");
+                    body.push_str(&format!("{{\"score\": {}}}\n", json_f64(s)));
+                    lines_ok += 1;
+                }
+                Err((line_no, msg)) => {
+                    body.push_str(&error_line(*line_no, msg));
+                    body.push('\n');
+                    lines_err += 1;
+                }
+            }
+        }
+        NdjsonOutcome {
+            generation,
+            body,
+            lines_ok,
+            lines_err,
+        }
+    }
+
+    fn ingest_ndjson(&self, body: &[u8]) -> NdjsonOutcome {
+        let mut out = String::new();
+        let (mut lines_ok, mut lines_err) = (0u64, 0u64);
+        for (line_no, raw) in body_lines(body) {
+            match std::str::from_utf8(raw)
+                .map_err(|_| "invalid UTF-8".to_owned())
+                .and_then(|text| (self.parse)(text))
+            {
+                Ok(point) => {
+                    // Events are scored-then-learned one by one, each
+                    // tagged with its own generation; the refit policy
+                    // (every-N / drift) fires exactly as it does for a
+                    // library `ingest` caller.
+                    let event = self.detector.ingest(point);
+                    out.push_str(&crate::ndjson::scored_event_json(&event));
+                    out.push('\n');
+                    lines_ok += 1;
+                }
+                Err(msg) => {
+                    out.push_str(&error_line(line_no, &msg));
+                    out.push('\n');
+                    lines_err += 1;
+                }
+            }
+        }
+        NdjsonOutcome {
+            generation: self.detector.generation(),
+            body: out,
+            lines_ok,
+            lines_err,
+        }
+    }
+
+    fn refit_now(&self) -> Result<u64, String> {
+        self.detector.refit_now().map_err(|e| e.to_string())
+    }
+
+    fn generation(&self) -> u64 {
+        self.detector.generation()
+    }
+
+    fn stream_stats(&self) -> StreamStats {
+        self.detector.stats()
+    }
+
+    fn model_stats(&self) -> ModelStats {
+        self.detector.model().stats()
+    }
+
+    fn live_distance_evals(&self) -> u64 {
+        self.detector.model().distance_stats().evals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ndjson::parse_vector_line;
+    use mccatch_core::McCatch;
+    use mccatch_index::KdTreeBuilder;
+    use mccatch_metric::Euclidean;
+    use mccatch_stream::{RefitPolicy, StreamConfig};
+
+    fn service() -> StreamService<Vec<f64>, Euclidean, KdTreeBuilder> {
+        let mut seed: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
+            .collect();
+        seed.push(vec![500.0, 500.0]);
+        let detector = StreamDetector::new(
+            StreamConfig {
+                capacity: 512,
+                policy: RefitPolicy::Manual,
+                ..StreamConfig::default()
+            },
+            McCatch::builder().build().unwrap(),
+            Euclidean,
+            KdTreeBuilder::default(),
+            seed,
+        )
+        .unwrap();
+        StreamService::new(Arc::new(detector), Arc::new(parse_vector_line))
+    }
+
+    #[test]
+    fn score_interleaves_results_with_per_line_errors() {
+        let svc = service();
+        let out = svc.score_ndjson(b"[4.5, 4.5]\nnot json\n[900.0, 900.0]\n\xff\xfe\n");
+        assert_eq!(out.generation, 0);
+        assert_eq!((out.lines_ok, out.lines_err), (2, 2));
+        let lines: Vec<&str> = out.body.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"score\": "));
+        assert!(lines[1].contains("\"line\": 2") && lines[1].contains("error"));
+        assert!(lines[2].starts_with("{\"score\": "));
+        assert!(lines[3].contains("\"line\": 4") && lines[3].contains("UTF-8"));
+        // Scoring does not ingest: the window is untouched.
+        assert_eq!(svc.stream_stats().events_scored, 0);
+    }
+
+    #[test]
+    fn score_is_bit_identical_to_the_model_store() {
+        let svc = service();
+        let queries = vec![vec![4.5, 4.5], vec![250.0, -3.0]];
+        let direct = svc.detector.store().score_batch(&queries);
+        let out = svc.score_ndjson(b"[4.5, 4.5]\n[250.0, -3.0]\n");
+        let served: Vec<f64> = out
+            .body
+            .lines()
+            .map(|l| {
+                l.strip_prefix("{\"score\": ")
+                    .and_then(|l| l.strip_suffix('}'))
+                    .unwrap()
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(
+            direct, served,
+            "wire scores must round-trip bit-identically"
+        );
+    }
+
+    #[test]
+    fn ingest_returns_scored_events_and_feeds_the_window() {
+        let svc = service();
+        let before = svc.stream_stats().events_ingested;
+        let out = svc.ingest_ndjson(b"[4.0, 4.0]\nbroken\n[900.0, 900.0]\n");
+        assert_eq!((out.lines_ok, out.lines_err), (2, 1));
+        let lines: Vec<&str> = out.body.lines().collect();
+        assert!(lines[0].contains("\"seq\": ") && lines[0].contains("\"flagged\": false"));
+        assert!(lines[2].contains("\"flagged\": true"));
+        assert_eq!(svc.stream_stats().events_ingested, before + 2);
+    }
+
+    #[test]
+    fn refit_now_advances_the_generation() {
+        let svc = service();
+        assert_eq!(svc.generation(), 0);
+        assert_eq!(svc.refit_now(), Ok(1));
+        assert_eq!(svc.generation(), 1);
+    }
+}

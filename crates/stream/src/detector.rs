@@ -480,6 +480,20 @@ where
         self.shared.store.snapshot()
     }
 
+    /// The underlying [`ModelStore`] this detector serves from — for
+    /// serving tiers (e.g. an HTTP frontend) that need the store's
+    /// atomic tagged snapshots (`snapshot_tagged`) or consistent batch
+    /// scoring without going through ingest.
+    ///
+    /// Swapping models into the store directly is safe (swaps are
+    /// atomic and snapshots drain) but bypasses the refit
+    /// serialization this detector's own refits go through; prefer
+    /// [`refit_now`](Self::refit_now) / [`request_refit`](Self::request_refit)
+    /// to change the served model.
+    pub fn store(&self) -> &ModelStore<P> {
+        &self.shared.store
+    }
+
     /// Generation of the currently served model: 0 for the initial fit,
     /// +1 per completed refit.
     pub fn generation(&self) -> u64 {

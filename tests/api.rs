@@ -1,10 +1,12 @@
 //! Integration tests for the staged fit-once/detect-many API: equivalence
-//! with the legacy one-shot path, typed configuration errors, and the
+//! with independent one-shot runs, typed configuration errors, and the
 //! serving path (`score_points`).
 
 use mccatch::index::{KdTreeBuilder, SlimTreeBuilder};
 use mccatch::metrics::{Euclidean, Levenshtein};
 use mccatch::{McCatch, McCatchError, Params};
+
+mod common;
 
 /// Fig. 3-flavored scene: dense blob, one 8-point microcluster with halo,
 /// one isolate.
@@ -28,14 +30,13 @@ fn scene() -> Vec<Vec<f64>> {
 }
 
 #[test]
-fn fit_once_detect_twice_equals_two_legacy_runs() {
+fn fit_once_detect_twice_equals_two_one_shot_runs() {
     let pts = scene();
 
-    // Two fully independent legacy one-shot runs…
-    #[allow(deprecated)]
-    let legacy_a = mccatch::detect_vectors(&pts, &Params::default());
-    #[allow(deprecated)]
-    let legacy_b = mccatch::detect_vectors(&pts, &Params::default());
+    // Two fully independent one-shot runs (fresh fit each time, exactly
+    // the lifecycle the removed 0.2.0 shims packaged)…
+    let legacy_a = common::detect_vectors(&pts, &Params::default());
+    let legacy_b = common::detect_vectors(&pts, &Params::default());
 
     // …vs one fit and two detect() calls on the same handle.
     let detector = McCatch::builder().build().expect("valid");
@@ -65,7 +66,7 @@ fn fit_once_detect_twice_equals_two_legacy_runs() {
 }
 
 #[test]
-fn fit_once_detect_twice_matches_legacy_on_string_data() {
+fn fit_once_detect_twice_matches_one_shot_on_string_data() {
     let mut words: Vec<String> = Vec::new();
     for a in ["sm", "br", "cl", "tr", "gr"] {
         for b in ["ith", "own", "ark", "een", "ant"] {
@@ -77,8 +78,7 @@ fn fit_once_detect_twice_matches_legacy_on_string_data() {
     words.push("xxxxxxxxxxxxxxxxxxxxxx".to_string());
     words.push("xxxxxxxxxxxxxxxxxxxxxy".to_string());
 
-    #[allow(deprecated)]
-    let legacy = mccatch::detect_metric(&words, &Levenshtein, &Params::default());
+    let legacy = common::detect_metric(&words, &Levenshtein, &Params::default());
 
     let fitted = McCatch::builder()
         .build()
@@ -205,12 +205,11 @@ fn builder_knobs_flow_through_to_detection() {
 fn erased_model_and_borrowed_shim_match_the_owned_path() {
     let pts = scene();
 
-    // The PR-1-era borrowed path lives on as the deprecated shim…
-    #[allow(deprecated)]
-    let legacy = mccatch::detect_vectors(&pts, &Params::default());
+    // An independent one-shot run over the borrowed slice…
+    let legacy = common::detect_vectors(&pts, &Params::default());
 
-    // …and both the borrowed fit_ref shim and the erased model must be
-    // bit-identical to it.
+    // …and both the borrowed fit_ref convenience and the erased model
+    // must be bit-identical to it.
     let detector = McCatch::builder().build().expect("valid");
     let via_ref = detector
         .fit_ref(&pts, &Euclidean, &KdTreeBuilder::default())

@@ -1,7 +1,8 @@
 //! Shared one-shot helpers for the root integration suites: the staged
-//! builder API driven exactly the way the deprecated `detect_vectors` /
-//! `detect_metric` shims drive it, so every suite exercises the
-//! configure-fit-detect lifecycle the production callers use.
+//! builder API driven exactly the way the `detect_vectors` /
+//! `detect_metric` shims (removed in 0.4.0) used to drive it, so every
+//! suite exercises the configure-fit-detect lifecycle the production
+//! callers use.
 //!
 //! Each `[[test]]` target compiles this file independently, and not every
 //! suite uses both helpers — hence the `dead_code` allowance.
