@@ -1,0 +1,157 @@
+//! Snapshot codec cost on the http-10k model, across all four index
+//! backends: how long a save takes, how many bytes it produces, and how
+//! long a verified load (header + points + full refit + bit-compare
+//! against the stored witness) takes to rebuild a serving model.
+//!
+//! Save is pure serialization — microseconds, dominated by the point
+//! payload. Load deliberately re-fits (that is the determinism
+//! verification), so its cost tracks the backend's fit cost; the
+//! interesting comparison is load-vs-fit overhead, which should be
+//! serialization noise.
+//!
+//! Besides the criterion timings, a fixed headline run per backend
+//! prints save/load summary lines and appends machine-readable results
+//! to `BENCH_persist.json` at the workspace root, so the perf
+//! trajectory accumulates across sessions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mccatch_core::{McCatch, Model};
+use mccatch_data::http;
+use mccatch_index::{
+    BruteForceBuilder, IndexBuilder, KdTreeBuilder, SlimTreeBuilder, VpTreeBuilder,
+};
+use mccatch_metric::{Euclidean, Metric};
+use mccatch_persist::{load_model, save_model};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N: usize = 10_000;
+
+fn points() -> Vec<Vec<f64>> {
+    http(N, 1).points
+}
+
+/// Fits the http-10k model on one backend and erases it for the codec.
+fn fitted<B>(builder: B) -> Arc<dyn Model<Vec<f64>>>
+where
+    B: IndexBuilder<Vec<f64>, Euclidean> + Clone + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+{
+    McCatch::builder()
+        .build()
+        .expect("defaults are valid")
+        .fit(points(), Euclidean, builder)
+        .expect("http-10k fits")
+        .into_model()
+}
+
+/// One headline save + verified load, wall-clock timed.
+fn headline<M, B>(model: &dyn Model<Vec<f64>>, metric: M, builder: B) -> (Duration, Duration, u64)
+where
+    M: Metric<Vec<f64>> + 'static,
+    B: IndexBuilder<Vec<f64>, M> + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+{
+    // Warm the model's lazily-computed stats (outlier/microcluster
+    // counts) so the save number measures serialization, not the first
+    // detection pass.
+    let _ = black_box(model.stats());
+    let t0 = Instant::now();
+    let mut buf = Vec::new();
+    let bytes = save_model(model, 0, N as u64, &mut buf).expect("exportable model");
+    let save = t0.elapsed();
+    let t0 = Instant::now();
+    let loaded = load_model(buf.as_slice(), metric, builder).expect("verified load");
+    let load = t0.elapsed();
+    assert_eq!(loaded.fitted.stats().num_points, N);
+    (save, load, bytes)
+}
+
+/// Appends the headline numbers to `BENCH_persist.json` at the
+/// workspace root (created if missing), one self-contained JSON object
+/// per run so downstream tooling can track the trajectory.
+fn emit_json(rows: &[(&str, Duration, Duration, u64)]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_persist.json");
+    let backends: Vec<String> = rows
+        .iter()
+        .map(|(name, save, load, bytes)| {
+            format!(
+                "\"{name}\": {{\"save_ms\": {:.3}, \"load_ms\": {:.1}, \"bytes\": {bytes}}}",
+                save.as_secs_f64() * 1e3,
+                load.as_secs_f64() * 1e3,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\": \"persist_codec\", \"workload\": \"http-10k\", \"points\": {N}, {}}}\n",
+        backends.join(", ")
+    );
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, json.as_bytes()));
+    match appended {
+        Ok(()) => println!("persist_http10k: appended to {path}"),
+        Err(e) => eprintln!("persist_http10k: could not write {path}: {e}"),
+    }
+}
+
+fn bench_persist_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persist_http10k");
+    group.sample_size(10);
+
+    // Criterion loops: save on every backend (serialization only, the
+    // backend affects just the name in the header), verified load on
+    // the kd fast path (the other backends' loads are dominated by
+    // their fit cost — see the headline rows).
+    let kd_model = fitted(KdTreeBuilder::default());
+    group.bench_function("save_kd", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(256 * 1024);
+            save_model(black_box(kd_model.as_ref()), 0, N as u64, &mut buf).unwrap();
+            black_box(buf)
+        })
+    });
+    let mut snapshot = Vec::new();
+    save_model(kd_model.as_ref(), 0, N as u64, &mut snapshot).unwrap();
+    group.bench_function("load_verified_kd", |b| {
+        b.iter(|| {
+            black_box(
+                load_model::<Vec<f64>, _, _, _>(
+                    snapshot.as_slice(),
+                    Euclidean,
+                    KdTreeBuilder::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+
+    // Headline: one timed save + verified load per backend.
+    let mut rows = Vec::new();
+    let (save, load, bytes) = headline(kd_model.as_ref(), Euclidean, KdTreeBuilder::default());
+    rows.push(("kd", save, load, bytes));
+    let model = fitted(VpTreeBuilder::default());
+    let (save, load, bytes) = headline(model.as_ref(), Euclidean, VpTreeBuilder::default());
+    rows.push(("vp", save, load, bytes));
+    let model = fitted(SlimTreeBuilder::default());
+    let (save, load, bytes) = headline(model.as_ref(), Euclidean, SlimTreeBuilder::default());
+    rows.push(("slim", save, load, bytes));
+    let model = fitted(BruteForceBuilder);
+    let (save, load, bytes) = headline(model.as_ref(), Euclidean, BruteForceBuilder);
+    rows.push(("brute", save, load, bytes));
+    for (name, save, load, bytes) in &rows {
+        println!(
+            "persist_http10k/{name}: save {:.3} ms, verified load {:.1} ms, {bytes} bytes",
+            save.as_secs_f64() * 1e3,
+            load.as_secs_f64() * 1e3,
+        );
+    }
+    emit_json(&rows);
+}
+
+criterion_group!(benches, bench_persist_codec);
+criterion_main!(benches);

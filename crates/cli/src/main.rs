@@ -43,7 +43,18 @@
 //!           [--stream] [--window N] [--refit-every N] [--warmup N]
 //!           [--drift FRAC] [--drift-recent N]
 //!           [--serve ADDR]
+//!           [--save-model PATH] [--load-model PATH] [--replay-log PATH]
 //! ```
+//!
+//! Persistence (`mccatch::persist`): `--save-model PATH` writes a
+//! versioned snapshot of the fitted model — after the fit in batch
+//! mode, as an end-of-input checkpoint with `--stream`, and as the
+//! `POST /admin/snapshot` target with `--serve`. `--load-model PATH`
+//! warm-starts from a snapshot instead of fitting: batch mode reports
+//! straight from it, `--stream`/`--serve` resume the saved generation
+//! and stream position without an initial refit. `--replay-log PATH`
+//! appends every ingested event as one NDJSON line; on a warm start the
+//! log is replayed to rebuild the exact sliding window.
 //!
 //! Invalid hyperparameters are reported as proper CLI errors (exit code
 //! 1), never panics: parsing builds a `McCatch` via the validating
@@ -55,6 +66,7 @@
 
 use mccatch::index::{BruteForceBuilder, KdTreeBuilder, SlimTreeBuilder, VpTreeBuilder};
 use mccatch::metrics::{Euclidean, Levenshtein, Metric};
+use mccatch::persist::{self, FsyncPolicy, PersistPoint, ReplayReader, ReplayWriter};
 use mccatch::server::{ndjson, LineParser, ServerConfig};
 use mccatch::stream::{RefitPolicy, ScoredEvent, StreamConfig, StreamDetector};
 use mccatch::{McCatch, McCatchOutput, Model, Params};
@@ -83,6 +95,18 @@ struct Cli {
     /// Flagged fraction of recent events that triggers a drift refit.
     drift: Option<f64>,
     drift_recent: usize,
+    /// Write a versioned model snapshot here (batch: after the fit;
+    /// `--stream`: a checkpoint at end of input; `--serve`: the
+    /// `POST /admin/snapshot` target).
+    save_model: Option<String>,
+    /// Warm-start from a snapshot instead of fitting from input.
+    load_model: Option<String>,
+    /// NDJSON ingest replay log: every accepted event is appended, and
+    /// `--load-model` replays it to rebuild the exact sliding window.
+    replay_log: Option<String>,
+    /// Fsync the replay log every this many events (0 = every event);
+    /// a hard kill loses at most this many tail events.
+    replay_fsync: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -147,6 +171,10 @@ fn parse_cli() -> Result<Cli, String> {
         warmup: 0,
         drift: None,
         drift_recent: 128,
+        save_model: None,
+        load_model: None,
+        replay_log: None,
+        replay_fsync: 64,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -220,6 +248,14 @@ fn parse_cli() -> Result<Cli, String> {
                     .parse()
                     .map_err(|e| format!("--drift-recent: {e}"))?
             }
+            "--save-model" => cli.save_model = Some(need("--save-model")?),
+            "--load-model" => cli.load_model = Some(need("--load-model")?),
+            "--replay-log" => cli.replay_log = Some(need("--replay-log")?),
+            "--replay-fsync" => {
+                cli.replay_fsync = need("--replay-fsync")?
+                    .parse()
+                    .map_err(|e| format!("--replay-fsync: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "mccatch: microcluster detection (MCCATCH, ICDE 2024)\n\n\
@@ -229,7 +265,8 @@ fn parse_cli() -> Result<Cli, String> {
                             [--points] [--top K]\n\
                             [--stream] [--window N] [--refit-every N] [--warmup N]\n\
                             [--drift FRAC] [--drift-recent N]\n\
-                            [--serve ADDR]\n\n\
+                            [--serve ADDR]\n\
+                            [--save-model PATH] [--load-model PATH] [--replay-log PATH]\n\n\
                      csv mode:   one point per line, comma/whitespace separated floats\n\
                      lines mode: one string per line, Levenshtein distance\n\n\
                      --index picks the backend (default: kd for csv, slim for lines;\n\
@@ -248,7 +285,17 @@ fn parse_cli() -> Result<Cli, String> {
                      seeds the window, then POST /score, POST /ingest,\n\
                      POST /admin/refit, GET /healthz, and GET /metrics answer until\n\
                      the process is killed. ADDR with port 0 picks an ephemeral port;\n\
-                     the bound address is echoed on stdout."
+                     the bound address is echoed on stdout.\n\n\
+                     --save-model PATH writes a versioned model snapshot (batch:\n\
+                     after the fit; --stream: a checkpoint at end of input; --serve:\n\
+                     the POST /admin/snapshot target). --load-model PATH warm-starts\n\
+                     from a snapshot instead of fitting (batch: reports straight\n\
+                     from it; --stream/--serve: resumes the saved generation and\n\
+                     stream position). --replay-log PATH appends every ingested\n\
+                     event as NDJSON; with --load-model it is replayed to rebuild\n\
+                     the exact sliding window. --replay-fsync N (default 64) fsyncs\n\
+                     the log every N events — a hard kill loses at most N tail\n\
+                     events (0 = fsync every event)."
                 );
                 std::process::exit(0);
             }
@@ -568,10 +615,119 @@ fn stream_config(cli: &Cli) -> StreamConfig {
     }
 }
 
+/// Writes a snapshot atomically: a sibling `.tmp` file, fsynced, then
+/// renamed into place — a crash mid-save never clobbers the old one.
+fn save_snapshot_atomically(
+    path: &str,
+    write: impl FnOnce(&mut std::io::BufWriter<std::fs::File>) -> Result<u64, persist::PersistError>,
+) -> Result<u64, String> {
+    let tmp = format!("{path}.tmp");
+    let fail = |e: String| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("{path}: {e}")
+    };
+    let file = std::fs::File::create(&tmp).map_err(|e| fail(e.to_string()))?;
+    let mut w = std::io::BufWriter::new(file);
+    let bytes = write(&mut w).map_err(|e| fail(e.to_string()))?;
+    let file = w.into_inner().map_err(|e| fail(e.to_string()))?;
+    file.sync_all().map_err(|e| fail(e.to_string()))?;
+    std::fs::rename(&tmp, path).map_err(|e| fail(e.to_string()))?;
+    Ok(bytes)
+}
+
+/// Opens `--replay-log` for appending. A cold start (no `--load-model`)
+/// refuses a log that already has entries: its tail would not agree
+/// with the fresh window, so a later restore would rebuild the wrong
+/// state.
+fn open_replay_writer(cli: &Cli) -> Result<Option<ReplayWriter>, String> {
+    let Some(path) = &cli.replay_log else {
+        return Ok(None);
+    };
+    let has_entries = std::fs::metadata(path)
+        .map(|m| m.len() > 0)
+        .unwrap_or(false);
+    if has_entries && cli.load_model.is_none() {
+        return Err(format!(
+            "replay log {path} already has entries; pass --load-model to continue it, \
+             or delete it to start fresh"
+        ));
+    }
+    ReplayWriter::open(path, FsyncPolicy::EveryN(cli.replay_fsync))
+        .map(Some)
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+/// Appends the detector's current window (typically the just-seeded
+/// events) to the replay log, so a log started mid-stream is
+/// self-contained: replaying it alone rebuilds the full window.
+fn log_window<P, M, B>(
+    writer: &mut ReplayWriter,
+    stream: &StreamDetector<P, M, B>,
+) -> Result<(), String>
+where
+    P: PersistPoint + Clone + Send + Sync + 'static,
+    M: Metric<P> + Clone + 'static,
+    B: mccatch::index::IndexBuilder<P, M> + Clone + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+{
+    let cp = stream.checkpoint();
+    let base = cp.seq - cp.entries.len() as u64;
+    for (i, (tick, point)) in cp.entries.iter().enumerate() {
+        writer
+            .append(base + i as u64, *tick, point)
+            .map_err(|e| format!("replay log: {e}"))?;
+    }
+    writer.sync().map_err(|e| format!("replay log: {e}"))
+}
+
+/// Warm-boots a detector from `--load-model`, replaying the
+/// `--replay-log` file (when it exists) to rebuild the exact sliding
+/// window.
+fn restore_detector<P, M, B>(
+    cli: &Cli,
+    config: StreamConfig,
+    metric: M,
+    builder: B,
+    snap: &str,
+) -> Result<StreamDetector<P, M, B>, String>
+where
+    P: PersistPoint + Clone + Send + Sync + 'static,
+    M: Metric<P> + Clone + 'static,
+    B: mccatch::index::IndexBuilder<P, M> + Clone + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+{
+    let replayed = match &cli.replay_log {
+        Some(lp) if std::path::Path::new(lp).exists() => {
+            let entries = ReplayReader::open(lp)
+                .and_then(|r| r.read_all::<P>())
+                .map_err(|e| format!("{lp}: {e}"))?;
+            eprintln!("# replay log: {} events from {lp}", entries.len());
+            Some(entries)
+        }
+        _ => None,
+    };
+    let file = std::fs::File::open(snap).map_err(|e| format!("{snap}: {e}"))?;
+    let (detector, info) = persist::restore_stream(
+        config,
+        metric,
+        builder,
+        std::io::BufReader::new(file),
+        replayed,
+    )
+    .map_err(|e| format!("{snap}: {e}"))?;
+    eprintln!(
+        "# warm start: {snap} generation={} seq={} backend={} points={}",
+        info.generation, info.seq, info.backend, info.num_points
+    );
+    Ok(detector)
+}
+
 /// Drives the streaming subsystem over an event iterator: seed the
-/// first `--warmup` events, then score-and-emit each remaining event.
-/// Generic over the point type and backend, so csv and lines mode share
-/// one implementation across all four `--index` choices.
+/// first `--warmup` events (or warm-start from `--load-model`), then
+/// score-and-emit each remaining event, appending accepted events to
+/// the `--replay-log` and checkpointing to `--save-model` at end of
+/// input. Generic over the point type and backend, so csv and lines
+/// mode share one implementation across all four `--index` choices.
 fn run_stream<P, M, B>(
     cli: &Cli,
     detector: McCatch,
@@ -581,18 +737,29 @@ fn run_stream<P, M, B>(
     mut events: impl Iterator<Item = Result<P, String>>,
 ) -> Result<(), String>
 where
-    P: Clone + Send + Sync + 'static,
+    P: PersistPoint + Clone + Send + Sync + 'static,
     M: Metric<P> + Clone + 'static,
     B: mccatch::index::IndexBuilder<P, M> + Clone + Send + Sync + 'static,
     B::Index: Send + Sync + 'static,
 {
     let config = stream_config(cli);
-    let mut seed = Vec::with_capacity(cli.warmup);
-    for ev in events.by_ref().take(cli.warmup) {
-        seed.push(ev?);
-    }
-    let stream =
-        StreamDetector::new(config, detector, metric, builder, seed).map_err(|e| e.to_string())?;
+    let mut replay = open_replay_writer(cli)?;
+    let stream = if let Some(snap) = &cli.load_model {
+        // A warm start brings its own window: `--warmup` is moot, every
+        // input event is scored.
+        restore_detector(cli, config, metric, builder, snap)?
+    } else {
+        let mut seed = Vec::with_capacity(cli.warmup);
+        for ev in events.by_ref().take(cli.warmup) {
+            seed.push(ev?);
+        }
+        let stream = StreamDetector::new(config, detector, metric, builder, seed)
+            .map_err(|e| e.to_string())?;
+        if let Some(w) = replay.as_mut() {
+            log_window(w, &stream)?;
+        }
+        stream
+    };
 
     let stdout = std::io::stdout();
     let mut w = stdout.lock();
@@ -611,11 +778,22 @@ where
     }
     if open {
         for ev in events {
-            let event = stream.ingest(ev?);
+            let event = if let Some(w) = replay.as_mut() {
+                let point = ev?;
+                let event = stream.ingest(point.clone());
+                // Best-effort: a full disk must not stop live scoring.
+                let _ = w.append(event.seq, event.tick, &point);
+                event
+            } else {
+                stream.ingest(ev?)
+            };
             if !emit(format_event(&event, cli.format))? {
                 break;
             }
         }
+    }
+    if let Some(w) = replay.as_mut() {
+        w.sync().map_err(|e| format!("replay log: {e}"))?;
     }
     let stats = stream.stats();
     eprintln!(
@@ -636,6 +814,10 @@ where
         stats.refits_failed,
         stats.fit_distance_evals,
     );
+    if let Some(path) = &cli.save_model {
+        let bytes = save_snapshot_atomically(path, |w| persist::checkpoint_stream(&stream, w))?;
+        eprintln!("# saved checkpoint: {path} ({bytes} bytes)");
+    }
     Ok(())
 }
 
@@ -658,24 +840,39 @@ fn run_serve<P, M, B>(
     events: impl Iterator<Item = Result<P, String>>,
 ) -> Result<(), String>
 where
-    P: Clone + Send + Sync + 'static,
+    P: PersistPoint + Clone + Send + Sync + 'static,
     M: Metric<P> + Clone + 'static,
     B: mccatch::index::IndexBuilder<P, M> + Clone + Send + Sync + 'static,
     B::Index: Send + Sync + 'static,
 {
     let addr = cli.serve.as_deref().expect("run_serve requires --serve");
-    let seed: Vec<P> = events.collect::<Result<_, _>>()?;
-    let parser = parser_for(&seed);
-    let stream = StreamDetector::new(stream_config(cli), detector, metric, builder, seed)
-        .map_err(|e| e.to_string())?;
-    let server = mccatch::server::serve(
-        addr,
-        ServerConfig::default(),
-        Arc::new(stream),
-        parser,
-        index.name(),
-    )
-    .map_err(|e| e.to_string())?;
+    let server_config = ServerConfig {
+        snapshot_path: cli.save_model.clone().map(std::path::PathBuf::from),
+        replay_log: cli.replay_log.clone().map(std::path::PathBuf::from),
+        replay_fsync_every: cli.replay_fsync,
+        ..ServerConfig::default()
+    };
+    let stream = if let Some(snap) = &cli.load_model {
+        restore_detector(cli, stream_config(cli), metric, builder, snap)?
+    } else {
+        let seed: Vec<P> = events.collect::<Result<_, _>>()?;
+        let stream = StreamDetector::new(stream_config(cli), detector, metric, builder, seed)
+            .map_err(|e| e.to_string())?;
+        // Seed the log before the server takes over appending, so the
+        // log alone can rebuild the window (the CLI writer is dropped
+        // — flushed — before the server opens its own).
+        if let Some(mut w) = open_replay_writer(cli)? {
+            log_window(&mut w, &stream)?;
+        }
+        stream
+    };
+    // The parser pins to the live window (seeded or restored), so
+    // wrong-arity lines degrade to per-line errors; an empty window
+    // pins to the first accepted event instead.
+    let parser = parser_for(&stream.window_points());
+    let server =
+        mccatch::server::serve(addr, server_config, Arc::new(stream), parser, index.name())
+            .map_err(|e| e.to_string())?;
     // The stdout line is the contract smoke gates and scripts parse;
     // human-facing detail goes to stderr.
     println!("listening on http://{}", server.local_addr());
@@ -683,7 +880,8 @@ where
         .flush()
         .map_err(|e| format!("stdout: {e}"))?;
     eprintln!(
-        "# serving index={} window={} endpoints=/score,/ingest,/admin/refit,/healthz,/metrics",
+        "# serving index={} window={} endpoints=/score,/ingest,/admin/refit,/admin/snapshot,\
+         /admin/snapshot/info,/healthz,/metrics",
         index.name(),
         cli.window
     );
@@ -739,6 +937,127 @@ fn kd_needs_csv() -> String {
     "--index kd is Euclidean-only and requires --mode csv (use brute|vp|slim for lines)".to_owned()
 }
 
+/// Batch-mode `--load-model`: rebuilds the fitted model from a snapshot
+/// (verified bit-identical by `mccatch::persist`) and prints the usual
+/// report — no input data needed.
+fn report_snapshot<P, M, B>(
+    cli: &Cli,
+    path: &str,
+    metric: M,
+    builder: B,
+    index: IndexChoice,
+    labels_of: impl FnOnce(&[P]) -> Vec<String>,
+) -> Result<(), String>
+where
+    P: PersistPoint + Clone + Send + Sync + 'static,
+    M: Metric<P> + Clone + 'static,
+    B: mccatch::index::IndexBuilder<P, M> + Clone + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+{
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let loaded = persist::load_model(std::io::BufReader::new(file), metric, builder)
+        .map_err(|e| format!("{path}: {e}"))?;
+    eprintln!(
+        "# loaded snapshot: {path} generation={} seq={}",
+        loaded.generation, loaded.seq
+    );
+    let labels = labels_of(&loaded.fitted.export().points);
+    print_report(&loaded.fitted.detect(), &labels, cli, index)
+}
+
+/// Dispatches batch-mode `--load-model` on the snapshot's own header:
+/// the point kind picks the metric, the recorded backend picks the
+/// index — a `--mode`/`--index` flag is only consulted to catch a
+/// contradiction.
+fn run_batch_load(cli: &Cli, path: &str) -> Result<(), String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let info =
+        persist::read_info(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    let index =
+        IndexChoice::parse(&info.backend).map_err(|e| format!("{path}: snapshot backend: {e}"))?;
+    if let Some(flag) = cli.index {
+        if flag != index {
+            return Err(format!(
+                "--index {} contradicts the snapshot, which was fitted with {}",
+                flag.name(),
+                index.name()
+            ));
+        }
+    }
+    match info.point_kind {
+        1 => {
+            let labels_of =
+                |pts: &[Vec<f64>]| (0..pts.len()).map(|i| i.to_string()).collect::<Vec<_>>();
+            match index {
+                IndexChoice::Brute => {
+                    report_snapshot(cli, path, Euclidean, BruteForceBuilder, index, labels_of)
+                }
+                IndexChoice::Kd => report_snapshot(
+                    cli,
+                    path,
+                    Euclidean,
+                    KdTreeBuilder::default(),
+                    index,
+                    labels_of,
+                ),
+                IndexChoice::Vp => report_snapshot(
+                    cli,
+                    path,
+                    Euclidean,
+                    VpTreeBuilder::default(),
+                    index,
+                    labels_of,
+                ),
+                IndexChoice::Slim => report_snapshot(
+                    cli,
+                    path,
+                    Euclidean,
+                    SlimTreeBuilder::default(),
+                    index,
+                    labels_of,
+                ),
+            }
+        }
+        2 => {
+            let labels_of = |pts: &[String]| pts.to_vec();
+            match index {
+                IndexChoice::Kd => Err(kd_needs_csv()),
+                IndexChoice::Brute => {
+                    report_snapshot(cli, path, Levenshtein, BruteForceBuilder, index, labels_of)
+                }
+                IndexChoice::Vp => report_snapshot(
+                    cli,
+                    path,
+                    Levenshtein,
+                    VpTreeBuilder::default(),
+                    index,
+                    labels_of,
+                ),
+                IndexChoice::Slim => report_snapshot(
+                    cli,
+                    path,
+                    Levenshtein,
+                    SlimTreeBuilder::default(),
+                    index,
+                    labels_of,
+                ),
+            }
+        }
+        other => Err(format!("{path}: unsupported point kind {other}")),
+    }
+}
+
+/// Batch-mode `--save-model`: persists a freshly fitted model at
+/// generation 0, with the stream position set to the fit size.
+fn save_batch_model<P: PersistPoint>(cli: &Cli, model: &dyn Model<P>) -> Result<(), String> {
+    if let Some(path) = &cli.save_model {
+        let seq = model.stats().num_points as u64;
+        let bytes = save_snapshot_atomically(path, |w| persist::save_model(model, 0, seq, w))?;
+        eprintln!("# saved model: {path} ({bytes} bytes)");
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let cli = parse_cli()?;
     // Validate hyperparameters before reading any data: typed errors from
@@ -747,6 +1066,14 @@ fn run() -> Result<(), String> {
     let index = cli
         .index
         .unwrap_or(IndexChoice::default_for_mode(&cli.mode));
+
+    if cli.serve.is_some() && cli.load_model.is_some() && cli.input.is_some() {
+        return Err(
+            "--serve with --load-model takes its window from the snapshot and replay log; \
+             drop --input"
+                .to_owned(),
+        );
+    }
 
     if cli.serve.is_some() {
         // Seed events come from --input only: a server must not sit
@@ -916,6 +1243,12 @@ fn run() -> Result<(), String> {
         };
     }
 
+    // Batch-mode `--load-model` needs no input at all: the snapshot is
+    // the dataset, the fit, and the backend choice in one file.
+    if let Some(path) = &cli.load_model {
+        return run_batch_load(&cli, path);
+    }
+
     let text = read_input(&cli.input)?;
     // Each mode fits its own point type; both erase into `Arc<dyn Model>`
     // and feed the same format-aware report functions.
@@ -927,6 +1260,7 @@ fn run() -> Result<(), String> {
             }
             let labels: Vec<String> = (0..points.len()).map(|i| i.to_string()).collect();
             let model = fit_csv_model(&detector, points, index)?;
+            save_batch_model(&cli, model.as_ref())?;
             print_report(&model.detect_output(), &labels, &cli, index)
         }
         "lines" => {
@@ -939,6 +1273,7 @@ fn run() -> Result<(), String> {
             }
             let labels = lines.clone();
             let model = fit_lines_model(&detector, lines, index)?;
+            save_batch_model(&cli, model.as_ref())?;
             print_report(&model.detect_output(), &labels, &cli, index)
         }
         other => Err(format!("unknown mode: {other} (use csv|lines)")),

@@ -60,7 +60,7 @@ use crate::counts::count_neighbors;
 use crate::cutoff::{compute_cutoff, Cutoff};
 use crate::error::McCatchError;
 use crate::gel::{spot_microclusters, SpottedMcs};
-use crate::model::{Model, ModelStats};
+use crate::model::{Model, ModelExport, ModelStats};
 use crate::oracle::OraclePlot;
 use crate::params::{Params, RadiusGrid, Resolved};
 use crate::result::{McCatchOutput, Microcluster, RunStats};
@@ -519,6 +519,24 @@ where
         self.tree.distance_stats()
     }
 
+    /// Everything needed to persist this fit and re-derive it exactly:
+    /// the reference points, the resolved hyperparameters (re-resolving
+    /// them against the same `n` reproduces [`Fitted::resolved`] field
+    /// for field), and the index backend's stable name. See
+    /// [`Model::export`].
+    pub fn export(&self) -> ModelExport<P> {
+        ModelExport {
+            points: Arc::clone(&self.points),
+            params: Params {
+                num_radii: self.resolved.a,
+                max_plateau_slope: self.resolved.b,
+                max_mc_cardinality: Some(self.resolved.c),
+                threads: self.resolved.threads,
+            },
+            backend: self.index_builder.backend_name(),
+        }
+    }
+
     /// Erases the metric and index types behind the object-safe
     /// [`Model`] trait, yielding a shareable serving handle. The `Arc`
     /// can be cloned into any number of threads; every clone answers
@@ -697,6 +715,10 @@ where
 
     fn stats(&self) -> ModelStats {
         Fitted::stats(self)
+    }
+
+    fn export(&self) -> Option<ModelExport<P>> {
+        Some(Fitted::export(self))
     }
 }
 

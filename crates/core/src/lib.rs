@@ -89,7 +89,7 @@ pub mod unionfind;
 pub use cutoff::{compression_cost, compute_cutoff, Cutoff};
 pub use detector::{Fitted, McCatch, McCatchBuilder};
 pub use error::McCatchError;
-pub use model::{Model, ModelStats};
+pub use model::{Model, ModelExport, ModelStats};
 pub use oracle::{OraclePlot, OraclePoint};
 pub use params::{Params, RadiusGrid, Resolved};
 pub use result::{McCatchOutput, Microcluster, RunStats};

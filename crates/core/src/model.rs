@@ -38,10 +38,11 @@
 //! # Ok::<(), mccatch_core::McCatchError>(())
 //! ```
 
-use crate::params::RadiusGrid;
+use crate::params::{Params, RadiusGrid};
 use crate::result::{McCatchOutput, Microcluster};
 use mccatch_index::DistanceStats;
 use mccatch_metric::universal_code_length_f64;
+use std::sync::Arc;
 
 /// An object-safe, thread-safe view of a fitted MCCATCH detector.
 ///
@@ -141,6 +142,38 @@ pub trait Model<P>: Send + Sync {
     /// Summary of the fit and its detection results, for health endpoints
     /// and logs.
     fn stats(&self) -> ModelStats;
+
+    /// Everything needed to persist this model and re-derive it exactly:
+    /// the reference points, the (fully resolved) hyperparameters, and
+    /// the index backend's stable name. Because the whole pipeline is
+    /// deterministic, refitting the exported points with the same
+    /// parameters, metric, and backend reproduces the model bit for bit
+    /// — so a snapshot never has to serialize tree internals.
+    ///
+    /// Returns `None` when the model cannot be exported (the default, so
+    /// third-party [`Model`] impls keep compiling); [`crate::Fitted`]
+    /// overrides it.
+    fn export(&self) -> Option<ModelExport<P>> {
+        None
+    }
+}
+
+/// A persistable view of a fitted model, from [`Model::export`]: the
+/// inputs from which a deterministic refit reproduces it exactly.
+#[derive(Debug, Clone)]
+pub struct ModelExport<P> {
+    /// The reference points the model was fitted on, in fit order.
+    pub points: Arc<[P]>,
+    /// Hyperparameters with every data-dependent default already
+    /// resolved (`max_mc_cardinality` is always `Some`, `threads`
+    /// nonzero), so re-resolving them against the same `n` is exact.
+    /// Thread count never changes results, only wall-clock time.
+    pub params: Params,
+    /// The index backend's stable name (see
+    /// `IndexBuilder::backend_name`): a snapshot must be rebuilt with
+    /// the same index family, since the diameter estimate — and hence
+    /// the radius grid and every score — depends on the tree structure.
+    pub backend: &'static str,
 }
 
 /// Summary statistics of a fitted model, as reported by [`Model::stats`].

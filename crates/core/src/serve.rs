@@ -120,6 +120,18 @@ impl<P> ModelStore<P> {
         }
     }
 
+    /// Creates a store serving `model` at an explicit starting
+    /// generation — the warm-restart constructor: a process that loads a
+    /// persisted snapshot resumes the generation counter where the saved
+    /// process left off, so clients correlating answers by the
+    /// `X-Mccatch-Generation` tag never see it regress across a restart.
+    pub fn with_generation(model: Arc<dyn Model<P>>, generation: u64) -> Self {
+        Self {
+            current: RwLock::new(model),
+            generation: AtomicU64::new(generation),
+        }
+    }
+
     /// The current model. The returned `Arc` stays valid (and keeps the
     /// model alive) across any number of later swaps.
     pub fn snapshot(&self) -> Arc<dyn Model<P>> {
@@ -242,6 +254,16 @@ mod tests {
         // The tagged pairs answer from their own model versions.
         let q = vec![4.5, 4.5];
         assert!(m1.score_one(&q) > m0.score_one(&q));
+    }
+
+    #[test]
+    fn with_generation_resumes_the_counter() {
+        let store = ModelStore::with_generation(model_over(0.0), 7);
+        assert_eq!(store.generation(), 7);
+        let (_, g) = store.snapshot_tagged();
+        assert_eq!(g, 7);
+        store.swap(model_over(1.0));
+        assert_eq!(store.generation(), 8);
     }
 
     #[test]

@@ -20,6 +20,10 @@ impl<P: Send + Sync, M: Metric<P>> IndexBuilder<P, M> for BruteForceBuilder {
     fn build(&self, points: Arc<[P]>, ids: Vec<u32>, metric: Arc<M>) -> Self::Index {
         BruteForce::new(points, ids, metric)
     }
+
+    fn backend_name(&self) -> &'static str {
+        "brute"
+    }
 }
 
 /// Exhaustive-scan index: every query touches every indexed element.

@@ -33,6 +33,10 @@ impl<P: AsRef<[f64]> + Send + Sync> IndexBuilder<P, Euclidean> for KdTreeBuilder
     fn build(&self, points: Arc<[P]>, ids: Vec<u32>, _metric: Arc<Euclidean>) -> Self::Index {
         KdTree::build(points, ids, self.leaf_capacity)
     }
+
+    fn backend_name(&self) -> &'static str {
+        "kd"
+    }
 }
 
 #[derive(Debug)]

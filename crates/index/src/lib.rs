@@ -295,6 +295,15 @@ pub trait IndexBuilder<P, M: Metric<P>>: Sync {
     {
         self.build_all(Arc::from(points), Arc::new(metric.clone()))
     }
+
+    /// A short, stable identifier for this backend ("brute", "kd", "vp",
+    /// "slim"), used to label metrics and to tag persisted model
+    /// snapshots so a snapshot is only rebuilt with the index family it
+    /// was fitted with (the diameter estimate — and hence the radius
+    /// grid and every score — depends on the tree structure).
+    fn backend_name(&self) -> &'static str {
+        "custom"
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,10 @@ impl<P: Send + Sync, M: Metric<P>> IndexBuilder<P, M> for SlimTreeBuilder {
     fn build(&self, points: Arc<[P]>, ids: Vec<u32>, metric: Arc<M>) -> Self::Index {
         SlimTree::build(points, ids, metric, self.node_capacity)
     }
+
+    fn backend_name(&self) -> &'static str {
+        "slim"
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

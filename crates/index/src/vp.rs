@@ -41,6 +41,10 @@ impl<P: Send + Sync, M: Metric<P>> IndexBuilder<P, M> for VpTreeBuilder {
     fn build(&self, points: Arc<[P]>, ids: Vec<u32>, metric: Arc<M>) -> Self::Index {
         VpTree::build(points, ids, metric, self.leaf_capacity)
     }
+
+    fn backend_name(&self) -> &'static str {
+        "vp"
+    }
 }
 
 #[derive(Debug)]

@@ -174,6 +174,16 @@ pub use mccatch_stream as stream;
 /// `mccatch --serve ADDR`.
 pub use mccatch_server as server;
 
+/// Persistence: versioned model snapshots ([`persist::save_model`] /
+/// [`persist::load_model`], verified bit-identical on load), one-call
+/// warm restart for the serving store and the streaming detector
+/// ([`persist::restore_stream`]), and the NDJSON ingest replay log
+/// ([`persist::ReplayWriter`] / [`persist::ReplayReader`]) that rebuilds
+/// the exact sliding window after a crash. The CLI wraps it as
+/// `--save-model` / `--load-model` / `--replay-log`, the HTTP tier as
+/// `POST /admin/snapshot`.
+pub use mccatch_persist as persist;
+
 /// Compiles and runs the code snippets in the repo-level
 /// `ARCHITECTURE.md` as doctests, so the architecture documentation
 /// cannot silently rot. Not part of the public API.

@@ -1,0 +1,249 @@
+//! Endian-stable primitives for the snapshot codec: little-endian
+//! fixed-width integers, bit-exact `f64`s, and CRC-32 checksum wrappers
+//! over any `io::Write` / `io::Read`.
+
+use crate::error::PersistError;
+use std::io::{Read, Write};
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup
+/// table, built at compile time.
+static CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Incremental CRC-32 state.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Crc32(u32);
+
+impl Crc32 {
+    pub(crate) fn new() -> Self {
+        Self(0xFFFF_FFFF)
+    }
+
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 >> 8) ^ CRC_TABLE[((self.0 ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    pub(crate) fn finalize(self) -> u32 {
+        !self.0
+    }
+}
+
+/// A `Write` adapter that checksums and counts every byte passing
+/// through, so the snapshot writer can append the CRC and report the
+/// total size without buffering the whole snapshot.
+pub(crate) struct ChecksumWriter<W: Write> {
+    inner: W,
+    crc: Crc32,
+    bytes: u64,
+}
+
+impl<W: Write> ChecksumWriter<W> {
+    pub(crate) fn new(inner: W) -> Self {
+        Self {
+            inner,
+            crc: Crc32::new(),
+            bytes: 0,
+        }
+    }
+
+    /// Tears the adapter down: the inner writer, the checksum of
+    /// everything written, and the byte count.
+    pub(crate) fn finish(self) -> (W, u32, u64) {
+        (self.inner, self.crc.finalize(), self.bytes)
+    }
+}
+
+impl<W: Write> Write for ChecksumWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        self.bytes += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A `Read` adapter that checksums and counts every byte passing
+/// through, so the snapshot reader can verify the trailing CRC after
+/// streaming the body without re-reading it.
+pub(crate) struct ChecksumReader<R: Read> {
+    inner: R,
+    crc: Crc32,
+    bytes: u64,
+}
+
+impl<R: Read> ChecksumReader<R> {
+    pub(crate) fn new(inner: R) -> Self {
+        Self {
+            inner,
+            crc: Crc32::new(),
+            bytes: 0,
+        }
+    }
+
+    /// The checksum of everything read so far.
+    pub(crate) fn crc(&self) -> u32 {
+        self.crc.finalize()
+    }
+
+    /// Total bytes read so far. (Named to dodge `Read::bytes`, which
+    /// would win method resolution by taking `self` by value.)
+    #[cfg(test)]
+    pub(crate) fn bytes_read(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The inner reader, for reading past the checksummed region (the
+    /// trailing CRC itself).
+    pub(crate) fn inner_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+}
+
+impl<R: Read> Read for ChecksumReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        self.bytes += n as u64;
+        Ok(n)
+    }
+}
+
+// --- fixed-width little-endian primitives ------------------------------
+
+pub(crate) fn write_u8<W: Write>(w: &mut W, v: u8) -> Result<(), PersistError> {
+    w.write_all(&[v]).map_err(PersistError::Io)
+}
+
+pub(crate) fn write_u16<W: Write>(w: &mut W, v: u16) -> Result<(), PersistError> {
+    w.write_all(&v.to_le_bytes()).map_err(PersistError::Io)
+}
+
+pub(crate) fn write_u32<W: Write>(w: &mut W, v: u32) -> Result<(), PersistError> {
+    w.write_all(&v.to_le_bytes()).map_err(PersistError::Io)
+}
+
+pub(crate) fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<(), PersistError> {
+    w.write_all(&v.to_le_bytes()).map_err(PersistError::Io)
+}
+
+/// Writes the raw IEEE-754 bits: bit-exact for every value including
+/// infinities and NaN payloads, and identical on every platform.
+pub(crate) fn write_f64<W: Write>(w: &mut W, v: f64) -> Result<(), PersistError> {
+    write_u64(w, v.to_bits())
+}
+
+/// Reads exactly `N` bytes; a clean end-of-file becomes
+/// [`PersistError::Truncated`] tagged with the field being read.
+fn read_array<const N: usize, R: Read>(
+    r: &mut R,
+    context: &'static str,
+) -> Result<[u8; N], PersistError> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            PersistError::Truncated { context }
+        } else {
+            PersistError::Io(e)
+        }
+    })?;
+    Ok(buf)
+}
+
+pub(crate) fn read_u8<R: Read>(r: &mut R, context: &'static str) -> Result<u8, PersistError> {
+    Ok(read_array::<1, _>(r, context)?[0])
+}
+
+pub(crate) fn read_u16<R: Read>(r: &mut R, context: &'static str) -> Result<u16, PersistError> {
+    Ok(u16::from_le_bytes(read_array(r, context)?))
+}
+
+pub(crate) fn read_u32<R: Read>(r: &mut R, context: &'static str) -> Result<u32, PersistError> {
+    Ok(u32::from_le_bytes(read_array(r, context)?))
+}
+
+pub(crate) fn read_u64<R: Read>(r: &mut R, context: &'static str) -> Result<u64, PersistError> {
+    Ok(u64::from_le_bytes(read_array(r, context)?))
+}
+
+pub(crate) fn read_f64<R: Read>(r: &mut R, context: &'static str) -> Result<f64, PersistError> {
+    Ok(f64::from_bits(read_u64(r, context)?))
+}
+
+pub(crate) fn read_exact_n<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), PersistError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            PersistError::Truncated { context }
+        } else {
+            PersistError::Io(e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical CRC-32 check value: crc32("123456789").
+        let mut crc = Crc32::new();
+        crc.update(b"123456789");
+        assert_eq!(crc.finalize(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn checksum_writer_and_reader_agree() {
+        let mut w = ChecksumWriter::new(Vec::new());
+        write_u64(&mut w, 0xDEAD_BEEF_0BAD_F00D).unwrap();
+        write_f64(&mut w, -0.0).unwrap();
+        let (buf, crc_w, bytes_w) = w.finish();
+        assert_eq!(bytes_w, 16);
+
+        let mut r = ChecksumReader::new(&buf[..]);
+        assert_eq!(read_u64(&mut r, "a").unwrap(), 0xDEAD_BEEF_0BAD_F00D);
+        let v = read_f64(&mut r, "b").unwrap();
+        assert_eq!(v.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.crc(), crc_w);
+        assert_eq!(r.bytes_read(), 16);
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let err = read_u32(&mut &[0u8; 2][..], "the field").unwrap_err();
+        assert!(matches!(
+            err,
+            PersistError::Truncated {
+                context: "the field"
+            }
+        ));
+    }
+}

@@ -1,0 +1,136 @@
+//! Warm-restart glue: one-call save/load for the serving
+//! [`ModelStore`] and the streaming [`StreamDetector`], built on the
+//! snapshot codec and the replay log.
+
+use crate::error::PersistError;
+use crate::point::PersistPoint;
+use crate::replay::ReplayEntry;
+use crate::snapshot::{load_model, save_model, SnapshotInfo};
+use mccatch_core::{McCatch, ModelStore};
+use mccatch_index::IndexBuilder;
+use mccatch_metric::Metric;
+use mccatch_stream::{StreamCheckpoint, StreamConfig, StreamDetector};
+use std::io::{Read, Write};
+
+/// Serializes the store's current model — tagged with its generation
+/// and the caller's stream position `seq` — to `w`. Returns the bytes
+/// written.
+pub fn save_store<P: PersistPoint, W: Write>(
+    store: &ModelStore<P>,
+    seq: u64,
+    w: W,
+) -> Result<u64, PersistError> {
+    let (model, generation) = store.snapshot_tagged();
+    save_model(model.as_ref(), generation, seq, w)
+}
+
+/// What [`load_store`] recovers: a serving store resuming the saved
+/// generation, plus the stream position and header metadata.
+#[derive(Debug)]
+pub struct LoadedStore<P> {
+    /// A store whose current model is the verified rebuild and whose
+    /// generation counter resumes where the snapshot left off.
+    pub store: ModelStore<P>,
+    /// The stream position recorded at save time.
+    pub seq: u64,
+    /// The snapshot's header metadata.
+    pub info: SnapshotInfo,
+}
+
+/// Rebuilds a serving [`ModelStore`] from a snapshot (see
+/// [`load_model`] for the verification contract).
+pub fn load_store<P, M, B, R>(r: R, metric: M, builder: B) -> Result<LoadedStore<P>, PersistError>
+where
+    P: PersistPoint + Send + Sync + 'static,
+    M: Metric<P> + 'static,
+    B: IndexBuilder<P, M> + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+    R: Read,
+{
+    let loaded = load_model(r, metric, builder)?;
+    Ok(LoadedStore {
+        seq: loaded.seq,
+        info: loaded.info.clone(),
+        store: ModelStore::with_generation(loaded.fitted.into_model(), loaded.generation),
+    })
+}
+
+/// Captures a consistent checkpoint of a running [`StreamDetector`]
+/// (model, generation, stream position) and serializes it to `w`.
+/// Returns the bytes written.
+///
+/// The retained window itself is not in the snapshot — that is the
+/// replay log's job (or, failing that, the seed-from-reference-points
+/// fallback in [`restore_stream`]).
+pub fn checkpoint_stream<P, M, B, W>(
+    detector: &StreamDetector<P, M, B>,
+    w: W,
+) -> Result<u64, PersistError>
+where
+    P: PersistPoint + Clone + Send + Sync + 'static,
+    M: Metric<P> + Clone + 'static,
+    B: IndexBuilder<P, M> + Clone + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+    W: Write,
+{
+    let cp = detector.checkpoint();
+    save_model(cp.model.as_ref(), cp.generation, cp.seq, w)
+}
+
+/// Rebuilds a [`StreamDetector`] from a snapshot, resuming the saved
+/// generation and stream position without an initial refit.
+///
+/// The sliding window comes from `replay` when one is supplied
+/// (typically [`ReplayReader::read_all`](crate::ReplayReader::read_all)
+/// on the ingest log): the newest `config.capacity` logged events are
+/// replayed as real ingested events, and `seq` additionally advances
+/// past the last logged event, covering events accepted after the
+/// snapshot was taken. Without a replay log the window is approximated
+/// by the model's reference points re-marked as seeds "at stream
+/// start" — scoring is still bit-identical (the model is), but
+/// age-based eviction restarts from the first post-restart tick.
+pub fn restore_stream<P, M, B, R>(
+    config: StreamConfig,
+    metric: M,
+    index_builder: B,
+    snapshot: R,
+    replay: Option<Vec<ReplayEntry<P>>>,
+) -> Result<(StreamDetector<P, M, B>, SnapshotInfo), PersistError>
+where
+    P: PersistPoint + Clone + Send + Sync + 'static,
+    M: Metric<P> + Clone + 'static,
+    B: IndexBuilder<P, M> + Clone + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+    R: Read,
+{
+    let loaded = load_model(snapshot, metric.clone(), index_builder.clone())?;
+    let export = loaded.fitted.export();
+    let unfitted = McCatch::new(export.params)?;
+    let info = loaded.info.clone();
+    let (entries, entries_are_seed, seq) = match replay {
+        Some(logged) => {
+            let next_seq = logged.last().map_or(0, |e| e.seq + 1);
+            let start = logged.len().saturating_sub(config.capacity);
+            let entries: Vec<(u64, P)> = logged
+                .into_iter()
+                .skip(start)
+                .map(|e| (e.tick, e.point))
+                .collect();
+            (entries, false, loaded.seq.max(next_seq))
+        }
+        None => {
+            let entries: Vec<(u64, P)> = export.points.iter().cloned().map(|p| (0u64, p)).collect();
+            let n = entries.len() as u64;
+            (entries, true, loaded.seq.max(n))
+        }
+    };
+    let checkpoint = StreamCheckpoint {
+        model: loaded.fitted.into_model(),
+        generation: loaded.generation,
+        seq,
+        entries,
+        entries_are_seed,
+    };
+    let detector = StreamDetector::restore(config, unfitted, metric, index_builder, checkpoint)?;
+    Ok((detector, info))
+}

@@ -2,6 +2,7 @@
 //! backpressure knobs.
 
 use crate::error::ServerError;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Configuration of a [`ServerHandle`](crate::ServerHandle), validated
@@ -48,6 +49,21 @@ pub struct ServerConfig {
     /// Seconds advertised in the `Retry-After` header of backpressure
     /// `503` responses.
     pub retry_after_secs: u64,
+    /// Where `POST /admin/snapshot` persists the served model (written
+    /// atomically: a sibling `.tmp` file, fsynced, then renamed into
+    /// place). `None` (the default) answers the snapshot endpoints
+    /// `409`: persistence is opt-in.
+    pub snapshot_path: Option<PathBuf>,
+    /// Ingest replay log appended to by `POST /ingest` (one NDJSON line
+    /// per accepted event, fsynced every
+    /// [`replay_fsync_every`](Self::replay_fsync_every) events). On a
+    /// warm restart, replaying it rebuilds the exact sliding window —
+    /// see `mccatch_persist::restore_stream`. `None` (the default)
+    /// disables the log.
+    pub replay_log: Option<PathBuf>,
+    /// Fsync cadence of the replay log, in accepted events (`0` behaves
+    /// as `1`, i.e. fsync on every event).
+    pub replay_fsync_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +75,9 @@ impl Default for ServerConfig {
             max_header_bytes: 8 << 10,
             read_timeout: Some(Duration::from_secs(5)),
             retry_after_secs: 1,
+            snapshot_path: None,
+            replay_log: None,
+            replay_fsync_every: 64,
         }
     }
 }

@@ -40,6 +40,13 @@ pub enum ServerError {
         /// The OS error message.
         message: String,
     },
+    /// Opening the configured ingest replay log for appending failed.
+    ReplayLog {
+        /// The configured log path.
+        path: String,
+        /// The underlying error message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ServerError {
@@ -62,6 +69,9 @@ impl std::fmt::Display for ServerError {
                 kind,
                 message,
             } => write!(f, "failed to bind {addr}: {message} ({kind:?})"),
+            Self::ReplayLog { path, message } => {
+                write!(f, "failed to open replay log {path}: {message}")
+            }
         }
     }
 }

@@ -11,6 +11,8 @@
 //! | `/score` | POST | NDJSON points in, one `{"score": …}` per line out, the whole batch scored against **one** tagged model snapshot (`X-Mccatch-Generation` response header) |
 //! | `/ingest` | POST | NDJSON events in, one scored-event object per line out; feeds the sliding window and drives the refit policy |
 //! | `/admin/refit` | POST | Synchronous refit on the current window; answers the new generation |
+//! | `/admin/snapshot` | POST | Persists the served model to the configured `snapshot_path` (atomic tmp-then-rename); answers `{"generation", "seq", "bytes", "path"}`, or `409` when persistence is not configured |
+//! | `/admin/snapshot/info` | GET | Reads the snapshot header back (version, backend, points, generation) without loading the model; `404` until a snapshot exists |
 //! | `/healthz` | GET | Liveness |
 //! | `/metrics` | GET | Prometheus text exposition: request/error counters, queue depth, `StreamStats`, `ModelStats`, live per-backend distance evaluations |
 //!

@@ -5,10 +5,18 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// The endpoints with per-endpoint request counters, in exposition
 /// order.
-pub(crate) const ENDPOINTS: &[&str] = &["score", "ingest", "refit", "healthz", "metrics"];
+pub(crate) const ENDPOINTS: &[&str] = &[
+    "score",
+    "ingest",
+    "refit",
+    "snapshot",
+    "snapshot_info",
+    "healthz",
+    "metrics",
+];
 
 /// The status codes this server can emit, in exposition order.
-pub(crate) const STATUSES: &[u16] = &[200, 400, 404, 405, 413, 431, 500, 503];
+pub(crate) const STATUSES: &[u16] = &[200, 400, 404, 405, 409, 413, 431, 500, 503];
 
 /// Lock-free counters of the HTTP layer, updated by the acceptor and
 /// every worker; scraped (and unit-tested) through
@@ -16,9 +24,9 @@ pub(crate) const STATUSES: &[u16] = &[200, 400, 404, 405, 413, 431, 500, 503];
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
     /// Requests routed to each endpoint (parallel to [`ENDPOINTS`]).
-    pub requests: [AtomicU64; 5],
+    pub requests: [AtomicU64; 7],
     /// Responses written per status code (parallel to [`STATUSES`]).
-    pub responses: [AtomicU64; 8],
+    pub responses: [AtomicU64; 9],
     /// Connections handed to the worker pool.
     pub connections_accepted: AtomicU64,
     /// Connections answered `503` because the queue was full.
@@ -68,6 +76,7 @@ pub(crate) fn render_prometheus(
     counters: &Counters,
     service: &dyn Service,
     index_label: &str,
+    uptime: std::time::Duration,
 ) -> String {
     let stream = service.stream_stats();
     let model = service.model_stats();
@@ -156,6 +165,13 @@ pub(crate) fn render_prometheus(
                 counters.lines_err.load(Ordering::Acquire).to_string(),
             ),
         ],
+    );
+
+    metric(
+        "mccatch_uptime_seconds",
+        "gauge",
+        "Seconds since this server process started serving.",
+        &plain(prom_f64(uptime.as_secs_f64())),
     );
 
     metric(

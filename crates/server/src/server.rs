@@ -21,9 +21,10 @@ use crate::error::ServerError;
 use crate::http::{self, Request, Response};
 use crate::metrics::{render_prometheus, Counters};
 use crate::ndjson::{json_escape, LineParser};
-use crate::service::{NdjsonOutcome, Service, StreamService};
+use crate::service::{NdjsonOutcome, Service, SnapshotInfoOutcome, SnapshotOutcome, StreamService};
 use mccatch_index::IndexBuilder;
 use mccatch_metric::Metric;
+use mccatch_persist::{FsyncPolicy, PersistPoint, ReplayWriter};
 use mccatch_stream::StreamDetector;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -31,7 +32,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Everything the acceptor and workers share.
 struct Shared {
@@ -40,6 +41,8 @@ struct Shared {
     counters: Counters,
     index_label: String,
     shutdown: AtomicBool,
+    /// When the server started, for the `/metrics` uptime gauge.
+    start: Instant,
 }
 
 /// A running HTTP scoring service, returned by [`serve`].
@@ -172,12 +175,23 @@ pub fn serve<P, M, B>(
     index_label: impl Into<String>,
 ) -> Result<ServerHandle, ServerError>
 where
-    P: Clone + Send + Sync + 'static,
+    P: PersistPoint + Clone + Send + Sync + 'static,
     M: Metric<P> + Clone + 'static,
     B: IndexBuilder<P, M> + Clone + Send + Sync + 'static,
     B::Index: Send + Sync + 'static,
 {
     config.validate()?;
+    let replay = match &config.replay_log {
+        None => None,
+        Some(path) => Some(
+            ReplayWriter::open(path, FsyncPolicy::EveryN(config.replay_fsync_every)).map_err(
+                |e| ServerError::ReplayLog {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                },
+            )?,
+        ),
+    };
     let bind_err = |e: &std::io::Error| ServerError::Bind {
         addr: format!("{addr:?}"),
         kind: e.kind(),
@@ -187,10 +201,16 @@ where
     let local = listener.local_addr().map_err(|e| bind_err(&e))?;
 
     let shared = Arc::new(Shared {
-        service: Arc::new(StreamService::new(detector, parser)),
+        service: Arc::new(StreamService::new(
+            detector,
+            parser,
+            config.snapshot_path.clone(),
+            replay,
+        )),
         index_label: index_label.into(),
         counters: Counters::default(),
         shutdown: AtomicBool::new(false),
+        start: Instant::now(),
         config,
     });
     let (tx, rx) = mpsc::sync_channel::<TcpStream>(shared.config.queue);
@@ -365,6 +385,8 @@ fn route(shared: &Shared, req: &Request) -> Response {
         "/score" => "score",
         "/ingest" => "ingest",
         "/admin/refit" => "refit",
+        "/admin/snapshot" => "snapshot",
+        "/admin/snapshot/info" => "snapshot_info",
         "/healthz" => "healthz",
         "/metrics" => "metrics",
         _ => {
@@ -372,7 +394,7 @@ fn route(shared: &Shared, req: &Request) -> Response {
         }
     };
     let expected = match endpoint {
-        "healthz" | "metrics" => "GET",
+        "healthz" | "metrics" | "snapshot_info" => "GET",
         _ => "POST",
     };
     if req.method != expected {
@@ -384,7 +406,12 @@ fn route(shared: &Shared, req: &Request) -> Response {
         "healthz" => Response::text(200, "ok\n"),
         "metrics" => Response::text(
             200,
-            render_prometheus(&shared.counters, &*shared.service, &shared.index_label),
+            render_prometheus(
+                &shared.counters,
+                &*shared.service,
+                &shared.index_label,
+                shared.start.elapsed(),
+            ),
         ),
         "score" => ndjson_response(shared, shared.service.score_ndjson(&req.body)),
         "ingest" => ndjson_response(shared, shared.service.ingest_ndjson(&req.body)),
@@ -394,6 +421,53 @@ fn route(shared: &Shared, req: &Request) -> Response {
             Err(e) => Response::json(
                 500,
                 format!("{{\"error\": \"refit failed: {}\"}}\n", json_escape(&e)),
+            ),
+        },
+        "snapshot" => match shared.service.save_snapshot() {
+            SnapshotOutcome::Unconfigured => Response::json(
+                409,
+                "{\"error\": \"no snapshot path configured; set ServerConfig.snapshot_path\"}\n"
+                    .to_owned(),
+            ),
+            SnapshotOutcome::Saved {
+                generation,
+                seq,
+                bytes,
+                path,
+            } => Response::json(
+                200,
+                format!(
+                    "{{\"generation\": {generation}, \"seq\": {seq}, \"bytes\": {bytes}, \
+                     \"path\": \"{}\"}}\n",
+                    json_escape(&path)
+                ),
+            )
+            .with_header("x-mccatch-generation", generation.to_string()),
+            SnapshotOutcome::Failed(e) => Response::json(
+                500,
+                format!("{{\"error\": \"snapshot failed: {}\"}}\n", json_escape(&e)),
+            ),
+        },
+        "snapshot_info" => match shared.service.snapshot_info() {
+            SnapshotInfoOutcome::Unconfigured => Response::json(
+                409,
+                "{\"error\": \"no snapshot path configured; set ServerConfig.snapshot_path\"}\n"
+                    .to_owned(),
+            ),
+            SnapshotInfoOutcome::Missing { path } => Response::json(
+                404,
+                format!(
+                    "{{\"error\": \"no snapshot at {} yet; POST /admin/snapshot first\"}}\n",
+                    json_escape(&path)
+                ),
+            ),
+            SnapshotInfoOutcome::Info(json) => Response::json(200, json),
+            SnapshotInfoOutcome::Failed(e) => Response::json(
+                500,
+                format!(
+                    "{{\"error\": \"snapshot info failed: {}\"}}\n",
+                    json_escape(&e)
+                ),
             ),
         },
         _ => unreachable!("endpoint matched above"),

@@ -13,8 +13,10 @@ use crate::ndjson::{body_lines, json_escape, json_f64, LineParser};
 use mccatch_core::ModelStats;
 use mccatch_index::IndexBuilder;
 use mccatch_metric::Metric;
+use mccatch_persist::{save_model, PersistPoint, ReplayWriter};
 use mccatch_stream::{StreamDetector, StreamStats};
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 /// Result of processing one NDJSON request body: the response body
 /// (one JSON object per input line) plus the generation tag and the
@@ -29,6 +31,42 @@ pub(crate) struct NdjsonOutcome {
     pub lines_ok: u64,
     /// Lines answered with a per-line error object.
     pub lines_err: u64,
+}
+
+/// Result of `POST /admin/snapshot`.
+pub(crate) enum SnapshotOutcome {
+    /// No snapshot path configured — answered `409`.
+    Unconfigured,
+    /// The snapshot was written atomically.
+    Saved {
+        /// Generation of the persisted model.
+        generation: u64,
+        /// Stream position (events accepted) at capture time.
+        seq: u64,
+        /// Snapshot size on disk.
+        bytes: u64,
+        /// Where it was written.
+        path: String,
+    },
+    /// Capturing or writing the snapshot failed — answered `500`.
+    Failed(String),
+}
+
+/// Result of `GET /admin/snapshot/info`.
+pub(crate) enum SnapshotInfoOutcome {
+    /// No snapshot path configured — answered `409`.
+    Unconfigured,
+    /// Configured, but no snapshot has been written yet — answered
+    /// `404`.
+    Missing {
+        /// The configured path that does not exist.
+        path: String,
+    },
+    /// Header metadata of the snapshot on disk, as a JSON object.
+    Info(String),
+    /// The file exists but its header cannot be parsed — answered
+    /// `500`.
+    Failed(String),
 }
 
 /// What the HTTP layer needs from the scoring backend, erased over the
@@ -53,17 +91,39 @@ pub(crate) trait Service: Send + Sync {
     /// Live distance evaluations of the served model's reference tree
     /// (fit **plus** serving queries so far) for `/metrics`.
     fn live_distance_evals(&self) -> u64;
+    /// `POST /admin/snapshot`: persists the served model to the
+    /// configured path.
+    fn save_snapshot(&self) -> SnapshotOutcome;
+    /// `GET /admin/snapshot/info`: header metadata of the snapshot on
+    /// disk.
+    fn snapshot_info(&self) -> SnapshotInfoOutcome;
 }
 
 /// The [`Service`] over a shared [`StreamDetector`].
 pub(crate) struct StreamService<P, M, B> {
     detector: Arc<StreamDetector<P, M, B>>,
     parse: LineParser<P>,
+    snapshot_path: Option<PathBuf>,
+    /// Ingest replay log, appended under a mutex: events from
+    /// concurrent ingest requests interleave whole-line, matching the
+    /// order their window pushes happened to land in closely enough for
+    /// recovery (ticks are non-decreasing either way).
+    replay: Option<Mutex<ReplayWriter>>,
 }
 
 impl<P, M, B> StreamService<P, M, B> {
-    pub fn new(detector: Arc<StreamDetector<P, M, B>>, parse: LineParser<P>) -> Self {
-        Self { detector, parse }
+    pub fn new(
+        detector: Arc<StreamDetector<P, M, B>>,
+        parse: LineParser<P>,
+        snapshot_path: Option<PathBuf>,
+        replay: Option<ReplayWriter>,
+    ) -> Self {
+        Self {
+            detector,
+            parse,
+            snapshot_path,
+            replay: replay.map(Mutex::new),
+        }
     }
 }
 
@@ -77,7 +137,7 @@ fn error_line(line_no: usize, message: &str) -> String {
 
 impl<P, M, B> Service for StreamService<P, M, B>
 where
-    P: Clone + Send + Sync + 'static,
+    P: PersistPoint + Clone + Send + Sync + 'static,
     M: Metric<P> + Clone + 'static,
     B: IndexBuilder<P, M> + Clone + Send + Sync + 'static,
     B::Index: Send + Sync + 'static,
@@ -136,6 +196,18 @@ where
     fn ingest_ndjson(&self, body: &[u8]) -> NdjsonOutcome {
         let mut out = String::new();
         let (mut lines_ok, mut lines_err) = (0u64, 0u64);
+        // Newest generation any event in this batch was scored against;
+        // the batch header reports the max so a client watching
+        // `X-Mccatch-Generation` never sees it regress just because the
+        // last line of a batch raced a swap.
+        let mut max_generation: Option<u64> = None;
+        // When the replay log is on, the lock is held across the whole
+        // batch: seq assignment and log append stay atomic, so the log's
+        // tick order always matches the window's.
+        let mut log = self
+            .replay
+            .as_ref()
+            .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()));
         for (line_no, raw) in body_lines(body) {
             match std::str::from_utf8(raw)
                 .map_err(|_| "invalid UTF-8".to_owned())
@@ -146,7 +218,17 @@ where
                     // tagged with its own generation; the refit policy
                     // (every-N / drift) fires exactly as it does for a
                     // library `ingest` caller.
-                    let event = self.detector.ingest(point);
+                    let event = if let Some(log) = log.as_mut() {
+                        let event = self.detector.ingest(point.clone());
+                        // Best-effort: a full disk must not fail live
+                        // scoring; the torn tail is recovered from at
+                        // restore time.
+                        let _ = log.append(event.seq, event.tick, &point);
+                        event
+                    } else {
+                        self.detector.ingest(point)
+                    };
+                    max_generation = Some(max_generation.unwrap_or(0).max(event.generation));
                     out.push_str(&crate::ndjson::scored_event_json(&event));
                     out.push('\n');
                     lines_ok += 1;
@@ -159,7 +241,7 @@ where
             }
         }
         NdjsonOutcome {
-            generation: self.detector.generation(),
+            generation: max_generation.unwrap_or_else(|| self.detector.generation()),
             body: out,
             lines_ok,
             lines_err,
@@ -184,6 +266,73 @@ where
 
     fn live_distance_evals(&self) -> u64 {
         self.detector.model().distance_stats().evals
+    }
+
+    fn save_snapshot(&self) -> SnapshotOutcome {
+        let Some(path) = &self.snapshot_path else {
+            return SnapshotOutcome::Unconfigured;
+        };
+        let cp = self.detector.checkpoint();
+        // Atomic publish: write a sibling temp file, fsync, then rename
+        // into place — a crash mid-write never leaves a torn snapshot
+        // at the configured path.
+        let tmp = path.with_extension("tmp");
+        let write = || -> Result<u64, String> {
+            let file = std::fs::File::create(&tmp).map_err(|e| e.to_string())?;
+            let mut w = std::io::BufWriter::new(file);
+            let bytes = save_model(cp.model.as_ref(), cp.generation, cp.seq, &mut w)
+                .map_err(|e| e.to_string())?;
+            w.into_inner()
+                .map_err(|e| e.to_string())?
+                .sync_all()
+                .map_err(|e| e.to_string())?;
+            std::fs::rename(&tmp, path).map_err(|e| e.to_string())?;
+            Ok(bytes)
+        };
+        match write() {
+            Ok(bytes) => SnapshotOutcome::Saved {
+                generation: cp.generation,
+                seq: cp.seq,
+                bytes,
+                path: path.display().to_string(),
+            },
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                SnapshotOutcome::Failed(e)
+            }
+        }
+    }
+
+    fn snapshot_info(&self) -> SnapshotInfoOutcome {
+        let Some(path) = &self.snapshot_path else {
+            return SnapshotInfoOutcome::Unconfigured;
+        };
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return SnapshotInfoOutcome::Missing {
+                    path: path.display().to_string(),
+                }
+            }
+            Err(e) => return SnapshotInfoOutcome::Failed(e.to_string()),
+        };
+        let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+        match mccatch_persist::read_info(std::io::BufReader::new(file)) {
+            Ok(info) => SnapshotInfoOutcome::Info(format!(
+                "{{\"version\": {}, \"backend\": \"{}\", \"point_kind\": {}, \"dim\": {}, \
+                 \"num_points\": {}, \"generation\": {}, \"seq\": {}, \"bytes\": {bytes}, \
+                 \"path\": \"{}\"}}\n",
+                info.version,
+                json_escape(&info.backend),
+                info.point_kind,
+                info.dim,
+                info.num_points,
+                info.generation,
+                info.seq,
+                json_escape(&path.display().to_string()),
+            )),
+            Err(e) => SnapshotInfoOutcome::Failed(e.to_string()),
+        }
     }
 }
 
@@ -213,7 +362,7 @@ mod tests {
             seed,
         )
         .unwrap();
-        StreamService::new(Arc::new(detector), Arc::new(parse_vector_line))
+        StreamService::new(Arc::new(detector), Arc::new(parse_vector_line), None, None)
     }
 
     #[test]

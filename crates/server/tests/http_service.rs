@@ -164,6 +164,7 @@ fn ingest_scores_events_and_feeds_the_window() {
     )
     .unwrap();
     assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-mccatch-generation"), Some("0"));
     let lines: Vec<&str> = resp.text().unwrap().lines().collect();
     assert_eq!(lines.len(), 2);
     assert!(lines[0].contains("\"flagged\": false"), "{}", lines[0]);
@@ -580,4 +581,103 @@ fn score_under_concurrent_refits_is_tagged_and_bit_identical() {
     let direct = detector.store().score_batch(&queries);
     let resp = post(addr, "/score", body.as_bytes()).unwrap();
     assert_eq!(scores_of(&resp), direct);
+
+    // `/ingest` is tagged too: the batch header must equal the largest
+    // per-event generation in the response, so a client watching
+    // `X-Mccatch-Generation` never sees it regress just because the
+    // last event of a batch raced a swap.
+    let resp = post(addr, "/ingest", body.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200);
+    let tagged: u64 = resp
+        .header("x-mccatch-generation")
+        .expect("ingest responses are tagged")
+        .parse()
+        .unwrap();
+    let max_event_gen = resp
+        .text()
+        .unwrap()
+        .lines()
+        .map(|l| {
+            l.split("\"generation\": ")
+                .nth(1)
+                .and_then(|rest| rest.split(',').next())
+                .unwrap_or_else(|| panic!("no generation in {l:?}"))
+                .parse::<u64>()
+                .unwrap()
+        })
+        .max()
+        .unwrap();
+    assert_eq!(tagged, max_event_gen);
+    assert_eq!(tagged, completed_swaps);
+}
+
+/// The snapshot admin endpoints: `409` until persistence is configured,
+/// `404` until a snapshot exists, then a save → info round-trip whose
+/// numbers agree with each other and with the file on disk.
+#[test]
+fn snapshot_endpoints_save_and_describe_the_served_model() {
+    // Unconfigured server: both endpoints refuse with 409.
+    let (server, _detector) = start(ServerConfig::default());
+    let addr = server.local_addr();
+    assert_eq!(post(addr, "/admin/snapshot", b"").unwrap().status, 409);
+    assert_eq!(get(addr, "/admin/snapshot/info").unwrap().status, 409);
+    // Wrong methods are 405 with Allow, like every other endpoint.
+    let resp = get(addr, "/admin/snapshot").unwrap();
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("POST"));
+    let resp = post(addr, "/admin/snapshot/info", b"").unwrap();
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("GET"));
+    server.shutdown();
+
+    // Configured server: info is 404 until the first save lands.
+    let dir = std::env::temp_dir().join(format!("mccatch-server-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snapshot_path = dir.join("model.mcsn");
+    let _ = std::fs::remove_file(&snapshot_path);
+    let detector = detector(512, grid(0.0));
+    let server = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            snapshot_path: Some(snapshot_path.clone()),
+            ..ServerConfig::default()
+        },
+        Arc::clone(&detector),
+        ndjson::vector_parser(Some(2)),
+        "kd",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    assert_eq!(get(addr, "/admin/snapshot/info").unwrap().status, 404);
+
+    let saved = post(addr, "/admin/snapshot", b"").unwrap();
+    assert_eq!(saved.status, 200);
+    assert_eq!(saved.header("x-mccatch-generation"), Some("0"));
+    let saved_text = saved.text().unwrap();
+    assert!(saved_text.contains("\"generation\": 0"), "{saved_text}");
+    assert!(saved_text.contains("\"bytes\": "), "{saved_text}");
+
+    let info = get(addr, "/admin/snapshot/info").unwrap();
+    assert_eq!(info.status, 200);
+    let info_text = info.text().unwrap();
+    for needle in [
+        "\"version\": 1",
+        "\"backend\": \"kd\"",
+        "\"dim\": 2",
+        "\"num_points\": 101",
+        "\"generation\": 0",
+    ] {
+        assert!(
+            info_text.contains(needle),
+            "missing {needle:?} in {info_text}"
+        );
+    }
+    // The advertised byte count is the file's actual size.
+    let on_disk = std::fs::metadata(&snapshot_path).unwrap().len();
+    assert!(
+        info_text.contains(&format!("\"bytes\": {on_disk}")),
+        "{info_text} vs {on_disk} on disk"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }

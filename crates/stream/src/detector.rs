@@ -52,6 +52,53 @@ enum Cmd {
     Shutdown,
 }
 
+/// A point-in-time capture of everything a restarted process needs to
+/// resume a stream where this one left off, as returned by
+/// [`StreamDetector::checkpoint`] and consumed by
+/// [`StreamDetector::restore`]. The capture is taken under the refit
+/// lock, so the model, its generation, and the window are mutually
+/// consistent (no refit swaps in between the reads).
+///
+/// The `mccatch-persist` crate serializes the model half of a checkpoint
+/// as a versioned snapshot and the window half as an NDJSON replay log;
+/// this struct itself is plain in-memory data, so the streaming crate
+/// stays codec-free.
+pub struct StreamCheckpoint<P> {
+    /// The model being served at capture time.
+    pub model: Arc<dyn Model<P>>,
+    /// The model's generation (0 for the initial fit, +1 per refit). A
+    /// restore resumes the counter here, so generation tags never
+    /// regress across a restart.
+    pub generation: u64,
+    /// Events accepted so far (seed included) — the stream position a
+    /// restored detector continues numbering [`ScoredEvent::seq`] from.
+    pub seq: u64,
+    /// The retained window as `(tick, point)` in arrival order, ticks
+    /// non-decreasing.
+    pub entries: Vec<(u64, P)>,
+    /// Whether `entries` are a seed snapshot "at stream start" (all at
+    /// one fabricated tick) rather than real ingested events: a restore
+    /// then re-marks them as seeds, so the first real tick re-adopts the
+    /// stream's time base exactly as [`StreamDetector::new`] seeds do.
+    /// [`StreamDetector::checkpoint`] sets this to `false`; it is for
+    /// restores that rebuild the window from the model's reference
+    /// points because no replay log survived.
+    pub entries_are_seed: bool,
+}
+
+impl<P> std::fmt::Debug for StreamCheckpoint<P> {
+    // Skips the model (not `Debug`, and its `stats()` runs pipeline
+    // stages) and the raw entries; counters identify the capture.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamCheckpoint")
+            .field("generation", &self.generation)
+            .field("seq", &self.seq)
+            .field("entries", &self.entries.len())
+            .field("entries_are_seed", &self.entries_are_seed)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Ring of the most recent flagged/unflagged verdicts, driving
 /// [`RefitPolicy::Drift`]. `recent == 0` disables tracking (non-drift
 /// policies).
@@ -272,6 +319,87 @@ where
             fit_distance_evals: AtomicU64::new(evals),
             shutdown: AtomicBool::new(false),
         });
+        Ok(Self::start(shared, refit_queue))
+    }
+
+    /// Rebuilds a detector from a [`StreamCheckpoint`] — the warm
+    /// restart path. Unlike [`new`](Self::new) this performs **no
+    /// initial fit**: the checkpoint's model starts serving immediately
+    /// at its original generation, the window is rebuilt from the
+    /// checkpoint's `(tick, point)` entries (capacity and age eviction
+    /// apply under the *new* `config`, so a restore may legitimately
+    /// retain fewer events than were captured), and `seq` resumes the
+    /// stream position. Counters (`events_scored`, refit totals,
+    /// `fit_distance_evals`) restart at zero — they are per-process
+    /// observability, not stream state.
+    ///
+    /// Entries with a decreasing tick are rejected with
+    /// [`StreamError::NonMonotonicTick`] — a corrupt or hand-edited
+    /// replay log must not violate the window's tick invariant.
+    pub fn restore(
+        config: StreamConfig,
+        detector: McCatch,
+        metric: M,
+        index_builder: B,
+        checkpoint: StreamCheckpoint<P>,
+    ) -> Result<Self, StreamError> {
+        config.validate()?;
+        let StreamCheckpoint {
+            model,
+            generation,
+            seq,
+            entries,
+            entries_are_seed,
+        } = checkpoint;
+        let mut window = Window::new(config.capacity, config.max_age_ticks);
+        let mut last: Option<u64> = None;
+        for (tick, point) in entries {
+            if let Some(l) = last {
+                if tick < l {
+                    return Err(StreamError::NonMonotonicTick { last: l, got: tick });
+                }
+            }
+            last = Some(tick);
+            window.push(tick, point);
+        }
+        if entries_are_seed {
+            window.mark_seeded();
+        }
+        let drift_recent = match config.policy {
+            RefitPolicy::Drift { recent, .. } => recent,
+            _ => 0,
+        };
+        let refit_queue = config.refit_queue;
+        let shared = Arc::new(Shared {
+            config,
+            mccatch: detector,
+            metric,
+            builder: index_builder,
+            store: ModelStore::with_generation(model, generation),
+            refit_lock: Mutex::new(()),
+            state: Mutex::new(StreamState {
+                window,
+                seq,
+                scored: 0,
+                since_refit: 0,
+                drift: DriftRing::new(drift_recent),
+            }),
+            refits_requested: AtomicU64::new(0),
+            refits_coalesced: AtomicU64::new(0),
+            refits_completed: AtomicU64::new(0),
+            refits_skipped: AtomicU64::new(0),
+            refits_failed: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            fit_distance_evals: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Self::start(shared, refit_queue))
+    }
+
+    /// Spawns the background refit worker over a fresh bounded queue and
+    /// assembles the handle — the tail shared by [`new`](Self::new) and
+    /// [`restore`](Self::restore).
+    fn start(shared: Arc<Shared<P, M, B>>, refit_queue: usize) -> Self {
         let (tx, rx) = mpsc::sync_channel(refit_queue);
         let worker = {
             let shared = Arc::clone(&shared);
@@ -280,11 +408,35 @@ where
                 .spawn(move || worker_loop(shared, rx))
                 .expect("spawn refit worker thread")
         };
-        Ok(Self {
+        Self {
             shared,
             tx,
             worker: Some(worker),
-        })
+        }
+    }
+
+    /// Captures a [`StreamCheckpoint`]: the served model, its
+    /// generation, the stream position, and the window's `(tick,
+    /// point)` entries — taken under the refit lock so no swap lands
+    /// between the reads and the pieces are mutually consistent. Ingest
+    /// can proceed concurrently; events landing after the capture are
+    /// simply not part of it (persist them through a replay log to close
+    /// the gap).
+    pub fn checkpoint(&self) -> StreamCheckpoint<P> {
+        let _serialized = self
+            .shared
+            .refit_lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let (model, generation) = self.shared.store.snapshot_tagged();
+        let st = self.shared.state();
+        StreamCheckpoint {
+            model,
+            generation,
+            seq: st.seq,
+            entries: st.window.entries_in_order(),
+            entries_are_seed: false,
+        }
     }
 
     /// Ingests one event: scores it immediately against the current
@@ -690,6 +842,60 @@ mod tests {
             seed,
         )
         .unwrap()
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_generation_window_and_seq() {
+        let stream = stream_over(manual_config(64), grid_with_isolate());
+        stream.ingest(vec![4.5, 4.5]);
+        stream.ingest(vec![700.0, 700.0]);
+        stream.refit_now().unwrap();
+        stream.ingest(vec![5.5, 5.5]);
+        let probe = vec![333.0, -21.0];
+        let before = stream.score(&probe);
+
+        let cp = stream.checkpoint();
+        assert_eq!(cp.generation, 1);
+        assert_eq!(cp.seq, 104); // 101 seeds + 3 events
+        assert_eq!(cp.entries.len(), 64);
+        assert!(!cp.entries_are_seed);
+        drop(stream);
+
+        let restored = StreamDetector::restore(
+            manual_config(64),
+            McCatch::builder().build().unwrap(),
+            Euclidean,
+            KdTreeBuilder::default(),
+            cp,
+        )
+        .unwrap();
+        // Same model, same generation, same window, same stream position.
+        assert_eq!(restored.score(&probe), before);
+        assert_eq!(restored.generation(), 1);
+        assert_eq!(restored.window_len(), 64);
+        let e = restored.ingest(vec![6.5, 6.5]);
+        assert_eq!(e.seq, 104);
+        assert_eq!(e.generation, 1);
+        // Refits keep working after a restore and bump from the resumed
+        // generation, not from zero.
+        assert_eq!(restored.refit_now().unwrap(), 2);
+    }
+
+    #[test]
+    fn restore_rejects_non_monotonic_entries() {
+        let stream = stream_over(manual_config(16), grid_with_isolate());
+        let mut cp = stream.checkpoint();
+        cp.entries = vec![(5, vec![0.0, 0.0]), (3, vec![1.0, 1.0])];
+        drop(stream);
+        let err = StreamDetector::restore(
+            manual_config(16),
+            McCatch::builder().build().unwrap(),
+            Euclidean,
+            KdTreeBuilder::default(),
+            cp,
+        )
+        .unwrap_err();
+        assert_eq!(err, StreamError::NonMonotonicTick { last: 5, got: 3 });
     }
 
     /// Polls until `cond` holds or the deadline passes; background

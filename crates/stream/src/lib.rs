@@ -77,6 +77,6 @@ mod stats;
 mod window;
 
 pub use config::{RefitPolicy, StreamConfig};
-pub use detector::{ScoredEvent, StreamDetector};
+pub use detector::{ScoredEvent, StreamCheckpoint, StreamDetector};
 pub use error::StreamError;
 pub use stats::StreamStats;

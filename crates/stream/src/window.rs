@@ -113,6 +113,17 @@ impl<P> Window<P> {
     {
         self.events.iter().map(|(_, p)| p.clone()).collect()
     }
+
+    /// The retained `(tick, point)` events in arrival order — what a
+    /// checkpoint captures so a restore can rebuild the window with its
+    /// real time base intact (unlike
+    /// [`points_in_order`](Self::points_in_order), which drops ticks).
+    pub(crate) fn entries_in_order(&self) -> Vec<(u64, P)>
+    where
+        P: Clone,
+    {
+        self.events.iter().cloned().collect()
+    }
 }
 
 #[cfg(test)]
