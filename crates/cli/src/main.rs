@@ -34,6 +34,18 @@
 //! bound address is printed on stdout (`--serve 127.0.0.1:0` picks an
 //! ephemeral port and echoes it).
 //!
+//! Serve mode is always multi-tenant capable (`mccatch::tenant`): every
+//! endpoint is also reachable scoped to a named tenant as
+//! `/t/{tenant}/…` (or via the `X-Mccatch-Tenant` header), tenants are
+//! created and deleted over the wire with `PUT`/`DELETE
+//! /admin/tenants/{name}`, and `--tenants N` pre-creates N empty
+//! tenants (named `a`, `b`, …) at boot. `--shards K` gives every tenant
+//! K hash-routed shards — independent sliding windows fitted in
+//! parallel and served as a min-score ensemble — each with its own
+//! bounded admission queue, so one hot tenant (or shard) cannot starve
+//! the rest. The bare endpoints keep serving the default (unnamed)
+//! detector exactly as before.
+//!
 //! ```text
 //! USAGE:
 //!   mccatch [--input FILE] [--mode csv|lines] [--format text|json]
@@ -42,7 +54,7 @@
 //!           [--points] [--top K]
 //!           [--stream] [--window N] [--refit-every N] [--warmup N]
 //!           [--drift FRAC] [--drift-recent N]
-//!           [--serve ADDR]
+//!           [--serve ADDR] [--tenants N] [--shards K]
 //!           [--save-model PATH] [--load-model PATH] [--replay-log PATH]
 //! ```
 //!
@@ -69,6 +81,7 @@ use mccatch::metrics::{Euclidean, Levenshtein, Metric};
 use mccatch::persist::{self, FsyncPolicy, PersistPoint, ReplayReader, ReplayWriter};
 use mccatch::server::{ndjson, LineParser, ServerConfig};
 use mccatch::stream::{RefitPolicy, ScoredEvent, StreamConfig, StreamDetector};
+use mccatch::tenant::{boot_tenant_name, RouteKey, TenantMap, TenantSpec};
 use mccatch::{McCatch, McCatchOutput, Model, Params};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::process::ExitCode;
@@ -87,6 +100,12 @@ struct Cli {
     /// Address to serve HTTP on (`--serve`); port 0 picks an ephemeral
     /// port (echoed on stdout).
     serve: Option<String>,
+    /// Tenants to pre-create at boot (named `a`, `b`, …); more can be
+    /// created over the wire with `PUT /admin/tenants/{name}`.
+    tenants: usize,
+    /// Hash-routed shards per tenant (independent windows, fitted in
+    /// parallel, served as a min-score ensemble).
+    shards: usize,
     window: usize,
     /// Events between background refits; 0 disables scheduled refits.
     refit_every: u64,
@@ -166,6 +185,8 @@ fn parse_cli() -> Result<Cli, String> {
         top: 20,
         stream: false,
         serve: None,
+        tenants: 0,
+        shards: 1,
         window: 1024,
         refit_every: 256,
         warmup: 0,
@@ -221,6 +242,16 @@ fn parse_cli() -> Result<Cli, String> {
             }
             "--stream" | "-s" => cli.stream = true,
             "--serve" => cli.serve = Some(need("--serve")?),
+            "--tenants" => {
+                cli.tenants = need("--tenants")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?
+            }
+            "--shards" => {
+                cli.shards = need("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
             "--window" | "-w" => {
                 cli.window = need("--window")?
                     .parse()
@@ -265,7 +296,7 @@ fn parse_cli() -> Result<Cli, String> {
                             [--points] [--top K]\n\
                             [--stream] [--window N] [--refit-every N] [--warmup N]\n\
                             [--drift FRAC] [--drift-recent N]\n\
-                            [--serve ADDR]\n\
+                            [--serve ADDR] [--tenants N] [--shards K]\n\
                             [--save-model PATH] [--load-model PATH] [--replay-log PATH]\n\n\
                      csv mode:   one point per line, comma/whitespace separated floats\n\
                      lines mode: one string per line, Levenshtein distance\n\n\
@@ -286,6 +317,13 @@ fn parse_cli() -> Result<Cli, String> {
                      POST /admin/refit, GET /healthz, and GET /metrics answer until\n\
                      the process is killed. ADDR with port 0 picks an ephemeral port;\n\
                      the bound address is echoed on stdout.\n\n\
+                     Serve mode is multi-tenant capable: every endpoint also answers\n\
+                     scoped to a named tenant at /t/{{tenant}}/... (or with the\n\
+                     X-Mccatch-Tenant header), and PUT/DELETE /admin/tenants/{{name}}\n\
+                     manage tenants over the wire. --tenants N pre-creates N empty\n\
+                     tenants (named a, b, ...); --shards K (default 1) gives every\n\
+                     tenant K hash-routed shards fitted in parallel and served as a\n\
+                     min-score ensemble, each with a bounded admission queue.\n\n\
                      --save-model PATH writes a versioned model snapshot (batch:\n\
                      after the fit; --stream: a checkpoint at end of input; --serve:\n\
                      the POST /admin/snapshot target). --load-model PATH warm-starts\n\
@@ -830,6 +868,12 @@ where
 ///
 /// `parser_for` builds the NDJSON line parser once the seed is known,
 /// so csv mode can pin the expected dimensionality to the seeded data.
+///
+/// The server always mounts a tenant registry (`mccatch::tenant`), so
+/// `PUT /admin/tenants/{name}` works without any flag; `--tenants N`
+/// pre-creates `a`, `b`, … and `--shards K` sets the per-tenant shard
+/// count. Every tenant is stamped from the same `--window`/refit
+/// schedule as the default detector.
 fn run_serve<P, M, B>(
     cli: &Cli,
     detector: McCatch,
@@ -840,7 +884,7 @@ fn run_serve<P, M, B>(
     events: impl Iterator<Item = Result<P, String>>,
 ) -> Result<(), String>
 where
-    P: PersistPoint + Clone + Send + Sync + 'static,
+    P: PersistPoint + RouteKey + Clone + Send + Sync + 'static,
     M: Metric<P> + Clone + 'static,
     B: mccatch::index::IndexBuilder<P, M> + Clone + Send + Sync + 'static,
     B::Index: Send + Sync + 'static,
@@ -852,6 +896,22 @@ where
         replay_fsync_every: cli.replay_fsync,
         ..ServerConfig::default()
     };
+    let tenants = TenantMap::new(
+        detector.clone(),
+        metric.clone(),
+        builder.clone(),
+        TenantSpec {
+            shards: cli.shards,
+            stream: stream_config(cli),
+            ..TenantSpec::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    for i in 0..cli.tenants {
+        tenants
+            .create(&boot_tenant_name(i))
+            .map_err(|e| e.to_string())?;
+    }
     let stream = if let Some(snap) = &cli.load_model {
         restore_detector(cli, stream_config(cli), metric, builder, snap)?
     } else {
@@ -870,9 +930,15 @@ where
     // wrong-arity lines degrade to per-line errors; an empty window
     // pins to the first accepted event instead.
     let parser = parser_for(&stream.window_points());
-    let server =
-        mccatch::server::serve(addr, server_config, Arc::new(stream), parser, index.name())
-            .map_err(|e| e.to_string())?;
+    let server = mccatch::server::serve_tenants(
+        addr,
+        server_config,
+        Arc::new(stream),
+        parser,
+        index.name(),
+        Arc::new(tenants),
+    )
+    .map_err(|e| e.to_string())?;
     // The stdout line is the contract smoke gates and scripts parse;
     // human-facing detail goes to stderr.
     println!("listening on http://{}", server.local_addr());
@@ -880,10 +946,13 @@ where
         .flush()
         .map_err(|e| format!("stdout: {e}"))?;
     eprintln!(
-        "# serving index={} window={} endpoints=/score,/ingest,/admin/refit,/admin/snapshot,\
-         /admin/snapshot/info,/healthz,/metrics",
+        "# serving index={} window={} tenants={} shards={} \
+         endpoints=/score,/ingest,/admin/refit,/admin/snapshot,\
+         /admin/snapshot/info,/healthz,/metrics,/admin/tenants,/t/{{tenant}}/*",
         index.name(),
-        cli.window
+        cli.window,
+        cli.tenants,
+        cli.shards
     );
     server.wait();
     Ok(())
@@ -1066,6 +1135,10 @@ fn run() -> Result<(), String> {
     let index = cli
         .index
         .unwrap_or(IndexChoice::default_for_mode(&cli.mode));
+
+    if cli.serve.is_none() && (cli.tenants > 0 || cli.shards != 1) {
+        return Err("--tenants/--shards only apply to serve mode; add --serve ADDR".to_owned());
+    }
 
     if cli.serve.is_some() && cli.load_model.is_some() && cli.input.is_some() {
         return Err(

@@ -177,7 +177,7 @@ pub struct ModelExport<P> {
 }
 
 /// Summary statistics of a fitted model, as reported by [`Model::stats`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ModelStats {
     /// Number of reference points `n`.
     pub num_points: usize,

@@ -174,6 +174,18 @@ pub use mccatch_stream as stream;
 /// `mccatch --serve ADDR`.
 pub use mccatch_server as server;
 
+/// Multi-tenant serving: [`tenant::TenantMap`] is a concurrent registry
+/// of named tenants, each owning an isolated set of shards — per-shard
+/// [`stream::StreamDetector`]s fed through a hash router
+/// ([`tenant::ShardRouter`]) with bounded per-shard admission queues, so
+/// one hot tenant can never starve the rest. A tenant fits its shards in
+/// parallel and serves the ensemble (a query's score is the min across
+/// shard models; one shard is bit-identical to a plain detector). The
+/// HTTP tier mounts a map with [`server::serve_tenants`]
+/// (`/t/{tenant}/…` routing plus the `/admin/tenants` lifecycle); the
+/// CLI wraps it as `--serve ADDR --tenants N --shards K`.
+pub use mccatch_tenant as tenant;
+
 /// Persistence: versioned model snapshots ([`persist::save_model`] /
 /// [`persist::load_model`], verified bit-identical on load), one-call
 /// warm restart for the serving store and the streaming detector

@@ -25,10 +25,9 @@ pub(crate) struct Request {
     pub method: String,
     /// The request target (path), as sent; query strings are not split.
     pub target: String,
-    /// Headers in arrival order, names lowercased. Routing currently
-    /// only needs the ones the parser folds in (`content-length`,
-    /// `connection`), but handlers and tests can inspect the rest.
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Headers in arrival order, names lowercased. Routing reads
+    /// `X-Mccatch-Tenant` from here; the parser folds in the framing
+    /// headers (`content-length`, `connection`) itself.
     pub headers: Vec<(String, String)>,
     /// The request body (`Content-Length` bytes; empty when absent).
     pub body: Vec<u8>,
@@ -39,7 +38,6 @@ pub(crate) struct Request {
 
 impl Request {
     /// First header with the given (lowercase) name.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers
             .iter()

@@ -14,7 +14,10 @@
 //! | `/admin/snapshot` | POST | Persists the served model to the configured `snapshot_path` (atomic tmp-then-rename); answers `{"generation", "seq", "bytes", "path"}`, or `409` when persistence is not configured |
 //! | `/admin/snapshot/info` | GET | Reads the snapshot header back (version, backend, points, generation) without loading the model; `404` until a snapshot exists |
 //! | `/healthz` | GET | Liveness |
-//! | `/metrics` | GET | Prometheus text exposition: request/error counters, queue depth, `StreamStats`, `ModelStats`, live per-backend distance evaluations |
+//! | `/metrics` | GET | Prometheus text exposition: request/error counters, queue depth, `StreamStats`, `ModelStats`, live per-backend distance evaluations; with tenancy enabled, `{tenant=…}`-labeled series and per-shard queue gauges |
+//! | `/t/{tenant}/score` … | POST/GET | Any of the five endpoints above, scoped to a named tenant ([`serve_tenants`]); equivalently, send `X-Mccatch-Tenant: {tenant}` on the bare path. Unknown tenant → `404`, invalid name → `400` |
+//! | `/admin/tenants` | GET | Lists live tenants |
+//! | `/admin/tenants/{name}` | PUT / DELETE | Creates (idempotently; the body is an optional NDJSON seed, fitted across the tenant's shards in parallel) or deletes a tenant |
 //!
 //! Malformed input degrades **per line**, not per batch: an unparsable
 //! or non-UTF-8 NDJSON line becomes a `{"line": N, "error": …}` object
@@ -43,4 +46,4 @@ mod service;
 pub use config::ServerConfig;
 pub use error::ServerError;
 pub use ndjson::LineParser;
-pub use server::{serve, ServerHandle};
+pub use server::{serve, serve_tenants, ServerHandle};

@@ -1,10 +1,13 @@
 //! Request counters and the Prometheus text exposition for `/metrics`.
 
 use crate::service::Service;
+use mccatch_core::ModelStats;
+use mccatch_stream::StreamStats;
+use mccatch_tenant::ShardQueue;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// The endpoints with per-endpoint request counters, in exposition
-/// order.
+/// order (`tenants` covers the `/admin/tenants` lifecycle routes).
 pub(crate) const ENDPOINTS: &[&str] = &[
     "score",
     "ingest",
@@ -13,6 +16,7 @@ pub(crate) const ENDPOINTS: &[&str] = &[
     "snapshot_info",
     "healthz",
     "metrics",
+    "tenants",
 ];
 
 /// The status codes this server can emit, in exposition order.
@@ -24,7 +28,7 @@ pub(crate) const STATUSES: &[u16] = &[200, 400, 404, 405, 409, 413, 431, 500, 50
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
     /// Requests routed to each endpoint (parallel to [`ENDPOINTS`]).
-    pub requests: [AtomicU64; 7],
+    pub requests: [AtomicU64; 8],
     /// Responses written per status code (parallel to [`STATUSES`]).
     pub responses: [AtomicU64; 9],
     /// Connections handed to the worker pool.
@@ -55,6 +59,22 @@ impl Counters {
     }
 }
 
+/// Escapes a label **value** per the Prometheus text exposition format:
+/// backslash, double quote, and newline must be escaped inside the
+/// quoted value (`\\`, `\"`, `\n`); everything else passes through.
+pub(crate) fn prom_label_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Formats an `f64` the Prometheus exposition way (`+Inf`/`-Inf`/`NaN`
 /// instead of JSON's `null`).
 fn prom_f64(v: f64) -> String {
@@ -69,17 +89,55 @@ fn prom_f64(v: f64) -> String {
     }
 }
 
+/// One tenant's scrape snapshot, collected by the router before
+/// rendering so every family reads a single consistent sample per
+/// tenant.
+pub(crate) struct TenantScrape {
+    /// The tenant's name (becomes the `tenant` label value, escaped).
+    pub name: String,
+    /// Aggregated stream counters across the tenant's shards.
+    pub stream: StreamStats,
+    /// Aggregated served-model summary across the tenant's shards.
+    pub model: ModelStats,
+    /// Aggregated live distance evaluations across the shards.
+    pub live_evals: u64,
+    /// Per-shard ingest-admission gauges.
+    pub queues: Vec<ShardQueue>,
+}
+
+impl TenantScrape {
+    /// Samples one tenant's service facade.
+    pub fn collect(name: String, service: &dyn Service) -> Self {
+        Self {
+            name,
+            stream: service.stream_stats(),
+            model: service.model_stats(),
+            live_evals: service.live_distance_evals(),
+            queues: service.shard_queues(),
+        }
+    }
+}
+
 /// Renders the full `/metrics` payload: server counters, stream
 /// counters, the served model's summary, and the live per-backend
 /// distance-evaluation total.
+///
+/// The default (unnamed) tenant's series stay **unlabeled** — exactly
+/// the single-tenant exposition — and each named tenant adds a
+/// `{tenant="…"}` series under the same family, so single-tenant
+/// deployments and their scrape rules are byte-compatible. `tenants`
+/// is `None` when multi-tenant serving is disabled (no tenant families
+/// are emitted at all).
 pub(crate) fn render_prometheus(
     counters: &Counters,
     service: &dyn Service,
     index_label: &str,
     uptime: std::time::Duration,
+    tenants: Option<&[TenantScrape]>,
 ) -> String {
     let stream = service.stream_stats();
     let model = service.model_stats();
+    let scrapes: &[TenantScrape] = tenants.unwrap_or(&[]);
     let mut out = String::with_capacity(4096);
     let mut metric = |name: &str, kind: &str, help: &str, series: &[(String, String)]| {
         out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
@@ -92,6 +150,16 @@ pub(crate) fn render_prometheus(
         }
     };
     let plain = |v: String| vec![(String::new(), v)];
+    let tenant_label = |name: &str| format!("{{tenant=\"{}\"}}", prom_label_escape(name));
+    // A family with the default tenant unlabeled plus one labeled
+    // series per named tenant.
+    let with_tenants = |default: String, per: &dyn Fn(&TenantScrape) -> String| {
+        let mut v = vec![(String::new(), default)];
+        for t in scrapes {
+            v.push((tenant_label(&t.name), per(t)));
+        }
+        v
+    };
 
     metric(
         "mccatch_server_requests_total",
@@ -178,111 +246,203 @@ pub(crate) fn render_prometheus(
         "mccatch_stream_events_ingested_total",
         "counter",
         "Events accepted into the sliding window (seed included).",
-        &plain(stream.events_ingested.to_string()),
+        &with_tenants(stream.events_ingested.to_string(), &|t| {
+            t.stream.events_ingested.to_string()
+        }),
     );
     metric(
         "mccatch_stream_events_scored_total",
         "counter",
         "Events scored at arrival.",
-        &plain(stream.events_scored.to_string()),
+        &with_tenants(stream.events_scored.to_string(), &|t| {
+            t.stream.events_scored.to_string()
+        }),
     );
     metric(
         "mccatch_stream_events_evicted_total",
         "counter",
         "Events evicted from the window by capacity or age.",
-        &plain(stream.events_evicted.to_string()),
+        &with_tenants(stream.events_evicted.to_string(), &|t| {
+            t.stream.events_evicted.to_string()
+        }),
     );
     metric(
         "mccatch_stream_window_len",
         "gauge",
         "Events currently retained in the sliding window.",
-        &plain(stream.window_len.to_string()),
+        &with_tenants(stream.window_len.to_string(), &|t| {
+            t.stream.window_len.to_string()
+        }),
     );
     metric(
         "mccatch_stream_window_capacity",
         "gauge",
         "Configured window capacity.",
-        &plain(stream.window_capacity.to_string()),
+        &with_tenants(stream.window_capacity.to_string(), &|t| {
+            t.stream.window_capacity.to_string()
+        }),
     );
+    let refit_outcomes = |s: &StreamStats| {
+        [
+            ("requested", s.refits_requested),
+            ("coalesced", s.refits_coalesced),
+            ("completed", s.refits_completed),
+            ("skipped", s.refits_skipped),
+            ("failed", s.refits_failed),
+        ]
+    };
+    let mut refits: Vec<(String, String)> = refit_outcomes(&stream)
+        .iter()
+        .map(|(o, v)| (format!("{{outcome=\"{o}\"}}"), v.to_string()))
+        .collect();
+    for t in scrapes {
+        for (o, v) in refit_outcomes(&t.stream) {
+            refits.push((
+                format!(
+                    "{{outcome=\"{o}\",tenant=\"{}\"}}",
+                    prom_label_escape(&t.name)
+                ),
+                v.to_string(),
+            ));
+        }
+    }
     metric(
         "mccatch_stream_refits_total",
         "counter",
         "Refit requests, by outcome.",
-        &[
-            ("requested", stream.refits_requested),
-            ("coalesced", stream.refits_coalesced),
-            ("completed", stream.refits_completed),
-            ("skipped", stream.refits_skipped),
-            ("failed", stream.refits_failed),
-        ]
-        .iter()
-        .map(|(o, v)| (format!("{{outcome=\"{o}\"}}"), v.to_string()))
-        .collect::<Vec<_>>(),
+        &refits,
     );
     metric(
         "mccatch_stream_refit_queue_depth",
         "gauge",
         "Refit requests waiting in the bounded command queue.",
-        &plain(stream.refit_queue_depth.to_string()),
+        &with_tenants(stream.refit_queue_depth.to_string(), &|t| {
+            t.stream.refit_queue_depth.to_string()
+        }),
     );
     metric(
         "mccatch_stream_fit_distance_evals_total",
         "counter",
         "Distance evaluations spent across all completed fits.",
-        &plain(stream.fit_distance_evals.to_string()),
+        &with_tenants(stream.fit_distance_evals.to_string(), &|t| {
+            t.stream.fit_distance_evals.to_string()
+        }),
     );
 
     metric(
         "mccatch_model_generation",
         "gauge",
         "Generation of the currently served model.",
-        &plain(stream.generation.to_string()),
+        &with_tenants(stream.generation.to_string(), &|t| {
+            t.stream.generation.to_string()
+        }),
     );
     metric(
         "mccatch_model_points",
         "gauge",
         "Reference points in the served model.",
-        &plain(model.num_points.to_string()),
+        &with_tenants(model.num_points.to_string(), &|t| {
+            t.model.num_points.to_string()
+        }),
     );
     metric(
         "mccatch_model_outliers",
         "gauge",
         "Outliers flagged in the served model's reference set.",
-        &plain(model.num_outliers.to_string()),
+        &with_tenants(model.num_outliers.to_string(), &|t| {
+            t.model.num_outliers.to_string()
+        }),
     );
     metric(
         "mccatch_model_microclusters",
         "gauge",
         "Microclusters gelled in the served model's reference set.",
-        &plain(model.num_microclusters.to_string()),
+        &with_tenants(model.num_microclusters.to_string(), &|t| {
+            t.model.num_microclusters.to_string()
+        }),
     );
     metric(
         "mccatch_model_cutoff_d",
         "gauge",
         "The served model's MDL cutoff distance d.",
-        &plain(prom_f64(model.cutoff_d)),
+        &with_tenants(prom_f64(model.cutoff_d), &|t| prom_f64(t.model.cutoff_d)),
     );
     metric(
         "mccatch_model_degenerate",
         "gauge",
         "1 when the served model is degenerate (cold start).",
-        &plain((model.degenerate as u8).to_string()),
+        &with_tenants((model.degenerate as u8).to_string(), &|t| {
+            (t.model.degenerate as u8).to_string()
+        }),
     );
     metric(
         "mccatch_model_fit_distance_evals",
         "gauge",
         "Distance evaluations the served model's fit cost.",
-        &plain(model.distance_evals.to_string()),
+        &with_tenants(model.distance_evals.to_string(), &|t| {
+            t.model.distance_evals.to_string()
+        }),
     );
+    let mut evals = vec![(
+        format!("{{index=\"{}\"}}", prom_label_escape(index_label)),
+        service.live_distance_evals().to_string(),
+    )];
+    for t in scrapes {
+        evals.push((
+            format!(
+                "{{index=\"{}\",tenant=\"{}\"}}",
+                prom_label_escape(index_label),
+                prom_label_escape(&t.name)
+            ),
+            t.live_evals.to_string(),
+        ));
+    }
     metric(
         "mccatch_index_distance_evals_total",
         "counter",
         "Live distance evaluations of the served reference tree (fit plus serving queries), by index backend.",
-        &[(
-            format!("{{index=\"{index_label}\"}}"),
-            service.live_distance_evals().to_string(),
-        )],
+        &evals,
     );
+
+    if let Some(scrapes) = tenants {
+        metric(
+            "mccatch_tenants",
+            "gauge",
+            "Live tenants in the registry.",
+            &plain(scrapes.len().to_string()),
+        );
+        let (mut depth, mut capacity, mut rejected) = (Vec::new(), Vec::new(), Vec::new());
+        for t in scrapes {
+            for q in &t.queues {
+                let labels = format!(
+                    "{{tenant=\"{}\",shard=\"{}\"}}",
+                    prom_label_escape(&t.name),
+                    q.shard
+                );
+                depth.push((labels.clone(), q.depth.to_string()));
+                capacity.push((labels.clone(), q.capacity.to_string()));
+                rejected.push((labels, q.rejected.to_string()));
+            }
+        }
+        metric(
+            "mccatch_tenant_shard_queue_depth",
+            "gauge",
+            "Ingest calls currently in flight per tenant shard (bounded admission).",
+            &depth,
+        );
+        metric(
+            "mccatch_tenant_shard_queue_capacity",
+            "gauge",
+            "Configured per-shard in-flight ingest bound.",
+            &capacity,
+        );
+        metric(
+            "mccatch_tenant_shard_ingest_rejected_total",
+            "counter",
+            "Ingest calls rejected with shard-saturated backpressure.",
+            &rejected,
+        );
+    }
     out
 }
 
@@ -308,5 +468,22 @@ mod tests {
         assert_eq!(prom_f64(f64::NEG_INFINITY), "-Inf");
         assert_eq!(prom_f64(f64::NAN), "NaN");
         assert_eq!(prom_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn tenants_endpoint_has_a_request_counter() {
+        let c = Counters::default();
+        c.count_request("tenants");
+        let i = ENDPOINTS.iter().position(|e| *e == "tenants").unwrap();
+        assert_eq!(c.requests[i].load(Ordering::Acquire), 1);
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        assert_eq!(prom_label_escape("plain-name_0"), "plain-name_0");
+        assert_eq!(prom_label_escape("a\\b"), "a\\\\b");
+        assert_eq!(prom_label_escape("a\"b"), "a\\\"b");
+        assert_eq!(prom_label_escape("a\nb"), "a\\nb");
+        assert_eq!(prom_label_escape("\\\"\n"), "\\\\\\\"\\n");
     }
 }

@@ -19,13 +19,17 @@
 use crate::config::ServerConfig;
 use crate::error::ServerError;
 use crate::http::{self, Request, Response};
-use crate::metrics::{render_prometheus, Counters};
+use crate::metrics::{render_prometheus, Counters, TenantScrape};
 use crate::ndjson::{json_escape, LineParser};
-use crate::service::{NdjsonOutcome, Service, SnapshotInfoOutcome, SnapshotOutcome, StreamService};
+use crate::service::{
+    MapRegistry, NdjsonOutcome, Service, SnapshotInfoOutcome, SnapshotOutcome, StreamService,
+    TenantRegistry,
+};
 use mccatch_index::IndexBuilder;
 use mccatch_metric::Metric;
 use mccatch_persist::{FsyncPolicy, PersistPoint, ReplayWriter};
 use mccatch_stream::StreamDetector;
+use mccatch_tenant::{valid_tenant_name, RouteKey, TenantMap};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,7 +41,12 @@ use std::time::{Duration, Instant};
 /// Everything the acceptor and workers share.
 struct Shared {
     config: ServerConfig,
+    /// The default (unnamed) tenant: bare `/score`, `/ingest`, … serve
+    /// it, exactly as before multi-tenancy existed.
     service: Arc<dyn Service>,
+    /// Named tenants, when started via [`serve_tenants`]; `None` makes
+    /// every `/t/{tenant}/…` and `/admin/tenants` route answer `404`.
+    registry: Option<Arc<dyn TenantRegistry>>,
     counters: Counters,
     index_label: String,
     shutdown: AtomicBool,
@@ -180,6 +189,59 @@ where
     B: IndexBuilder<P, M> + Clone + Send + Sync + 'static,
     B::Index: Send + Sync + 'static,
 {
+    serve_with_registry(addr, config, detector, parser, index_label, None)
+}
+
+/// Starts the HTTP scoring service with **multi-tenant serving** on top
+/// of the default detector: everything [`serve`] does, plus a
+/// [`TenantMap`] registry behind `/t/{tenant}/…` routing (or the
+/// `X-Mccatch-Tenant` header) and the `/admin/tenants` lifecycle
+/// endpoints.
+///
+/// The bare endpoints (`/score`, `/ingest`, …) keep serving `detector`
+/// — the default, unnamed tenant — byte-for-byte as before; named
+/// tenants are fully isolated shard sets created either up front (via
+/// `tenants`) or dynamically with `PUT /admin/tenants/{name}`.
+/// Per-tenant snapshots are written next to
+/// `ServerConfig::snapshot_path` as `{path}.{tenant}.{shard}`; the
+/// ingest replay log (when configured) covers the default tenant only.
+pub fn serve_tenants<P, M, B>(
+    addr: impl ToSocketAddrs + std::fmt::Debug,
+    config: ServerConfig,
+    detector: Arc<StreamDetector<P, M, B>>,
+    parser: LineParser<P>,
+    index_label: impl Into<String>,
+    tenants: Arc<TenantMap<P, M, B>>,
+) -> Result<ServerHandle, ServerError>
+where
+    P: PersistPoint + RouteKey + Clone + Send + Sync + 'static,
+    M: Metric<P> + Clone + 'static,
+    B: IndexBuilder<P, M> + Clone + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+{
+    let registry: Arc<dyn TenantRegistry> = Arc::new(MapRegistry::new(
+        tenants,
+        Arc::clone(&parser),
+        config.snapshot_path.clone(),
+    ));
+    serve_with_registry(addr, config, detector, parser, index_label, Some(registry))
+}
+
+/// The shared boot path of [`serve`] and [`serve_tenants`].
+fn serve_with_registry<P, M, B>(
+    addr: impl ToSocketAddrs + std::fmt::Debug,
+    config: ServerConfig,
+    detector: Arc<StreamDetector<P, M, B>>,
+    parser: LineParser<P>,
+    index_label: impl Into<String>,
+    registry: Option<Arc<dyn TenantRegistry>>,
+) -> Result<ServerHandle, ServerError>
+where
+    P: PersistPoint + Clone + Send + Sync + 'static,
+    M: Metric<P> + Clone + 'static,
+    B: IndexBuilder<P, M> + Clone + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+{
     config.validate()?;
     let replay = match &config.replay_log {
         None => None,
@@ -207,6 +269,7 @@ where
             config.snapshot_path.clone(),
             replay,
         )),
+        registry,
         index_label: index_label.into(),
         counters: Counters::default(),
         shutdown: AtomicBool::new(false),
@@ -379,16 +442,143 @@ fn serve_connection(shared: &Shared, conn: TcpStream) {
     }
 }
 
+/// The tenant scope of a request: `/t/{tenant}/{endpoint}` paths and
+/// the `X-Mccatch-Tenant` header both select a named tenant (and must
+/// agree when both are present); bare paths serve the default tenant.
+/// Returns `(tenant, endpoint_target)` or the error response.
+fn tenant_scope(req: &Request) -> Result<(Option<&str>, &str), Response> {
+    let (path_tenant, target) = match req.target.strip_prefix("/t/") {
+        None => (None, req.target.as_str()),
+        Some(rest) => match rest.split_once('/') {
+            // `&rest[name.len()..]` keeps the leading slash, so the
+            // scoped endpoint matches the same literals as bare paths.
+            Some((name, _tail)) => (Some(name), &rest[name.len()..]),
+            None => {
+                return Err(Response::text(
+                    404,
+                    format!(
+                        "no such endpoint: {} (expected /t/{{tenant}}/score, \
+                         /t/{{tenant}}/ingest, ...)\n",
+                        req.target
+                    ),
+                ))
+            }
+        },
+    };
+    match (path_tenant, req.header("x-mccatch-tenant")) {
+        (Some(p), Some(h)) if p != h => Err(Response::text(
+            400,
+            format!("tenant mismatch: path says {p:?}, X-Mccatch-Tenant says {h:?}\n"),
+        )),
+        (Some(p), _) => Ok((Some(p), target)),
+        (None, h) => Ok((h, target)),
+    }
+}
+
+/// The `400` for a name outside `[a-zA-Z0-9_-]{1,64}`.
+fn invalid_name_response(name: &str) -> Response {
+    Response::text(
+        400,
+        format!("invalid tenant name {name:?}: must match [a-zA-Z0-9_-]{{1,64}}\n"),
+    )
+}
+
+const NO_TENANCY: &str = "multi-tenant serving is not enabled on this server\n";
+
+/// The `/admin/tenants` lifecycle routes: `GET /admin/tenants` lists,
+/// `PUT /admin/tenants/{name}` creates (idempotently; the body is an
+/// optional NDJSON seed), `DELETE /admin/tenants/{name}` unlinks.
+fn route_tenants_admin(shared: &Shared, req: &Request) -> Response {
+    let list = req.target == "/admin/tenants";
+    let allow = if list { "GET" } else { "PUT, DELETE" };
+    if !allow.split(", ").any(|m| m == req.method) {
+        return Response::text(405, format!("{} requires {allow}\n", req.target))
+            .with_header("allow", allow.to_owned());
+    }
+    shared.counters.count_request("tenants");
+    let Some(registry) = &shared.registry else {
+        return Response::text(404, NO_TENANCY);
+    };
+    if list {
+        let names = registry
+            .names()
+            .iter()
+            .map(|n| format!("\"{}\"", json_escape(n)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        return Response::json(200, format!("{{\"tenants\": [{names}]}}\n"));
+    }
+    let name = req
+        .target
+        .strip_prefix("/admin/tenants/")
+        .expect("caller matched the prefix");
+    if !valid_tenant_name(name) {
+        return invalid_name_response(name);
+    }
+    match req.method.as_str() {
+        "PUT" => match registry.create(name, &req.body) {
+            Ok(created) => Response::json(
+                200,
+                format!(
+                    "{{\"tenant\": \"{}\", \"created\": {created}, \"shards\": {}}}\n",
+                    json_escape(name),
+                    registry.shards()
+                ),
+            ),
+            Err(e) => Response::json(400, format!("{{\"error\": \"{}\"}}\n", json_escape(&e))),
+        },
+        "DELETE" => {
+            if registry.delete(name) {
+                Response::json(
+                    200,
+                    format!(
+                        "{{\"tenant\": \"{}\", \"deleted\": true}}\n",
+                        json_escape(name)
+                    ),
+                )
+            } else {
+                Response::text(404, format!("no such tenant: {name}\n"))
+            }
+        }
+        _ => unreachable!("method checked above"),
+    }
+}
+
 /// Maps one parsed request to its response.
 fn route(shared: &Shared, req: &Request) -> Response {
-    let endpoint = match req.target.as_str() {
+    if req.target == "/admin/tenants" || req.target.starts_with("/admin/tenants/") {
+        return route_tenants_admin(shared, req);
+    }
+    let (tenant, target) = match tenant_scope(req) {
+        Ok(scope) => scope,
+        Err(resp) => return resp,
+    };
+    // Resolve the serving backend: the default service for bare
+    // requests, the tenant's facade otherwise. Process-wide endpoints
+    // (`/healthz`, `/metrics`) have no tenant-scoped form.
+    let service: Arc<dyn Service> = match tenant {
+        None => Arc::clone(&shared.service),
+        Some(name) => {
+            if !valid_tenant_name(name) {
+                return invalid_name_response(name);
+            }
+            let Some(registry) = &shared.registry else {
+                return Response::text(404, NO_TENANCY);
+            };
+            match registry.get(name) {
+                Some(svc) => svc,
+                None => return Response::text(404, format!("no such tenant: {name}\n")),
+            }
+        }
+    };
+    let endpoint = match target {
         "/score" => "score",
         "/ingest" => "ingest",
         "/admin/refit" => "refit",
         "/admin/snapshot" => "snapshot",
         "/admin/snapshot/info" => "snapshot_info",
-        "/healthz" => "healthz",
-        "/metrics" => "metrics",
+        "/healthz" if tenant.is_none() => "healthz",
+        "/metrics" if tenant.is_none() => "metrics",
         _ => {
             return Response::text(404, format!("no such endpoint: {}\n", req.target));
         }
@@ -404,18 +594,36 @@ fn route(shared: &Shared, req: &Request) -> Response {
     shared.counters.count_request(endpoint);
     match endpoint {
         "healthz" => Response::text(200, "ok\n"),
-        "metrics" => Response::text(
-            200,
-            render_prometheus(
-                &shared.counters,
-                &*shared.service,
-                &shared.index_label,
-                shared.start.elapsed(),
-            ),
-        ),
-        "score" => ndjson_response(shared, shared.service.score_ndjson(&req.body)),
-        "ingest" => ndjson_response(shared, shared.service.ingest_ndjson(&req.body)),
-        "refit" => match shared.service.refit_now() {
+        "metrics" => {
+            let scrapes: Option<Vec<TenantScrape>> = shared.registry.as_ref().map(|r| {
+                r.names()
+                    .into_iter()
+                    .filter_map(|n| r.get(&n).map(|s| TenantScrape::collect(n, &*s)))
+                    .collect()
+            });
+            Response::text(
+                200,
+                render_prometheus(
+                    &shared.counters,
+                    &*shared.service,
+                    &shared.index_label,
+                    shared.start.elapsed(),
+                    scrapes.as_deref(),
+                ),
+            )
+        }
+        "score" => ndjson_response(shared, service.score_ndjson(&req.body)),
+        "ingest" => {
+            // An empty body is a complete, zero-line batch: short-circuit
+            // to an empty 200 that still carries the current generation,
+            // without touching the detector or the replay log.
+            if crate::ndjson::body_lines(&req.body).next().is_none() {
+                return Response::ndjson(200, String::new())
+                    .with_header("x-mccatch-generation", service.generation().to_string());
+            }
+            ndjson_response(shared, service.ingest_ndjson(&req.body))
+        }
+        "refit" => match service.refit_now() {
             Ok(generation) => Response::json(200, format!("{{\"generation\": {generation}}}\n"))
                 .with_header("x-mccatch-generation", generation.to_string()),
             Err(e) => Response::json(
@@ -423,7 +631,7 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 format!("{{\"error\": \"refit failed: {}\"}}\n", json_escape(&e)),
             ),
         },
-        "snapshot" => match shared.service.save_snapshot() {
+        "snapshot" => match service.save_snapshot() {
             SnapshotOutcome::Unconfigured => Response::json(
                 409,
                 "{\"error\": \"no snapshot path configured; set ServerConfig.snapshot_path\"}\n"
@@ -448,7 +656,7 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 format!("{{\"error\": \"snapshot failed: {}\"}}\n", json_escape(&e)),
             ),
         },
-        "snapshot_info" => match shared.service.snapshot_info() {
+        "snapshot_info" => match service.snapshot_info() {
             SnapshotInfoOutcome::Unconfigured => Response::json(
                 409,
                 "{\"error\": \"no snapshot path configured; set ServerConfig.snapshot_path\"}\n"

@@ -10,12 +10,13 @@
 //! exposes the counters the `/metrics` endpoint renders.
 
 use crate::ndjson::{body_lines, json_escape, json_f64, LineParser};
-use mccatch_core::ModelStats;
+use mccatch_core::{Model, ModelStats};
 use mccatch_index::IndexBuilder;
 use mccatch_metric::Metric;
 use mccatch_persist::{save_model, PersistPoint, ReplayWriter};
 use mccatch_stream::{StreamDetector, StreamStats};
-use std::path::PathBuf;
+use mccatch_tenant::{RouteKey, ShardQueue, Tenant, TenantError, TenantMap};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 /// Result of processing one NDJSON request body: the response body
@@ -81,8 +82,8 @@ pub(crate) trait Service: Send + Sync {
     /// `POST /admin/refit`: synchronous refit, returning the new
     /// generation.
     fn refit_now(&self) -> Result<u64, String>;
-    /// Current served-model generation.
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Current served-model generation (for a tenant: the sum of its
+    /// shard generations — monotone either way).
     fn generation(&self) -> u64;
     /// Stream counters for `/metrics`.
     fn stream_stats(&self) -> StreamStats;
@@ -97,6 +98,11 @@ pub(crate) trait Service: Send + Sync {
     /// `GET /admin/snapshot/info`: header metadata of the snapshot on
     /// disk.
     fn snapshot_info(&self) -> SnapshotInfoOutcome;
+    /// Per-shard ingest-admission gauges for `/metrics` — empty for
+    /// backends without bounded shard admission (the default service).
+    fn shard_queues(&self) -> Vec<ShardQueue> {
+        Vec::new()
+    }
 }
 
 /// The [`Service`] over a shared [`StreamDetector`].
@@ -133,6 +139,78 @@ fn error_line(line_no: usize, message: &str) -> String {
         "{{\"line\": {line_no}, \"error\": \"{}\"}}",
         json_escape(message)
     )
+}
+
+/// Atomic snapshot publish shared by the single-store and per-tenant
+/// paths: write a sibling `.tmp` file, fsync, then rename into place —
+/// a crash mid-write never leaves a torn snapshot at `path`. The temp
+/// name is appended (not `with_extension`) so sibling shard files like
+/// `snap.bin.acme.0` and `snap.bin.acme.1` get distinct temp files.
+fn write_snapshot_atomic<P: PersistPoint>(
+    path: &Path,
+    model: &dyn Model<P>,
+    generation: u64,
+    seq: u64,
+) -> Result<u64, String> {
+    let tmp = {
+        let mut os = path.as_os_str().to_owned();
+        os.push(".tmp");
+        PathBuf::from(os)
+    };
+    let write = || -> Result<u64, String> {
+        let file = std::fs::File::create(&tmp).map_err(|e| e.to_string())?;
+        let mut w = std::io::BufWriter::new(file);
+        let bytes = save_model(model, generation, seq, &mut w).map_err(|e| e.to_string())?;
+        w.into_inner()
+            .map_err(|e| e.to_string())?
+            .sync_all()
+            .map_err(|e| e.to_string())?;
+        std::fs::rename(&tmp, path).map_err(|e| e.to_string())?;
+        Ok(bytes)
+    };
+    write().inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+/// Reads the snapshot header at `path` into the `/admin/snapshot/info`
+/// outcome, shared by the single-store and per-tenant paths.
+fn snapshot_info_at(path: &Path) -> SnapshotInfoOutcome {
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return SnapshotInfoOutcome::Missing {
+                path: path.display().to_string(),
+            }
+        }
+        Err(e) => return SnapshotInfoOutcome::Failed(e.to_string()),
+    };
+    let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+    match mccatch_persist::read_info(std::io::BufReader::new(file)) {
+        Ok(info) => SnapshotInfoOutcome::Info(format!(
+            "{{\"version\": {}, \"backend\": \"{}\", \"point_kind\": {}, \"dim\": {}, \
+             \"num_points\": {}, \"generation\": {}, \"seq\": {}, \"bytes\": {bytes}, \
+             \"path\": \"{}\"}}\n",
+            info.version,
+            json_escape(&info.backend),
+            info.point_kind,
+            info.dim,
+            info.num_points,
+            info.generation,
+            info.seq,
+            json_escape(&path.display().to_string()),
+        )),
+        Err(e) => SnapshotInfoOutcome::Failed(e.to_string()),
+    }
+}
+
+/// The on-disk location of one tenant shard's snapshot: the configured
+/// base path with `.{tenant}.{shard}` appended (tenant names are
+/// `[a-zA-Z0-9_-]{1,64}`, so the suffix can never traverse paths).
+pub(crate) fn tenant_snapshot_path(base: &Path, tenant: &str, shard: usize) -> PathBuf {
+    let mut os = base.as_os_str().to_owned();
+    os.push(format!(".{tenant}.{shard}"));
+    PathBuf::from(os)
 }
 
 impl<P, M, B> Service for StreamService<P, M, B>
@@ -273,33 +351,14 @@ where
             return SnapshotOutcome::Unconfigured;
         };
         let cp = self.detector.checkpoint();
-        // Atomic publish: write a sibling temp file, fsync, then rename
-        // into place — a crash mid-write never leaves a torn snapshot
-        // at the configured path.
-        let tmp = path.with_extension("tmp");
-        let write = || -> Result<u64, String> {
-            let file = std::fs::File::create(&tmp).map_err(|e| e.to_string())?;
-            let mut w = std::io::BufWriter::new(file);
-            let bytes = save_model(cp.model.as_ref(), cp.generation, cp.seq, &mut w)
-                .map_err(|e| e.to_string())?;
-            w.into_inner()
-                .map_err(|e| e.to_string())?
-                .sync_all()
-                .map_err(|e| e.to_string())?;
-            std::fs::rename(&tmp, path).map_err(|e| e.to_string())?;
-            Ok(bytes)
-        };
-        match write() {
+        match write_snapshot_atomic(path, cp.model.as_ref(), cp.generation, cp.seq) {
             Ok(bytes) => SnapshotOutcome::Saved {
                 generation: cp.generation,
                 seq: cp.seq,
                 bytes,
                 path: path.display().to_string(),
             },
-            Err(e) => {
-                let _ = std::fs::remove_file(&tmp);
-                SnapshotOutcome::Failed(e)
-            }
+            Err(e) => SnapshotOutcome::Failed(e),
         }
     }
 
@@ -307,32 +366,327 @@ where
         let Some(path) = &self.snapshot_path else {
             return SnapshotInfoOutcome::Unconfigured;
         };
-        let file = match std::fs::File::open(path) {
-            Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return SnapshotInfoOutcome::Missing {
-                    path: path.display().to_string(),
+        snapshot_info_at(path)
+    }
+}
+
+/// Sums per-shard stream counters into one tenant-level view for
+/// `/metrics`: counters and lengths add; the generation is the tenant
+/// generation (sum of shard generations). The embedded model summary is
+/// aggregated by [`aggregate_model_stats`].
+fn aggregate_stream_stats(shards: &[StreamStats]) -> StreamStats {
+    let mut agg = StreamStats::default();
+    for s in shards {
+        agg.events_ingested += s.events_ingested;
+        agg.events_scored += s.events_scored;
+        agg.events_evicted += s.events_evicted;
+        agg.window_len += s.window_len;
+        agg.window_capacity += s.window_capacity;
+        agg.generation += s.generation;
+        agg.refits_requested += s.refits_requested;
+        agg.refits_coalesced += s.refits_coalesced;
+        agg.refits_completed += s.refits_completed;
+        agg.refits_skipped += s.refits_skipped;
+        agg.refits_failed += s.refits_failed;
+        agg.refit_queue_depth += s.refit_queue_depth;
+        agg.fit_distance_evals += s.fit_distance_evals;
+    }
+    agg.model = aggregate_model_stats(shards.iter().map(|s| &s.model));
+    agg
+}
+
+/// Folds per-shard model summaries into one tenant-level view: sizes
+/// and costs add, the cutoff is the ensemble-relevant **minimum**
+/// (scores serve the shard minimum), the diameter/radii report the
+/// widest shard, and the ensemble is degenerate only when every shard
+/// is.
+fn aggregate_model_stats<'a>(shards: impl Iterator<Item = &'a ModelStats>) -> ModelStats {
+    let mut agg = ModelStats {
+        cutoff_d: f64::INFINITY,
+        degenerate: true,
+        ..ModelStats::default()
+    };
+    for m in shards {
+        agg.num_points += m.num_points;
+        agg.diameter = agg.diameter.max(m.diameter);
+        agg.num_radii = agg.num_radii.max(m.num_radii);
+        agg.cutoff_d = agg.cutoff_d.min(m.cutoff_d);
+        agg.num_outliers += m.num_outliers;
+        agg.num_microclusters += m.num_microclusters;
+        agg.distance_evals += m.distance_evals;
+        agg.degenerate &= m.degenerate;
+    }
+    agg
+}
+
+/// The [`Service`] over one tenant's shard set: the same NDJSON wire
+/// contract as [`StreamService`], with scoring fanned out to the shard
+/// ensemble (element-wise minimum) and ingest routed by point key
+/// through the tenant's bounded per-shard admission. With one shard
+/// this produces byte-identical `/score` bodies to the single-store
+/// path (the tenant layer's bit-equality property).
+pub(crate) struct TenantService<P, M, B> {
+    tenant: Arc<Tenant<P, M, B>>,
+    parse: LineParser<P>,
+    /// Per-tenant snapshots live at `{base}.{tenant}.{shard}` (see
+    /// [`tenant_snapshot_path`]); `None` answers `409` like the
+    /// single-store path.
+    snapshot_base: Option<PathBuf>,
+}
+
+impl<P, M, B> Service for TenantService<P, M, B>
+where
+    P: PersistPoint + RouteKey + Clone + Send + Sync + 'static,
+    M: Metric<P> + Clone + 'static,
+    B: IndexBuilder<P, M> + Clone + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+{
+    fn score_ndjson(&self, body: &[u8]) -> NdjsonOutcome {
+        // One tagged snapshot per shard for the whole batch (the
+        // tenant's `score_batch` contract): the generation tag is the
+        // summed shard generations of that consistent snapshot set.
+        let mut parsed: Vec<Result<(), (usize, String)>> = Vec::new();
+        let mut points: Vec<P> = Vec::new();
+        for (line_no, raw) in body_lines(body) {
+            let entry = match std::str::from_utf8(raw) {
+                Err(_) => Err((line_no, "invalid UTF-8".to_owned())),
+                Ok(text) => match (self.parse)(text) {
+                    Ok(p) => {
+                        points.push(p);
+                        Ok(())
+                    }
+                    Err(e) => Err((line_no, e)),
+                },
+            };
+            parsed.push(entry);
+        }
+        let (scores, generation) = self.tenant.score_batch(&points);
+        let mut body = String::new();
+        let (mut lines_ok, mut lines_err) = (0u64, 0u64);
+        let mut next_score = scores.into_iter();
+        for entry in &parsed {
+            match entry {
+                Ok(_) => {
+                    let s = next_score.next().expect("one score per parsed point");
+                    body.push_str(&format!("{{\"score\": {}}}\n", json_f64(s)));
+                    lines_ok += 1;
+                }
+                Err((line_no, msg)) => {
+                    body.push_str(&error_line(*line_no, msg));
+                    body.push('\n');
+                    lines_err += 1;
                 }
             }
-            Err(e) => return SnapshotInfoOutcome::Failed(e.to_string()),
-        };
-        let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
-        match mccatch_persist::read_info(std::io::BufReader::new(file)) {
-            Ok(info) => SnapshotInfoOutcome::Info(format!(
-                "{{\"version\": {}, \"backend\": \"{}\", \"point_kind\": {}, \"dim\": {}, \
-                 \"num_points\": {}, \"generation\": {}, \"seq\": {}, \"bytes\": {bytes}, \
-                 \"path\": \"{}\"}}\n",
-                info.version,
-                json_escape(&info.backend),
-                info.point_kind,
-                info.dim,
-                info.num_points,
-                info.generation,
-                info.seq,
-                json_escape(&path.display().to_string()),
-            )),
-            Err(e) => SnapshotInfoOutcome::Failed(e.to_string()),
         }
+        NdjsonOutcome {
+            generation,
+            body,
+            lines_ok,
+            lines_err,
+        }
+    }
+
+    fn ingest_ndjson(&self, body: &[u8]) -> NdjsonOutcome {
+        let mut out = String::new();
+        let (mut lines_ok, mut lines_err) = (0u64, 0u64);
+        for (line_no, raw) in body_lines(body) {
+            match std::str::from_utf8(raw)
+                .map_err(|_| "invalid UTF-8".to_owned())
+                .and_then(|text| (self.parse)(text))
+            {
+                // Routed ingest: the point's shard scores-then-learns it
+                // alone. A saturated shard degrades per line — the
+                // rejection becomes this line's error object while the
+                // rest of the batch proceeds (backpressure is per
+                // shard, not per batch).
+                Ok(point) => match self.tenant.ingest(point) {
+                    Ok(event) => {
+                        out.push_str(&crate::ndjson::scored_event_json(&event));
+                        out.push('\n');
+                        lines_ok += 1;
+                    }
+                    Err(e) => {
+                        out.push_str(&error_line(line_no, &e.to_string()));
+                        out.push('\n');
+                        lines_err += 1;
+                    }
+                },
+                Err(msg) => {
+                    out.push_str(&error_line(line_no, &msg));
+                    out.push('\n');
+                    lines_err += 1;
+                }
+            }
+        }
+        NdjsonOutcome {
+            // The tenant generation (summed shard generations) is the
+            // batch tag: monotone per tenant, so a client watching
+            // `X-Mccatch-Generation` never sees it regress.
+            generation: self.tenant.generation(),
+            body: out,
+            lines_ok,
+            lines_err,
+        }
+    }
+
+    fn refit_now(&self) -> Result<u64, String> {
+        self.tenant.refit_now().map_err(|e| e.to_string())
+    }
+
+    fn generation(&self) -> u64 {
+        self.tenant.generation()
+    }
+
+    fn stream_stats(&self) -> StreamStats {
+        aggregate_stream_stats(&self.tenant.shard_stats())
+    }
+
+    fn model_stats(&self) -> ModelStats {
+        let stats: Vec<ModelStats> = (0..self.tenant.shards())
+            .filter_map(|i| self.tenant.shard_detector(i))
+            .map(|d| d.model().stats())
+            .collect();
+        aggregate_model_stats(stats.iter())
+    }
+
+    fn live_distance_evals(&self) -> u64 {
+        (0..self.tenant.shards())
+            .filter_map(|i| self.tenant.shard_detector(i))
+            .map(|d| d.model().distance_stats().evals)
+            .sum()
+    }
+
+    fn save_snapshot(&self) -> SnapshotOutcome {
+        let Some(base) = &self.snapshot_base else {
+            return SnapshotOutcome::Unconfigured;
+        };
+        // One snapshot file per shard, each written atomically. The
+        // reported path is the per-tenant pattern; generation/seq are
+        // the tenant-level sums of the captured checkpoints.
+        let (mut generation, mut seq, mut bytes) = (0u64, 0u64, 0u64);
+        for shard in 0..self.tenant.shards() {
+            let d = self.tenant.shard_detector(shard).expect("shard in range");
+            let cp = d.checkpoint();
+            let path = tenant_snapshot_path(base, self.tenant.name(), shard);
+            match write_snapshot_atomic(&path, cp.model.as_ref(), cp.generation, cp.seq) {
+                Ok(b) => {
+                    generation += cp.generation;
+                    seq += cp.seq;
+                    bytes += b;
+                }
+                Err(e) => return SnapshotOutcome::Failed(format!("shard {shard}: {e}")),
+            }
+        }
+        SnapshotOutcome::Saved {
+            generation,
+            seq,
+            bytes,
+            path: format!("{}.{}.*", base.display(), self.tenant.name()),
+        }
+    }
+
+    fn snapshot_info(&self) -> SnapshotInfoOutcome {
+        let Some(base) = &self.snapshot_base else {
+            return SnapshotInfoOutcome::Unconfigured;
+        };
+        // Shard 0 is the representative header (all shards are written
+        // by the same save call); its path is what the JSON reports.
+        snapshot_info_at(&tenant_snapshot_path(base, self.tenant.name(), 0))
+    }
+
+    fn shard_queues(&self) -> Vec<ShardQueue> {
+        self.tenant.queue_stats()
+    }
+}
+
+/// What the router needs from the tenant registry, erased over the
+/// point, metric, and index types (the same move [`Service`] makes for
+/// one detector).
+pub(crate) trait TenantRegistry: Send + Sync {
+    /// The per-tenant [`Service`] facade of `name`, if the tenant
+    /// exists.
+    fn get(&self, name: &str) -> Option<Arc<dyn Service>>;
+    /// `PUT /admin/tenants/{name}`: creates the tenant, seeded from the
+    /// request body (the same NDJSON lines as `/ingest`; empty body =
+    /// cold start). `Ok(true)` created it, `Ok(false)` found it already
+    /// present (idempotent PUT); `Err` is a client-visible message.
+    fn create(&self, name: &str, seed_body: &[u8]) -> Result<bool, String>;
+    /// `DELETE /admin/tenants/{name}`: unlinks the tenant; `false` when
+    /// it did not exist. In-flight requests holding its service finish.
+    fn delete(&self, name: &str) -> bool;
+    /// Live tenant names, sorted.
+    fn names(&self) -> Vec<String>;
+    /// Shards every tenant is stamped with (for lifecycle responses).
+    fn shards(&self) -> usize;
+}
+
+/// The [`TenantRegistry`] over a [`TenantMap`], stamping a
+/// [`TenantService`] per lookup (the service is a thin handle: an
+/// `Arc`, a parser `Arc`, and a path clone).
+pub(crate) struct MapRegistry<P, M, B> {
+    map: Arc<TenantMap<P, M, B>>,
+    parse: LineParser<P>,
+    snapshot_base: Option<PathBuf>,
+}
+
+impl<P, M, B> MapRegistry<P, M, B> {
+    pub fn new(
+        map: Arc<TenantMap<P, M, B>>,
+        parse: LineParser<P>,
+        snapshot_base: Option<PathBuf>,
+    ) -> Self {
+        Self {
+            map,
+            parse,
+            snapshot_base,
+        }
+    }
+}
+
+impl<P, M, B> TenantRegistry for MapRegistry<P, M, B>
+where
+    P: PersistPoint + RouteKey + Clone + Send + Sync + 'static,
+    M: Metric<P> + Clone + 'static,
+    B: IndexBuilder<P, M> + Clone + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+{
+    fn get(&self, name: &str) -> Option<Arc<dyn Service>> {
+        self.map.get(name).map(|tenant| {
+            Arc::new(TenantService {
+                tenant,
+                parse: Arc::clone(&self.parse),
+                snapshot_base: self.snapshot_base.clone(),
+            }) as Arc<dyn Service>
+        })
+    }
+
+    fn create(&self, name: &str, seed_body: &[u8]) -> Result<bool, String> {
+        // Creation is all-or-nothing: any unparsable seed line rejects
+        // the whole PUT (unlike /ingest's per-line degradation) so a
+        // tenant never boots from a silently truncated seed.
+        let mut seed = Vec::new();
+        for (line_no, raw) in body_lines(seed_body) {
+            let text = std::str::from_utf8(raw)
+                .map_err(|_| format!("seed line {line_no}: invalid UTF-8"))?;
+            seed.push((self.parse)(text).map_err(|e| format!("seed line {line_no}: {e}"))?);
+        }
+        match self.map.create_seeded(name, seed) {
+            Ok(_) => Ok(true),
+            Err(TenantError::AlreadyExists { .. }) => Ok(false),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    fn delete(&self, name: &str) -> bool {
+        self.map.remove(name).is_ok()
+    }
+
+    fn names(&self) -> Vec<String> {
+        self.map.names()
+    }
+
+    fn shards(&self) -> usize {
+        self.map.spec().shards
     }
 }
 
@@ -422,5 +776,126 @@ mod tests {
         assert_eq!(svc.generation(), 0);
         assert_eq!(svc.refit_now(), Ok(1));
         assert_eq!(svc.generation(), 1);
+    }
+
+    fn registry(shards: usize) -> MapRegistry<Vec<f64>, Euclidean, KdTreeBuilder> {
+        let map = TenantMap::new(
+            McCatch::builder().build().unwrap(),
+            Euclidean,
+            KdTreeBuilder::default(),
+            mccatch_tenant::TenantSpec {
+                shards,
+                stream: StreamConfig {
+                    capacity: 512,
+                    policy: RefitPolicy::Manual,
+                    ..StreamConfig::default()
+                },
+                ingest_queue: 64,
+            },
+        )
+        .unwrap();
+        MapRegistry::new(Arc::new(map), Arc::new(parse_vector_line), None)
+    }
+
+    fn seed_body() -> Vec<u8> {
+        let mut body = String::new();
+        for i in 0..100 {
+            body.push_str(&format!("[{}, {}]\n", i % 10, i / 10));
+        }
+        body.push_str("[500.0, 500.0]\n");
+        body.into_bytes()
+    }
+
+    #[test]
+    fn single_shard_tenant_serves_byte_identical_score_bodies() {
+        let reg = registry(1);
+        assert_eq!(reg.create("acme", &seed_body()), Ok(true));
+        let tenant_svc = reg.get("acme").unwrap();
+        let plain = service();
+        let body = b"[4.5, 4.5]\nnot json\n[900.0, 900.0]\n".as_slice();
+        let ours = tenant_svc.score_ndjson(body);
+        let theirs = plain.score_ndjson(body);
+        assert_eq!(ours.body, theirs.body, "wire bodies must be byte-equal");
+        assert_eq!(ours.generation, theirs.generation);
+        assert_eq!(
+            (ours.lines_ok, ours.lines_err),
+            (theirs.lines_ok, theirs.lines_err)
+        );
+    }
+
+    #[test]
+    fn registry_lifecycle_is_idempotent_and_validating() {
+        let reg = registry(2);
+        assert_eq!(reg.create("a", b""), Ok(true));
+        assert_eq!(reg.create("a", b""), Ok(false), "idempotent PUT");
+        assert_eq!(reg.names(), vec!["a".to_owned()]);
+        assert_eq!(reg.shards(), 2);
+        // A bad seed line rejects the whole create: all-or-nothing.
+        let err = reg.create("b", b"[1.0, 2.0]\nnot json\n").unwrap_err();
+        assert!(err.contains("seed line 2"), "{err}");
+        assert!(reg.get("b").is_none(), "failed create must not register");
+        assert!(reg.delete("a") && !reg.delete("a"));
+        assert!(reg.get("a").is_none());
+    }
+
+    #[test]
+    fn tenant_ingest_reports_saturation_per_line() {
+        let reg = registry(1);
+        reg.create("t", &seed_body()).unwrap();
+        let svc = reg.get("t").unwrap();
+        let out = svc.ingest_ndjson(b"[4.0, 4.0]\nbroken\n[900.0, 900.0]\n");
+        assert_eq!((out.lines_ok, out.lines_err), (2, 1));
+        assert!(out
+            .body
+            .lines()
+            .nth(2)
+            .unwrap()
+            .contains("\"flagged\": true"));
+        // The aggregated stats see both ingests; queues drained.
+        assert_eq!(svc.stream_stats().events_ingested, 103);
+        let queues = svc.shard_queues();
+        assert_eq!(queues.len(), 1);
+        assert_eq!((queues[0].depth, queues[0].rejected), (0, 0));
+    }
+
+    #[test]
+    fn aggregated_stats_sum_counters_and_min_the_cutoff() {
+        let a = StreamStats {
+            events_ingested: 10,
+            window_len: 5,
+            generation: 2,
+            model: ModelStats {
+                num_points: 5,
+                cutoff_d: 3.0,
+                degenerate: false,
+                ..ModelStats::default()
+            },
+            ..StreamStats::default()
+        };
+        let b = StreamStats {
+            events_ingested: 7,
+            window_len: 4,
+            generation: 1,
+            model: ModelStats {
+                num_points: 4,
+                cutoff_d: 1.5,
+                degenerate: true,
+                ..ModelStats::default()
+            },
+            ..StreamStats::default()
+        };
+        let agg = aggregate_stream_stats(&[a, b]);
+        assert_eq!(agg.events_ingested, 17);
+        assert_eq!(agg.window_len, 9);
+        assert_eq!(agg.generation, 3);
+        assert_eq!(agg.model.num_points, 9);
+        assert_eq!(agg.model.cutoff_d, 1.5);
+        assert!(!agg.model.degenerate, "one live shard un-degenerates");
+    }
+
+    #[test]
+    fn tenant_snapshot_paths_append_tenant_and_shard() {
+        let p = tenant_snapshot_path(Path::new("/tmp/snap.bin"), "acme", 3);
+        assert_eq!(p, PathBuf::from("/tmp/snap.bin.acme.3"));
     }
 }

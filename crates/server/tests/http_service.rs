@@ -174,6 +174,30 @@ fn ingest_scores_events_and_feeds_the_window() {
 }
 
 #[test]
+fn empty_ingest_body_short_circuits_with_the_current_generation() {
+    let (server, detector) = start(ServerConfig::default());
+    let addr = server.local_addr();
+    let before = detector.stats().events_ingested;
+    // A body with no NDJSON lines (empty, or blank lines only) is a
+    // complete zero-line batch: empty 200, nothing ingested, and the
+    // X-Mccatch-Generation header still present and current.
+    for body in [b"".as_slice(), b"\n\n  \n".as_slice()] {
+        let resp = post(addr, "/ingest", body).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.text().unwrap(), "");
+        assert_eq!(
+            resp.header("x-mccatch-generation"),
+            Some(detector.generation().to_string().as_str())
+        );
+    }
+    assert_eq!(detector.stats().events_ingested, before);
+    // After a refit, the short-circuit reports the new generation.
+    detector.refit_now().unwrap();
+    let resp = post(addr, "/ingest", b"").unwrap();
+    assert_eq!(resp.header("x-mccatch-generation"), Some("1"));
+}
+
+#[test]
 fn admin_refit_advances_the_generation_for_later_scores() {
     // Capacity equals the workload size, so the shifted traffic below
     // evicts the seed completely before the refit pins the model to it.

@@ -14,7 +14,7 @@ use mccatch_core::ModelStats;
 /// pending and merged into it; the rest were enqueued, and each
 /// enqueued request ends up exactly one of completed, skipped (window
 /// below `min_refit_points`), or failed.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StreamStats {
     /// Events accepted into the window so far (seed points included).
     pub events_ingested: u64,

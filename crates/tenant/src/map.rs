@@ -1,0 +1,286 @@
+//! The concurrent tenant registry.
+
+use crate::error::TenantError;
+use crate::name::valid_tenant_name;
+use crate::router::RouteKey;
+use crate::tenant::{Tenant, TenantSpec};
+use mccatch_core::McCatch;
+use mccatch_index::IndexBuilder;
+use mccatch_metric::Metric;
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// The registry's inner storage: name → shared tenant handle.
+type Registry<P, M, B> = BTreeMap<String, Arc<Tenant<P, M, B>>>;
+
+/// A concurrent registry of named [`Tenant`]s, all stamped from one
+/// [`TenantSpec`] (same shard count, stream schedule, and admission
+/// bound) over one detector/metric/index configuration.
+///
+/// Lookups take a read lock for the map access only — scoring and
+/// ingest run entirely outside it on the returned `Arc<Tenant>`, so a
+/// create or delete never stalls another tenant's traffic. Fitting a
+/// new tenant (the expensive part of `create`) also runs outside the
+/// lock; two racing creates of the same name resolve to one winner and
+/// one [`AlreadyExists`](TenantError::AlreadyExists).
+///
+/// Deleting a tenant only unlinks it: in-flight requests holding the
+/// `Arc` finish against the detached shard set, which shuts down when
+/// the last clone drops.
+pub struct TenantMap<P, M, B> {
+    detector: McCatch,
+    metric: M,
+    builder: B,
+    spec: TenantSpec,
+    tenants: RwLock<Registry<P, M, B>>,
+}
+
+impl<P, M, B> TenantMap<P, M, B>
+where
+    P: RouteKey + Clone + Send + Sync + 'static,
+    M: Metric<P> + Clone + 'static,
+    B: IndexBuilder<P, M> + Clone + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+{
+    /// An empty map that will stamp every tenant from `spec` (validated
+    /// here) with refits driven by `detector` over `metric`/`builder`.
+    pub fn new(
+        detector: McCatch,
+        metric: M,
+        builder: B,
+        spec: TenantSpec,
+    ) -> Result<Self, TenantError> {
+        spec.validate()?;
+        Ok(Self {
+            detector,
+            metric,
+            builder,
+            spec,
+            tenants: RwLock::new(BTreeMap::new()),
+        })
+    }
+
+    /// The spec every tenant is stamped from.
+    pub fn spec(&self) -> &TenantSpec {
+        &self.spec
+    }
+
+    /// Creates an empty tenant (degenerate shard models until its first
+    /// ingest + refit). See [`create_seeded`](Self::create_seeded).
+    pub fn create(&self, name: &str) -> Result<Arc<Tenant<P, M, B>>, TenantError> {
+        self.create_seeded(name, Vec::new())
+    }
+
+    /// Creates a tenant seeded with `seed`: the seed is partitioned
+    /// across the shards by routing key and every shard fits in
+    /// parallel, all **outside** the registry lock. Fails with
+    /// [`InvalidName`](TenantError::InvalidName) or
+    /// [`AlreadyExists`](TenantError::AlreadyExists).
+    pub fn create_seeded(
+        &self,
+        name: &str,
+        seed: Vec<P>,
+    ) -> Result<Arc<Tenant<P, M, B>>, TenantError> {
+        if !valid_tenant_name(name) {
+            return Err(TenantError::InvalidName {
+                name: name.to_owned(),
+            });
+        }
+        let exists = |map: &Registry<P, M, B>| -> Result<(), TenantError> {
+            if map.contains_key(name) {
+                return Err(TenantError::AlreadyExists {
+                    name: name.to_owned(),
+                });
+            }
+            Ok(())
+        };
+        // Cheap early check so a racing duplicate usually skips the fit
+        // entirely; the write-locked insert below is the real arbiter.
+        exists(&self.tenants.read().unwrap_or_else(|e| e.into_inner()))?;
+        let tenant = Arc::new(Tenant::new(
+            name,
+            &self.detector,
+            &self.metric,
+            &self.builder,
+            &self.spec,
+            seed,
+        )?);
+        let mut map = self.tenants.write().unwrap_or_else(|e| e.into_inner());
+        exists(&map)?;
+        map.insert(name.to_owned(), Arc::clone(&tenant));
+        Ok(tenant)
+    }
+
+    /// The tenant named `name`, if it exists.
+    pub fn get(&self, name: &str) -> Option<Arc<Tenant<P, M, B>>> {
+        self.tenants
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// Unlinks and returns the tenant named `name`. In-flight requests
+    /// holding its `Arc` complete normally; the shard workers shut down
+    /// when the last clone drops.
+    pub fn remove(&self, name: &str) -> Result<Arc<Tenant<P, M, B>>, TenantError> {
+        self.tenants
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(name)
+            .ok_or_else(|| TenantError::NotFound {
+                name: name.to_owned(),
+            })
+    }
+
+    /// The live tenant names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.tenants
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// How many tenants are live.
+    pub fn len(&self) -> usize {
+        self.tenants.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the map holds no tenants.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccatch_index::KdTreeBuilder;
+    use mccatch_metric::Euclidean;
+    use mccatch_stream::{RefitPolicy, StreamConfig};
+
+    fn map(shards: usize) -> TenantMap<Vec<f64>, Euclidean, KdTreeBuilder> {
+        TenantMap::new(
+            McCatch::builder().build().unwrap(),
+            Euclidean,
+            KdTreeBuilder::default(),
+            TenantSpec {
+                shards,
+                stream: StreamConfig {
+                    capacity: 256,
+                    policy: RefitPolicy::Manual,
+                    ..StreamConfig::default()
+                },
+                ingest_queue: 16,
+            },
+        )
+        .unwrap()
+    }
+
+    fn grid(n: usize, shift: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![(i % 10) as f64 + shift, (i / 10) as f64 + shift])
+            .collect()
+    }
+
+    #[test]
+    fn lifecycle_create_get_remove() {
+        let m = map(1);
+        assert!(m.is_empty());
+        m.create("a").unwrap();
+        m.create_seeded("b", grid(50, 0.0)).unwrap();
+        assert_eq!(m.names(), vec!["a".to_owned(), "b".to_owned()]);
+        assert_eq!(m.len(), 2);
+        assert!(m.get("a").is_some() && m.get("ghost").is_none());
+        assert_eq!(
+            m.create("a").err(),
+            Some(TenantError::AlreadyExists { name: "a".into() })
+        );
+        assert_eq!(m.remove("a").unwrap().name(), "a");
+        assert_eq!(
+            m.remove("a").err(),
+            Some(TenantError::NotFound { name: "a".into() })
+        );
+        assert_eq!(m.names(), vec!["b".to_owned()]);
+    }
+
+    #[test]
+    fn invalid_names_never_enter_the_map() {
+        let m = map(1);
+        for bad in ["", "a b", "a/b", "né", &"x".repeat(65)] {
+            assert_eq!(
+                m.create(bad).err(),
+                Some(TenantError::InvalidName {
+                    name: bad.to_owned()
+                }),
+                "{bad:?}"
+            );
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_at_map_construction() {
+        let err = TenantMap::<Vec<f64>, _, _>::new(
+            McCatch::builder().build().unwrap(),
+            Euclidean,
+            KdTreeBuilder::default(),
+            TenantSpec {
+                shards: 0,
+                ..TenantSpec::default()
+            },
+        )
+        .err();
+        assert_eq!(err, Some(TenantError::InvalidShards { got: 0 }));
+    }
+
+    #[test]
+    fn tenants_are_isolated_ingest_to_one_never_moves_another() {
+        let m = map(2);
+        let mut seed = grid(100, 0.0);
+        seed.push(vec![500.0, 500.0]);
+        for name in ["a", "b", "c", "d"] {
+            m.create_seeded(name, seed.clone()).unwrap();
+        }
+        let queries: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64 * 0.7, 3.3]).collect();
+        let b = m.get("b").unwrap();
+        let (b_scores_before, b_gen_before) = b.score_batch(&queries);
+        let b_stats_before = b.shard_stats();
+
+        // Hammer tenant a: ingest plus explicit refits.
+        let a = m.get("a").unwrap();
+        for i in 0..300 {
+            a.ingest(vec![i as f64 * 0.01, 1.0]).unwrap();
+        }
+        a.refit_now().unwrap();
+        assert!(a.generation() > 0);
+
+        // Tenant b is untouched: same scores (bitwise), same
+        // generation, same stream counters.
+        let (b_scores_after, b_gen_after) = b.score_batch(&queries);
+        assert_eq!(b_scores_before, b_scores_after);
+        assert_eq!(b_gen_before, b_gen_after);
+        assert_eq!(b_stats_before, b.shard_stats());
+        for name in ["c", "d"] {
+            assert_eq!(m.get(name).unwrap().generation(), 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn racing_creates_resolve_to_one_winner() {
+        let m = std::sync::Arc::new(map(1));
+        let winners: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let m = std::sync::Arc::clone(&m);
+                    scope.spawn(move || m.create("contested").is_ok())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(winners.iter().filter(|w| **w).count(), 1, "{winners:?}");
+        assert_eq!(m.len(), 1);
+    }
+}

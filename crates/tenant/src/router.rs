@@ -1,0 +1,158 @@
+//! Deterministic point-to-shard routing.
+//!
+//! A tenant's shards partition its traffic: every ingested point lands
+//! on exactly one shard, chosen by a stable hash of the point itself
+//! (so replays and restarts route identically, with no coordination
+//! state to persist) — or by an explicit shard index when the caller
+//! already partitions upstream.
+
+use crate::error::TenantError;
+
+/// A point that can be hashed to a stable 64-bit routing key.
+///
+/// The key must be a pure function of the point's value: the same point
+/// routes to the same shard on every process, every restart, and every
+/// replay. `f64` coordinates hash by their IEEE-754 bit patterns, so
+/// `0.0` and `-0.0` are distinct keys — routing only needs determinism,
+/// not numeric equivalence classes.
+pub trait RouteKey {
+    /// The stable routing key of this point.
+    fn route_key(&self) -> u64;
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over a byte stream — tiny, dependency-free, and stable.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl RouteKey for Vec<f64> {
+    fn route_key(&self) -> u64 {
+        fnv1a(self.iter().flat_map(|c| c.to_bits().to_le_bytes()))
+    }
+}
+
+impl RouteKey for String {
+    fn route_key(&self) -> u64 {
+        fnv1a(self.bytes())
+    }
+}
+
+/// Maps routing keys onto a fixed shard set.
+///
+/// The mapping first mixes the key with a 64-bit finalizer (FNV's low
+/// bits alone are weak for small alphabets) and then reduces modulo the
+/// shard count. It is a pure function: the same key always lands on
+/// the same shard.
+///
+/// ```
+/// use mccatch_tenant::{RouteKey, ShardRouter};
+///
+/// let router = ShardRouter::new(4)?;
+/// let p = vec![1.0, 2.0];
+/// assert_eq!(router.route(&p), router.route(&p.clone()));
+/// assert!(router.route(&p) < 4);
+/// # Ok::<(), mccatch_tenant::TenantError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards (`>= 1`).
+    pub fn new(shards: usize) -> Result<Self, TenantError> {
+        if shards == 0 {
+            return Err(TenantError::InvalidShards { got: 0 });
+        }
+        Ok(Self { shards })
+    }
+
+    /// How many shards this router spreads over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard of a raw routing key.
+    pub fn route_raw(&self, key: u64) -> usize {
+        // SplitMix64 finalizer: spreads FNV's structure across all 64
+        // bits before the modulo, so nearby keys don't stripe.
+        let mut k = key;
+        k ^= k >> 30;
+        k = k.wrapping_mul(0xbf58476d1ce4e5b9);
+        k ^= k >> 27;
+        k = k.wrapping_mul(0x94d049bb133111eb);
+        k ^= k >> 31;
+        (k % self.shards as u64) as usize
+    }
+
+    /// The shard of a point, via its [`RouteKey`].
+    pub fn route<P: RouteKey>(&self, point: &P) -> usize {
+        self.route_raw(point.route_key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let r = ShardRouter::new(1).unwrap();
+        for i in 0..100 {
+            assert_eq!(r.route(&vec![i as f64, -i as f64]), 0);
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        assert_eq!(
+            ShardRouter::new(0),
+            Err(TenantError::InvalidShards { got: 0 })
+        );
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let r = ShardRouter::new(7).unwrap();
+        for i in 0..500 {
+            let p = vec![i as f64 * 0.25, (i % 13) as f64];
+            let shard = r.route(&p);
+            assert!(shard < 7);
+            assert_eq!(shard, r.route(&p.clone()));
+        }
+        let s = "some tenant key".to_owned();
+        assert_eq!(r.route(&s), r.route(&s.clone()));
+    }
+
+    #[test]
+    fn routing_spreads_a_grid_across_shards() {
+        // Not a statistical test — just: a structured input must not
+        // all collapse onto one shard.
+        let r = ShardRouter::new(4).unwrap();
+        let mut hist = [0usize; 4];
+        for i in 0..400 {
+            hist[r.route(&vec![(i % 20) as f64, (i / 20) as f64])] += 1;
+        }
+        assert!(
+            hist.iter().all(|&c| c > 0),
+            "grid routing collapsed: {hist:?}"
+        );
+    }
+
+    #[test]
+    fn string_and_vector_keys_are_value_functions() {
+        assert_eq!("abc".to_owned().route_key(), "abc".to_owned().route_key());
+        assert_ne!("abc".to_owned().route_key(), "abd".to_owned().route_key());
+        assert_ne!(vec![1.0].route_key(), vec![1.0, 0.0].route_key());
+        // -0.0 and 0.0 have distinct bit patterns, hence distinct keys.
+        assert_ne!(vec![0.0f64].route_key(), vec![-0.0f64].route_key());
+    }
+}

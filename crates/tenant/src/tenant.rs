@@ -1,0 +1,517 @@
+//! One tenant: a shard set of independent stream detectors behind a
+//! deterministic router, with bounded per-shard ingest admission and a
+//! parallel fan-out fit/refit path.
+
+use crate::error::TenantError;
+use crate::router::{RouteKey, ShardRouter};
+use mccatch_core::{McCatch, Model};
+use mccatch_index::IndexBuilder;
+use mccatch_metric::Metric;
+use mccatch_stream::{ScoredEvent, StreamConfig, StreamDetector, StreamStats};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The shape every tenant in a [`TenantMap`](crate::TenantMap) is
+/// stamped from: how many shards it owns, each shard's independent
+/// window/refit/drift configuration, and the bounded per-shard ingest
+/// admission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Shards per tenant (`>= 1`). One shard reproduces today's
+    /// single-store serving path bit for bit; more shards partition
+    /// ingest by routing key and serve the min-score ensemble.
+    pub shards: usize,
+    /// Per-shard stream configuration: every shard owns its own
+    /// sliding window, refit policy, and drift tracker.
+    pub stream: StreamConfig,
+    /// Bounded per-shard ingest admission (`>= 1`): at most this many
+    /// ingests may be in flight on one shard at once; excess calls are
+    /// rejected with [`TenantError::ShardSaturated`] instead of
+    /// queueing, so one hot tenant's backlog can never occupy the
+    /// serving workers that other tenants need.
+    pub ingest_queue: usize,
+}
+
+impl Default for TenantSpec {
+    /// One shard, the default stream schedule, and a 1024-deep ingest
+    /// admission bound.
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            stream: StreamConfig::default(),
+            ingest_queue: 1024,
+        }
+    }
+}
+
+impl TenantSpec {
+    /// Checks every knob, returning the first violation.
+    pub fn validate(&self) -> Result<(), TenantError> {
+        if self.shards == 0 {
+            return Err(TenantError::InvalidShards { got: 0 });
+        }
+        if self.ingest_queue == 0 {
+            return Err(TenantError::InvalidQueue { got: 0 });
+        }
+        self.stream.validate().map_err(TenantError::Stream)
+    }
+}
+
+/// A point-in-time gauge of one shard's bounded ingest admission, for
+/// queue-depth metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardQueue {
+    /// Which shard.
+    pub shard: usize,
+    /// Ingest calls currently in flight on this shard.
+    pub depth: usize,
+    /// The configured in-flight bound.
+    pub capacity: usize,
+    /// Ingest calls rejected with `ShardSaturated` so far.
+    pub rejected: u64,
+}
+
+struct Shard<P, M, B> {
+    detector: StreamDetector<P, M, B>,
+    /// Ingest calls currently inside `detector.ingest` via this shard.
+    inflight: AtomicUsize,
+    capacity: usize,
+    rejected: AtomicU64,
+}
+
+/// Decrements the in-flight gauge even if the ingest panics.
+struct Admission<'a>(&'a AtomicUsize);
+
+impl Drop for Admission<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A named tenant: its own shard set of [`StreamDetector`]s behind a
+/// [`ShardRouter`], fully isolated from every other tenant — separate
+/// windows, separate refit schedules, separate generations, separate
+/// backpressure.
+///
+/// Scoring fans out to every shard and serves the **ensemble minimum**:
+/// a query is as normal as the shard that recognizes it best, which for
+/// a routed-partition ensemble is the shard holding its neighborhood.
+/// With one shard this degenerates to exactly the single-store path —
+/// one `snapshot_tagged()` and one `score_batch` call — and is
+/// bit-identical to it (property-tested).
+///
+/// The tenant's **generation** is the sum of its shard generations:
+/// monotone (each shard's is), equal to the shard generation in the
+/// 1-shard case, and bumped by exactly one per single-shard refit.
+pub struct Tenant<P, M, B> {
+    name: String,
+    router: ShardRouter,
+    shards: Vec<Shard<P, M, B>>,
+}
+
+impl<P, M, B> Tenant<P, M, B>
+where
+    P: RouteKey + Clone + Send + Sync + 'static,
+    M: Metric<P> + Clone + 'static,
+    B: IndexBuilder<P, M> + Clone + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+{
+    /// Builds a tenant from `seed`: the seed is partitioned across
+    /// `spec.shards` by the router, and every shard's initial fit runs
+    /// on its own thread — the fan-out fit path. The slowest shard
+    /// bounds wall-clock time instead of the sum of all shards.
+    ///
+    /// `name` is trusted here (the map validates it); `spec` is not.
+    pub fn new(
+        name: impl Into<String>,
+        detector: &McCatch,
+        metric: &M,
+        builder: &B,
+        spec: &TenantSpec,
+        seed: Vec<P>,
+    ) -> Result<Self, TenantError> {
+        spec.validate()?;
+        let router = ShardRouter::new(spec.shards)?;
+        let mut partitions: Vec<Vec<P>> = (0..spec.shards).map(|_| Vec::new()).collect();
+        for p in seed {
+            partitions[router.route(&p)].push(p);
+        }
+        // Fan-out fit: one thread per shard, each running the ordinary
+        // StreamDetector boot (initial batch fit + worker start).
+        let detectors: Result<Vec<_>, _> = std::thread::scope(|scope| {
+            let handles: Vec<_> = partitions
+                .into_iter()
+                .map(|part| {
+                    let (d, m, b) = (detector.clone(), metric.clone(), builder.clone());
+                    let config = spec.stream.clone();
+                    scope.spawn(move || StreamDetector::new(config, d, m, b, part))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard fit thread panicked"))
+                .collect()
+        });
+        let shards = detectors
+            .map_err(TenantError::Stream)?
+            .into_iter()
+            .map(|detector| Shard {
+                detector,
+                inflight: AtomicUsize::new(0),
+                capacity: spec.ingest_queue,
+                rejected: AtomicU64::new(0),
+            })
+            .collect();
+        Ok(Self {
+            name: name.into(),
+            router,
+            shards,
+        })
+    }
+
+    /// This tenant's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// How many shards this tenant owns.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The router that assigns points to shards.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Direct access to one shard's detector — the serving layer uses
+    /// this for per-shard snapshots and live index statistics.
+    pub fn shard_detector(&self, shard: usize) -> Option<&StreamDetector<P, M, B>> {
+        self.shards.get(shard).map(|s| &s.detector)
+    }
+
+    /// Scores `queries` against the shard ensemble: one tagged snapshot
+    /// per shard, element-wise **minimum** across the shard scores, and
+    /// the summed snapshot generations as the batch tag. With a single
+    /// shard this is exactly one `snapshot_tagged()` + `score_batch`
+    /// pair — bit-identical to the single-store path.
+    pub fn score_batch(&self, queries: &[P]) -> (Vec<f64>, u64) {
+        let snaps: Vec<(Arc<dyn Model<P>>, u64)> = self
+            .shards
+            .iter()
+            .map(|s| s.detector.store().snapshot_tagged())
+            .collect();
+        let mut snaps = snaps.into_iter();
+        let (first, mut generation) = snaps.next().expect("a tenant has at least one shard");
+        let mut scores = first.score_batch(queries);
+        for (model, g) in snaps {
+            generation += g;
+            for (acc, s) in scores.iter_mut().zip(model.score_batch(queries)) {
+                *acc = acc.min(s);
+            }
+        }
+        (scores, generation)
+    }
+
+    /// Scores one query against the shard ensemble (minimum).
+    pub fn score(&self, query: &P) -> f64 {
+        self.score_batch(std::slice::from_ref(query))
+            .0
+            .pop()
+            .expect("one score per query")
+    }
+
+    /// Ingests one event into the shard its routing key selects —
+    /// prequential scoring, window push, and refit policy all run on
+    /// that shard alone. Fails with
+    /// [`ShardSaturated`](TenantError::ShardSaturated) when the shard's
+    /// bounded admission is full.
+    pub fn ingest(&self, point: P) -> Result<ScoredEvent, TenantError> {
+        self.ingest_to(self.router.route(&point), point)
+    }
+
+    /// Ingests into an explicitly chosen shard (for callers that
+    /// partition upstream), with the same bounded admission.
+    pub fn ingest_to(&self, shard: usize, point: P) -> Result<ScoredEvent, TenantError> {
+        let Some(s) = self.shards.get(shard) else {
+            return Err(TenantError::NoSuchShard {
+                shard,
+                shards: self.shards.len(),
+            });
+        };
+        // Bounded admission: claim a slot or reject immediately. The
+        // rejection is the backpressure signal — nothing ever queues
+        // behind a hot shard, so serving workers stay available to
+        // other tenants.
+        let mut depth = s.inflight.load(Ordering::Acquire);
+        loop {
+            if depth >= s.capacity {
+                s.rejected.fetch_add(1, Ordering::AcqRel);
+                return Err(TenantError::ShardSaturated {
+                    tenant: self.name.clone(),
+                    shard,
+                    capacity: s.capacity,
+                });
+            }
+            match s.inflight.compare_exchange_weak(
+                depth,
+                depth + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(current) => depth = current,
+            }
+        }
+        let _admission = Admission(&s.inflight);
+        Ok(s.detector.ingest(point))
+    }
+
+    /// Synchronously refits **every** shard on its current window, in
+    /// parallel (fan-out refit), and returns the new tenant generation.
+    /// The first shard error wins; other shards still complete their
+    /// refit before this returns.
+    pub fn refit_now(&self) -> Result<u64, TenantError> {
+        let results: Vec<Result<u64, _>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|s| scope.spawn(|| s.detector.refit_now()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard refit thread panicked"))
+                .collect()
+        });
+        let mut generation = 0;
+        for r in results {
+            generation += r.map_err(TenantError::Stream)?;
+        }
+        Ok(generation)
+    }
+
+    /// The tenant generation: the sum of its shard generations
+    /// (monotone; equals the shard generation when there is one shard).
+    pub fn generation(&self) -> u64 {
+        self.shards.iter().map(|s| s.detector.generation()).sum()
+    }
+
+    /// One [`StreamStats`] per shard, in shard order.
+    pub fn shard_stats(&self) -> Vec<StreamStats> {
+        self.shards.iter().map(|s| s.detector.stats()).collect()
+    }
+
+    /// One admission gauge per shard, in shard order.
+    pub fn queue_stats(&self) -> Vec<ShardQueue> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| ShardQueue {
+                shard,
+                depth: s.inflight.load(Ordering::Acquire),
+                capacity: s.capacity,
+                rejected: s.rejected.load(Ordering::Acquire),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccatch_index::KdTreeBuilder;
+    use mccatch_metric::Euclidean;
+    use mccatch_stream::RefitPolicy;
+
+    fn grid(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
+            .collect()
+    }
+
+    fn spec(shards: usize) -> TenantSpec {
+        TenantSpec {
+            shards,
+            stream: StreamConfig {
+                capacity: 512,
+                policy: RefitPolicy::Manual,
+                ..StreamConfig::default()
+            },
+            ingest_queue: 8,
+        }
+    }
+
+    fn tenant(shards: usize, seed: Vec<Vec<f64>>) -> Tenant<Vec<f64>, Euclidean, KdTreeBuilder> {
+        Tenant::new(
+            "t",
+            &McCatch::builder().build().unwrap(),
+            &Euclidean,
+            &KdTreeBuilder::default(),
+            &spec(shards),
+            seed,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let detector = McCatch::builder().build().unwrap();
+        let no_shards = TenantSpec {
+            shards: 0,
+            ..spec(1)
+        };
+        assert_eq!(
+            Tenant::<Vec<f64>, _, _>::new(
+                "t",
+                &detector,
+                &Euclidean,
+                &KdTreeBuilder::default(),
+                &no_shards,
+                vec![]
+            )
+            .err(),
+            Some(TenantError::InvalidShards { got: 0 })
+        );
+        let no_queue = TenantSpec {
+            ingest_queue: 0,
+            ..spec(1)
+        };
+        assert_eq!(
+            Tenant::<Vec<f64>, _, _>::new(
+                "t",
+                &detector,
+                &Euclidean,
+                &KdTreeBuilder::default(),
+                &no_queue,
+                vec![]
+            )
+            .err(),
+            Some(TenantError::InvalidQueue { got: 0 })
+        );
+    }
+
+    #[test]
+    fn fan_out_fit_partitions_the_seed_by_router() {
+        let mut seed = grid(100);
+        seed.push(vec![500.0, 500.0]);
+        let t = tenant(4, seed.clone());
+        // Every seed point is in exactly one shard window, and each
+        // shard holds exactly its routed partition.
+        let total: usize = t.shard_stats().iter().map(|s| s.window_len).sum();
+        assert_eq!(total, seed.len());
+        for (shard, stats) in t.shard_stats().iter().enumerate() {
+            let expected = seed
+                .iter()
+                .filter(|p| t.router().route(*p) == shard)
+                .count();
+            assert_eq!(stats.window_len, expected, "shard {shard}");
+        }
+    }
+
+    #[test]
+    fn single_shard_scores_bit_identical_to_a_plain_detector() {
+        let mut seed = grid(100);
+        seed.push(vec![500.0, 500.0]);
+        let t = tenant(1, seed.clone());
+        let plain = StreamDetector::new(
+            spec(1).stream,
+            McCatch::builder().build().unwrap(),
+            Euclidean,
+            KdTreeBuilder::default(),
+            seed,
+        )
+        .unwrap();
+        let queries: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 * 0.3, 4.2]).collect();
+        let (scores, generation) = t.score_batch(&queries);
+        assert_eq!(scores, plain.score_batch(&queries), "bit-equality");
+        assert_eq!(generation, plain.generation());
+        // …and it survives ingest + refit on both sides.
+        for p in [vec![4.0, 4.0], vec![800.0, -3.0], vec![1.5, 9.0]] {
+            t.ingest(p.clone()).unwrap();
+            plain.ingest(p);
+        }
+        t.refit_now().unwrap();
+        plain.refit_now().unwrap();
+        let (scores, generation) = t.score_batch(&queries);
+        assert_eq!(
+            scores,
+            plain.score_batch(&queries),
+            "bit-equality after refit"
+        );
+        assert_eq!(generation, plain.generation());
+    }
+
+    #[test]
+    fn ensemble_score_is_the_minimum_across_shards() {
+        let mut seed = grid(200);
+        seed.push(vec![500.0, 500.0]);
+        let t = tenant(3, seed);
+        let queries: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let (scores, _) = t.score_batch(&queries);
+        for (qi, q) in queries.iter().enumerate() {
+            let per_shard: Vec<f64> = (0..t.shards())
+                .map(|s| t.shard_detector(s).unwrap().score(q))
+                .collect();
+            let expected = per_shard.iter().copied().fold(f64::INFINITY, f64::min);
+            assert_eq!(scores[qi], expected, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn ingest_routes_to_the_shard_the_router_names() {
+        let t = tenant(4, grid(40));
+        let before: Vec<u64> = t.shard_stats().iter().map(|s| s.events_ingested).collect();
+        let p = vec![7.25, -1.5];
+        let expected = t.router().route(&p);
+        t.ingest(p).unwrap();
+        let after: Vec<u64> = t.shard_stats().iter().map(|s| s.events_ingested).collect();
+        for shard in 0..4 {
+            let delta = after[shard] - before[shard];
+            assert_eq!(delta, u64::from(shard == expected), "shard {shard}");
+        }
+    }
+
+    #[test]
+    fn explicit_shard_ingest_checks_bounds() {
+        let t = tenant(2, grid(20));
+        assert!(t.ingest_to(1, vec![1.0, 1.0]).is_ok());
+        assert_eq!(
+            t.ingest_to(2, vec![1.0, 1.0]).err(),
+            Some(TenantError::NoSuchShard {
+                shard: 2,
+                shards: 2
+            })
+        );
+    }
+
+    #[test]
+    fn saturated_admission_rejects_and_counts() {
+        let t = tenant(1, grid(20));
+        // Fill the bounded admission by hand (unit test privilege): the
+        // next ingest must be rejected, not queued.
+        t.shards[0]
+            .inflight
+            .store(t.shards[0].capacity, Ordering::Release);
+        let err = t.ingest(vec![1.0, 1.0]).unwrap_err();
+        assert!(
+            matches!(err, TenantError::ShardSaturated { shard: 0, .. }),
+            "{err}"
+        );
+        assert_eq!(t.queue_stats()[0].rejected, 1);
+        // Draining the admission restores service.
+        t.shards[0].inflight.store(0, Ordering::Release);
+        assert!(t.ingest(vec![1.0, 1.0]).is_ok());
+        assert_eq!(t.queue_stats()[0].depth, 0, "admission slot released");
+    }
+
+    #[test]
+    fn refit_now_advances_every_shard_and_sums_generations() {
+        let t = tenant(3, grid(90));
+        assert_eq!(t.generation(), 0);
+        assert_eq!(t.refit_now().unwrap(), 3);
+        assert_eq!(t.generation(), 3);
+        for stats in t.shard_stats() {
+            assert_eq!(stats.generation, 1);
+        }
+    }
+}
