@@ -12,7 +12,9 @@
 //! Besides the criterion timings, a fixed headline run per backend
 //! prints save/load summary lines and appends machine-readable results
 //! to `BENCH_persist.json` at the workspace root, so the perf
-//! trajectory accumulates across sessions.
+//! trajectory accumulates across sessions. A tenant-restore headline
+//! (two tenants × two shards, snapshot set + manifest + replay logs →
+//! `TenantMap::restore_tenants`) rides along as its own JSON row.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mccatch_core::{McCatch, Model};
@@ -21,7 +23,9 @@ use mccatch_index::{
     BruteForceBuilder, IndexBuilder, KdTreeBuilder, SlimTreeBuilder, VpTreeBuilder,
 };
 use mccatch_metric::{Euclidean, Metric};
-use mccatch_persist::{load_model, save_model};
+use mccatch_persist::{load_model, save_model, FsyncPolicy};
+use mccatch_stream::{RefitPolicy, StreamConfig};
+use mccatch_tenant::{ReplaySpec, TenantMap, TenantSpec};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -68,11 +72,24 @@ where
     (save, load, bytes)
 }
 
-/// Appends the headline numbers to `BENCH_persist.json` at the
-/// workspace root (created if missing), one self-contained JSON object
-/// per run so downstream tooling can track the trajectory.
-fn emit_json(rows: &[(&str, Duration, Duration, u64)]) {
+/// Appends one self-contained JSON line to `BENCH_persist.json` at the
+/// workspace root (created if missing), so downstream tooling can track
+/// the trajectory.
+fn append_json_line(json: String) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_persist.json");
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, json.as_bytes()));
+    match appended {
+        Ok(()) => println!("persist_http10k: appended to {path}"),
+        Err(e) => eprintln!("persist_http10k: could not write {path}: {e}"),
+    }
+}
+
+/// Appends the headline codec numbers, one object per run.
+fn emit_json(rows: &[(&str, Duration, Duration, u64)]) {
     let backends: Vec<String> = rows
         .iter()
         .map(|(name, save, load, bytes)| {
@@ -83,19 +100,87 @@ fn emit_json(rows: &[(&str, Duration, Duration, u64)]) {
             )
         })
         .collect();
-    let json = format!(
+    append_json_line(format!(
         "{{\"bench\": \"persist_codec\", \"workload\": \"http-10k\", \"points\": {N}, {}}}\n",
         backends.join(", ")
-    );
-    let appended = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)
-        .and_then(|mut f| std::io::Write::write_all(&mut f, json.as_bytes()));
-    match appended {
-        Ok(()) => println!("persist_http10k: appended to {path}"),
-        Err(e) => eprintln!("persist_http10k: could not write {path}: {e}"),
+    ));
+}
+
+/// Headline tenant restore: two tenants × two kd shards on http-10k,
+/// snapshotted (per-shard files + manifest + replay-log rotation) and
+/// rebuilt through `TenantMap::restore_tenants` — the boot-time warm
+/// restart of a whole fleet, wall-clock timed.
+fn tenant_restore_headline() {
+    const TENANTS: usize = 2;
+    const SHARDS: usize = 2;
+    let dir = std::env::temp_dir().join(format!("mccatch-bench-tenant-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    let snap = dir.join("model.mcsn");
+    let spec = TenantSpec {
+        shards: SHARDS,
+        stream: StreamConfig {
+            capacity: 8192,
+            policy: RefitPolicy::Manual,
+            ..StreamConfig::default()
+        },
+        replay: Some(ReplaySpec {
+            base: dir.join("ingest.ndjson"),
+            fsync: FsyncPolicy::Never,
+        }),
+        ..TenantSpec::default()
+    };
+    let map: TenantMap<Vec<f64>, Euclidean, KdTreeBuilder> = TenantMap::new(
+        McCatch::builder().build().expect("defaults are valid"),
+        Euclidean,
+        KdTreeBuilder::default(),
+        spec.clone(),
+    )
+    .expect("spec is valid");
+    for name in ["a", "b"].iter().take(TENANTS) {
+        map.create_seeded(name, points()).expect("seeded tenant");
     }
+
+    let t0 = Instant::now();
+    let mut bytes = 0;
+    for name in ["a", "b"].iter().take(TENANTS) {
+        let stats = map
+            .get(name)
+            .expect("tenant exists")
+            .save_snapshot(&snap)
+            .expect("snapshot");
+        bytes += stats.bytes;
+    }
+    let save = t0.elapsed();
+    drop(map);
+
+    let map: TenantMap<Vec<f64>, Euclidean, KdTreeBuilder> = TenantMap::new(
+        McCatch::builder().build().expect("defaults are valid"),
+        Euclidean,
+        KdTreeBuilder::default(),
+        spec,
+    )
+    .expect("spec is valid");
+    let t0 = Instant::now();
+    let restored = map.restore_tenants(&snap).expect("restore");
+    let restore = t0.elapsed();
+    assert_eq!(restored.len(), TENANTS);
+    let replayed: u64 = restored.iter().map(|t| t.stats.replayed_events).sum();
+
+    println!(
+        "persist_http10k/tenant_restore_{TENANTS}x{SHARDS}: save {:.1} ms, restore {:.1} ms, \
+         {bytes} bytes, {replayed} replayed events",
+        save.as_secs_f64() * 1e3,
+        restore.as_secs_f64() * 1e3,
+    );
+    append_json_line(format!(
+        "{{\"bench\": \"persist_tenant_restore\", \"workload\": \"http-10k\", \
+         \"tenants\": {TENANTS}, \"shards\": {SHARDS}, \"save_ms\": {:.1}, \
+         \"restore_ms\": {:.1}, \"bytes\": {bytes}, \"replayed_events\": {replayed}}}\n",
+        save.as_secs_f64() * 1e3,
+        restore.as_secs_f64() * 1e3,
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn bench_persist_codec(c: &mut Criterion) {
@@ -151,6 +236,7 @@ fn bench_persist_codec(c: &mut Criterion) {
         );
     }
     emit_json(&rows);
+    tenant_restore_headline();
 }
 
 criterion_group!(benches, bench_persist_codec);

@@ -66,7 +66,11 @@
 //! straight from it, `--stream`/`--serve` resume the saved generation
 //! and stream position without an initial refit. `--replay-log PATH`
 //! appends every ingested event as one NDJSON line; on a warm start the
-//! log is replayed to rebuild the exact sliding window.
+//! log is replayed to rebuild the exact sliding window. In serve mode
+//! both flags extend to named tenants: snapshots fan out as
+//! `{path}.{tenant}.{shard}` (+ a `.manifest` written last), replay
+//! logs as `{log}.{tenant}.{shard}`, and `--load-model` rediscovers and
+//! restores every tenant found on disk before the socket binds.
 //!
 //! Invalid hyperparameters are reported as proper CLI errors (exit code
 //! 1), never panics: parsing builds a `McCatch` via the validating
@@ -81,7 +85,7 @@ use mccatch::metrics::{Euclidean, Levenshtein, Metric};
 use mccatch::persist::{self, FsyncPolicy, PersistPoint, ReplayReader, ReplayWriter};
 use mccatch::server::{ndjson, LineParser, ServerConfig};
 use mccatch::stream::{RefitPolicy, ScoredEvent, StreamConfig, StreamDetector};
-use mccatch::tenant::{boot_tenant_name, RouteKey, TenantMap, TenantSpec};
+use mccatch::tenant::{boot_tenant_name, ReplaySpec, RouteKey, TenantMap, TenantSpec};
 use mccatch::{McCatch, McCatchOutput, Model, Params};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::process::ExitCode;
@@ -331,7 +335,11 @@ fn parse_cli() -> Result<Cli, String> {
                      from it; --stream/--serve: resumes the saved generation and\n\
                      stream position). --replay-log PATH appends every ingested\n\
                      event as NDJSON; with --load-model it is replayed to rebuild\n\
-                     the exact sliding window. --replay-fsync N (default 64) fsyncs\n\
+                     the exact sliding window. In serve mode both extend to named\n\
+                     tenants ({{path}}.{{tenant}}.{{shard}} snapshots + manifest,\n\
+                     {{log}}.{{tenant}}.{{shard}} replay logs): --load-model\n\
+                     rediscovers and restores every tenant on disk before binding.\n\
+                     --replay-fsync N (default 64) fsyncs\n\
                      the log every N events — a hard kill loses at most N tail\n\
                      events (0 = fsync every event)."
                 );
@@ -903,14 +911,35 @@ where
         TenantSpec {
             shards: cli.shards,
             stream: stream_config(cli),
+            // Named tenants keep their own `{log}.{tenant}.{shard}`
+            // replay logs next to the default-tenant log.
+            replay: cli.replay_log.as_ref().map(|p| ReplaySpec {
+                base: std::path::PathBuf::from(p),
+                fsync: FsyncPolicy::EveryN(cli.replay_fsync),
+            }),
             ..TenantSpec::default()
         },
     )
     .map_err(|e| e.to_string())?;
+    // Warm restart first: rediscover every `{snap}.{tenant}.{shard}` set
+    // on disk and re-register it (generation, seq, and window resumed),
+    // then pre-create only the boot tenants that were not restored.
+    if let Some(snap) = &cli.load_model {
+        for t in tenants
+            .restore_tenants(std::path::Path::new(snap))
+            .map_err(|e| e.to_string())?
+        {
+            eprintln!(
+                "# restored tenant {}: {} shards, {} replayed events, generation {}, seq {}",
+                t.name, t.stats.shards, t.stats.replayed_events, t.stats.generation, t.stats.seq
+            );
+        }
+    }
     for i in 0..cli.tenants {
-        tenants
-            .create(&boot_tenant_name(i))
-            .map_err(|e| e.to_string())?;
+        let name = boot_tenant_name(i);
+        if tenants.get(&name).is_none() {
+            tenants.create(&name).map_err(|e| e.to_string())?;
+        }
     }
     let stream = if let Some(snap) = &cli.load_model {
         restore_detector(cli, stream_config(cli), metric, builder, snap)?

@@ -49,6 +49,16 @@ impl Crc32 {
     }
 }
 
+/// The CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) of `bytes` — the
+/// same checksum the snapshot trailer uses, exposed so higher layers
+/// (per-tenant snapshot manifests) can fingerprint whole files with
+/// the identical polynomial and verify them before attempting a load.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finalize()
+}
+
 /// A `Write` adapter that checksums and counts every byte passing
 /// through, so the snapshot writer can append the CRC and report the
 /// total size without buffering the whole snapshot.

@@ -69,6 +69,7 @@ mod replay;
 mod restart;
 pub mod snapshot;
 
+pub use codec::crc32;
 pub use error::PersistError;
 pub use point::PersistPoint;
 pub use replay::{FsyncPolicy, ReplayEntry, ReplayReader, ReplayWriter};

@@ -3,7 +3,7 @@
 use crate::service::Service;
 use mccatch_core::ModelStats;
 use mccatch_stream::StreamStats;
-use mccatch_tenant::ShardQueue;
+use mccatch_tenant::{ShardQueue, TenantRestoreStats};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// The endpoints with per-endpoint request counters, in exposition
@@ -103,6 +103,9 @@ pub(crate) struct TenantScrape {
     pub live_evals: u64,
     /// Per-shard ingest-admission gauges.
     pub queues: Vec<ShardQueue>,
+    /// What this tenant's warm restart recovered (`None` for a tenant
+    /// created live rather than restored from disk at boot).
+    pub restore: Option<TenantRestoreStats>,
 }
 
 impl TenantScrape {
@@ -114,6 +117,7 @@ impl TenantScrape {
             model: service.model_stats(),
             live_evals: service.live_distance_evals(),
             queues: service.shard_queues(),
+            restore: service.restore_stats(),
         }
     }
 }
@@ -441,6 +445,37 @@ pub(crate) fn render_prometheus(
             "counter",
             "Ingest calls rejected with shard-saturated backpressure.",
             &rejected,
+        );
+        // Per-tenant restore counters: 0 everywhere for a tenant that
+        // was created live, the recovered figures for one rebuilt from
+        // snapshots + replay logs at boot.
+        let (mut restored, mut replayed, mut restored_gen) = (Vec::new(), Vec::new(), Vec::new());
+        for t in scrapes {
+            let labels = tenant_label(&t.name);
+            let (shards, events, generation) = t.restore.map_or((0, 0, 0), |r| {
+                (r.shards as u64, r.replayed_events, r.generation)
+            });
+            restored.push((labels.clone(), shards.to_string()));
+            replayed.push((labels.clone(), events.to_string()));
+            restored_gen.push((labels, generation.to_string()));
+        }
+        metric(
+            "mccatch_tenant_restored_shards",
+            "gauge",
+            "Shard detectors this tenant rebuilt from snapshots at boot (0 = created live).",
+            &restored,
+        );
+        metric(
+            "mccatch_tenant_restore_replayed_events",
+            "counter",
+            "Replay-log events re-ingested to rebuild this tenant's windows at boot.",
+            &replayed,
+        );
+        metric(
+            "mccatch_tenant_restore_generation",
+            "gauge",
+            "The tenant generation resumed from its snapshot set at boot.",
+            &restored_gen,
         );
     }
     out

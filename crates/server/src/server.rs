@@ -203,8 +203,14 @@ where
 /// tenants are fully isolated shard sets created either up front (via
 /// `tenants`) or dynamically with `PUT /admin/tenants/{name}`.
 /// Per-tenant snapshots are written next to
-/// `ServerConfig::snapshot_path` as `{path}.{tenant}.{shard}`; the
-/// ingest replay log (when configured) covers the default tenant only.
+/// `ServerConfig::snapshot_path` as `{path}.{tenant}.{shard}` (plus a
+/// `{path}.{tenant}.manifest` written last). The `ServerConfig`
+/// replay log covers the default tenant; named tenants keep their own
+/// `{log}.{tenant}.{shard}` logs when the map's
+/// [`TenantSpec::replay`](mccatch_tenant::TenantSpec) is set. To warm
+/// restart the whole fleet, call
+/// [`TenantMap::restore_tenants`](mccatch_tenant::TenantMap::restore_tenants)
+/// on `tenants` *before* this function binds the socket.
 pub fn serve_tenants<P, M, B>(
     addr: impl ToSocketAddrs + std::fmt::Debug,
     config: ServerConfig,

@@ -15,7 +15,7 @@ use mccatch_index::IndexBuilder;
 use mccatch_metric::Metric;
 use mccatch_persist::{save_model, PersistPoint, ReplayWriter};
 use mccatch_stream::{StreamDetector, StreamStats};
-use mccatch_tenant::{RouteKey, ShardQueue, Tenant, TenantError, TenantMap};
+use mccatch_tenant::{RouteKey, ShardQueue, Tenant, TenantError, TenantMap, TenantRestoreStats};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
@@ -102,6 +102,13 @@ pub(crate) trait Service: Send + Sync {
     /// backends without bounded shard admission (the default service).
     fn shard_queues(&self) -> Vec<ShardQueue> {
         Vec::new()
+    }
+    /// What this backend's warm restart recovered, for the per-tenant
+    /// restore counters on `/metrics` — `None` for backends that were
+    /// not restored from disk (the default service, live-created
+    /// tenants).
+    fn restore_stats(&self) -> Option<TenantRestoreStats> {
+        None
     }
 }
 
@@ -207,10 +214,9 @@ fn snapshot_info_at(path: &Path) -> SnapshotInfoOutcome {
 /// The on-disk location of one tenant shard's snapshot: the configured
 /// base path with `.{tenant}.{shard}` appended (tenant names are
 /// `[a-zA-Z0-9_-]{1,64}`, so the suffix can never traverse paths).
+/// The layout is owned by the tenant crate — save and restore share it.
 pub(crate) fn tenant_snapshot_path(base: &Path, tenant: &str, shard: usize) -> PathBuf {
-    let mut os = base.as_os_str().to_owned();
-    os.push(format!(".{tenant}.{shard}"));
-    PathBuf::from(os)
+    mccatch_tenant::shard_file_path(base, tenant, shard)
 }
 
 impl<P, M, B> Service for StreamService<P, M, B>
@@ -560,28 +566,19 @@ where
         let Some(base) = &self.snapshot_base else {
             return SnapshotOutcome::Unconfigured;
         };
-        // One snapshot file per shard, each written atomically. The
-        // reported path is the per-tenant pattern; generation/seq are
-        // the tenant-level sums of the captured checkpoints.
-        let (mut generation, mut seq, mut bytes) = (0u64, 0u64, 0u64);
-        for shard in 0..self.tenant.shards() {
-            let d = self.tenant.shard_detector(shard).expect("shard in range");
-            let cp = d.checkpoint();
-            let path = tenant_snapshot_path(base, self.tenant.name(), shard);
-            match write_snapshot_atomic(&path, cp.model.as_ref(), cp.generation, cp.seq) {
-                Ok(b) => {
-                    generation += cp.generation;
-                    seq += cp.seq;
-                    bytes += b;
-                }
-                Err(e) => return SnapshotOutcome::Failed(format!("shard {shard}: {e}")),
-            }
-        }
-        SnapshotOutcome::Saved {
-            generation,
-            seq,
-            bytes,
-            path: format!("{}.{}.*", base.display(), self.tenant.name()),
+        // The tenant crate owns the whole per-tenant layout: one atomic
+        // snapshot file per shard, replay-log rotation under the ingest
+        // lock, and the manifest written last so the *set* is atomic.
+        // The reported path is the per-tenant pattern; generation/seq
+        // are the tenant-level sums of the captured checkpoints.
+        match self.tenant.save_snapshot(base) {
+            Ok(stats) => SnapshotOutcome::Saved {
+                generation: stats.generation,
+                seq: stats.seq,
+                bytes: stats.bytes,
+                path: format!("{}.{}.*", base.display(), self.tenant.name()),
+            },
+            Err(e) => SnapshotOutcome::Failed(e.to_string()),
         }
     }
 
@@ -596,6 +593,10 @@ where
 
     fn shard_queues(&self) -> Vec<ShardQueue> {
         self.tenant.queue_stats()
+    }
+
+    fn restore_stats(&self) -> Option<TenantRestoreStats> {
+        self.tenant.restore_stats()
     }
 }
 
@@ -791,6 +792,7 @@ mod tests {
                     ..StreamConfig::default()
                 },
                 ingest_queue: 64,
+                replay: None,
             },
         )
         .unwrap();

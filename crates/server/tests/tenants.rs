@@ -63,6 +63,7 @@ fn tenant_map(shards: usize) -> Arc<VecTenants> {
                 shards,
                 stream: stream_config(),
                 ingest_queue: 1024,
+                replay: None,
             },
         )
         .unwrap(),

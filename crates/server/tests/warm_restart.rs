@@ -8,10 +8,12 @@
 use mccatch_core::McCatch;
 use mccatch_index::KdTreeBuilder;
 use mccatch_metric::Euclidean;
-use mccatch_persist::{restore_stream, ReplayReader};
-use mccatch_server::client::{get, post};
-use mccatch_server::{ndjson, serve, ServerConfig};
+use mccatch_persist::{restore_stream, FsyncPolicy, ReplayReader};
+use mccatch_server::client::{get, post, Connection};
+use mccatch_server::{ndjson, serve, serve_tenants, ServerConfig};
 use mccatch_stream::{RefitPolicy, StreamConfig, StreamDetector};
+use mccatch_tenant::{ReplaySpec, TenantMap, TenantPersistError, TenantSpec};
+use std::path::Path;
 use std::sync::Arc;
 
 fn grid(shift: f64) -> Vec<Vec<f64>> {
@@ -154,4 +156,316 @@ fn kill_and_restart_serves_byte_identical_scores() {
     assert_eq!(window[100], vec![3004.0, 4.0]);
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Multi-tenant warm restart: the whole fleet survives a hard kill.
+// ---------------------------------------------------------------------
+
+type VecTenants = TenantMap<Vec<f64>, Euclidean, KdTreeBuilder>;
+
+fn tenant_spec(shards: usize, log: &Path) -> TenantSpec {
+    TenantSpec {
+        shards,
+        stream: StreamConfig {
+            capacity: 64,
+            policy: RefitPolicy::Manual,
+            ..StreamConfig::default()
+        },
+        ingest_queue: 1024,
+        // fsync-per-event: the logs on disk are exactly what a `kill -9`
+        // would leave behind.
+        replay: Some(ReplaySpec {
+            base: log.to_path_buf(),
+            fsync: FsyncPolicy::Always,
+        }),
+    }
+}
+
+fn tenant_map(spec: TenantSpec) -> Arc<VecTenants> {
+    Arc::new(
+        TenantMap::new(
+            McCatch::builder().build().unwrap(),
+            Euclidean,
+            KdTreeBuilder::default(),
+            spec,
+        )
+        .unwrap(),
+    )
+}
+
+fn default_detector() -> Arc<StreamDetector<Vec<f64>, Euclidean, KdTreeBuilder>> {
+    Arc::new(
+        StreamDetector::new(
+            StreamConfig {
+                capacity: 101,
+                policy: RefitPolicy::Manual,
+                ..StreamConfig::default()
+            },
+            McCatch::builder().build().unwrap(),
+            Euclidean,
+            KdTreeBuilder::default(),
+            grid(0.0),
+        )
+        .unwrap(),
+    )
+}
+
+/// Two tenants × two shards with distinct windows, snapshotted, then
+/// hard-killed mid-stream: a fresh process restores the whole fleet
+/// from `{snap}.{tenant}.{shard}` + `{log}.{tenant}.{shard}` and serves
+/// byte-identical `/t/{tenant}/score` responses at the resumed
+/// generation, with every tenant's stream position continuing.
+#[test]
+fn multi_tenant_kill_and_restart_serves_byte_identical_scores() {
+    let dir = std::env::temp_dir().join(format!("mccatch-tenant-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("model.mcsn");
+    let log = dir.join("ingest.ndjson");
+    let server_config = ServerConfig {
+        snapshot_path: Some(snap.clone()),
+        ..ServerConfig::default()
+    };
+
+    // ---- First life: two tenants with distinct windows. ----
+    let map = tenant_map(tenant_spec(2, &log));
+    let server = serve_tenants(
+        "127.0.0.1:0",
+        server_config.clone(),
+        default_detector(),
+        ndjson::vector_parser(Some(2)),
+        "kd",
+        Arc::clone(&map),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let mut conn = Connection::open(addr).unwrap();
+    for (tenant, shift) in [("acme", 1000.0), ("beta", 2000.0)] {
+        let body: String = grid(shift)
+            .iter()
+            .map(|p| format!("[{}, {}]\n", p[0], p[1]))
+            .collect();
+        let resp = conn
+            .request("PUT", &format!("/admin/tenants/{tenant}"), body.as_bytes())
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        let refit = post(addr, &format!("/t/{tenant}/admin/refit"), b"").unwrap();
+        assert_eq!(refit.status, 200);
+        let snapped = post(addr, &format!("/t/{tenant}/admin/snapshot"), b"").unwrap();
+        assert_eq!(snapped.status, 200);
+    }
+
+    // Post-snapshot traffic lives only in the per-tenant replay logs.
+    let mut last_seq = Vec::new();
+    for (tenant, shift) in [("acme", 1000.0), ("beta", 2000.0)] {
+        let tail = format!("[{}, {}]\n", 4.25 + shift, 4.25);
+        let resp = post(addr, &format!("/t/{tenant}/ingest"), tail.as_bytes()).unwrap();
+        assert_eq!(resp.status, 200);
+        last_seq.push(seq_of(resp.text().unwrap().lines().next().unwrap()));
+    }
+
+    let score_body = "[1004.5, 4.5]\n[2004.5, 4.5]\n[-777.0, 12.0]\n";
+    let mut baselines = Vec::new();
+    for tenant in ["acme", "beta"] {
+        let resp = post(addr, &format!("/t/{tenant}/score"), score_body.as_bytes()).unwrap();
+        assert_eq!(resp.status, 200);
+        baselines.push((
+            resp.header("x-mccatch-generation").unwrap().to_owned(),
+            resp.text().unwrap().to_owned(),
+        ));
+    }
+    // "kill -9": no orderly checkpoint — only the snapshots taken above
+    // and the fsynced replay logs survive.
+    server.shutdown();
+    drop(map);
+
+    // ---- Second life: rediscover and restore the whole fleet. ----
+    let map = tenant_map(tenant_spec(2, &log));
+    let mut restored = map.restore_tenants(&snap).unwrap();
+    restored.sort_by(|a, b| a.name.cmp(&b.name));
+    assert_eq!(
+        restored.iter().map(|t| t.name.as_str()).collect::<Vec<_>>(),
+        ["acme", "beta"]
+    );
+    for t in &restored {
+        assert_eq!(t.stats.shards, 2);
+        assert!(t.stats.replayed_events > 0, "{t:?}");
+        assert_eq!(t.stats.generation, 2, "two shards refit once each");
+    }
+    let server = serve_tenants(
+        "127.0.0.1:0",
+        server_config,
+        default_detector(),
+        ndjson::vector_parser(Some(2)),
+        "kd",
+        Arc::clone(&map),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    for (tenant, (generation, baseline)) in ["acme", "beta"].iter().zip(&baselines) {
+        let resp = post(addr, &format!("/t/{tenant}/score"), score_body.as_bytes()).unwrap();
+        assert_eq!(
+            resp.header("x-mccatch-generation"),
+            Some(generation.as_str())
+        );
+        assert_eq!(
+            &resp.text().unwrap(),
+            baseline,
+            "tenant {tenant} scores changed across restart"
+        );
+    }
+
+    // Each tenant's stream position continues: re-ingesting the same
+    // point routes to the same shard and takes the next seq.
+    for ((tenant, shift), last) in [("acme", 1000.0), ("beta", 2000.0)].iter().zip(&last_seq) {
+        let tail = format!("[{}, {}]\n", 4.25 + shift, 4.25);
+        let resp = post(addr, &format!("/t/{tenant}/ingest"), tail.as_bytes()).unwrap();
+        let seq = seq_of(resp.text().unwrap().lines().next().unwrap());
+        assert_eq!(seq, last + 1, "tenant {tenant} seq restarted");
+    }
+
+    // The restore counters are exported per tenant.
+    let metrics = get(addr, "/metrics").unwrap();
+    let metrics = metrics.text().unwrap();
+    for tenant in ["acme", "beta"] {
+        assert!(
+            metrics.contains(&format!(
+                "mccatch_tenant_restored_shards{{tenant=\"{tenant}\"}} 2"
+            )),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains(&format!(
+                "mccatch_tenant_restore_generation{{tenant=\"{tenant}\"}} 2"
+            )),
+            "{metrics}"
+        );
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Builds a 2-shard tenant `t`, snapshots it, and returns the scratch
+/// dir — the raw material the negative restore tests corrupt.
+fn snapshotted_tenant(tag: &str) -> (std::path::PathBuf, Arc<VecTenants>) {
+    let dir = std::env::temp_dir().join(format!(
+        "mccatch-tenant-restore-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = tenant_spec(2, &dir.join("ingest.ndjson"));
+    let map = tenant_map(spec.clone());
+    let tenant = map.create_seeded("t", grid(0.0)).unwrap();
+    tenant.refit_now().unwrap();
+    tenant.save_snapshot(&dir.join("model.mcsn")).unwrap();
+    drop(tenant);
+    drop(map);
+    (dir, tenant_map(spec))
+}
+
+/// A manifest-certified shard file that vanished is a typed
+/// [`TenantPersistError::MissingShard`] — never a panic, and nothing is
+/// registered in the map.
+#[test]
+fn missing_shard_file_restore_is_a_typed_error() {
+    let (dir, map) = snapshotted_tenant("missing-shard");
+    let snap = dir.join("model.mcsn");
+    std::fs::remove_file(mccatch_tenant::shard_file_path(&snap, "t", 1)).unwrap();
+
+    let err = map.restore_tenants(&snap).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TenantPersistError::MissingShard {
+                ref tenant,
+                shard: 1,
+                ..
+            } if tenant == "t"
+        ),
+        "{err}"
+    );
+    assert!(map.get("t").is_none(), "failed restore must not register");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A shard file whose bytes disagree with the manifest CRC (torn or
+/// mixed snapshot set) is a typed [`TenantPersistError::CrcMismatch`].
+#[test]
+fn corrupt_shard_file_restore_is_a_typed_error() {
+    let (dir, map) = snapshotted_tenant("corrupt-shard");
+    let snap = dir.join("model.mcsn");
+    let shard0 = mccatch_tenant::shard_file_path(&snap, "t", 0);
+    let bytes = std::fs::read(&shard0).unwrap();
+    std::fs::write(&shard0, &bytes[..bytes.len() - 7]).unwrap();
+
+    let err = map.restore_tenants(&snap).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TenantPersistError::CrcMismatch {
+                ref tenant,
+                shard: 0,
+                ..
+            } if tenant == "t"
+        ),
+        "{err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shard files without their manifest are a partial snapshot — a crash
+/// landed between the shard writes and the manifest commit — and must
+/// be refused with [`TenantPersistError::MissingManifest`].
+#[test]
+fn missing_manifest_restore_is_a_typed_partial_snapshot_error() {
+    let (dir, map) = snapshotted_tenant("missing-manifest");
+    let snap = dir.join("model.mcsn");
+    std::fs::remove_file(mccatch_tenant::tenant_manifest_path(&snap, "t")).unwrap();
+
+    let err = map.restore_tenants(&snap).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TenantPersistError::MissingManifest { ref tenant, .. } if tenant == "t"
+        ),
+        "{err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A replay log whose final line was torn mid-write by the kill is
+/// tolerated: the restore succeeds and serves the checkpointed state
+/// bit-identically, dropping only the torn event.
+#[test]
+fn torn_final_replay_line_is_tolerated() {
+    let (dir, map) = snapshotted_tenant("torn-log");
+    let snap = dir.join("model.mcsn");
+    let log0 = mccatch_tenant::shard_file_path(&dir.join("ingest.ndjson"), "t", 0);
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&log0)
+        .unwrap();
+    f.write_all(b"{\"seq\": 999, \"tick\": 4, \"point").unwrap();
+    drop(f);
+
+    let restored = map.restore_tenants(&snap).unwrap();
+    assert_eq!(restored.len(), 1);
+    let twin = map.get("t").unwrap();
+    let queries = [vec![4.5, 4.5], vec![500.0, 500.0], vec![-3.0, 9.0]];
+    // Rebuild an uncorrupted twin to compare against.
+    let (clean_dir, clean_map) = snapshotted_tenant("torn-log-clean");
+    clean_map
+        .restore_tenants(&clean_dir.join("model.mcsn"))
+        .unwrap();
+    let clean = clean_map.get("t").unwrap();
+    for q in &queries {
+        assert_eq!(twin.score(q).to_bits(), clean.score(q).to_bits());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&clean_dir);
 }

@@ -55,6 +55,18 @@ pub enum TenantError {
     },
     /// A shard's stream detector failed (initial fit or refit).
     Stream(StreamError),
+    /// Opening or seeding a shard's replay log failed at tenant
+    /// creation/restore (the message is the rendered persist-layer
+    /// error; this enum stays `Clone + PartialEq`, which the underlying
+    /// `PersistError` is not).
+    Replay {
+        /// The tenant whose log failed.
+        tenant: String,
+        /// The shard whose log failed.
+        shard: usize,
+        /// The rendered underlying error.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for TenantError {
@@ -84,6 +96,11 @@ impl std::fmt::Display for TenantError {
                 "tenant {tenant:?} shard {shard} is saturated ({capacity} ingests in flight)"
             ),
             Self::Stream(e) => write!(f, "shard stream error: {e}"),
+            Self::Replay {
+                tenant,
+                shard,
+                message,
+            } => write!(f, "tenant {tenant:?} shard {shard} replay log: {message}"),
         }
     }
 }

@@ -30,6 +30,13 @@
 //!   a bounded ingest admission ([`TenantSpec::ingest_queue`]); a hot
 //!   tenant gets [`TenantError::ShardSaturated`] instead of occupying
 //!   the serving workers other tenants need.
+//! * **Durability** — [`Tenant::save_snapshot`] writes one verified
+//!   snapshot per shard plus a manifest (committed last), per-shard
+//!   replay logs ([`TenantSpec::replay`]) let the sliding windows
+//!   survive `kill -9`, and [`TenantMap::restore_tenants`] rediscovers
+//!   and rebuilds the whole fleet at boot with generation and stream
+//!   position resumed — corrupt or partial sets fail with typed
+//!   [`TenantPersistError`]s, never panics.
 //!
 //! ## Quickstart
 //!
@@ -82,11 +89,16 @@
 mod error;
 mod map;
 mod name;
+mod persistence;
 mod router;
 mod tenant;
 
 pub use error::TenantError;
 pub use map::TenantMap;
 pub use name::{boot_tenant_name, valid_tenant_name};
+pub use persistence::{
+    shard_file_path, tenant_manifest_path, ReplaySpec, RestoredTenant, TenantPersistError,
+    TenantRestoreStats, TenantSnapshotStats,
+};
 pub use router::{RouteKey, ShardRouter};
 pub use tenant::{ShardQueue, Tenant, TenantSpec};

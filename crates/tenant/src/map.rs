@@ -2,12 +2,19 @@
 
 use crate::error::TenantError;
 use crate::name::valid_tenant_name;
+use crate::persistence::{
+    discover_tenants, read_manifest, shard_file_path, tenant_manifest_path, DiscoveredTenant,
+    RestoredTenant, TenantPersistError, TenantRestoreStats,
+};
 use crate::router::RouteKey;
 use crate::tenant::{Tenant, TenantSpec};
 use mccatch_core::McCatch;
 use mccatch_index::IndexBuilder;
 use mccatch_metric::Metric;
+use mccatch_persist::{crc32, restore_stream, PersistPoint, ReplayReader};
+use mccatch_stream::StreamDetector;
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::{Arc, RwLock};
 
 /// The registry's inner storage: name → shared tenant handle.
@@ -37,7 +44,7 @@ pub struct TenantMap<P, M, B> {
 
 impl<P, M, B> TenantMap<P, M, B>
 where
-    P: RouteKey + Clone + Send + Sync + 'static,
+    P: RouteKey + PersistPoint + Clone + Send + Sync + 'static,
     M: Metric<P> + Clone + 'static,
     B: IndexBuilder<P, M> + Clone + Send + Sync + 'static,
     B::Index: Send + Sync + 'static,
@@ -152,6 +159,167 @@ where
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Rediscovers every tenant persisted under the snapshot prefix
+    /// `base` and re-registers each in this map with its generation,
+    /// stream position, and (when replay logs are configured on the
+    /// spec) sliding-window contents resumed. Returns what was
+    /// restored, in name order.
+    ///
+    /// Discovery scans `base`'s directory for `{base}.{tenant}.{shard}`
+    /// files. Each discovered tenant is validated against its
+    /// `{base}.{tenant}.manifest` — present
+    /// ([`MissingManifest`](TenantPersistError::MissingManifest)
+    /// otherwise: a manifest is written last, so its absence means a
+    /// partial snapshot), certifying the spec's shard count, with a
+    /// contiguous `0..shards` file set
+    /// ([`MissingShard`](TenantPersistError::MissingShard) /
+    /// [`ExtraShard`](TenantPersistError::ExtraShard)) whose CRC-32s
+    /// match ([`CrcMismatch`](TenantPersistError::CrcMismatch)). Every
+    /// shard then rebuilds through the persist layer's verified
+    /// bit-compare load — all shards of a tenant in parallel on a
+    /// `thread::scope` fan-out, the same shape as the fan-out fit — and
+    /// replays the newest `capacity` events of its `{log}.{tenant}.{shard}`
+    /// replay log into the window.
+    ///
+    /// Corrupt or partial snapshot sets are **typed errors, never
+    /// panics**; the first failing tenant aborts the restore (tenants
+    /// already re-registered stay registered). An empty directory — or
+    /// one with no tenant-suffixed files — restores nothing and returns
+    /// an empty list.
+    pub fn restore_tenants(&self, base: &Path) -> Result<Vec<RestoredTenant>, TenantPersistError> {
+        let mut out = Vec::new();
+        for (name, files) in discover_tenants(base)? {
+            out.push(self.restore_one(base, &name, files)?);
+        }
+        Ok(out)
+    }
+
+    /// Validates one discovered tenant's snapshot set and rebuilds it.
+    fn restore_one(
+        &self,
+        base: &Path,
+        name: &str,
+        files: DiscoveredTenant,
+    ) -> Result<RestoredTenant, TenantPersistError> {
+        let manifest_path = files
+            .manifest
+            .ok_or_else(|| TenantPersistError::MissingManifest {
+                tenant: name.to_owned(),
+                path: tenant_manifest_path(base, name),
+            })?;
+        let manifest = read_manifest(&manifest_path, name)?;
+        if manifest.shards != self.spec.shards {
+            return Err(TenantPersistError::ShardCountMismatch {
+                tenant: name.to_owned(),
+                manifest: manifest.shards,
+                spec: self.spec.shards,
+            });
+        }
+        if let Some((&shard, path)) = files.shards.range(manifest.shards..).next() {
+            return Err(TenantPersistError::ExtraShard {
+                tenant: name.to_owned(),
+                shard,
+                path: path.clone(),
+            });
+        }
+        // Read + fingerprint every shard file before loading anything:
+        // a torn set is rejected as a whole, not after a partial load.
+        let mut blobs = Vec::with_capacity(manifest.shards);
+        for shard in 0..manifest.shards {
+            let path =
+                files
+                    .shards
+                    .get(&shard)
+                    .ok_or_else(|| TenantPersistError::MissingShard {
+                        tenant: name.to_owned(),
+                        shard,
+                        path: shard_file_path(base, name, shard),
+                    })?;
+            let bytes = std::fs::read(path).map_err(|source| TenantPersistError::Io {
+                path: path.clone(),
+                source,
+            })?;
+            let got = crc32(&bytes);
+            if got != manifest.crc32[shard] {
+                return Err(TenantPersistError::CrcMismatch {
+                    tenant: name.to_owned(),
+                    shard,
+                    expected: manifest.crc32[shard],
+                    got,
+                });
+            }
+            blobs.push(bytes);
+        }
+        // Verified bit-compare load of every shard in parallel — the
+        // same thread::scope fan-out shape as the fit path: wall-clock
+        // is the slowest shard, not the sum.
+        type ShardResult<P, M, B> = Result<(StreamDetector<P, M, B>, u64), TenantPersistError>;
+        let results: Vec<ShardResult<P, M, B>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = blobs
+                .iter()
+                .enumerate()
+                .map(|(shard, bytes)| {
+                    let (metric, builder) = (self.metric.clone(), self.builder.clone());
+                    let config = self.spec.stream.clone();
+                    let replay_path = self
+                        .spec
+                        .replay
+                        .as_ref()
+                        .map(|rs| shard_file_path(&rs.base, name, shard));
+                    scope.spawn(move || {
+                        let shard_err = |source| TenantPersistError::Shard {
+                            tenant: name.to_owned(),
+                            shard,
+                            source,
+                        };
+                        let entries = match replay_path {
+                            Some(p) if p.exists() => Some(
+                                ReplayReader::open(&p)
+                                    .and_then(|r| r.read_all::<P>())
+                                    .map_err(shard_err)?,
+                            ),
+                            _ => None,
+                        };
+                        let replayed = entries.as_ref().map_or(0, |e| e.len() as u64);
+                        let (detector, _info) =
+                            restore_stream(config, metric, builder, &bytes[..], entries)
+                                .map_err(shard_err)?;
+                        Ok((detector, replayed))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard restore thread panicked"))
+                .collect()
+        });
+        let mut detectors = Vec::with_capacity(results.len());
+        let mut replayed_events = 0;
+        for r in results {
+            let (d, replayed) = r?;
+            replayed_events += replayed;
+            detectors.push(d);
+        }
+        let stats = TenantRestoreStats {
+            shards: detectors.len(),
+            replayed_events,
+            generation: detectors.iter().map(|d| d.generation()).sum(),
+            seq: detectors.iter().map(|d| d.checkpoint().seq).sum(),
+        };
+        let tenant = Arc::new(Tenant::from_restored(name, &self.spec, detectors, stats)?);
+        let mut map = self.tenants.write().unwrap_or_else(|e| e.into_inner());
+        if map.contains_key(name) {
+            return Err(TenantPersistError::Tenant(TenantError::AlreadyExists {
+                name: name.to_owned(),
+            }));
+        }
+        map.insert(name.to_owned(), tenant);
+        Ok(RestoredTenant {
+            name: name.to_owned(),
+            stats,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +342,7 @@ mod tests {
                     ..StreamConfig::default()
                 },
                 ingest_queue: 16,
+                replay: None,
             },
         )
         .unwrap()

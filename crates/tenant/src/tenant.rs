@@ -3,13 +3,19 @@
 //! parallel fan-out fit/refit path.
 
 use crate::error::TenantError;
+use crate::persistence::{
+    rotate_replay_log, shard_file_path, write_bytes_atomic, write_manifest_atomic, ReplaySpec,
+    TenantPersistError, TenantRestoreStats, TenantSnapshotStats,
+};
 use crate::router::{RouteKey, ShardRouter};
 use mccatch_core::{McCatch, Model};
 use mccatch_index::IndexBuilder;
 use mccatch_metric::Metric;
+use mccatch_persist::{crc32, save_model, PersistPoint, ReplayWriter};
 use mccatch_stream::{ScoredEvent, StreamConfig, StreamDetector, StreamStats};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The shape every tenant in a [`TenantMap`](crate::TenantMap) is
 /// stamped from: how many shards it owns, each shard's independent
@@ -30,16 +36,25 @@ pub struct TenantSpec {
     /// queueing, so one hot tenant's backlog can never occupy the
     /// serving workers that other tenants need.
     pub ingest_queue: usize,
+    /// Per-shard replay logs at `{base}.{tenant}.{shard}`: when set,
+    /// every accepted ingest is appended to its shard's NDJSON log so
+    /// the sliding windows survive `kill -9`. Creating a tenant starts
+    /// its logs at the seed window; a snapshot
+    /// ([`Tenant::save_snapshot`]) rotates each log down to the
+    /// checkpointed window, so logs never grow without bound. `None`
+    /// (the default) keeps ingest entirely in memory.
+    pub replay: Option<ReplaySpec>,
 }
 
 impl Default for TenantSpec {
-    /// One shard, the default stream schedule, and a 1024-deep ingest
-    /// admission bound.
+    /// One shard, the default stream schedule, a 1024-deep ingest
+    /// admission bound, and no replay logging.
     fn default() -> Self {
         Self {
             shards: 1,
             stream: StreamConfig::default(),
             ingest_queue: 1024,
+            replay: None,
         }
     }
 }
@@ -77,6 +92,11 @@ struct Shard<P, M, B> {
     inflight: AtomicUsize,
     capacity: usize,
     rejected: AtomicU64,
+    /// This shard's replay-log appender, when the spec configures one.
+    /// The lock is held across score+append (and across snapshot-time
+    /// rotation), so the log's seq/tick order always matches the
+    /// window's.
+    replay: Option<Mutex<ReplayWriter>>,
 }
 
 /// Decrements the in-flight gauge even if the ingest panics.
@@ -107,11 +127,16 @@ pub struct Tenant<P, M, B> {
     name: String,
     router: ShardRouter,
     shards: Vec<Shard<P, M, B>>,
+    /// The spec's replay configuration, kept for snapshot-time log
+    /// rotation.
+    replay: Option<ReplaySpec>,
+    /// Set when this tenant was rebuilt from disk rather than created.
+    restored: Option<TenantRestoreStats>,
 }
 
 impl<P, M, B> Tenant<P, M, B>
 where
-    P: RouteKey + Clone + Send + Sync + 'static,
+    P: RouteKey + PersistPoint + Clone + Send + Sync + 'static,
     M: Metric<P> + Clone + 'static,
     B: IndexBuilder<P, M> + Clone + Send + Sync + 'static,
     B::Index: Send + Sync + 'static,
@@ -152,7 +177,7 @@ where
                 .map(|h| h.join().expect("shard fit thread panicked"))
                 .collect()
         });
-        let shards = detectors
+        let mut shards: Vec<Shard<P, M, B>> = detectors
             .map_err(TenantError::Stream)?
             .into_iter()
             .map(|detector| Shard {
@@ -160,12 +185,109 @@ where
                 inflight: AtomicUsize::new(0),
                 capacity: spec.ingest_queue,
                 rejected: AtomicU64::new(0),
+                replay: None,
             })
             .collect();
+        let name = name.into();
+        // A created tenant starts its replay logs at the seed window
+        // (truncating any stale log a deleted namesake left behind), so
+        // every log is self-contained from the first event.
+        attach_replay_logs(&name, spec, &mut shards)?;
         Ok(Self {
-            name: name.into(),
+            name,
             router,
             shards,
+            replay: spec.replay.clone(),
+            restored: None,
+        })
+    }
+
+    /// Rebuilds a tenant around shard detectors already restored from
+    /// disk (no initial fit). The shard count was validated against the
+    /// spec by the restore path; replay logs are rotated down to each
+    /// restored window so they are self-contained going forward.
+    pub(crate) fn from_restored(
+        name: &str,
+        spec: &TenantSpec,
+        detectors: Vec<StreamDetector<P, M, B>>,
+        restored: TenantRestoreStats,
+    ) -> Result<Self, TenantError> {
+        let router = ShardRouter::new(detectors.len())?;
+        let mut shards: Vec<Shard<P, M, B>> = detectors
+            .into_iter()
+            .map(|detector| Shard {
+                detector,
+                inflight: AtomicUsize::new(0),
+                capacity: spec.ingest_queue,
+                rejected: AtomicU64::new(0),
+                replay: None,
+            })
+            .collect();
+        attach_replay_logs(name, spec, &mut shards)?;
+        Ok(Self {
+            name: name.to_owned(),
+            router,
+            shards,
+            replay: spec.replay.clone(),
+            restored: Some(restored),
+        })
+    }
+
+    /// What this tenant's warm restart recovered — `None` for a tenant
+    /// created live rather than restored from disk.
+    pub fn restore_stats(&self) -> Option<TenantRestoreStats> {
+        self.restored
+    }
+
+    /// Persists every shard to `{base}.{tenant}.{shard}` and then —
+    /// **last** — the `{base}.{tenant}.manifest` certifying the set
+    /// (shard count + per-shard CRC-32s). Each file is written
+    /// atomically, and the trailing manifest makes the *set* atomic: a
+    /// crash anywhere in between leaves the previous manifest/file
+    /// pairing, never a half-new half-old snapshot that restore would
+    /// trust.
+    ///
+    /// When replay logs are configured, each shard's log is rotated
+    /// down to the checkpointed window under the same lock that ingest
+    /// appends hold, so snapshot + log stay mutually consistent and
+    /// logs never grow without bound.
+    pub fn save_snapshot(&self, base: &Path) -> Result<TenantSnapshotStats, TenantPersistError> {
+        let mut crcs = Vec::with_capacity(self.shards.len());
+        let (mut generation, mut seq, mut bytes) = (0u64, 0u64, 0u64);
+        for (shard, s) in self.shards.iter().enumerate() {
+            // Hold the shard's replay lock across checkpoint + rotation
+            // so no ingest lands between the snapshot and the rewritten
+            // log (ingest takes the same lock before appending).
+            let mut log = s
+                .replay
+                .as_ref()
+                .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()));
+            let cp = s.detector.checkpoint();
+            let mut buf = Vec::new();
+            let written = save_model(cp.model.as_ref(), cp.generation, cp.seq, &mut buf).map_err(
+                |source| TenantPersistError::Shard {
+                    tenant: self.name.clone(),
+                    shard,
+                    source,
+                },
+            )?;
+            let path = shard_file_path(base, &self.name, shard);
+            write_bytes_atomic(&path, &buf)
+                .map_err(|source| TenantPersistError::Io { path, source })?;
+            crcs.push(crc32(&buf));
+            if let (Some(log), Some(rs)) = (log.as_mut(), &self.replay) {
+                **log = rotate_replay_log(rs, &self.name, shard, &cp.entries, cp.seq)?;
+            }
+            generation += cp.generation;
+            seq += cp.seq;
+            bytes += written;
+        }
+        write_manifest_atomic(base, &self.name, &crcs)?;
+        Ok(TenantSnapshotStats {
+            shards: self.shards.len(),
+            generation,
+            seq,
+            bytes,
         })
     }
 
@@ -264,7 +386,21 @@ where
             }
         }
         let _admission = Admission(&s.inflight);
-        Ok(s.detector.ingest(point))
+        Ok(match &s.replay {
+            Some(log) => {
+                // The log lock is held across score+append so the log's
+                // seq order matches the window's, and a concurrent
+                // snapshot (which rotates the log under this lock) sees
+                // a consistent window/log pair.
+                let mut log = log.lock().unwrap_or_else(|e| e.into_inner());
+                let event = s.detector.ingest(point.clone());
+                // Best-effort: a full disk must not fail live ingest;
+                // the torn tail is recovered from at restore time.
+                let _ = log.append(event.seq, event.tick, &point);
+                event
+            }
+            None => s.detector.ingest(point),
+        })
     }
 
     /// Synchronously refits **every** shard on its current window, in
@@ -316,6 +452,37 @@ where
     }
 }
 
+/// Rotates every shard's replay log to its current window and attaches
+/// the appenders — shared by tenant creation (seed window) and restore
+/// (recovered window). No-op when the spec has no replay configuration.
+fn attach_replay_logs<P, M, B>(
+    name: &str,
+    spec: &TenantSpec,
+    shards: &mut [Shard<P, M, B>],
+) -> Result<(), TenantError>
+where
+    P: PersistPoint + Clone + Send + Sync + 'static,
+    M: Metric<P> + Clone + 'static,
+    B: IndexBuilder<P, M> + Clone + Send + Sync + 'static,
+    B::Index: Send + Sync + 'static,
+{
+    let Some(rs) = &spec.replay else {
+        return Ok(());
+    };
+    for (shard, s) in shards.iter_mut().enumerate() {
+        let cp = s.detector.checkpoint();
+        let writer = rotate_replay_log(rs, name, shard, &cp.entries, cp.seq).map_err(|e| {
+            TenantError::Replay {
+                tenant: name.to_owned(),
+                shard,
+                message: e.to_string(),
+            }
+        })?;
+        s.replay = Some(Mutex::new(writer));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +505,7 @@ mod tests {
                 ..StreamConfig::default()
             },
             ingest_queue: 8,
+            replay: None,
         }
     }
 
