@@ -22,6 +22,7 @@ use mccatch_core::McCatch;
 use mccatch_data::http;
 use mccatch_index::KdTreeBuilder;
 use mccatch_metric::Euclidean;
+use mccatch_obs::{Histogram, HistogramSnapshot};
 use mccatch_server::client::Connection;
 use mccatch_server::{ndjson, serve, ServerConfig, ServerHandle};
 use mccatch_stream::{RefitPolicy, StreamConfig, StreamDetector};
@@ -98,13 +99,15 @@ fn bodies(events: &[Vec<f64>]) -> Vec<String> {
 
 /// One headline measurement: `CLIENTS` keep-alive connections hammer
 /// `/score`; optionally a refitter thread swaps the model under them.
-/// Returns (events scored, elapsed, refits completed).
+/// Every request's client-side wall time lands in a shared lock-free
+/// latency histogram. Returns (events scored, elapsed, refits
+/// completed, per-request latency).
 fn hammer(
     addr: SocketAddr,
     detector: &Arc<Detector>,
     bodies: &Arc<Vec<String>>,
     concurrent_refits: bool,
-) -> (u64, Duration, u64) {
+) -> (u64, Duration, u64, HistogramSnapshot) {
     let refits_before = detector.stats().refits_completed;
     let stop_refitter = Arc::new(AtomicBool::new(false));
     let refitter = concurrent_refits.then(|| {
@@ -120,18 +123,22 @@ fn hammer(
         })
     });
 
+    let latency = Arc::new(Histogram::new());
     let t0 = Instant::now();
     let clients: Vec<_> = (0..CLIENTS)
         .map(|c| {
             let bodies = Arc::clone(bodies);
+            let latency = Arc::clone(&latency);
             std::thread::spawn(move || {
                 let mut conn = Connection::open(addr).expect("client connect");
                 let mut scored = 0u64;
                 for r in 0..REQUESTS_PER_CLIENT {
                     let body = &bodies[(c + r) % bodies.len()];
+                    let sent = Instant::now();
                     let resp = conn
                         .request("POST", "/score", body.as_bytes())
                         .expect("score request");
+                    latency.record(sent.elapsed());
                     assert_eq!(resp.status, 200);
                     scored += resp
                         .text()
@@ -151,26 +158,39 @@ fn hammer(
         r.join().expect("refitter");
     }
     let refits = detector.stats().refits_completed - refits_before;
-    (scored, elapsed, refits)
+    (scored, elapsed, refits, latency.snapshot())
 }
 
 /// Appends the headline numbers to `BENCH_server.json` at the
 /// workspace root (created if missing), one self-contained JSON object
 /// per run so downstream tooling can track the trajectory.
-fn emit_json(score_only: (u64, Duration), with_refit: (u64, Duration, u64)) {
+fn emit_json(
+    score_only: (u64, Duration, HistogramSnapshot),
+    with_refit: (u64, Duration, u64, HistogramSnapshot),
+) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
-    let (so_events, so_time) = score_only;
-    let (wr_events, wr_time, wr_refits) = with_refit;
+    let (so_events, so_time, so_lat) = score_only;
+    let (wr_events, wr_time, wr_refits, wr_lat) = with_refit;
+    let lat_ms = |h: &HistogramSnapshot| {
+        format!(
+            "\"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}",
+            h.quantile(0.50) * 1e3,
+            h.quantile(0.99) * 1e3,
+            h.max_seconds() * 1e3,
+        )
+    };
     let json = format!(
         "{{\"bench\": \"server_loopback\", \"workload\": \"http-10k\", \
          \"window\": {WINDOW}, \"batch_lines\": {BATCH_LINES}, \"clients\": {CLIENTS}, \
-         \"score_only\": {{\"events\": {so_events}, \"secs\": {:.4}, \"events_per_sec\": {:.0}}}, \
+         \"score_only\": {{\"events\": {so_events}, \"secs\": {:.4}, \"events_per_sec\": {:.0}, {}}}, \
          \"with_concurrent_refit\": {{\"events\": {wr_events}, \"secs\": {:.4}, \
-         \"events_per_sec\": {:.0}, \"refits_completed\": {wr_refits}}}}}\n",
+         \"events_per_sec\": {:.0}, \"refits_completed\": {wr_refits}, {}}}}}\n",
         so_time.as_secs_f64(),
         so_events as f64 / so_time.as_secs_f64().max(1e-9),
+        lat_ms(&so_lat),
         wr_time.as_secs_f64(),
         wr_events as f64 / wr_time.as_secs_f64().max(1e-9),
+        lat_ms(&wr_lat),
     );
     // Append, never truncate: the file is the accumulating perf
     // trajectory across sessions, one JSON object per line.
@@ -216,7 +236,8 @@ fn bench_server_throughput(c: &mut Criterion) {
     for concurrent in [false, true] {
         let (server, detector, events) = boot();
         let bodies = Arc::new(bodies(&events));
-        let (scored, elapsed, refits) = hammer(server.local_addr(), &detector, &bodies, concurrent);
+        let (scored, elapsed, refits, latency) =
+            hammer(server.local_addr(), &detector, &bodies, concurrent);
         let name = if concurrent {
             "score_with_concurrent_refit"
         } else {
@@ -224,17 +245,20 @@ fn bench_server_throughput(c: &mut Criterion) {
         };
         println!(
             "server_http10k/{name}: {scored} events in {elapsed:.2?} = {:.0} events/sec \
-             ({:.0} requests/sec, refits completed {refits}, generation {})",
+             ({:.0} requests/sec, p50 {:.2}ms p99 {:.2}ms, refits completed {refits}, \
+             generation {})",
             scored as f64 / elapsed.as_secs_f64().max(1e-9),
             (CLIENTS * REQUESTS_PER_CLIENT) as f64 / elapsed.as_secs_f64().max(1e-9),
+            latency.quantile(0.50) * 1e3,
+            latency.quantile(0.99) * 1e3,
             detector.generation(),
         );
-        headline.push((scored, elapsed, refits));
+        headline.push((scored, elapsed, refits, latency));
         server.shutdown();
     }
     emit_json(
-        (headline[0].0, headline[0].1),
-        (headline[1].0, headline[1].1, headline[1].2),
+        (headline[0].0, headline[0].1, headline[0].3),
+        (headline[1].0, headline[1].1, headline[1].2, headline[1].3),
     );
 }
 

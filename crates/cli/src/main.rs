@@ -56,6 +56,7 @@
 //!           [--drift FRAC] [--drift-recent N]
 //!           [--serve ADDR] [--tenants N] [--shards K]
 //!           [--save-model PATH] [--load-model PATH] [--replay-log PATH]
+//!           [--access-log PATH|off] [--slow-ms N]
 //! ```
 //!
 //! Persistence (`mccatch::persist`): `--save-model PATH` writes a
@@ -83,7 +84,7 @@
 use mccatch::index::{BruteForceBuilder, KdTreeBuilder, SlimTreeBuilder, VpTreeBuilder};
 use mccatch::metrics::{Euclidean, Levenshtein, Metric};
 use mccatch::persist::{self, FsyncPolicy, PersistPoint, ReplayReader, ReplayWriter};
-use mccatch::server::{ndjson, LineParser, ServerConfig};
+use mccatch::server::{ndjson, AccessLog, LineParser, ServerConfig};
 use mccatch::stream::{RefitPolicy, ScoredEvent, StreamConfig, StreamDetector};
 use mccatch::tenant::{boot_tenant_name, ReplaySpec, RouteKey, TenantMap, TenantSpec};
 use mccatch::{McCatch, McCatchOutput, Model, Params};
@@ -130,6 +131,13 @@ struct Cli {
     /// Fsync the replay log every this many events (0 = every event);
     /// a hard kill loses at most this many tail events.
     replay_fsync: u64,
+    /// Serve-mode access log destination: `None` keeps the default
+    /// (structured NDJSON on stderr); a path appends there instead;
+    /// the literal `off` disables access logging.
+    access_log: Option<String>,
+    /// Serve-mode slow-request threshold in milliseconds; requests at or
+    /// over it enter the `GET /admin/debug/slow` ring (0 captures all).
+    slow_ms: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -200,6 +208,8 @@ fn parse_cli() -> Result<Cli, String> {
         load_model: None,
         replay_log: None,
         replay_fsync: 64,
+        access_log: None,
+        slow_ms: 500,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -291,6 +301,12 @@ fn parse_cli() -> Result<Cli, String> {
                     .parse()
                     .map_err(|e| format!("--replay-fsync: {e}"))?
             }
+            "--access-log" => cli.access_log = Some(need("--access-log")?),
+            "--slow-ms" => {
+                cli.slow_ms = need("--slow-ms")?
+                    .parse()
+                    .map_err(|e| format!("--slow-ms: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "mccatch: microcluster detection (MCCATCH, ICDE 2024)\n\n\
@@ -301,7 +317,8 @@ fn parse_cli() -> Result<Cli, String> {
                             [--stream] [--window N] [--refit-every N] [--warmup N]\n\
                             [--drift FRAC] [--drift-recent N]\n\
                             [--serve ADDR] [--tenants N] [--shards K]\n\
-                            [--save-model PATH] [--load-model PATH] [--replay-log PATH]\n\n\
+                            [--save-model PATH] [--load-model PATH] [--replay-log PATH]\n\
+                            [--access-log PATH|off] [--slow-ms N]\n\n\
                      csv mode:   one point per line, comma/whitespace separated floats\n\
                      lines mode: one string per line, Levenshtein distance\n\n\
                      --index picks the backend (default: kd for csv, slim for lines;\n\
@@ -341,7 +358,14 @@ fn parse_cli() -> Result<Cli, String> {
                      rediscovers and restores every tenant on disk before binding.\n\
                      --replay-fsync N (default 64) fsyncs\n\
                      the log every N events — a hard kill loses at most N tail\n\
-                     events (0 = fsync every event)."
+                     events (0 = fsync every event).\n\n\
+                     Serve mode writes a structured NDJSON access log (one JSON\n\
+                     object per request, with a request id echoed in\n\
+                     X-Mccatch-Request-Id) to stderr; --access-log PATH appends it\n\
+                     to PATH instead, and --access-log off disables it. Requests\n\
+                     taking at least --slow-ms N milliseconds (default 500; 0 =\n\
+                     every request) also enter a bounded in-memory ring served at\n\
+                     GET /admin/debug/slow."
                 );
                 std::process::exit(0);
             }
@@ -473,6 +497,16 @@ fn report_text(
         "# distance evals (build + count): {}",
         out.stats.dist_build + out.stats.dist_count
     )?;
+    writeln!(
+        w,
+        "# stage seconds: build={:.4} count={:.4} plot={:.4} gell={:.4} score={:.4} total={:.4}",
+        out.stats.t_build.as_secs_f64(),
+        out.stats.t_count.as_secs_f64(),
+        out.stats.t_plateaus.as_secs_f64(),
+        out.stats.t_spot.as_secs_f64(),
+        out.stats.t_score.as_secs_f64(),
+        out.stats.t_total.as_secs_f64()
+    )?;
     writeln!(w)?;
     writeln!(w, "rank\tsize\tscore\tbridge\tmembers")?;
     let top = effective_top(cli.top, out.microclusters.len());
@@ -555,6 +589,20 @@ fn report_json(
         w,
         "  \"distance_evals\": {},",
         out.stats.dist_build + out.stats.dist_count
+    )?;
+    // Wall-clock per-stage fit timings in seconds, keyed by the same
+    // stage names the serving tier exposes in the
+    // `mccatch_stage_duration_seconds` histogram on `/metrics`.
+    writeln!(
+        w,
+        "  \"stages\": {{\"fit_build\": {}, \"fit_counting\": {}, \"fit_plotting\": {}, \
+         \"fit_gelling\": {}, \"fit_scoring\": {}, \"fit_total\": {}}},",
+        json_f64(out.stats.t_build.as_secs_f64()),
+        json_f64(out.stats.t_count.as_secs_f64()),
+        json_f64(out.stats.t_plateaus.as_secs_f64()),
+        json_f64(out.stats.t_spot.as_secs_f64()),
+        json_f64(out.stats.t_score.as_secs_f64()),
+        json_f64(out.stats.t_total.as_secs_f64())
     )?;
     let top = effective_top(cli.top, out.microclusters.len());
     write!(w, "  \"microclusters\": [")?;
@@ -902,6 +950,15 @@ where
         snapshot_path: cli.save_model.clone().map(std::path::PathBuf::from),
         replay_log: cli.replay_log.clone().map(std::path::PathBuf::from),
         replay_fsync_every: cli.replay_fsync,
+        // The CLI serves humans, so the access log defaults on (stderr,
+        // where all run commentary already goes); embedded servers
+        // default quiet.
+        access_log: match cli.access_log.as_deref() {
+            None => AccessLog::Stderr,
+            Some("off") => AccessLog::Off,
+            Some(path) => AccessLog::File(std::path::PathBuf::from(path)),
+        },
+        slow_request_ms: cli.slow_ms,
         ..ServerConfig::default()
     };
     let tenants = TenantMap::new(

@@ -175,6 +175,7 @@ impl McCatch {
         let diameter = tree.diameter_estimate();
         let grid = RadiusGrid::new(diameter, resolved.a);
         let t_build = t0.elapsed();
+        mccatch_obs::record_stage("fit_build", t_build);
         let d_build = tree.distance_stats().evals;
         Ok(Fitted {
             points,
@@ -580,6 +581,7 @@ where
                 self.resolved.threads,
             );
             let t_count = t0.elapsed();
+            mccatch_obs::record_stage("fit_counting", t_count);
             let d_count = self.tree.distance_stats().evals - evals_before;
             let t0 = Instant::now();
             let plot = OraclePlot::from_counts(
@@ -589,6 +591,7 @@ where
                 self.resolved.c,
             );
             let t_plateaus = t0.elapsed();
+            mccatch_obs::record_stage("fit_plotting", t_plateaus);
             (
                 plot,
                 table.active_per_radius,
@@ -612,7 +615,9 @@ where
                 self.cutoff(),
                 self.grid.radii(),
             );
-            (spotted, t0.elapsed())
+            let t_spot = t0.elapsed();
+            mccatch_obs::record_stage("fit_gelling", t_spot);
+            (spotted, t_spot)
         })
     }
 
@@ -633,6 +638,7 @@ where
                 self.resolved.threads,
             );
             let t_score = t0.elapsed();
+            mccatch_obs::record_stage("fit_scoring", t_score);
 
             // Rank most-strange-first (Probl. 1); deterministic tie-breaks.
             let mut microclusters: Vec<Microcluster> = spotted

@@ -186,6 +186,16 @@ pub use mccatch_server as server;
 /// CLI wraps it as `--serve ADDR --tenants N --shards K`.
 pub use mccatch_tenant as tenant;
 
+/// Observability: the lock-free log₂-bucketed latency
+/// [`obs::Histogram`] (mergeable, Prometheus exposition via
+/// [`obs::render_histogram`]), cheap stage spans ([`obs::Span`] and the
+/// process-global [`obs::record_stage`] recorder, surfaced as the
+/// `mccatch_stage_duration_seconds` family on `/metrics`), and the
+/// structured NDJSON [`obs::Logger`] + bounded slow-request
+/// [`obs::Ring`] behind the server's access log and
+/// `GET /admin/debug/slow`.
+pub use mccatch_obs as obs;
+
 /// Persistence: versioned model snapshots ([`persist::save_model`] /
 /// [`persist::load_model`], verified bit-identical on load), one-call
 /// warm restart for the serving store and the streaming detector

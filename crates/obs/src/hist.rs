@@ -1,0 +1,354 @@
+//! A lock-free log₂-bucketed latency histogram.
+//!
+//! The bucket layout is fixed at compile time: bucket `i` counts
+//! durations of at most `2^(FIRST_POW + i)` nanoseconds, from
+//! [`FIRST_POW`] (≈ 1 µs) through [`LAST_POW`] (≈ 69 s), plus one
+//! overflow bucket that becomes the `+Inf` series in the Prometheus
+//! exposition. Fixed bounds make every histogram in the process
+//! mergeable by plain element-wise addition — shard and tenant series
+//! aggregate without resampling.
+//!
+//! Recording is two relaxed `fetch_add`s (bucket + sum) and a
+//! compare-and-swap that only runs when a new maximum is observed, so
+//! the hot path costs a handful of nanoseconds and never blocks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// log₂ of the first bucket bound in nanoseconds: `2^10` ns ≈ 1.02 µs.
+pub const FIRST_POW: u32 = 10;
+
+/// log₂ of the last finite bucket bound in nanoseconds: `2^36` ns ≈ 68.7 s.
+pub const LAST_POW: u32 = 36;
+
+/// Number of finite buckets; the slot after them counts overflow
+/// (`+Inf`).
+pub const BUCKETS: usize = (LAST_POW - FIRST_POW + 1) as usize;
+
+/// Index of the finite bucket for `nanos`, or [`BUCKETS`] (overflow).
+fn bucket_index(nanos: u64) -> usize {
+    // Smallest p with nanos <= 2^p, i.e. ceil(log2(nanos)).
+    let p = if nanos <= 1 {
+        0
+    } else {
+        64 - (nanos - 1).leading_zeros()
+    };
+    (p.saturating_sub(FIRST_POW) as usize).min(BUCKETS)
+}
+
+/// Upper bound of finite bucket `i`, in nanoseconds.
+fn bucket_bound_nanos(i: usize) -> u64 {
+    1u64 << (FIRST_POW + i as u32)
+}
+
+/// Renders a nanosecond count as an exact decimal number of seconds
+/// (`1024` → `"0.000001024"`), so bucket bounds are byte-stable across
+/// platforms and never go through floating point.
+pub(crate) fn nanos_as_seconds(nanos: u64) -> String {
+    let secs = nanos / 1_000_000_000;
+    let frac = nanos % 1_000_000_000;
+    if frac == 0 {
+        format!("{secs}")
+    } else {
+        let mut f = format!("{frac:09}");
+        while f.ends_with('0') {
+            f.pop();
+        }
+        format!("{secs}.{f}")
+    }
+}
+
+/// A mergeable, lock-free latency histogram with fixed log₂ buckets.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    /// Per-bucket observation counts; the last slot is overflow.
+    buckets: [AtomicU64; BUCKETS + 1],
+    /// Total observed nanoseconds across all recordings.
+    sum_nanos: AtomicU64,
+    /// Largest single observation, in nanoseconds.
+    max_nanos: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS + 1],
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, elapsed: Duration) {
+        self.record_nanos(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one observation of `nanos` nanoseconds.
+    pub fn record_nanos(&self, nanos: u64) {
+        self.record_many(nanos, 1);
+    }
+
+    /// Records `n` observations of `nanos_each` nanoseconds in one go —
+    /// the amortized path for per-NDJSON-line accounting, where a batch
+    /// of `n` lines took `n * nanos_each` total.
+    pub fn record_many(&self, nanos_each: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(nanos_each)].fetch_add(n, Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add(nanos_each.saturating_mul(n), Ordering::Relaxed);
+        let mut seen = self.max_nanos.load(Ordering::Relaxed);
+        while nanos_each > seen {
+            match self.max_nanos.compare_exchange_weak(
+                seen,
+                nanos_each,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => seen = now,
+            }
+        }
+    }
+
+    /// A consistent-enough point-in-time copy for rendering and
+    /// quantile estimation (individual loads are relaxed; counters only
+    /// grow, so any tearing is bounded by in-flight recordings).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS + 1];
+        for (b, a) in buckets.iter_mut().zip(&self.buckets) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s counters: mergeable, renderable,
+/// and queryable for quantiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; the last slot is overflow (`+Inf`).
+    pub buckets: [u64; BUCKETS + 1],
+    /// Total observed nanoseconds.
+    pub sum_nanos: u64,
+    /// Largest single observation, in nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Adds `other`'s counts into `self` — merging shard histograms is
+    /// exact because every histogram shares the same bucket bounds.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum_nanos += other.sum_nanos;
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// The largest single observation, in seconds.
+    pub fn max_seconds(&self) -> f64 {
+        self.max_nanos as f64 / 1e9
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) in seconds: the upper
+    /// bound of the bucket holding the rank-`⌈q·count⌉` observation,
+    /// clamped to the observed maximum (so `quantile(1.0)` is exact).
+    /// Returns `0.0` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                if i >= BUCKETS {
+                    return self.max_seconds();
+                }
+                return (bucket_bound_nanos(i) as f64 / 1e9).min(self.max_seconds());
+            }
+        }
+        self.max_seconds()
+    }
+}
+
+/// Appends one Prometheus `histogram` family to `out`: a `HELP`/`TYPE`
+/// header, then cumulative `_bucket{…,le="…"}` series (ending in
+/// `le="+Inf"`), `_sum` (seconds), and `_count` per labeled series.
+///
+/// `series` pairs a label body (the text between `{}`, e.g.
+/// `endpoint="score"` — empty for an unlabeled series) with its
+/// snapshot. Empty bucket tails are still emitted so scrapers see a
+/// fixed schema.
+pub fn render_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    series: &[(String, HistogramSnapshot)],
+) {
+    use std::fmt::Write;
+    let _ = write!(out, "# HELP {name} {help}\n# TYPE {name} histogram\n");
+    for (labels, snap) in series {
+        let sep = if labels.is_empty() { "" } else { "," };
+        let mut cumulative = 0u64;
+        for i in 0..BUCKETS {
+            cumulative += snap.buckets[i];
+            let le = nanos_as_seconds(bucket_bound_nanos(i));
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}"
+            );
+        }
+        cumulative += snap.buckets[BUCKETS];
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {cumulative}"
+        );
+        let braces = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        let _ = writeln!(out, "{name}_sum{braces} {}", snap.sum_nanos as f64 / 1e9);
+        let _ = writeln!(out, "{name}_count{braces} {cumulative}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_covers_the_log2_grid() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(1024), 0); // 2^10 is still bucket 0
+        assert_eq!(bucket_index(1025), 1);
+        assert_eq!(bucket_index(2048), 1);
+        assert_eq!(bucket_index(1u64 << LAST_POW), BUCKETS - 1);
+        assert_eq!(bucket_index((1u64 << LAST_POW) + 1), BUCKETS);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS);
+    }
+
+    #[test]
+    fn nanos_render_as_exact_decimal_seconds() {
+        assert_eq!(nanos_as_seconds(1024), "0.000001024");
+        assert_eq!(nanos_as_seconds(1_000_000_000), "1");
+        assert_eq!(nanos_as_seconds(1u64 << 36), "68.719476736");
+        assert_eq!(nanos_as_seconds(1_500_000_000), "1.5");
+    }
+
+    #[test]
+    fn record_accumulates_count_sum_and_max() {
+        let h = Histogram::new();
+        h.record_nanos(2_000); // bucket 1
+        h.record_nanos(2_000);
+        h.record_nanos(5_000_000); // ~5ms
+        let s = h.snapshot();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum_nanos, 5_004_000);
+        assert_eq!(s.max_nanos, 5_000_000);
+        assert_eq!(s.buckets[1], 2);
+    }
+
+    #[test]
+    fn record_many_is_n_observations_at_once() {
+        let h = Histogram::new();
+        h.record_many(3_000, 10);
+        h.record_many(3_000, 0); // no-op
+        let s = h.snapshot();
+        assert_eq!(s.count(), 10);
+        assert_eq!(s.sum_nanos, 30_000);
+        assert_eq!(s.max_nanos, 3_000);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_counts() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record_nanos(1_000); // bucket 0, bound 1.024 µs
+        }
+        for _ in 0..10 {
+            h.record_nanos(1_000_000); // ~1 ms
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 1.024e-6);
+        assert_eq!(s.quantile(0.9), 1.024e-6);
+        // p99 lands in the ~1ms bucket but is clamped to the observed max.
+        assert_eq!(s.quantile(0.99), 1e-3);
+        assert_eq!(s.quantile(1.0), 1e-3);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn overflow_quantile_reports_the_observed_max() {
+        let h = Histogram::new();
+        h.record_nanos(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[BUCKETS], 1);
+        assert_eq!(s.quantile(0.5), u64::MAX as f64 / 1e9);
+    }
+
+    #[test]
+    fn merge_is_elementwise_addition() {
+        let a = Histogram::new();
+        a.record_nanos(1_000);
+        let b = Histogram::new();
+        b.record_nanos(1_000_000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.sum_nanos, 1_001_000);
+        assert_eq!(m.max_nanos, 1_000_000);
+    }
+
+    #[test]
+    fn exposition_is_cumulative_and_ends_at_inf() {
+        let h = Histogram::new();
+        h.record_nanos(1_000);
+        h.record_nanos(2_000);
+        let mut out = String::new();
+        render_histogram(
+            &mut out,
+            "x_seconds",
+            "test.",
+            &[(String::new(), h.snapshot())],
+        );
+        assert!(out.contains("# TYPE x_seconds histogram"));
+        assert!(out.contains("x_seconds_bucket{le=\"0.000001024\"} 1"));
+        assert!(out.contains("x_seconds_bucket{le=\"0.000002048\"} 2"));
+        assert!(out.contains("x_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(out.contains("x_seconds_count 2"));
+        assert!(out.contains("x_seconds_sum 0.000003"));
+    }
+
+    #[test]
+    fn labeled_series_join_labels_with_a_comma() {
+        let h = Histogram::new();
+        h.record_nanos(1_000);
+        let mut out = String::new();
+        render_histogram(
+            &mut out,
+            "x_seconds",
+            "test.",
+            &[("endpoint=\"score\"".to_owned(), h.snapshot())],
+        );
+        assert!(out.contains("x_seconds_bucket{endpoint=\"score\",le=\"0.000001024\"} 1"));
+        assert!(out.contains("x_seconds_count{endpoint=\"score\"} 1"));
+        assert!(out.contains("x_seconds_sum{endpoint=\"score\"} 0.000001"));
+    }
+}

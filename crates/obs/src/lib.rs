@@ -1,0 +1,53 @@
+//! Observability primitives for the MCCATCH serving stack: latency
+//! histograms, stage-span timing, and structured NDJSON logging.
+//!
+//! The paper's headline claim is scalability (MCCATCH, ICDE 2024, is
+//! "the fastest method that scales near-linearly"), so the repro needs
+//! to *time* work, not just count it. This crate is the shared,
+//! std-only toolbox the rest of the workspace records into:
+//!
+//! * [`Histogram`] — a lock-free log₂-bucketed latency histogram.
+//!   Recording is two relaxed atomics (plus a compare-and-swap on new
+//!   maxima), buckets are fixed so histograms merge by addition, and
+//!   [`render_histogram`] emits the Prometheus
+//!   `_bucket`/`_sum`/`_count` text exposition. `mccatch-server` keeps
+//!   one per endpoint (and per tenant), plus per-NDJSON-line
+//!   histograms for `/score` and `/ingest`.
+//! * [`Span`] / [`Recorder`] — stage timing with a closed name
+//!   vocabulary ([`STAGES`]): fit pipeline stages in `mccatch-core`,
+//!   refit and swap latency in `mccatch-stream`, shard fan-out and
+//!   restore in `mccatch-tenant`, snapshot save/load in
+//!   `mccatch-persist`. Everything lands in the process-global
+//!   [`StageRecorder`] ([`global()`]), scraped by `/metrics` as
+//!   `mccatch_stage_duration_seconds`. [`RecorderOff`] is the no-op
+//!   path for embedders that want zero overhead.
+//! * [`Logger`] / [`Fields`] / [`Ring`] — a leveled structured logger
+//!   writing one JSON object per line (monotonic timestamps, process
+//!   sequence numbers) to stderr or a file, and the bounded
+//!   slow-request ring buffer behind `GET /admin/debug/slow`.
+//!
+//! ```
+//! use mccatch_obs::{Histogram, Span};
+//! use std::time::Duration;
+//!
+//! let h = Histogram::new();
+//! h.record(Duration::from_micros(750));
+//! h.record(Duration::from_millis(3));
+//! let snap = h.snapshot();
+//! assert_eq!(snap.count(), 2);
+//! assert!(snap.quantile(0.99) >= snap.quantile(0.5));
+//!
+//! {
+//!     let _span = Span::enter("persist_save"); // records on drop
+//! }
+//! ```
+
+#![deny(missing_docs)]
+
+mod hist;
+mod log;
+mod span;
+
+pub use hist::{render_histogram, Histogram, HistogramSnapshot, BUCKETS, FIRST_POW, LAST_POW};
+pub use log::{json_escape, Fields, Level, Logger, Ring};
+pub use span::{global, record_stage, Recorder, RecorderOff, Span, StageRecorder, STAGES};

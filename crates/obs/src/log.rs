@@ -1,0 +1,357 @@
+//! A structured NDJSON logger and the slow-request ring buffer.
+//!
+//! Every log line is one JSON object: a monotonic millisecond timestamp
+//! (`ts_ms`, measured from logger creation so lines order correctly
+//! even across wall-clock steps), a process-unique sequence number, a
+//! level, an event name, and caller-supplied fields. Rendering is
+//! separated from writing so a rendered line can be reused — the server
+//! renders each access-log line once, writes it to the sink, and pushes
+//! the same string into the slow-request [`Ring`] when the request
+//! crossed the threshold.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Log severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Diagnostic chatter.
+    Debug,
+    /// Normal operation (access-log lines live here).
+    Info,
+    /// Something degraded but the request was served.
+    Warn,
+    /// A request or subsystem failed.
+    Error,
+}
+
+impl Level {
+    /// The lowercase name used in the `"level"` field.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// Where rendered lines go.
+enum Sink {
+    /// Drop everything (rendering still works, for the slow ring).
+    Off,
+    /// One `eprintln!`-style write per line.
+    Stderr,
+    /// Append to a file, writes serialized by the mutex.
+    File(Mutex<File>),
+}
+
+impl std::fmt::Debug for Sink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Sink::Off => "Off",
+            Sink::Stderr => "Stderr",
+            Sink::File(_) => "File",
+        })
+    }
+}
+
+/// A leveled structured logger emitting one JSON object per line.
+#[derive(Debug)]
+pub struct Logger {
+    min: Level,
+    sink: Sink,
+    start: Instant,
+    seq: AtomicU64,
+}
+
+impl Logger {
+    /// A logger that drops every line (rendering still works).
+    pub fn off() -> Self {
+        Self::with_sink(Level::Info, Sink::Off)
+    }
+
+    /// A logger writing lines at `min` or above to stderr.
+    pub fn stderr(min: Level) -> Self {
+        Self::with_sink(min, Sink::Stderr)
+    }
+
+    /// A logger appending lines at `min` or above to the file at
+    /// `path` (created if missing).
+    pub fn file(path: &Path, min: Level) -> io::Result<Self> {
+        let f = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self::with_sink(min, Sink::File(Mutex::new(f))))
+    }
+
+    fn with_sink(min: Level, sink: Sink) -> Self {
+        Self {
+            min,
+            sink,
+            start: Instant::now(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether a line at `level` would actually be written.
+    pub fn enabled(&self, level: Level) -> bool {
+        level >= self.min && !matches!(self.sink, Sink::Off)
+    }
+
+    /// Renders one line — `{"ts_ms":…,"seq":…,"level":…,"event":…,…}`
+    /// — without writing it. Always available, regardless of sink and
+    /// level, so callers can reuse the rendering (e.g. the slow ring).
+    pub fn render(&self, level: Level, event: &str, fields: &Fields) -> String {
+        let ts_ms = self.start.elapsed().as_secs_f64() * 1e3;
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut line = String::with_capacity(96 + fields.buf.len());
+        let _ = write!(
+            line,
+            "{{\"ts_ms\":{ts_ms:.3},\"seq\":{seq},\"level\":\"{}\",\"event\":\"{}\"",
+            level.name(),
+            json_escape(event)
+        );
+        line.push_str(&fields.buf);
+        line.push('}');
+        line
+    }
+
+    /// Writes an already-rendered line at `level` to the sink, if the
+    /// level clears the threshold. A failed write is dropped — logging
+    /// must never take down serving.
+    pub fn write_line(&self, level: Level, line: &str) {
+        if !self.enabled(level) {
+            return;
+        }
+        match &self.sink {
+            Sink::Off => {}
+            Sink::Stderr => {
+                let mut err = io::stderr().lock();
+                let _ = writeln!(err, "{line}");
+            }
+            Sink::File(f) => {
+                if let Ok(mut f) = f.lock() {
+                    let _ = writeln!(f, "{line}");
+                }
+            }
+        }
+    }
+
+    /// Renders and writes in one call, returning the rendered line.
+    pub fn log(&self, level: Level, event: &str, fields: &Fields) -> String {
+        let line = self.render(level, event, fields);
+        self.write_line(level, &line);
+        line
+    }
+}
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A builder for the caller-supplied fields of a log line. Keys are
+/// appended in call order; callers must not repeat the reserved keys
+/// (`ts_ms`, `seq`, `level`, `event`).
+#[derive(Debug, Default, Clone)]
+pub struct Fields {
+    buf: String,
+}
+
+impl Fields {
+    /// No fields.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        let _ = write!(
+            self.buf,
+            ",\"{}\":\"{}\"",
+            json_escape(key),
+            json_escape(value)
+        );
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        let _ = write!(self.buf, ",\"{}\":{}", json_escape(key), value);
+        self
+    }
+
+    /// Appends a float field (non-finite values become `null`).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        if value.is_finite() {
+            let _ = write!(self.buf, ",\"{}\":{}", json_escape(key), value);
+        } else {
+            let _ = write!(self.buf, ",\"{}\":null", json_escape(key));
+        }
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        let _ = write!(self.buf, ",\"{}\":{}", json_escape(key), value);
+        self
+    }
+}
+
+/// A bounded ring of rendered log lines — the in-memory buffer behind
+/// `GET /admin/debug/slow`. Oldest lines are evicted first.
+#[derive(Debug)]
+pub struct Ring {
+    cap: usize,
+    lines: Mutex<VecDeque<String>>,
+}
+
+impl Ring {
+    /// An empty ring holding at most `cap` lines (`cap == 0` keeps
+    /// nothing).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            lines: Mutex::new(VecDeque::with_capacity(cap.min(64))),
+        }
+    }
+
+    /// Appends a line, evicting the oldest once full.
+    pub fn push(&self, line: String) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut lines = match self.lines.lock() {
+            Ok(l) => l,
+            Err(p) => p.into_inner(),
+        };
+        if lines.len() == self.cap {
+            lines.pop_front();
+        }
+        lines.push_back(line);
+    }
+
+    /// A copy of the buffered lines, oldest first.
+    pub fn lines(&self) -> Vec<String> {
+        match self.lines.lock() {
+            Ok(l) => l.iter().cloned().collect(),
+            Err(p) => p.into_inner().iter().cloned().collect(),
+        }
+    }
+
+    /// Number of lines currently buffered.
+    pub fn len(&self) -> usize {
+        match self.lines.lock() {
+            Ok(l) => l.len(),
+            Err(p) => p.into_inner().len(),
+        }
+    }
+
+    /// Whether the ring holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendered_lines_are_json_objects_with_reserved_keys_first() {
+        let log = Logger::off();
+        let line = log.render(
+            Level::Info,
+            "request",
+            &Fields::new()
+                .str("path", "/score")
+                .u64("status", 200)
+                .f64("duration_ms", 1.25)
+                .bool("slow", false),
+        );
+        assert!(line.starts_with("{\"ts_ms\":"), "{line}");
+        assert!(line.contains("\"seq\":0"), "{line}");
+        assert!(line.contains("\"level\":\"info\""), "{line}");
+        assert!(line.contains("\"event\":\"request\""), "{line}");
+        assert!(line.contains("\"path\":\"/score\""), "{line}");
+        assert!(line.contains("\"status\":200"), "{line}");
+        assert!(line.contains("\"duration_ms\":1.25"), "{line}");
+        assert!(line.contains("\"slow\":false"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+        // Sequence numbers are monotone per logger.
+        let next = log.render(Level::Info, "request", &Fields::new());
+        assert!(next.contains("\"seq\":1"), "{next}");
+    }
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        let line = Logger::off().render(
+            Level::Warn,
+            "weird \"event\"",
+            &Fields::new().str("k\n", "v\\"),
+        );
+        assert!(line.contains("\"event\":\"weird \\\"event\\\"\""), "{line}");
+        assert!(line.contains("\"k\\n\":\"v\\\\\""), "{line}");
+    }
+
+    #[test]
+    fn levels_gate_the_sink_but_never_rendering() {
+        let off = Logger::off();
+        assert!(!off.enabled(Level::Error));
+        assert!(!off.render(Level::Error, "x", &Fields::new()).is_empty());
+
+        let err_only = Logger::with_sink(Level::Error, Sink::Off);
+        assert!(!err_only.enabled(Level::Info));
+
+        let dir = std::env::temp_dir().join(format!("mccatch-obs-log-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.ndjson");
+        let file = Logger::file(&path, Level::Info).unwrap();
+        assert!(file.enabled(Level::Info));
+        assert!(!file.enabled(Level::Debug));
+        file.log(Level::Info, "written", &Fields::new().u64("n", 1));
+        file.log(Level::Debug, "dropped", &Fields::new());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"event\":\"written\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ring_is_bounded_and_fifo() {
+        let ring = Ring::new(2);
+        assert!(ring.is_empty());
+        ring.push("a".into());
+        ring.push("b".into());
+        ring.push("c".into());
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.lines(), vec!["b".to_owned(), "c".to_owned()]);
+
+        let none = Ring::new(0);
+        none.push("x".into());
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Stage spans: named wall-clock timings of pipeline stages, recorded
+//! into per-stage [`Histogram`]s.
+//!
+//! The stage names form a closed vocabulary ([`STAGES`]) spanning the
+//! whole stack — the fit pipeline in `mccatch-core`, refit and model
+//! swap in `mccatch-stream`, shard fan-out and restore in
+//! `mccatch-tenant`, and snapshot save/load in `mccatch-persist`. All
+//! layers record into one process-global [`StageRecorder`]
+//! ([`global()`]), which `/metrics` scrapes as the
+//! `mccatch_stage_duration_seconds` family.
+//!
+//! Recording sites that already measure a `Duration` call
+//! [`record_stage`] directly; sites that bracket a region use the
+//! [`Span`] guard, which records on drop. Both are no-ops in cost terms
+//! off the serving hot path, and the [`Recorder`] trait's
+//! [`RecorderOff`] implementation lets embedders stub timing out
+//! entirely.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Every stage name the stack records, in exposition order.
+///
+/// * `fit_build` — reference-tree construction (`mccatch-core`).
+/// * `fit_counting` — neighbor counting over the radius grid.
+/// * `fit_plotting` — oracle-plot assembly and MDL plateau search.
+/// * `fit_gelling` — microcluster gelling (`spot_microclusters`).
+/// * `fit_scoring` — per-microcluster scoring.
+/// * `stream_refit` — a full background refit (`mccatch-stream`).
+/// * `stream_swap` — publishing the refit model into the store.
+/// * `tenant_fanout` — scatter/gather of a query across shards.
+/// * `tenant_restore` — rebuilding one tenant at warm restart.
+/// * `persist_save` — serializing a model snapshot.
+/// * `persist_load` — deserializing a model snapshot.
+pub const STAGES: &[&str] = &[
+    "fit_build",
+    "fit_counting",
+    "fit_plotting",
+    "fit_gelling",
+    "fit_scoring",
+    "stream_refit",
+    "stream_swap",
+    "tenant_fanout",
+    "tenant_restore",
+    "persist_save",
+    "persist_load",
+];
+
+/// A sink for stage timings. The serving stack records through this
+/// trait so embedders can route timings elsewhere or disable them.
+pub trait Recorder: Send + Sync {
+    /// Records that `stage` (a [`STAGES`] member) took `elapsed`.
+    fn record_stage(&self, stage: &'static str, elapsed: Duration);
+
+    /// `false` when recording is a guaranteed no-op, letting callers
+    /// skip even the clock reads.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The no-op recorder: timing disabled, zero cost.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RecorderOff;
+
+impl Recorder for RecorderOff {
+    fn record_stage(&self, _stage: &'static str, _elapsed: Duration) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A [`Recorder`] keeping one [`Histogram`] per [`STAGES`] entry.
+#[derive(Debug)]
+pub struct StageRecorder {
+    hists: Vec<Histogram>,
+}
+
+impl Default for StageRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StageRecorder {
+    /// A recorder with one empty histogram per stage.
+    pub fn new() -> Self {
+        Self {
+            hists: STAGES.iter().map(|_| Histogram::new()).collect(),
+        }
+    }
+
+    /// Snapshots every stage histogram, in [`STAGES`] order.
+    pub fn snapshot(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        STAGES
+            .iter()
+            .zip(&self.hists)
+            .map(|(s, h)| (*s, h.snapshot()))
+            .collect()
+    }
+}
+
+impl Recorder for StageRecorder {
+    fn record_stage(&self, stage: &'static str, elapsed: Duration) {
+        // Stage recording sites are cold (refits, restores, snapshot
+        // I/O), so a linear scan over ~a dozen names is fine.
+        if let Some(i) = STAGES.iter().position(|s| *s == stage) {
+            self.hists[i].record(elapsed);
+        }
+    }
+}
+
+/// The process-global stage recorder every layer records into and
+/// `/metrics` scrapes.
+pub fn global() -> &'static StageRecorder {
+    static GLOBAL: OnceLock<StageRecorder> = OnceLock::new();
+    GLOBAL.get_or_init(StageRecorder::new)
+}
+
+/// Records a pre-measured stage duration into the global recorder.
+pub fn record_stage(stage: &'static str, elapsed: Duration) {
+    global().record_stage(stage, elapsed);
+}
+
+/// A drop guard that times a region into the global recorder:
+/// `let _span = Span::enter("persist_save");`.
+#[derive(Debug)]
+pub struct Span {
+    stage: &'static str,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts timing `stage` (a [`STAGES`] member) now.
+    pub fn enter(stage: &'static str) -> Self {
+        Self {
+            stage,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        record_stage(self.stage, self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_buckets_by_stage_and_ignores_unknown_names() {
+        let r = StageRecorder::new();
+        r.record_stage("fit_counting", Duration::from_micros(5));
+        r.record_stage("fit_counting", Duration::from_micros(5));
+        r.record_stage("persist_save", Duration::from_millis(1));
+        r.record_stage("not_a_stage", Duration::from_secs(1));
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), STAGES.len());
+        let count_of = |name: &str| {
+            snap.iter()
+                .find(|(s, _)| *s == name)
+                .map(|(_, h)| h.count())
+                .unwrap()
+        };
+        assert_eq!(count_of("fit_counting"), 2);
+        assert_eq!(count_of("persist_save"), 1);
+        assert_eq!(count_of("fit_build"), 0);
+        assert_eq!(snap.iter().map(|(_, h)| h.count()).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn span_records_on_drop_into_the_global_recorder() {
+        let before: u64 = global()
+            .snapshot()
+            .iter()
+            .find(|(s, _)| *s == "stream_swap")
+            .map(|(_, h)| h.count())
+            .unwrap();
+        {
+            let _span = Span::enter("stream_swap");
+        }
+        let after: u64 = global()
+            .snapshot()
+            .iter()
+            .find(|(s, _)| *s == "stream_swap")
+            .map(|(_, h)| h.count())
+            .unwrap();
+        assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn recorder_off_is_disabled() {
+        assert!(!RecorderOff.enabled());
+        assert!(StageRecorder::new().enabled());
+        RecorderOff.record_stage("fit_build", Duration::from_secs(1));
+    }
+}

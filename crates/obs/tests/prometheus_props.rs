@@ -1,0 +1,127 @@
+//! Property tests for the histogram exposition (the Prometheus
+//! contract) and for shard merging.
+//!
+//! For arbitrary sample sets, the rendered `histogram` family must
+//! satisfy the invariants every Prometheus scraper assumes: `_bucket`
+//! counts are cumulative and monotone non-decreasing in `le` order, a
+//! `le="+Inf"` bucket is present and last, and its value equals
+//! `_count`. And because bucket bounds are fixed, merging per-shard
+//! histograms must be *exactly* the histogram of the merged samples —
+//! the identity that lets `/metrics` aggregate tenant shards without
+//! resampling.
+
+use mccatch_obs::{render_histogram, Histogram, HistogramSnapshot, BUCKETS};
+use proptest::prelude::*;
+
+/// Nanosecond samples spread across the whole bucket range, including
+/// sub-first-bucket and overflow values.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    let sample = (0u32..40, 0.0..1.0f64)
+        .prop_map(|(pow, fill)| ((1u64 << pow) as f64 * (0.5 + fill)) as u64);
+    prop::collection::vec(sample, 0..120)
+}
+
+fn hist_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &s in samples {
+        h.record_nanos(s);
+    }
+    h.snapshot()
+}
+
+/// Parses one rendered family back out of the exposition text:
+/// `(bucket (le, cumulative_count) pairs in order, _count value)`.
+fn parse_family(text: &str, name: &str) -> (Vec<(String, u64)>, u64) {
+    let mut buckets = Vec::new();
+    let mut count = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(&format!("{name}_bucket{{")) {
+            let (labels, value) = rest.split_once("} ").expect("bucket line shape");
+            let le = labels
+                .split(',')
+                .find_map(|kv| kv.strip_prefix("le=\""))
+                .and_then(|v| v.strip_suffix('"'))
+                .expect("le label present");
+            buckets.push((le.to_owned(), value.parse().expect("bucket count")));
+        } else if let Some(rest) = line.strip_prefix(&format!("{name}_count")) {
+            count = Some(rest.trim().parse().expect("count value"));
+        }
+    }
+    (buckets, count.expect("_count line present"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn exported_histograms_satisfy_the_prometheus_invariants(samples in samples()) {
+        let snap = hist_of(&samples);
+        let mut out = String::new();
+        render_histogram(&mut out, "t_seconds", "test.", &[(String::new(), snap)]);
+
+        prop_assert!(out.contains("# TYPE t_seconds histogram"));
+        prop_assert!(out.contains("# HELP t_seconds"));
+
+        let (buckets, count) = parse_family(&out, "t_seconds");
+        // Fixed schema: every finite bucket plus +Inf, even when empty.
+        prop_assert_eq!(buckets.len(), BUCKETS + 1);
+        // Cumulative counts are monotone non-decreasing in le order.
+        for w in buckets.windows(2) {
+            prop_assert!(
+                w[0].1 <= w[1].1,
+                "bucket counts not cumulative: {:?} then {:?}", w[0], w[1]
+            );
+        }
+        // +Inf is present, last, and equals _count == total samples.
+        let (last_le, last_count) = buckets.last().unwrap().clone();
+        prop_assert_eq!(last_le.as_str(), "+Inf");
+        prop_assert_eq!(last_count, count);
+        prop_assert_eq!(count, samples.len() as u64);
+        // Bounds are strictly increasing decimals (dedup sanity).
+        let finite: Vec<f64> = buckets[..BUCKETS]
+            .iter()
+            .map(|(le, _)| le.parse().expect("finite le parses"))
+            .collect();
+        for w in finite.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn merged_shard_histograms_equal_the_histogram_of_merged_samples(
+        samples in samples(),
+        shards in (0usize..3).prop_map(|i| [1usize, 2, 4][i]),
+    ) {
+        // Deal the samples round-robin across `shards` histograms.
+        let per_shard: Vec<Vec<u64>> = (0..shards)
+            .map(|s| {
+                samples
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % shards == s)
+                    .map(|(_, v)| *v)
+                    .collect()
+            })
+            .collect();
+        let mut merged = HistogramSnapshot::default();
+        for shard in &per_shard {
+            merged.merge(&hist_of(shard));
+        }
+        let direct = hist_of(&samples);
+        prop_assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded_by_the_max(samples in samples()) {
+        let snap = hist_of(&samples);
+        let qs = [0.0, 0.5, 0.9, 0.99, 1.0];
+        let vals: Vec<f64> = qs.iter().map(|&q| snap.quantile(q)).collect();
+        for w in vals.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {vals:?}");
+        }
+        prop_assert!(vals[4] <= snap.max_seconds() + 1e-12);
+        if !samples.is_empty() {
+            prop_assert_eq!(vals[4], snap.max_seconds());
+        }
+    }
+}

@@ -5,6 +5,19 @@ use crate::error::ServerError;
 use std::path::PathBuf;
 use std::time::Duration;
 
+/// Where the structured access log (one JSON object per request) goes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum AccessLog {
+    /// No access log (the default — embedded servers and tests stay
+    /// quiet; the slow-request ring still fills).
+    #[default]
+    Off,
+    /// One NDJSON line per request to stderr.
+    Stderr,
+    /// One NDJSON line per request appended to this file.
+    File(PathBuf),
+}
+
 /// Configuration of a [`ServerHandle`](crate::ServerHandle), validated
 /// up front exactly like `StreamConfig` in the stream crate: an invalid
 /// configuration never binds a socket or spawns a thread.
@@ -64,6 +77,16 @@ pub struct ServerConfig {
     /// Fsync cadence of the replay log, in accepted events (`0` behaves
     /// as `1`, i.e. fsync on every event).
     pub replay_fsync_every: u64,
+    /// Structured access-log destination (`--access-log` in the CLI).
+    pub access_log: AccessLog,
+    /// Requests at least this many milliseconds end to end are captured
+    /// in the slow-request ring buffer served at
+    /// `GET /admin/debug/slow` (`--slow-ms` in the CLI; `0` captures
+    /// every request).
+    pub slow_request_ms: u64,
+    /// How many slow-request lines the ring buffer retains (oldest
+    /// evicted first; `0` disables the ring).
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +101,9 @@ impl Default for ServerConfig {
             snapshot_path: None,
             replay_log: None,
             replay_fsync_every: 64,
+            access_log: AccessLog::Off,
+            slow_request_ms: 500,
+            slow_log_capacity: 128,
         }
     }
 }

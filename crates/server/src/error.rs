@@ -47,6 +47,13 @@ pub enum ServerError {
         /// The underlying error message.
         message: String,
     },
+    /// Opening the configured access-log file for appending failed.
+    AccessLog {
+        /// The configured log path.
+        path: String,
+        /// The underlying error message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ServerError {
@@ -71,6 +78,9 @@ impl std::fmt::Display for ServerError {
             } => write!(f, "failed to bind {addr}: {message} ({kind:?})"),
             Self::ReplayLog { path, message } => {
                 write!(f, "failed to open replay log {path}: {message}")
+            }
+            Self::AccessLog { path, message } => {
+                write!(f, "failed to open access log {path}: {message}")
             }
         }
     }

@@ -13,11 +13,12 @@
 //! | `/admin/refit` | POST | Synchronous refit on the current window; answers the new generation |
 //! | `/admin/snapshot` | POST | Persists the served model to the configured `snapshot_path` (atomic tmp-then-rename); answers `{"generation", "seq", "bytes", "path"}`, or `409` when persistence is not configured |
 //! | `/admin/snapshot/info` | GET | Reads the snapshot header back (version, backend, points, generation) without loading the model; `404` until a snapshot exists |
-//! | `/healthz` | GET | Liveness |
-//! | `/metrics` | GET | Prometheus text exposition: request/error counters, queue depth, `StreamStats`, `ModelStats`, live per-backend distance evaluations; with tenancy enabled, `{tenant=…}`-labeled series and per-shard queue gauges |
+//! | `/healthz` | GET | Liveness, with the served model generation and process uptime in a JSON body (probes can detect a wedged swap loop) |
+//! | `/metrics` | GET | Prometheus text exposition: request/error counters, queue depth, `StreamStats`, `ModelStats`, live per-backend distance evaluations, plus latency histograms — per-endpoint `mccatch_request_duration_seconds`, per-NDJSON-line `mccatch_line_duration_seconds`, and cross-layer `mccatch_stage_duration_seconds`; with tenancy enabled, `{tenant=…}`-labeled series and per-shard queue gauges |
 //! | `/t/{tenant}/score` … | POST/GET | Any of the five endpoints above, scoped to a named tenant ([`serve_tenants`]); equivalently, send `X-Mccatch-Tenant: {tenant}` on the bare path. Unknown tenant → `404`, invalid name → `400` |
 //! | `/admin/tenants` | GET | Lists live tenants |
 //! | `/admin/tenants/{name}` | PUT / DELETE | Creates (idempotently; the body is an optional NDJSON seed, fitted across the tenant's shards in parallel) or deletes a tenant |
+//! | `/admin/debug/slow` | GET | The slow-request ring buffer: the access-log lines (NDJSON) of the most recent requests at or above `ServerConfig::slow_request_ms` |
 //!
 //! Malformed input degrades **per line**, not per batch: an unparsable
 //! or non-UTF-8 NDJSON line becomes a `{"line": N, "error": …}` object
@@ -26,6 +27,11 @@
 //! framing, `404`/`405` routing, `413` oversized body — rejected before
 //! reading it — `431` oversized head), and a full accept queue is
 //! answered `503` + `Retry-After` instead of buffering without bound.
+//!
+//! Every response carries an `X-Mccatch-Request-Id` header (echoed from
+//! the request when the client sent a sane one, generated otherwise),
+//! and `ServerConfig::access_log` emits one structured NDJSON line per
+//! request — see the repo-level `ARCHITECTURE.md` ("Observability").
 //!
 //! Start a server with [`serve`]; stop it with
 //! [`ServerHandle::shutdown`] (graceful: in-flight requests drain). See
@@ -40,10 +46,11 @@ mod error;
 mod http;
 mod metrics;
 pub mod ndjson;
+mod obs;
 mod server;
 mod service;
 
-pub use config::ServerConfig;
+pub use config::{AccessLog, ServerConfig};
 pub use error::ServerError;
 pub use ndjson::LineParser;
 pub use server::{serve, serve_tenants, ServerHandle};

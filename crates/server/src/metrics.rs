@@ -1,34 +1,113 @@
 //! Request counters and the Prometheus text exposition for `/metrics`.
 
+use crate::obs::ServerObs;
 use crate::service::Service;
 use mccatch_core::ModelStats;
+use mccatch_obs::{render_histogram, HistogramSnapshot};
 use mccatch_stream::StreamStats;
 use mccatch_tenant::{ShardQueue, TenantRestoreStats};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-/// The endpoints with per-endpoint request counters, in exposition
-/// order (`tenants` covers the `/admin/tenants` lifecycle routes).
-pub(crate) const ENDPOINTS: &[&str] = &[
-    "score",
-    "ingest",
-    "refit",
-    "snapshot",
-    "snapshot_info",
-    "healthz",
-    "metrics",
-    "tenants",
-];
+/// The endpoints with per-endpoint request counters and latency
+/// histograms. Routing resolves each request to one of these **once**;
+/// counters and histograms then index by the discriminant — no string
+/// lookups on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Endpoint {
+    /// `POST /score`.
+    Score,
+    /// `POST /ingest`.
+    Ingest,
+    /// `POST /admin/refit`.
+    Refit,
+    /// `POST /admin/snapshot`.
+    Snapshot,
+    /// `GET /admin/snapshot/info`.
+    SnapshotInfo,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /metrics`.
+    Metrics,
+    /// The `/admin/tenants` lifecycle routes.
+    Tenants,
+    /// `GET /admin/debug/slow`.
+    DebugSlow,
+}
+
+impl Endpoint {
+    /// Every endpoint, in exposition order (matches the discriminants).
+    pub const ALL: [Endpoint; 9] = [
+        Endpoint::Score,
+        Endpoint::Ingest,
+        Endpoint::Refit,
+        Endpoint::Snapshot,
+        Endpoint::SnapshotInfo,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Tenants,
+        Endpoint::DebugSlow,
+    ];
+
+    /// Number of endpoints (the counter/histogram array length).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// The endpoints reachable under a `/t/{tenant}/…` scope.
+    pub const SCOPED: [Endpoint; 5] = [
+        Endpoint::Score,
+        Endpoint::Ingest,
+        Endpoint::Refit,
+        Endpoint::Snapshot,
+        Endpoint::SnapshotInfo,
+    ];
+
+    /// The array index of this endpoint.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The `endpoint` label value in the exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Score => "score",
+            Endpoint::Ingest => "ingest",
+            Endpoint::Refit => "refit",
+            Endpoint::Snapshot => "snapshot",
+            Endpoint::SnapshotInfo => "snapshot_info",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Tenants => "tenants",
+            Endpoint::DebugSlow => "debug_slow",
+        }
+    }
+}
 
 /// The status codes this server can emit, in exposition order.
 pub(crate) const STATUSES: &[u16] = &[200, 400, 404, 405, 409, 413, 431, 500, 503];
+
+/// The [`STATUSES`] index of `status`, resolved by a jump table rather
+/// than a scan.
+fn status_index(status: u16) -> Option<usize> {
+    Some(match status {
+        200 => 0,
+        400 => 1,
+        404 => 2,
+        405 => 3,
+        409 => 4,
+        413 => 5,
+        431 => 6,
+        500 => 7,
+        503 => 8,
+        _ => return None,
+    })
+}
 
 /// Lock-free counters of the HTTP layer, updated by the acceptor and
 /// every worker; scraped (and unit-tested) through
 /// [`render_prometheus`].
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
-    /// Requests routed to each endpoint (parallel to [`ENDPOINTS`]).
-    pub requests: [AtomicU64; 8],
+    /// Requests routed to each endpoint (indexed by [`Endpoint`]).
+    pub requests: [AtomicU64; Endpoint::COUNT],
     /// Responses written per status code (parallel to [`STATUSES`]).
     pub responses: [AtomicU64; 9],
     /// Connections handed to the worker pool.
@@ -44,16 +123,15 @@ pub(crate) struct Counters {
 }
 
 impl Counters {
-    /// Bumps the request counter of `endpoint` (a [`ENDPOINTS`] member).
-    pub fn count_request(&self, endpoint: &str) {
-        if let Some(i) = ENDPOINTS.iter().position(|e| *e == endpoint) {
-            self.requests[i].fetch_add(1, Ordering::AcqRel);
-        }
+    /// Bumps the request counter of `endpoint` — a direct array index,
+    /// resolved once at routing.
+    pub fn count_request(&self, endpoint: Endpoint) {
+        self.requests[endpoint.index()].fetch_add(1, Ordering::AcqRel);
     }
 
     /// Bumps the response counter of `status` (a [`STATUSES`] member).
     pub fn count_response(&self, status: u16) {
-        if let Some(i) = STATUSES.iter().position(|s| *s == status) {
+        if let Some(i) = status_index(status) {
             self.responses[i].fetch_add(1, Ordering::AcqRel);
         }
     }
@@ -134,6 +212,7 @@ impl TenantScrape {
 /// are emitted at all).
 pub(crate) fn render_prometheus(
     counters: &Counters,
+    obs: &ServerObs,
     service: &dyn Service,
     index_label: &str,
     uptime: std::time::Duration,
@@ -169,12 +248,12 @@ pub(crate) fn render_prometheus(
         "mccatch_server_requests_total",
         "counter",
         "Requests routed to each endpoint.",
-        &ENDPOINTS
+        &Endpoint::ALL
             .iter()
             .zip(&counters.requests)
             .map(|(e, c)| {
                 (
-                    format!("{{endpoint=\"{e}\"}}"),
+                    format!("{{endpoint=\"{}\"}}", e.name()),
                     c.load(Ordering::Acquire).to_string(),
                 )
             })
@@ -478,6 +557,58 @@ pub(crate) fn render_prometheus(
             &restored_gen,
         );
     }
+
+    // Latency histograms. The default tenant's request series carry
+    // only the `endpoint` label — the same unlabeled-tenant convention
+    // as every family above — and named tenants add
+    // `{endpoint=…,tenant=…}` series for the scoped endpoints they
+    // have served.
+    let mut request_series: Vec<(String, HistogramSnapshot)> = obs
+        .requests
+        .snapshot()
+        .into_iter()
+        .map(|(e, h)| (format!("endpoint=\"{}\"", e.name()), h))
+        .collect();
+    for (tenant, hists) in obs.tenant_snapshots() {
+        for (e, h) in hists {
+            if Endpoint::SCOPED.contains(&e) {
+                request_series.push((
+                    format!(
+                        "endpoint=\"{}\",tenant=\"{}\"",
+                        e.name(),
+                        prom_label_escape(&tenant)
+                    ),
+                    h,
+                ));
+            }
+        }
+    }
+    render_histogram(
+        &mut out,
+        "mccatch_request_duration_seconds",
+        "End-to-end request service time, by endpoint (plus tenant-labeled series for scoped requests).",
+        &request_series,
+    );
+    render_histogram(
+        &mut out,
+        "mccatch_line_duration_seconds",
+        "Per-NDJSON-line service time of /score and /ingest, amortized over each batch.",
+        &[
+            ("endpoint=\"score\"".to_owned(), obs.line_score.snapshot()),
+            ("endpoint=\"ingest\"".to_owned(), obs.line_ingest.snapshot()),
+        ],
+    );
+    let stage_series: Vec<(String, HistogramSnapshot)> = mccatch_obs::global()
+        .snapshot()
+        .into_iter()
+        .map(|(stage, h)| (format!("stage=\"{stage}\""), h))
+        .collect();
+    render_histogram(
+        &mut out,
+        "mccatch_stage_duration_seconds",
+        "Wall-clock time of pipeline stages across the stack (fit, refit, swap, fan-out, restore, snapshot I/O).",
+        &stage_series,
+    );
     out
 }
 
@@ -486,15 +617,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn counters_ignore_unknown_keys_and_count_known_ones() {
+    fn counters_ignore_unknown_statuses_and_count_known_ones() {
         let c = Counters::default();
-        c.count_request("score");
-        c.count_request("score");
-        c.count_request("nonsense");
+        c.count_request(Endpoint::Score);
+        c.count_request(Endpoint::Score);
         c.count_response(200);
         c.count_response(999);
-        assert_eq!(c.requests[0].load(Ordering::Acquire), 2);
+        assert_eq!(
+            c.requests[Endpoint::Score.index()].load(Ordering::Acquire),
+            2
+        );
         assert_eq!(c.responses[0].load(Ordering::Acquire), 1);
+    }
+
+    #[test]
+    fn endpoint_indices_match_exposition_order() {
+        for (i, e) in Endpoint::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i, "{}", e.name());
+        }
+        // The jump table agrees with the STATUSES slice it replaced.
+        for (i, s) in STATUSES.iter().enumerate() {
+            assert_eq!(status_index(*s), Some(i));
+        }
+        assert_eq!(status_index(302), None);
     }
 
     #[test]
@@ -508,9 +653,11 @@ mod tests {
     #[test]
     fn tenants_endpoint_has_a_request_counter() {
         let c = Counters::default();
-        c.count_request("tenants");
-        let i = ENDPOINTS.iter().position(|e| *e == "tenants").unwrap();
-        assert_eq!(c.requests[i].load(Ordering::Acquire), 1);
+        c.count_request(Endpoint::Tenants);
+        assert_eq!(
+            c.requests[Endpoint::Tenants.index()].load(Ordering::Acquire),
+            1
+        );
     }
 
     #[test]

@@ -19,14 +19,16 @@
 use crate::config::ServerConfig;
 use crate::error::ServerError;
 use crate::http::{self, Request, Response};
-use crate::metrics::{render_prometheus, Counters, TenantScrape};
+use crate::metrics::{render_prometheus, Counters, Endpoint, TenantScrape};
 use crate::ndjson::{json_escape, LineParser};
+use crate::obs::{request_id, ServerObs};
 use crate::service::{
     MapRegistry, NdjsonOutcome, Service, SnapshotInfoOutcome, SnapshotOutcome, StreamService,
     TenantRegistry,
 };
 use mccatch_index::IndexBuilder;
 use mccatch_metric::Metric;
+use mccatch_obs::{Fields, Histogram, Level};
 use mccatch_persist::{FsyncPolicy, PersistPoint, ReplayWriter};
 use mccatch_stream::StreamDetector;
 use mccatch_tenant::{valid_tenant_name, RouteKey, TenantMap};
@@ -48,9 +50,13 @@ struct Shared {
     /// every `/t/{tenant}/…` and `/admin/tenants` route answer `404`.
     registry: Option<Arc<dyn TenantRegistry>>,
     counters: Counters,
+    /// Latency histograms, the access logger, and the slow-request
+    /// ring.
+    obs: ServerObs,
     index_label: String,
     shutdown: AtomicBool,
-    /// When the server started, for the `/metrics` uptime gauge.
+    /// When the server started, for the `/metrics` uptime gauge and the
+    /// `/healthz` body.
     start: Instant,
 }
 
@@ -249,6 +255,7 @@ where
     B::Index: Send + Sync + 'static,
 {
     config.validate()?;
+    let obs = ServerObs::open(&config)?;
     let replay = match &config.replay_log {
         None => None,
         Some(path) => Some(
@@ -278,6 +285,7 @@ where
         registry,
         index_label: index_label.into(),
         counters: Counters::default(),
+        obs,
         shutdown: AtomicBool::new(false),
         start: Instant::now(),
         config,
@@ -362,6 +370,15 @@ fn reject_with_503(shared: &Shared, mut conn: TcpStream) {
     let resp = Response::text(503, "server is at capacity, retry shortly\n")
         .with_header("retry-after", shared.config.retry_after_secs.to_string());
     shared.counters.count_response(503);
+    if shared.obs.logger.enabled(Level::Warn) {
+        shared.obs.logger.log(
+            Level::Warn,
+            "backpressure",
+            &Fields::new()
+                .u64("status", 503)
+                .u64("queue", shared.config.queue as u64),
+        );
+    }
     let _ = http::write_response(&mut conn, &resp, false);
 }
 
@@ -424,9 +441,29 @@ fn serve_connection(shared: &Shared, conn: TcpStream) {
                 // must cost one request, not a worker thread: the pool
                 // would otherwise bleed capacity until the server
                 // wedges with no visible failure.
-                let resp =
+                let t0 = Instant::now();
+                let (resp, endpoint, tenant) =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(shared, &req)))
-                        .unwrap_or_else(|_| Response::text(500, "internal error\n"));
+                        .unwrap_or_else(|_| (Response::text(500, "internal error\n"), None, None));
+                let elapsed = t0.elapsed();
+                // Every response carries a request id — echoed when the
+                // client supplied a sane one, generated otherwise.
+                let id = request_id(req.header("x-mccatch-request-id"));
+                let resp = resp.with_header("x-mccatch-request-id", id.clone());
+                if let Some(endpoint) = endpoint {
+                    shared
+                        .obs
+                        .record_request(tenant.as_deref(), endpoint, elapsed);
+                }
+                log_request(
+                    shared,
+                    &req,
+                    &resp,
+                    endpoint,
+                    tenant.as_deref(),
+                    &id,
+                    elapsed,
+                );
                 // Drain on shutdown: answer the in-flight request, then
                 // ask the client to reconnect elsewhere.
                 let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::Acquire);
@@ -445,6 +482,56 @@ fn serve_connection(shared: &Shared, conn: TcpStream) {
                 break;
             }
         }
+    }
+}
+
+/// Emits the structured access-log line for one served request, and
+/// captures the same rendered line in the slow-request ring when the
+/// request crossed the `slow_request_ms` threshold. Renders nothing
+/// when neither applies, so the default configuration costs one float
+/// compare per request.
+fn log_request(
+    shared: &Shared,
+    req: &Request,
+    resp: &Response,
+    endpoint: Option<Endpoint>,
+    tenant: Option<&str>,
+    id: &str,
+    elapsed: Duration,
+) {
+    let duration_ms = elapsed.as_secs_f64() * 1e3;
+    let slow = duration_ms >= shared.obs.slow_ms as f64;
+    if !slow && !shared.obs.logger.enabled(Level::Info) {
+        return;
+    }
+    let mut fields = Fields::new()
+        .str("id", id)
+        .str("method", &req.method)
+        .str("path", &req.target)
+        .u64("status", resp.status as u64)
+        .f64("duration_ms", duration_ms)
+        .str("endpoint", endpoint.map_or("-", Endpoint::name))
+        .u64("bytes_in", req.body.len() as u64)
+        .u64("bytes_out", resp.body.len() as u64);
+    if let Some(tenant) = tenant {
+        fields = fields.str("tenant", tenant);
+    }
+    if slow {
+        fields = fields.bool("slow", true);
+    }
+    let line = shared.obs.logger.render(Level::Info, "request", &fields);
+    shared.obs.logger.write_line(Level::Info, &line);
+    if slow {
+        shared.obs.slow.push(line);
+    }
+}
+
+/// Records the amortized per-line latency of one NDJSON batch: `lines`
+/// observations at the batch's mean per-line cost. Two atomics per
+/// batch, not per line.
+fn record_line_latency(hist: &Histogram, total: Duration, lines: u64) {
+    if lines > 0 {
+        hist.record_many((total.as_nanos() / lines as u128) as u64, lines);
     }
 }
 
@@ -501,7 +588,7 @@ fn route_tenants_admin(shared: &Shared, req: &Request) -> Response {
         return Response::text(405, format!("{} requires {allow}\n", req.target))
             .with_header("allow", allow.to_owned());
     }
-    shared.counters.count_request("tenants");
+    shared.counters.count_request(Endpoint::Tenants);
     let Some(registry) = &shared.registry else {
         return Response::text(404, NO_TENANCY);
     };
@@ -550,15 +637,36 @@ fn route_tenants_admin(shared: &Shared, req: &Request) -> Response {
     }
 }
 
-/// Maps one parsed request to its response.
-fn route(shared: &Shared, req: &Request) -> Response {
+/// Maps one parsed request to its response, also reporting the
+/// [`Endpoint`] it resolved to (`None` until routing succeeded — only
+/// resolved requests are counted, so only they record latency) and the
+/// tenant scope, for the worker's histogram recording and access log.
+fn route(shared: &Shared, req: &Request) -> (Response, Option<Endpoint>, Option<String>) {
+    if req.target == "/admin/debug/slow" {
+        if req.method != "GET" {
+            let resp = Response::text(405, format!("{} requires GET\n", req.target))
+                .with_header("allow", "GET".to_owned());
+            return (resp, None, None);
+        }
+        shared.counters.count_request(Endpoint::DebugSlow);
+        let mut body = shared.obs.slow.lines().join("\n");
+        if !body.is_empty() {
+            body.push('\n');
+        }
+        return (Response::ndjson(200, body), Some(Endpoint::DebugSlow), None);
+    }
     if req.target == "/admin/tenants" || req.target.starts_with("/admin/tenants/") {
-        return route_tenants_admin(shared, req);
+        // The 405 path inside does not count the request; mirror that
+        // by only reporting the endpoint for counted methods.
+        let counted = ["GET", "PUT", "DELETE"].contains(&req.method.as_str());
+        let resp = route_tenants_admin(shared, req);
+        return (resp, counted.then_some(Endpoint::Tenants), None);
     }
     let (tenant, target) = match tenant_scope(req) {
         Ok(scope) => scope,
-        Err(resp) => return resp,
+        Err(resp) => return (resp, None, None),
     };
+    let tenant_owned = tenant.map(str::to_owned);
     // Resolve the serving backend: the default service for bare
     // requests, the tenant's facade otherwise. Process-wide endpoints
     // (`/healthz`, `/metrics`) have no tenant-scoped form.
@@ -566,41 +674,58 @@ fn route(shared: &Shared, req: &Request) -> Response {
         None => Arc::clone(&shared.service),
         Some(name) => {
             if !valid_tenant_name(name) {
-                return invalid_name_response(name);
+                return (invalid_name_response(name), None, tenant_owned);
             }
             let Some(registry) = &shared.registry else {
-                return Response::text(404, NO_TENANCY);
+                return (Response::text(404, NO_TENANCY), None, tenant_owned);
             };
             match registry.get(name) {
                 Some(svc) => svc,
-                None => return Response::text(404, format!("no such tenant: {name}\n")),
+                None => {
+                    let resp = Response::text(404, format!("no such tenant: {name}\n"));
+                    return (resp, None, tenant_owned);
+                }
             }
         }
     };
     let endpoint = match target {
-        "/score" => "score",
-        "/ingest" => "ingest",
-        "/admin/refit" => "refit",
-        "/admin/snapshot" => "snapshot",
-        "/admin/snapshot/info" => "snapshot_info",
-        "/healthz" if tenant.is_none() => "healthz",
-        "/metrics" if tenant.is_none() => "metrics",
+        "/score" => Endpoint::Score,
+        "/ingest" => Endpoint::Ingest,
+        "/admin/refit" => Endpoint::Refit,
+        "/admin/snapshot" => Endpoint::Snapshot,
+        "/admin/snapshot/info" => Endpoint::SnapshotInfo,
+        "/healthz" if tenant.is_none() => Endpoint::Healthz,
+        "/metrics" if tenant.is_none() => Endpoint::Metrics,
         _ => {
-            return Response::text(404, format!("no such endpoint: {}\n", req.target));
+            let resp = Response::text(404, format!("no such endpoint: {}\n", req.target));
+            return (resp, None, tenant_owned);
         }
     };
     let expected = match endpoint {
-        "healthz" | "metrics" | "snapshot_info" => "GET",
+        Endpoint::Healthz | Endpoint::Metrics | Endpoint::SnapshotInfo => "GET",
         _ => "POST",
     };
     if req.method != expected {
-        return Response::text(405, format!("{} requires {expected}\n", req.target))
+        let resp = Response::text(405, format!("{} requires {expected}\n", req.target))
             .with_header("allow", expected.to_owned());
+        return (resp, None, tenant_owned);
     }
     shared.counters.count_request(endpoint);
-    match endpoint {
-        "healthz" => Response::text(200, "ok\n"),
-        "metrics" => {
+    let resp = match endpoint {
+        Endpoint::Healthz => {
+            // Generation and uptime in the body let probes tell a
+            // healthy server from one whose swap loop wedged (a stuck
+            // generation under ingest load is the tell).
+            Response::json(
+                200,
+                format!(
+                    "{{\"status\": \"ok\", \"generation\": {}, \"uptime_seconds\": {:.3}}}\n",
+                    service.generation(),
+                    shared.start.elapsed().as_secs_f64()
+                ),
+            )
+        }
+        Endpoint::Metrics => {
             let scrapes: Option<Vec<TenantScrape>> = shared.registry.as_ref().map(|r| {
                 r.names()
                     .into_iter()
@@ -611,6 +736,7 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 200,
                 render_prometheus(
                     &shared.counters,
+                    &shared.obs,
                     &*shared.service,
                     &shared.index_label,
                     shared.start.elapsed(),
@@ -618,18 +744,35 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 ),
             )
         }
-        "score" => ndjson_response(shared, service.score_ndjson(&req.body)),
-        "ingest" => {
+        Endpoint::Score => {
+            let t0 = Instant::now();
+            let outcome = service.score_ndjson(&req.body);
+            record_line_latency(
+                &shared.obs.line_score,
+                t0.elapsed(),
+                outcome.lines_ok + outcome.lines_err,
+            );
+            ndjson_response(shared, outcome)
+        }
+        Endpoint::Ingest => {
             // An empty body is a complete, zero-line batch: short-circuit
             // to an empty 200 that still carries the current generation,
             // without touching the detector or the replay log.
             if crate::ndjson::body_lines(&req.body).next().is_none() {
-                return Response::ndjson(200, String::new())
-                    .with_header("x-mccatch-generation", service.generation().to_string());
+                Response::ndjson(200, String::new())
+                    .with_header("x-mccatch-generation", service.generation().to_string())
+            } else {
+                let t0 = Instant::now();
+                let outcome = service.ingest_ndjson(&req.body);
+                record_line_latency(
+                    &shared.obs.line_ingest,
+                    t0.elapsed(),
+                    outcome.lines_ok + outcome.lines_err,
+                );
+                ndjson_response(shared, outcome)
             }
-            ndjson_response(shared, service.ingest_ndjson(&req.body))
         }
-        "refit" => match service.refit_now() {
+        Endpoint::Refit => match service.refit_now() {
             Ok(generation) => Response::json(200, format!("{{\"generation\": {generation}}}\n"))
                 .with_header("x-mccatch-generation", generation.to_string()),
             Err(e) => Response::json(
@@ -637,7 +780,7 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 format!("{{\"error\": \"refit failed: {}\"}}\n", json_escape(&e)),
             ),
         },
-        "snapshot" => match service.save_snapshot() {
+        Endpoint::Snapshot => match service.save_snapshot() {
             SnapshotOutcome::Unconfigured => Response::json(
                 409,
                 "{\"error\": \"no snapshot path configured; set ServerConfig.snapshot_path\"}\n"
@@ -662,7 +805,7 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 format!("{{\"error\": \"snapshot failed: {}\"}}\n", json_escape(&e)),
             ),
         },
-        "snapshot_info" => match service.snapshot_info() {
+        Endpoint::SnapshotInfo => match service.snapshot_info() {
             SnapshotInfoOutcome::Unconfigured => Response::json(
                 409,
                 "{\"error\": \"no snapshot path configured; set ServerConfig.snapshot_path\"}\n"
@@ -684,8 +827,9 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 ),
             ),
         },
-        _ => unreachable!("endpoint matched above"),
-    }
+        Endpoint::Tenants | Endpoint::DebugSlow => unreachable!("handled above"),
+    };
+    (resp, Some(endpoint), tenant_owned)
 }
 
 /// Wraps an NDJSON outcome into its `200` response, folding the

@@ -108,7 +108,12 @@ fn healthz_and_metrics_answer_200() {
 
     let health = get(addr, "/healthz").unwrap();
     assert_eq!(health.status, 200);
-    assert_eq!(health.text().unwrap(), "ok\n");
+    // The body reports liveness plus the served generation and uptime,
+    // so probes can detect a wedged swap loop.
+    let body = health.text().unwrap();
+    assert!(body.contains("\"status\": \"ok\""), "{body}");
+    assert!(body.contains("\"generation\": 0"), "{body}");
+    assert!(body.contains("\"uptime_seconds\": "), "{body}");
 
     // Drive one scored batch so the counters are non-trivial.
     let scored = post(addr, "/score", b"[4.5, 4.5]\n").unwrap();
@@ -128,9 +133,105 @@ fn healthz_and_metrics_answer_200() {
         "mccatch_model_points 101",
         "mccatch_index_distance_evals_total{index=\"kd\"}",
         "# TYPE mccatch_server_requests_total counter",
+        // Latency histograms: the scored request above must land in the
+        // score endpoint's family, and the per-line family counts one
+        // line; every family keeps the Prometheus histogram shape.
+        "# TYPE mccatch_request_duration_seconds histogram",
+        "mccatch_request_duration_seconds_bucket{endpoint=\"score\",le=\"+Inf\"} 1",
+        "mccatch_request_duration_seconds_count{endpoint=\"score\"} 1",
+        "mccatch_line_duration_seconds_count{endpoint=\"score\"} 1",
+        "mccatch_line_duration_seconds_count{endpoint=\"ingest\"} 0",
+        "# TYPE mccatch_stage_duration_seconds histogram",
+        "mccatch_stage_duration_seconds_bucket{stage=\"fit_build\",le=\"+Inf\"}",
     ] {
         assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
     }
+}
+
+#[test]
+fn every_response_carries_a_request_id_echoed_or_generated() {
+    let (server, _detector) = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // No client id: the server generates one.
+    let resp = get(addr, "/healthz").unwrap();
+    let generated = resp.header("x-mccatch-request-id").unwrap().to_owned();
+    assert!(!generated.is_empty());
+
+    // A sane client id is echoed back verbatim.
+    let mut conn = Connection::open(addr).unwrap();
+    let raw = b"GET /healthz HTTP/1.1\r\nhost: t\r\nx-mccatch-request-id: trace-42\r\ncontent-length: 0\r\n\r\n";
+    let resp = conn.request_raw(raw).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-mccatch-request-id"), Some("trace-42"));
+
+    // An unprintable id is replaced, not echoed.
+    let mut conn = Connection::open(addr).unwrap();
+    let raw = b"GET /healthz HTTP/1.1\r\nhost: t\r\nx-mccatch-request-id: a b\r\ncontent-length: 0\r\n\r\n";
+    let resp = conn.request_raw(raw).unwrap();
+    let replaced = resp.header("x-mccatch-request-id").unwrap();
+    assert_ne!(replaced, "a b");
+    assert_ne!(replaced, generated);
+}
+
+#[test]
+fn slow_request_ring_serves_valid_ndjson_access_lines() {
+    // Threshold zero: every request is "slow", so the ring fills
+    // without needing an artificially slow handler.
+    let (server, _detector) = start(ServerConfig {
+        slow_request_ms: 0,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let empty = get(addr, "/admin/debug/slow").unwrap();
+    assert_eq!(empty.status, 200);
+
+    let scored = post(addr, "/score", b"[4.5, 4.5]\n").unwrap();
+    assert_eq!(scored.status, 200);
+    let scored_id = scored.header("x-mccatch-request-id").unwrap().to_owned();
+
+    let slow = get(addr, "/admin/debug/slow").unwrap();
+    assert_eq!(slow.status, 200);
+    let text = slow.text().unwrap();
+    let score_line = text
+        .lines()
+        .find(|l| l.contains("\"path\":\"/score\""))
+        .unwrap_or_else(|| panic!("no /score line in ring:\n{text}"));
+    for needle in [
+        "\"event\":\"request\"",
+        "\"method\":\"POST\"",
+        "\"status\":200",
+        "\"duration_ms\":",
+        "\"endpoint\":\"score\"",
+        "\"slow\":true",
+        &format!("\"id\":\"{scored_id}\""),
+    ] {
+        assert!(
+            score_line.contains(needle),
+            "missing {needle:?} in {score_line}"
+        );
+    }
+    // Well-formed NDJSON: one object per line, balanced braces, no
+    // trailing garbage.
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+
+    // POST is rejected with the proper Allow header.
+    let rejected = post(addr, "/admin/debug/slow", b"").unwrap();
+    assert_eq!(rejected.status, 405);
+}
+
+#[test]
+fn default_threshold_keeps_fast_requests_out_of_the_ring() {
+    let (server, _detector) = start(ServerConfig::default());
+    let addr = server.local_addr();
+    let scored = post(addr, "/score", b"[4.5, 4.5]\n").unwrap();
+    assert_eq!(scored.status, 200);
+    let slow = get(addr, "/admin/debug/slow").unwrap();
+    assert_eq!(slow.status, 200);
+    assert_eq!(slow.text().unwrap(), "", "sub-500ms requests are not slow");
 }
 
 #[test]

@@ -446,3 +446,41 @@ fn metrics_expose_tenant_labeled_series_and_queue_gauges() {
         body.contains("mccatch_tenant_shard_ingest_rejected_total{tenant=\"acme\",shard=\"0\"}")
     );
 }
+
+#[test]
+fn latency_histograms_label_scoped_requests_by_tenant() {
+    let (server, _map) = start_tenants(ServerConfig::default(), 2);
+    let addr = server.local_addr();
+    let mut conn = Connection::open(addr).unwrap();
+    conn.request("PUT", "/admin/tenants/acme", &grid_ndjson(0.0))
+        .unwrap();
+    // One default-tenant score and two scoped ones.
+    post(addr, "/score", b"[1.0, 1.0]\n").unwrap();
+    post(addr, "/t/acme/score", b"[1.0, 1.0]\n").unwrap();
+    post(addr, "/t/acme/score", b"[2.0, 2.0]\n").unwrap();
+
+    let body = get(addr, "/metrics").unwrap().text().unwrap().to_owned();
+    // Default series keep the single-tenant shape (endpoint label only)…
+    assert!(
+        body.lines()
+            .any(|l| l == "mccatch_request_duration_seconds_count{endpoint=\"score\"} 1"),
+        "{body}"
+    );
+    // …and the scoped requests land in tenant-labeled series of the
+    // same family, not in the default one.
+    assert!(
+        body.contains(
+            "mccatch_request_duration_seconds_count{endpoint=\"score\",tenant=\"acme\"} 2"
+        ),
+        "{body}"
+    );
+    assert!(
+        body.contains("mccatch_request_duration_seconds_bucket{endpoint=\"score\",tenant=\"acme\",le=\"+Inf\"} 2"),
+        "{body}"
+    );
+    // Per-line histograms are process-wide: three lines total.
+    assert!(
+        body.contains("mccatch_line_duration_seconds_count{endpoint=\"score\"} 3"),
+        "{body}"
+    );
+}

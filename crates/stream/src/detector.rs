@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// One scored event, as returned by
 /// [`StreamDetector::ingest`] / [`StreamDetector::ingest_at`].
@@ -760,10 +761,14 @@ where
 {
     let _serialized = shared.refit_lock.lock().unwrap_or_else(|e| e.into_inner());
     let points = shared.state().window.points_in_order();
+    let refit_start = Instant::now();
     match fit_and_warm(&shared.mccatch, &shared.metric, &shared.builder, points) {
         Ok((model, evals)) => {
+            mccatch_obs::record_stage("stream_refit", refit_start.elapsed());
             shared.fit_distance_evals.fetch_add(evals, Ordering::AcqRel);
+            let swap_start = Instant::now();
             shared.store.swap(model);
+            mccatch_obs::record_stage("stream_swap", swap_start.elapsed());
             // Still under the refit lock, so this is our swap's
             // generation, not a later one's.
             let generation = shared.store.generation();

@@ -318,6 +318,7 @@ where
     /// shard this is exactly one `snapshot_tagged()` + `score_batch`
     /// pair — bit-identical to the single-store path.
     pub fn score_batch(&self, queries: &[P]) -> (Vec<f64>, u64) {
+        let _span = mccatch_obs::Span::enter("tenant_fanout");
         let snaps: Vec<(Arc<dyn Model<P>>, u64)> = self
             .shards
             .iter()
