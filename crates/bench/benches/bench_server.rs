@@ -15,7 +15,10 @@
 //! Besides the criterion timings, a fixed headline run per mode prints
 //! `events/sec` summary lines and appends machine-readable results to
 //! `BENCH_server.json` at the workspace root, so the perf trajectory
-//! accumulates across sessions.
+//! accumulates across sessions. A third mode repeats `score_only` with
+//! per-request tracing enabled (span collection on, tail-sampling
+//! threshold unreachable) to keep the tracing tax honest — it must
+//! stay within run-to-run noise of the untraced number.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mccatch_core::McCatch;
@@ -40,7 +43,11 @@ type Detector = StreamDetector<Vec<f64>, Euclidean, KdTreeBuilder>;
 
 /// Boots a server over an http-10k detector (2k-window seed) and
 /// returns the handle, the shared detector, and the held-out events.
-fn boot() -> (ServerHandle, Arc<Detector>, Vec<Vec<f64>>) {
+/// `traced` turns on per-request span collection with an unreachable
+/// tail-sampling threshold, so the bench pays the full collection cost
+/// while the ring stays near-empty — the honest "tracing enabled"
+/// number.
+fn boot(traced: bool) -> (ServerHandle, Arc<Detector>, Vec<Vec<f64>>) {
     let data = http(10_000, 1);
     let seed: Vec<Vec<f64>> = data.points[..WINDOW].to_vec();
     let events: Vec<Vec<f64>> = data.points[WINDOW..].to_vec();
@@ -63,6 +70,7 @@ fn boot() -> (ServerHandle, Arc<Detector>, Vec<Vec<f64>>) {
         ServerConfig {
             workers: CLIENTS + 1,
             queue: 64,
+            trace_slow_ms: traced.then_some(600_000),
             ..ServerConfig::default()
         },
         Arc::clone(&detector),
@@ -167,10 +175,12 @@ fn hammer(
 fn emit_json(
     score_only: (u64, Duration, HistogramSnapshot),
     with_refit: (u64, Duration, u64, HistogramSnapshot),
+    traced: (u64, Duration, HistogramSnapshot),
 ) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
     let (so_events, so_time, so_lat) = score_only;
     let (wr_events, wr_time, wr_refits, wr_lat) = with_refit;
+    let (tr_events, tr_time, tr_lat) = traced;
     let lat_ms = |h: &HistogramSnapshot| {
         format!(
             "\"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}",
@@ -184,13 +194,18 @@ fn emit_json(
          \"window\": {WINDOW}, \"batch_lines\": {BATCH_LINES}, \"clients\": {CLIENTS}, \
          \"score_only\": {{\"events\": {so_events}, \"secs\": {:.4}, \"events_per_sec\": {:.0}, {}}}, \
          \"with_concurrent_refit\": {{\"events\": {wr_events}, \"secs\": {:.4}, \
-         \"events_per_sec\": {:.0}, \"refits_completed\": {wr_refits}, {}}}}}\n",
+         \"events_per_sec\": {:.0}, \"refits_completed\": {wr_refits}, {}}}, \
+         \"score_only_traced\": {{\"events\": {tr_events}, \"secs\": {:.4}, \
+         \"events_per_sec\": {:.0}, {}}}}}\n",
         so_time.as_secs_f64(),
         so_events as f64 / so_time.as_secs_f64().max(1e-9),
         lat_ms(&so_lat),
         wr_time.as_secs_f64(),
         wr_events as f64 / wr_time.as_secs_f64().max(1e-9),
         lat_ms(&wr_lat),
+        tr_time.as_secs_f64(),
+        tr_events as f64 / tr_time.as_secs_f64().max(1e-9),
+        lat_ms(&tr_lat),
     );
     // Append, never truncate: the file is the accumulating perf
     // trajectory across sessions, one JSON object per line.
@@ -210,7 +225,7 @@ fn bench_server_throughput(c: &mut Criterion) {
     group.sample_size(10);
 
     // Criterion timing: one keep-alive request of BATCH_LINES vectors.
-    let (server, _detector, events) = boot();
+    let (server, _detector, events) = boot(false);
     let addr = server.local_addr();
     let request_bodies = bodies(&events);
     let mut conn = Connection::open(addr).expect("bench connect");
@@ -233,16 +248,18 @@ fn bench_server_throughput(c: &mut Criterion) {
     // with and without a refitter swapping the 2k-point model under
     // the scorers.
     let mut headline = Vec::new();
-    for concurrent in [false, true] {
-        let (server, detector, events) = boot();
+    // The traced mode runs LAST: configuring the process-global sampler
+    // cannot be undone for this process, so the untraced modes must
+    // finish before it boots.
+    for (name, concurrent, traced) in [
+        ("score_only", false, false),
+        ("score_with_concurrent_refit", true, false),
+        ("score_only_traced", false, true),
+    ] {
+        let (server, detector, events) = boot(traced);
         let bodies = Arc::new(bodies(&events));
         let (scored, elapsed, refits, latency) =
             hammer(server.local_addr(), &detector, &bodies, concurrent);
-        let name = if concurrent {
-            "score_with_concurrent_refit"
-        } else {
-            "score_only"
-        };
         println!(
             "server_http10k/{name}: {scored} events in {elapsed:.2?} = {:.0} events/sec \
              ({:.0} requests/sec, p50 {:.2}ms p99 {:.2}ms, refits completed {refits}, \
@@ -259,6 +276,7 @@ fn bench_server_throughput(c: &mut Criterion) {
     emit_json(
         (headline[0].0, headline[0].1, headline[0].3),
         (headline[1].0, headline[1].1, headline[1].2, headline[1].3),
+        (headline[2].0, headline[2].1, headline[2].3),
     );
 }
 

@@ -138,6 +138,14 @@ struct Cli {
     /// Serve-mode slow-request threshold in milliseconds; requests at or
     /// over it enter the `GET /admin/debug/slow` ring (0 captures all).
     slow_ms: u64,
+    /// Serve-mode tracing threshold in milliseconds: `Some(ms)` collects
+    /// a span tree on every request and tail-samples traces at least
+    /// this slow — or ending in error — into the
+    /// `GET /admin/debug/trace` ring (0 keeps every trace). `None`
+    /// (the default) disables tracing.
+    trace_slow_ms: Option<u64>,
+    /// How many sampled traces the trace ring retains.
+    trace_capacity: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -210,6 +218,8 @@ fn parse_cli() -> Result<Cli, String> {
         replay_fsync: 64,
         access_log: None,
         slow_ms: 500,
+        trace_slow_ms: None,
+        trace_capacity: 64,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -307,6 +317,18 @@ fn parse_cli() -> Result<Cli, String> {
                     .parse()
                     .map_err(|e| format!("--slow-ms: {e}"))?
             }
+            "--trace-slow-ms" => {
+                cli.trace_slow_ms = Some(
+                    need("--trace-slow-ms")?
+                        .parse()
+                        .map_err(|e| format!("--trace-slow-ms: {e}"))?,
+                )
+            }
+            "--trace-capacity" => {
+                cli.trace_capacity = need("--trace-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--trace-capacity: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "mccatch: microcluster detection (MCCATCH, ICDE 2024)\n\n\
@@ -318,7 +340,8 @@ fn parse_cli() -> Result<Cli, String> {
                             [--drift FRAC] [--drift-recent N]\n\
                             [--serve ADDR] [--tenants N] [--shards K]\n\
                             [--save-model PATH] [--load-model PATH] [--replay-log PATH]\n\
-                            [--access-log PATH|off] [--slow-ms N]\n\n\
+                            [--access-log PATH|off] [--slow-ms N]\n\
+                            [--trace-slow-ms N] [--trace-capacity N]\n\n\
                      csv mode:   one point per line, comma/whitespace separated floats\n\
                      lines mode: one string per line, Levenshtein distance\n\n\
                      --index picks the backend (default: kd for csv, slim for lines;\n\
@@ -365,7 +388,14 @@ fn parse_cli() -> Result<Cli, String> {
                      to PATH instead, and --access-log off disables it. Requests\n\
                      taking at least --slow-ms N milliseconds (default 500; 0 =\n\
                      every request) also enter a bounded in-memory ring served at\n\
-                     GET /admin/debug/slow."
+                     GET /admin/debug/slow.\n\n\
+                     --trace-slow-ms N turns on per-request tracing: every request\n\
+                     collects a span tree (parse/route/handle, the tenant shard\n\
+                     fan-out, per-event scoring, refit stages), the W3C traceparent\n\
+                     header is honored and echoed, and traces at least N ms long —\n\
+                     or ending in error — are tail-sampled (0 keeps every trace)\n\
+                     into a ring of --trace-capacity traces (default 64) served as\n\
+                     Perfetto-loadable Chrome trace JSON at GET /admin/debug/trace."
                 );
                 std::process::exit(0);
             }
@@ -959,6 +989,8 @@ where
             Some(path) => AccessLog::File(std::path::PathBuf::from(path)),
         },
         slow_request_ms: cli.slow_ms,
+        trace_slow_ms: cli.trace_slow_ms,
+        trace_capacity: cli.trace_capacity,
         ..ServerConfig::default()
     };
     let tenants = TenantMap::new(

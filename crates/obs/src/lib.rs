@@ -24,7 +24,17 @@
 //! * [`Logger`] / [`Fields`] / [`Ring`] — a leveled structured logger
 //!   writing one JSON object per line (monotonic timestamps, process
 //!   sequence numbers) to stderr or a file, and the bounded
-//!   slow-request ring buffer behind `GET /admin/debug/slow`.
+//!   slow-request ring buffer behind `GET /admin/debug/slow`. Failed
+//!   writes are dropped — logging never takes down serving — but
+//!   counted ([`Logger::dropped_lines`], exposed as
+//!   `mccatch_log_dropped_lines_total`).
+//! * [`trace`] — per-request tracing: a [`trace::Trace`] collects a
+//!   tree of timed spans across the shard fan-out, a process-global
+//!   tail [`trace::Sampler`] keeps only slow-or-failed traces, and
+//!   [`trace::chrome_trace_json`] exports them as Perfetto-loadable
+//!   Chrome trace-event JSON (`GET /admin/debug/trace`). W3C-style
+//!   `traceparent` headers are parsed and echoed so the trace id ties
+//!   into the caller's distributed context.
 //!
 //! ```
 //! use mccatch_obs::{Histogram, Span};
@@ -47,7 +57,8 @@
 mod hist;
 mod log;
 mod span;
+pub mod trace;
 
 pub use hist::{render_histogram, Histogram, HistogramSnapshot, BUCKETS, FIRST_POW, LAST_POW};
 pub use log::{json_escape, Fields, Level, Logger, Ring};
-pub use span::{global, record_stage, Recorder, RecorderOff, Span, StageRecorder, STAGES};
+pub use span::{global, record_stage, Recorder, RecorderOff, Span, StageId, StageRecorder, STAGES};

@@ -51,6 +51,9 @@ enum Sink {
     Stderr,
     /// Append to a file, writes serialized by the mutex.
     File(Mutex<File>),
+    /// Append to an arbitrary writer — embedders, and the failing-sink
+    /// tests that exercise the dropped-line counter.
+    Writer(Mutex<Box<dyn Write + Send>>),
 }
 
 impl std::fmt::Debug for Sink {
@@ -59,6 +62,7 @@ impl std::fmt::Debug for Sink {
             Sink::Off => "Off",
             Sink::Stderr => "Stderr",
             Sink::File(_) => "File",
+            Sink::Writer(_) => "Writer",
         })
     }
 }
@@ -70,6 +74,7 @@ pub struct Logger {
     sink: Sink,
     start: Instant,
     seq: AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl Logger {
@@ -90,18 +95,33 @@ impl Logger {
         Ok(Self::with_sink(min, Sink::File(Mutex::new(f))))
     }
 
+    /// A logger writing lines at `min` or above to an arbitrary
+    /// writer, writes serialized by an internal mutex.
+    pub fn writer(min: Level, sink: Box<dyn Write + Send>) -> Self {
+        Self::with_sink(min, Sink::Writer(Mutex::new(sink)))
+    }
+
     fn with_sink(min: Level, sink: Sink) -> Self {
         Self {
             min,
             sink,
             start: Instant::now(),
             seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         }
     }
 
     /// Whether a line at `level` would actually be written.
     pub fn enabled(&self, level: Level) -> bool {
         level >= self.min && !matches!(self.sink, Sink::Off)
+    }
+
+    /// Lines that cleared the level gate but failed to reach the sink
+    /// (I/O error on the file/writer, or a failed stderr write).
+    /// Logging never takes down serving, but the drops are counted —
+    /// `/metrics` exposes this as `mccatch_log_dropped_lines_total`.
+    pub fn dropped_lines(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Renders one line — `{"ts_ms":…,"seq":…,"level":…,"event":…,…}`
@@ -124,22 +144,35 @@ impl Logger {
 
     /// Writes an already-rendered line at `level` to the sink, if the
     /// level clears the threshold. A failed write is dropped — logging
-    /// must never take down serving.
+    /// must never take down serving — but counted
+    /// ([`Logger::dropped_lines`]).
     pub fn write_line(&self, level: Level, line: &str) {
         if !self.enabled(level) {
             return;
         }
-        match &self.sink {
-            Sink::Off => {}
+        let written = match &self.sink {
+            Sink::Off => Ok(()),
             Sink::Stderr => {
                 let mut err = io::stderr().lock();
-                let _ = writeln!(err, "{line}");
+                writeln!(err, "{line}")
             }
             Sink::File(f) => {
-                if let Ok(mut f) = f.lock() {
-                    let _ = writeln!(f, "{line}");
-                }
+                let mut f = match f.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                writeln!(f, "{line}")
             }
+            Sink::Writer(w) => {
+                let mut w = match w.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                writeln!(w, "{line}")
+            }
+        };
+        if written.is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -214,6 +247,14 @@ impl Fields {
     /// Appends a boolean field.
     pub fn bool(mut self, key: &str, value: bool) -> Self {
         let _ = write!(self.buf, ",\"{}\":{}", json_escape(key), value);
+        self
+    }
+
+    /// Appends a pre-rendered JSON value verbatim — the caller
+    /// guarantees `json` is valid JSON (the server embeds a trace's
+    /// span array this way).
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        let _ = write!(self.buf, ",\"{}\":{}", json_escape(key), json);
         self
     }
 }
@@ -338,6 +379,67 @@ mod tests {
         assert_eq!(text.lines().count(), 1);
         assert!(text.contains("\"event\":\"written\""));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A writer that fails every write, for exercising the
+    /// dropped-line counter.
+    struct FailingSink;
+
+    impl Write for FailingSink {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("sink unplugged"))
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::other("sink unplugged"))
+        }
+    }
+
+    /// A writer appending into a shared buffer, so tests can read back
+    /// what a `Sink::Writer` logger emitted.
+    #[derive(Clone)]
+    struct SharedSink(std::sync::Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn failed_writes_are_dropped_but_counted() {
+        let log = Logger::writer(Level::Info, Box::new(FailingSink));
+        assert_eq!(log.dropped_lines(), 0);
+        log.log(Level::Info, "a", &Fields::new());
+        log.log(Level::Error, "b", &Fields::new().u64("n", 1));
+        // Below the level gate: never offered to the sink, not a drop.
+        log.log(Level::Debug, "c", &Fields::new());
+        assert_eq!(log.dropped_lines(), 2);
+
+        // A healthy writer sink drops nothing and receives the lines.
+        let buf = SharedSink(std::sync::Arc::new(Mutex::new(Vec::new())));
+        let ok = Logger::writer(Level::Info, Box::new(buf.clone()));
+        assert!(ok.enabled(Level::Info));
+        ok.log(Level::Info, "written", &Fields::new());
+        assert_eq!(ok.dropped_lines(), 0);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"event\":\"written\""), "{text}");
+    }
+
+    #[test]
+    fn raw_fields_embed_json_verbatim() {
+        let line = Logger::off().render(
+            Level::Info,
+            "trace",
+            &Fields::new().raw("spans", "[{\"name\":\"x\"}]"),
+        );
+        assert!(line.contains("\"spans\":[{\"name\":\"x\"}]"), "{line}");
     }
 
     #[test]

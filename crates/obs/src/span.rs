@@ -47,6 +47,85 @@ pub const STAGES: &[&str] = &[
     "persist_load",
 ];
 
+/// The [`STAGES`] vocabulary as a compile-time enum: the discriminant
+/// *is* the histogram index, so hot recording sites resolve a stage to
+/// its slot with a jump table instead of a linear name scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum StageId {
+    /// `fit_build` — reference-tree construction.
+    FitBuild = 0,
+    /// `fit_counting` — neighbor counting over the radius grid.
+    FitCounting = 1,
+    /// `fit_plotting` — oracle-plot assembly and MDL plateau search.
+    FitPlotting = 2,
+    /// `fit_gelling` — microcluster gelling.
+    FitGelling = 3,
+    /// `fit_scoring` — per-microcluster scoring.
+    FitScoring = 4,
+    /// `stream_refit` — a full background refit.
+    StreamRefit = 5,
+    /// `stream_swap` — publishing the refit model into the store.
+    StreamSwap = 6,
+    /// `tenant_fanout` — scatter/gather of a query across shards.
+    TenantFanout = 7,
+    /// `tenant_restore` — rebuilding one tenant at warm restart.
+    TenantRestore = 8,
+    /// `persist_save` — serializing a model snapshot.
+    PersistSave = 9,
+    /// `persist_load` — deserializing a model snapshot.
+    PersistLoad = 10,
+}
+
+impl StageId {
+    /// Every stage, in [`STAGES`] (exposition) order.
+    pub const ALL: [StageId; 11] = [
+        StageId::FitBuild,
+        StageId::FitCounting,
+        StageId::FitPlotting,
+        StageId::FitGelling,
+        StageId::FitScoring,
+        StageId::StreamRefit,
+        StageId::StreamSwap,
+        StageId::TenantFanout,
+        StageId::TenantRestore,
+        StageId::PersistSave,
+        StageId::PersistLoad,
+    ];
+
+    /// This stage's index into [`STAGES`] and the recorder's
+    /// histograms.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The exposition name, the same `&'static str` as the matching
+    /// [`STAGES`] entry.
+    pub const fn name(self) -> &'static str {
+        STAGES[self as usize]
+    }
+
+    /// Resolves a stage name to its id — a compiler-generated string
+    /// match, not a linear scan. `None` for names outside the closed
+    /// vocabulary.
+    pub fn from_name(name: &str) -> Option<StageId> {
+        Some(match name {
+            "fit_build" => StageId::FitBuild,
+            "fit_counting" => StageId::FitCounting,
+            "fit_plotting" => StageId::FitPlotting,
+            "fit_gelling" => StageId::FitGelling,
+            "fit_scoring" => StageId::FitScoring,
+            "stream_refit" => StageId::StreamRefit,
+            "stream_swap" => StageId::StreamSwap,
+            "tenant_fanout" => StageId::TenantFanout,
+            "tenant_restore" => StageId::TenantRestore,
+            "persist_save" => StageId::PersistSave,
+            "persist_load" => StageId::PersistLoad,
+            _ => return None,
+        })
+    }
+}
+
 /// A sink for stage timings. The serving stack records through this
 /// trait so embedders can route timings elsewhere or disable them.
 pub trait Recorder: Send + Sync {
@@ -102,12 +181,20 @@ impl StageRecorder {
     }
 }
 
+impl StageRecorder {
+    /// Records into `stage`'s histogram by index — no name resolution.
+    pub fn record_stage_id(&self, stage: StageId, elapsed: Duration) {
+        self.hists[stage.index()].record(elapsed);
+    }
+}
+
 impl Recorder for StageRecorder {
     fn record_stage(&self, stage: &'static str, elapsed: Duration) {
-        // Stage recording sites are cold (refits, restores, snapshot
-        // I/O), so a linear scan over ~a dozen names is fine.
-        if let Some(i) = STAGES.iter().position(|s| *s == stage) {
-            self.hists[i].record(elapsed);
+        // Name resolution is a compiler-generated string match
+        // (StageId::from_name), not a linear scan; unknown names are
+        // ignored so embedder-side recorders stay forgiving.
+        if let Some(id) = StageId::from_name(stage) {
+            self.record_stage_id(id, elapsed);
         }
     }
 }
@@ -119,9 +206,20 @@ pub fn global() -> &'static StageRecorder {
     GLOBAL.get_or_init(StageRecorder::new)
 }
 
-/// Records a pre-measured stage duration into the global recorder.
+/// Records a pre-measured stage duration into the global recorder —
+/// and, when the calling thread is inside a traced region, also
+/// attaches it as a child span of the thread-current trace span (see
+/// [`crate::trace::current`]). This is how the five `fit_*` stages
+/// become children of whichever trace triggered the fit with zero
+/// changes to the fit pipeline; with no trace active the behavior is
+/// exactly the global histogram recording, as before.
 pub fn record_stage(stage: &'static str, elapsed: Duration) {
+    debug_assert!(
+        StageId::from_name(stage).is_some(),
+        "unknown stage name {stage:?}: not a STAGES member"
+    );
     global().record_stage(stage, elapsed);
+    crate::trace::attach_stage(stage, elapsed);
 }
 
 /// A drop guard that times a region into the global recorder:
@@ -133,8 +231,14 @@ pub struct Span {
 }
 
 impl Span {
-    /// Starts timing `stage` (a [`STAGES`] member) now.
+    /// Starts timing `stage` now. Debug builds assert `stage` is a
+    /// [`STAGES`] member, so a typo'd name fails loudly in tests
+    /// instead of silently recording nothing.
     pub fn enter(stage: &'static str) -> Self {
+        debug_assert!(
+            StageId::from_name(stage).is_some(),
+            "unknown stage name {stage:?}: not a STAGES member"
+        );
         Self {
             stage,
             start: Instant::now(),
@@ -191,6 +295,36 @@ mod tests {
             .map(|(_, h)| h.count())
             .unwrap();
         assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn stage_ids_mirror_the_stages_vocabulary_exactly() {
+        assert_eq!(StageId::ALL.len(), STAGES.len());
+        for (i, (id, name)) in StageId::ALL.iter().zip(STAGES).enumerate() {
+            assert_eq!(id.index(), i);
+            assert_eq!(id.name(), *name);
+            assert_eq!(StageId::from_name(name), Some(*id));
+        }
+        assert_eq!(StageId::from_name("not_a_stage"), None);
+        assert_eq!(StageId::from_name(""), None);
+    }
+
+    #[test]
+    fn record_stage_id_and_record_stage_land_in_the_same_slot() {
+        let r = StageRecorder::new();
+        r.record_stage_id(StageId::TenantFanout, Duration::from_micros(7));
+        r.record_stage("tenant_fanout", Duration::from_micros(7));
+        let snap = r.snapshot();
+        let (name, h) = &snap[StageId::TenantFanout.index()];
+        assert_eq!(*name, "tenant_fanout");
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not a STAGES member")]
+    fn span_enter_rejects_typod_stage_names_in_debug_builds() {
+        let _ = Span::enter("fit_buidl");
     }
 
     #[test]

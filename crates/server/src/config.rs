@@ -87,6 +87,21 @@ pub struct ServerConfig {
     /// How many slow-request lines the ring buffer retains (oldest
     /// evicted first; `0` disables the ring).
     pub slow_log_capacity: usize,
+    /// Per-request tracing threshold (`--trace-slow-ms` in the CLI).
+    /// `Some(ms)` enables span collection on every request and
+    /// tail-samples traces at least `ms` milliseconds long — or ending
+    /// in error — into the ring served at `GET /admin/debug/trace`
+    /// (`0` keeps every trace). `None` (the default) disables tracing:
+    /// the per-request cost collapses to one atomic load.
+    ///
+    /// Tracing state is process-global (background refit traces from
+    /// the stream layer land in the same ring), so a server with
+    /// `None` never *disables* tracing another server in the same
+    /// process enabled.
+    pub trace_slow_ms: Option<u64>,
+    /// How many sampled traces the trace ring retains (oldest evicted
+    /// first; `--trace-capacity` in the CLI).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +119,8 @@ impl Default for ServerConfig {
             access_log: AccessLog::Off,
             slow_request_ms: 500,
             slow_log_capacity: 128,
+            trace_slow_ms: None,
+            trace_capacity: 64,
         }
     }
 }

@@ -32,11 +32,13 @@ pub(crate) enum Endpoint {
     Tenants,
     /// `GET /admin/debug/slow`.
     DebugSlow,
+    /// `GET /admin/debug/trace`.
+    DebugTrace,
 }
 
 impl Endpoint {
     /// Every endpoint, in exposition order (matches the discriminants).
-    pub const ALL: [Endpoint; 9] = [
+    pub const ALL: [Endpoint; 10] = [
         Endpoint::Score,
         Endpoint::Ingest,
         Endpoint::Refit,
@@ -46,6 +48,7 @@ impl Endpoint {
         Endpoint::Metrics,
         Endpoint::Tenants,
         Endpoint::DebugSlow,
+        Endpoint::DebugTrace,
     ];
 
     /// Number of endpoints (the counter/histogram array length).
@@ -77,6 +80,7 @@ impl Endpoint {
             Endpoint::Metrics => "metrics",
             Endpoint::Tenants => "tenants",
             Endpoint::DebugSlow => "debug_slow",
+            Endpoint::DebugTrace => "debug_trace",
         }
     }
 }
@@ -323,6 +327,25 @@ pub(crate) fn render_prometheus(
         "gauge",
         "Seconds since this server process started serving.",
         &plain(prom_f64(uptime.as_secs_f64())),
+    );
+    metric(
+        "mccatch_log_dropped_lines_total",
+        "counter",
+        "Structured log lines that cleared the level gate but failed to reach the sink.",
+        &plain(obs.logger.dropped_lines().to_string()),
+    );
+    let sampler = mccatch_obs::trace::sampler();
+    metric(
+        "mccatch_traces_finished_total",
+        "counter",
+        "Traces offered to the tail sampler (0 while tracing is disabled).",
+        &plain(sampler.seen().to_string()),
+    );
+    metric(
+        "mccatch_traces_sampled_total",
+        "counter",
+        "Traces kept by the tail sampler (slow or ending in error).",
+        &plain(sampler.kept().to_string()),
     );
 
     metric(

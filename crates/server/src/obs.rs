@@ -76,6 +76,14 @@ impl ServerObs {
                 })?
             }
         };
+        // Tracing is opt-in and process-global (the same sampler ring
+        // also receives background refit traces from the stream
+        // layer): a config with tracing off leaves the sampler alone,
+        // so a second tracing-off server in the same process never
+        // disables tracing the first one enabled.
+        if let Some(slow_ms) = config.trace_slow_ms {
+            mccatch_obs::trace::sampler().configure(slow_ms, config.trace_capacity);
+        }
         Ok(Self {
             requests: RequestHists::new(),
             tenants: RwLock::new(HashMap::new()),

@@ -28,6 +28,7 @@ use crate::service::{
 };
 use mccatch_index::IndexBuilder;
 use mccatch_metric::Metric;
+use mccatch_obs::trace;
 use mccatch_obs::{Fields, Histogram, Level};
 use mccatch_persist::{FsyncPolicy, PersistPoint, ReplayWriter};
 use mccatch_stream::StreamDetector;
@@ -414,6 +415,11 @@ fn serve_connection(shared: &Shared, conn: TcpStream) {
         ) {
             Ok(None) => break,
             Ok(Some(head)) => {
+                // Clock-zero of the request (and of its trace, when
+                // tracing is on): the head is parsed, the body is not
+                // yet read. Keep-alive idle time is deliberately
+                // excluded.
+                let t_head = Instant::now();
                 // Clients like curl hold large uploads back until they
                 // see `100 Continue` (or a 1-second timeout expires);
                 // answering the expectation keeps big in-contract
@@ -437,19 +443,61 @@ fn serve_connection(shared: &Shared, conn: TcpStream) {
                         break;
                     }
                 };
+                let t0 = Instant::now();
+                // Per-request tracing. The fast path when tracing is
+                // off is this single branch on one relaxed atomic
+                // load; everything below the `then` is skipped.
+                let trace = trace::sampler().enabled().then(|| {
+                    let ctx = req.header("traceparent").and_then(trace::parse_traceparent);
+                    trace::Trace::start_at("request", ctx, t_head)
+                });
+                let mut root_span_id = 0u64;
                 // A handler panic (e.g. a query the model cannot digest)
                 // must cost one request, not a worker thread: the pool
                 // would otherwise bleed capacity until the server
                 // wedges with no visible failure.
-                let t0 = Instant::now();
-                let (resp, endpoint, tenant) =
+                let (resp, endpoint, tenant) = {
+                    let root = trace.as_ref().map(|t| {
+                        let root = t.root_span("request");
+                        root_span_id = root.id();
+                        // The parse span is timed before the trace
+                        // object exists; record it retroactively.
+                        t.add_span(
+                            "parse",
+                            root.id(),
+                            t_head,
+                            t0.saturating_duration_since(t_head),
+                        );
+                        root
+                    });
+                    let _cur = root.as_ref().map(trace::TraceSpan::make_current);
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(shared, &req)))
-                        .unwrap_or_else(|_| (Response::text(500, "internal error\n"), None, None));
+                        .unwrap_or_else(|_| (Response::text(500, "internal error\n"), None, None))
+                };
                 let elapsed = t0.elapsed();
                 // Every response carries a request id — echoed when the
                 // client supplied a sane one, generated otherwise.
                 let id = request_id(req.header("x-mccatch-request-id"));
                 let resp = resp.with_header("x-mccatch-request-id", id.clone());
+                // …and a W3C traceparent: the inbound trace id when a
+                // valid one was sent (fresh otherwise), with our root
+                // span id as the parent for any downstream hop. Flag
+                // 01 means the trace was collected (a tail-sampling
+                // candidate), 00 that tracing was off.
+                let resp = match &trace {
+                    Some(t) => resp.with_header(
+                        "traceparent",
+                        trace::render_traceparent(t.trace_id(), root_span_id, true),
+                    ),
+                    None => {
+                        let ctx = req.header("traceparent").and_then(trace::parse_traceparent);
+                        let trace_id = ctx.map(|c| c.trace_id).unwrap_or_else(trace::gen_trace_id);
+                        resp.with_header(
+                            "traceparent",
+                            trace::render_traceparent(trace_id, trace::gen_span_id(), false),
+                        )
+                    }
+                };
                 if let Some(endpoint) = endpoint {
                     shared
                         .obs
@@ -464,6 +512,7 @@ fn serve_connection(shared: &Shared, conn: TcpStream) {
                     &id,
                     elapsed,
                 );
+                finish_trace(shared, trace, &req, &resp, tenant.as_deref(), &id);
                 // Drain on shutdown: answer the in-flight request, then
                 // ask the client to reconnect elsewhere.
                 let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::Acquire);
@@ -523,6 +572,51 @@ fn log_request(
     shared.obs.logger.write_line(Level::Info, &line);
     if slow {
         shared.obs.slow.push(line);
+    }
+}
+
+/// Closes a request's trace and offers it to the process-global tail
+/// sampler: only traces at least `--trace-slow-ms` long — or ending in
+/// a 5xx — are kept for `GET /admin/debug/trace`. A kept trace also
+/// lands in the access log as one NDJSON `"trace"` line with the full
+/// span array inline.
+fn finish_trace(
+    shared: &Shared,
+    trace: Option<trace::Trace>,
+    req: &Request,
+    resp: &Response,
+    tenant: Option<&str>,
+    id: &str,
+) {
+    let Some(t) = trace else { return };
+    if resp.status >= 500 {
+        t.set_error();
+    }
+    let mut attrs = vec![
+        ("id", id.to_owned()),
+        ("method", req.method.clone()),
+        ("path", req.target.clone()),
+        ("status", resp.status.to_string()),
+    ];
+    if let Some(tenant) = tenant {
+        attrs.push(("tenant", tenant.to_owned()));
+    }
+    let data = t.finish(attrs);
+    if let Some(kept) = trace::sampler().offer(data) {
+        if shared.obs.logger.enabled(Level::Info) {
+            shared.obs.logger.log(
+                Level::Info,
+                "trace",
+                &Fields::new()
+                    .str("trace", &format!("{:032x}", kept.trace_id))
+                    .str("id", id)
+                    .f64("duration_ms", kept.dur_ns as f64 / 1e6)
+                    .u64("status", resp.status as u64)
+                    .bool("error", kept.error)
+                    .u64("spans", kept.spans.len() as u64)
+                    .raw("span_tree", &trace::spans_json(&kept)),
+            );
+        }
     }
 }
 
@@ -655,6 +749,17 @@ fn route(shared: &Shared, req: &Request) -> (Response, Option<Endpoint>, Option<
         }
         return (Response::ndjson(200, body), Some(Endpoint::DebugSlow), None);
     }
+    if req.target == "/admin/debug/trace" {
+        if req.method != "GET" {
+            let resp = Response::text(405, format!("{} requires GET\n", req.target))
+                .with_header("allow", "GET".to_owned());
+            return (resp, None, None);
+        }
+        shared.counters.count_request(Endpoint::DebugTrace);
+        let traces = trace::sampler().traces();
+        let body = trace::chrome_trace_json(traces.iter().map(|t| &**t));
+        return (Response::json(200, body), Some(Endpoint::DebugTrace), None);
+    }
     if req.target == "/admin/tenants" || req.target.starts_with("/admin/tenants/") {
         // The 405 path inside does not count the request; mirror that
         // by only reporting the endpoint for counted methods.
@@ -662,6 +767,11 @@ fn route(shared: &Shared, req: &Request) -> (Response, Option<Endpoint>, Option<
         let resp = route_tenants_admin(shared, req);
         return (resp, counted.then_some(Endpoint::Tenants), None);
     }
+    // The `route` span covers tenant-scope resolution, service lookup,
+    // and the endpoint/method match; an early return (404/405/bad
+    // tenant) closes it on the way out, correctly charging the whole
+    // request to routing.
+    let route_span = trace::current().map(|h| h.child("route"));
     let (tenant, target) = match tenant_scope(req) {
         Ok(scope) => scope,
         Err(resp) => return (resp, None, None),
@@ -710,7 +820,17 @@ fn route(shared: &Shared, req: &Request) -> (Response, Option<Endpoint>, Option<
             .with_header("allow", expected.to_owned());
         return (resp, None, tenant_owned);
     }
+    drop(route_span);
     shared.counters.count_request(endpoint);
+    // The `handle` span brackets the endpoint dispatch and is the
+    // thread-current parent while it runs, so the per-batch spans
+    // below — and anything deeper (tenant fan-out, stream scoring,
+    // fit stages) — nest under it.
+    let handle_span = trace::current().map(|h| {
+        h.child("handle")
+            .with_attr("endpoint", endpoint.name().to_owned())
+    });
+    let _handle_cur = handle_span.as_ref().map(trace::TraceSpan::make_current);
     let resp = match endpoint {
         Endpoint::Healthz => {
             // Generation and uptime in the body let probes tell a
@@ -746,7 +866,15 @@ fn route(shared: &Shared, req: &Request) -> (Response, Option<Endpoint>, Option<
         }
         Endpoint::Score => {
             let t0 = Instant::now();
-            let outcome = service.score_ndjson(&req.body);
+            let outcome = {
+                let mut span = trace::current().map(|h| h.child("score_batch"));
+                let _cur = span.as_ref().map(trace::TraceSpan::make_current);
+                let outcome = service.score_ndjson(&req.body);
+                if let Some(span) = span.as_mut() {
+                    span.attr("lines", (outcome.lines_ok + outcome.lines_err).to_string());
+                }
+                outcome
+            };
             record_line_latency(
                 &shared.obs.line_score,
                 t0.elapsed(),
@@ -763,7 +891,15 @@ fn route(shared: &Shared, req: &Request) -> (Response, Option<Endpoint>, Option<
                     .with_header("x-mccatch-generation", service.generation().to_string())
             } else {
                 let t0 = Instant::now();
-                let outcome = service.ingest_ndjson(&req.body);
+                let outcome = {
+                    let mut span = trace::current().map(|h| h.child("ingest_batch"));
+                    let _cur = span.as_ref().map(trace::TraceSpan::make_current);
+                    let outcome = service.ingest_ndjson(&req.body);
+                    if let Some(span) = span.as_mut() {
+                        span.attr("lines", (outcome.lines_ok + outcome.lines_err).to_string());
+                    }
+                    outcome
+                };
                 record_line_latency(
                     &shared.obs.line_ingest,
                     t0.elapsed(),
@@ -827,7 +963,9 @@ fn route(shared: &Shared, req: &Request) -> (Response, Option<Endpoint>, Option<
                 ),
             ),
         },
-        Endpoint::Tenants | Endpoint::DebugSlow => unreachable!("handled above"),
+        Endpoint::Tenants | Endpoint::DebugSlow | Endpoint::DebugTrace => {
+            unreachable!("handled above")
+        }
     };
     (resp, Some(endpoint), tenant_owned)
 }

@@ -318,21 +318,36 @@ where
     /// shard this is exactly one `snapshot_tagged()` + `score_batch`
     /// pair — bit-identical to the single-store path.
     pub fn score_batch(&self, queries: &[P]) -> (Vec<f64>, u64) {
-        let _span = mccatch_obs::Span::enter("tenant_fanout");
+        let t0 = std::time::Instant::now();
+        // When this batch runs inside a traced request, the fan-out
+        // becomes a `tenant_fanout` span with one `shard_score` child
+        // per shard. The stage histogram is recorded directly at the
+        // end (not via the free `record_stage`) so the trace carries
+        // the structured per-shard children instead of one flat span.
+        let fanout = mccatch_obs::trace::current().map(|h| h.child("tenant_fanout"));
         let snaps: Vec<(Arc<dyn Model<P>>, u64)> = self
             .shards
             .iter()
             .map(|s| s.detector.store().snapshot_tagged())
             .collect();
-        let mut snaps = snaps.into_iter();
-        let (first, mut generation) = snaps.next().expect("a tenant has at least one shard");
-        let mut scores = first.score_batch(queries);
-        for (model, g) in snaps {
+        assert!(!snaps.is_empty(), "a tenant has at least one shard");
+        let mut generation = 0;
+        let mut scores = Vec::new();
+        for (shard, (model, g)) in snaps.into_iter().enumerate() {
+            let _child = fanout
+                .as_ref()
+                .map(|f| f.child("shard_score").with_attr("shard", shard.to_string()));
             generation += g;
-            for (acc, s) in scores.iter_mut().zip(model.score_batch(queries)) {
-                *acc = acc.min(s);
+            if shard == 0 {
+                scores = model.score_batch(queries);
+            } else {
+                for (acc, s) in scores.iter_mut().zip(model.score_batch(queries)) {
+                    *acc = acc.min(s);
+                }
             }
         }
+        drop(fanout);
+        mccatch_obs::global().record_stage_id(mccatch_obs::StageId::TenantFanout, t0.elapsed());
         (scores, generation)
     }
 
@@ -362,14 +377,24 @@ where
                 shards: self.shards.len(),
             });
         };
+        let mut span = mccatch_obs::trace::current().map(|h| {
+            h.child("shard_ingest")
+                .with_attr("shard", shard.to_string())
+        });
         // Bounded admission: claim a slot or reject immediately. The
         // rejection is the backpressure signal — nothing ever queues
         // behind a hot shard, so serving workers stay available to
-        // other tenants.
+        // other tenants. The CAS loop never blocks, but contention (and
+        // a rejection) still shows up as the `queue_admit` child span.
+        let admit = span.as_ref().map(|sp| sp.child("queue_admit"));
         let mut depth = s.inflight.load(Ordering::Acquire);
         loop {
             if depth >= s.capacity {
                 s.rejected.fetch_add(1, Ordering::AcqRel);
+                if let Some(sp) = span.as_mut() {
+                    sp.attr("admission", "rejected".to_owned());
+                }
+                drop(admit);
                 return Err(TenantError::ShardSaturated {
                     tenant: self.name.clone(),
                     shard,
@@ -386,7 +411,13 @@ where
                 Err(current) => depth = current,
             }
         }
+        drop(admit);
         let _admission = Admission(&s.inflight);
+        // Made current so the shard detector's per-event `score` span
+        // nests under this one.
+        let _cur = span
+            .as_ref()
+            .map(mccatch_obs::trace::TraceSpan::make_current);
         Ok(match &s.replay {
             Some(log) => {
                 // The log lock is held across score+append so the log's
@@ -409,11 +440,26 @@ where
     /// The first shard error wins; other shards still complete their
     /// refit before this returns.
     pub fn refit_now(&self) -> Result<u64, TenantError> {
+        // Each shard thread gets its own `shard_refit` span handle made
+        // current there, so the stream layer's refit stages nest per
+        // shard inside whichever trace covers this fan-out.
+        let parent = mccatch_obs::trace::current();
         let results: Vec<Result<u64, _>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter()
-                .map(|s| scope.spawn(|| s.detector.refit_now()))
+                .enumerate()
+                .map(|(i, s)| {
+                    let child = parent
+                        .as_ref()
+                        .map(|h| h.child("shard_refit").with_attr("shard", i.to_string()));
+                    scope.spawn(move || {
+                        let _cur = child
+                            .as_ref()
+                            .map(mccatch_obs::trace::TraceSpan::make_current);
+                        s.detector.refit_now()
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
